@@ -1,0 +1,75 @@
+//! `cargo bench` harness that runs every table/figure experiment once at a reduced
+//! scale and prints the resulting tables (plus wall-clock timings). This is a plain
+//! harness (not Criterion): each experiment is a substantial end-to-end run whose
+//! *output tables* are the interesting artifact, not nanosecond-level statistics.
+//!
+//! For paper-shaped output (longer days, more sampling runs), run the individual
+//! binaries, e.g. `BLAZEIT_FRAMES=54000 cargo run --release -p blazeit-bench --bin
+//! fig4_aggregates`.
+
+use blazeit_bench::{experiments, ExperimentScale};
+use std::time::Instant;
+
+fn run(name: &str, f: impl FnOnce() -> String) {
+    let started = Instant::now();
+    let report = f();
+    let elapsed = started.elapsed().as_secs_f64();
+    println!("=== {name} (completed in {elapsed:.1} s wall clock) ===");
+    println!("{report}");
+}
+
+fn main() {
+    // Respect --bench filtering arguments passed by cargo but otherwise run everything.
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+    let should_run = |name: &str| filter.as_deref().map(|f| name.contains(f)).unwrap_or(true);
+
+    let scale = if std::env::var("BLAZEIT_FRAMES").is_ok() {
+        ExperimentScale::from_env()
+    } else {
+        ExperimentScale { frames_per_day: 6_000, runs: 1 }
+    };
+    println!(
+        "BlazeIt experiment suite — scale: {} frames/day, {} sampling runs\n",
+        scale.frames_per_day, scale.runs
+    );
+
+    if should_run("table3") {
+        run("Table 3: dataset characteristics", || experiments::table3(scale));
+    }
+    if should_run("fig4") {
+        run("Figure 4: aggregate query runtimes", || experiments::fig4(scale).1);
+    }
+    if should_run("table4") {
+        run("Table 4: query-rewriting error", || experiments::table4(scale));
+    }
+    if should_run("table5") {
+        run("Table 5: predicted vs actual counts on two days", || experiments::table5(scale));
+    }
+    if should_run("fig5") {
+        run("Figure 5: sample complexity, naive AQP vs control variates", || {
+            experiments::fig5(scale)
+        });
+    }
+    if should_run("table6") {
+        run("Table 6: scrubbing query details", || experiments::table6(scale));
+    }
+    if should_run("fig6") {
+        run("Figure 6: scrubbing runtimes", || experiments::fig6(scale));
+    }
+    if should_run("fig7") {
+        run("Figure 7: sample complexity vs number of cars", || experiments::fig7(scale));
+    }
+    if should_run("fig8") {
+        run("Figure 8: multi-class scrubbing runtime", || experiments::fig8(scale));
+    }
+    if should_run("fig9") {
+        run("Figure 9: sample complexity vs LIMIT", || experiments::fig9(scale));
+    }
+    if should_run("fig10") {
+        run("Figure 10: content-based selection runtime", || experiments::fig10(scale));
+    }
+    if should_run("fig11") {
+        run("Figure 11: filter factor analysis and lesion study", || experiments::fig11(scale));
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks for the hot primitives of the pipeline: frame rendering,
+//! featurization, specialized-NN inference, detection simulation, the FrameQL parser,
+//! IoU, and the adaptive-sampling estimator.
+
+use blazeit_core::aggregate::{naive_aqp_fcount, SamplingOptions};
+use blazeit_core::BlazeIt;
+use blazeit_detect::ObjectDetector;
+use blazeit_frameql::parse_query;
+use blazeit_nn::features::FrameFeaturizer;
+use blazeit_videostore::{BoundingBox, DatasetPreset, ObjectClass, DAY_TEST};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_video_substrate(c: &mut Criterion) {
+    let video = DatasetPreset::Taipei.generate_with_frames(DAY_TEST, 4_000).unwrap();
+    c.bench_function("render_frame", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 97) % 4_000;
+            black_box(video.frame(i).unwrap())
+        })
+    });
+    c.bench_function("ground_truth_lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 97) % 4_000;
+            black_box(video.ground_truth(i).unwrap())
+        })
+    });
+    let featurizer = FrameFeaturizer::default();
+    let frame = video.frame(123).unwrap();
+    c.bench_function("featurize_frame", |b| b.iter(|| black_box(featurizer.features(&frame).unwrap())));
+}
+
+fn bench_detection_and_nn(c: &mut Criterion) {
+    let engine = BlazeIt::for_preset(DatasetPreset::Taipei, 2_000).unwrap();
+    c.bench_function("simulated_detection", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 31) % 2_000;
+            black_box(engine.detector().detect(engine.video(), i))
+        })
+    });
+    let nn = engine
+        .specialized_for(&[(ObjectClass::Car, engine.default_max_count(ObjectClass::Car, 1))])
+        .unwrap();
+    c.bench_function("specialized_nn_score", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 31) % 2_000;
+            black_box(nn.score_frame(engine.video(), i).unwrap())
+        })
+    });
+}
+
+fn bench_frameql(c: &mut Criterion) {
+    let sql = "SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 \
+               AND area(mask) > 100000 GROUP BY trackid HAVING COUNT(*) > 15";
+    c.bench_function("parse_selection_query", |b| b.iter(|| black_box(parse_query(sql).unwrap())));
+    let a = BoundingBox::new(0.0, 0.0, 100.0, 100.0);
+    let b2 = BoundingBox::new(50.0, 40.0, 160.0, 170.0);
+    c.bench_function("bbox_iou", |b| b.iter(|| black_box(a.iou(&b2))));
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let engine = BlazeIt::for_preset(DatasetPreset::Amsterdam, 2_000).unwrap();
+    c.bench_function("naive_aqp_error_0.1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                naive_aqp_fcount(
+                    &engine,
+                    Some(ObjectClass::Car),
+                    SamplingOptions::new(0.1, 0.95, seed),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_video_substrate,
+    bench_detection_and_nn,
+    bench_frameql,
+    bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Diagnostic: how well does the specialized counting NN track the detector's
+//! frame-averaged counts across days? Used to tune training hyperparameters; not part
+//! of the paper's experiment suite.
+
+use blazeit_core::{baselines, BlazeIt, BlazeItConfig};
+use blazeit_nn::train::TrainConfig;
+use blazeit_videostore::{DatasetPreset, ObjectClass};
+
+fn main() {
+    let frames: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4_000);
+    let epochs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let lr: f32 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let hidden: usize = std::env::args().nth(4).and_then(|s| s.parse().ok()).unwrap_or(48);
+
+    for preset in [DatasetPreset::Taipei, DatasetPreset::NightStreet, DatasetPreset::Rialto] {
+        let class = preset.primary_class();
+        let mut config = BlazeItConfig::for_preset(preset);
+        config.train = TrainConfig { epochs, ..TrainConfig::default() };
+        config.train.sgd.learning_rate = lr;
+        config.specialized_hidden = vec![hidden];
+        if let Ok(g) = std::env::var("GRID") {
+            config.features.grid_side = g.parse().unwrap_or(12);
+        }
+        let engine = BlazeIt::for_preset_with_config(preset, frames, config).expect("engine");
+
+        let max_count = engine.default_max_count(class, 1);
+        let nn = engine.specialized_for(&[(class, max_count)]).expect("train");
+
+        // Held-out day error estimate.
+        let heldout = engine.labeled().heldout();
+        let est = nn
+            .estimate_fcount_error(
+                engine.labeled().heldout_video(),
+                &heldout.frames,
+                &heldout.class_counts(class),
+                class,
+                50,
+                1,
+            )
+            .expect("estimate");
+
+        // Test-day rewrite vs detector ground truth.
+        let rewrite = blazeit_core::aggregate::rewrite_fcount(&engine, &nn, class).expect("rewrite");
+        let (truth, _) = baselines::oracle_fcount(&engine, Some(class));
+
+        // Does the per-frame prediction vary at all, and does it correlate with truth?
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for f in (0..engine.video().len()).step_by(17) {
+            preds.push(nn.expected_count(engine.video(), f, class).unwrap());
+            truths.push(engine.video().ground_truth_count(f, class).unwrap() as f64);
+        }
+        let pstd = std(&preds);
+        let corr = blazeit_core::stats::correlation(&preds, &truths);
+        // Training-day correlation: distinguishes underfitting from day-to-day shift.
+        let mut tr_preds = Vec::new();
+        let mut tr_truths = Vec::new();
+        for f in (0..engine.labeled().train_video().len()).step_by(17) {
+            tr_preds.push(nn.expected_count(engine.labeled().train_video(), f, class).unwrap());
+            tr_truths.push(engine.labeled().train_video().ground_truth_count(f, class).unwrap() as f64);
+        }
+        let tr_corr = blazeit_core::stats::correlation(&tr_preds, &tr_truths);
+
+        // Train-day means for reference.
+        let train_mean = mean(&engine.labeled().train().class_counts(class));
+        let _heldout_mean = mean(&heldout.class_counts(class));
+
+        println!(
+            "{:<14} class={:<5} K={} | train_mean={:.3} heldout: pred={:.3} true={:.3} err={:.3} | test: pred={:.3} true={:.3} err={:.3} | pred_std={:.3} corr={:.3} train_corr={:.3}",
+            preset.name(),
+            class.name(),
+            max_count,
+            train_mean,
+            est.mean_predicted,
+            est.mean_true,
+            est.abs_error,
+            rewrite,
+            truth,
+            (rewrite - truth).abs(),
+            pstd,
+            corr,
+            tr_corr
+        );
+    }
+    let _ = ObjectClass::Car;
+}
+
+fn mean(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<usize>() as f64 / values.len() as f64
+}
+
+fn std(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = values.iter().sum::<f64>() / values.len() as f64;
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}

@@ -1,0 +1,10 @@
+//! Figure 10: content-based selection runtime (see EXPERIMENTS.md). Scale via BLAZEIT_FRAMES / BLAZEIT_RUNS.
+
+use blazeit_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Figure 10: content-based selection runtime ==");
+    println!("scale: {} frames/day, {} runs\n", scale.frames_per_day, scale.runs);
+    println!("{}", experiments::fig10(scale));
+}

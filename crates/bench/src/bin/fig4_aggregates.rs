@@ -1,0 +1,12 @@
+//! Figure 4: end-to-end runtime of aggregate queries (see EXPERIMENTS.md).
+//! Scale via BLAZEIT_FRAMES / BLAZEIT_RUNS.
+
+use blazeit_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Figure 4: aggregate query runtimes (error 0.1, confidence 95%) ==");
+    println!("scale: {} frames/day, {} runs\n", scale.frames_per_day, scale.runs);
+    let (_rows, report) = experiments::fig4(scale);
+    println!("{report}");
+}

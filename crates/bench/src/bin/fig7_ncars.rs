@@ -1,0 +1,10 @@
+//! Figure 7: sample complexity vs number of cars (see EXPERIMENTS.md). Scale via BLAZEIT_FRAMES / BLAZEIT_RUNS.
+
+use blazeit_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Figure 7: sample complexity vs number of cars ==");
+    println!("scale: {} frames/day, {} runs\n", scale.frames_per_day, scale.runs);
+    println!("{}", experiments::fig7(scale));
+}

@@ -1,0 +1,10 @@
+//! Table 3: dataset characteristics (see EXPERIMENTS.md). Scale via BLAZEIT_FRAMES / BLAZEIT_RUNS.
+
+use blazeit_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Table 3: dataset characteristics ==");
+    println!("scale: {} frames/day, {} runs\n", scale.frames_per_day, scale.runs);
+    println!("{}", experiments::table3(scale));
+}

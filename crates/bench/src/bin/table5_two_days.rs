@@ -1,0 +1,10 @@
+//! Table 5: predicted vs actual counts on two days (see EXPERIMENTS.md). Scale via BLAZEIT_FRAMES / BLAZEIT_RUNS.
+
+use blazeit_bench::{experiments, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Table 5: predicted vs actual counts on two days ==");
+    println!("scale: {} frames/day, {} runs\n", scale.frames_per_day, scale.runs);
+    println!("{}", experiments::table5(scale));
+}

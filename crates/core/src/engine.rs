@@ -1,0 +1,346 @@
+//! The BlazeIt engine: query entry point, optimizer dispatch, and shared resources.
+
+use crate::aggregate;
+use crate::config::BlazeItConfig;
+use crate::labeled::LabeledSet;
+use crate::result::{QueryOutput, QueryResult};
+use crate::scrub;
+use crate::select;
+use crate::{BlazeItError, Result};
+use blazeit_detect::{SimClock, SimulatedDetector};
+use blazeit_frameql::query::{analyze, QueryClass, QueryPlanInfo};
+use blazeit_frameql::{builtin_udfs, parse_query, Query, UdfRegistry};
+use blazeit_nn::specialized::{SpecializedConfig, SpecializedHead, SpecializedNN};
+use blazeit_videostore::{DatasetPreset, ObjectClass, Video, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The BlazeIt query engine over one (unseen) video.
+///
+/// The engine holds the unseen test-day video, the labeled set (training + held-out
+/// days annotated offline), the configured detector, the UDF registry, and a cache of
+/// trained specialized networks keyed by their output heads. The specialized-NN cache
+/// is what the paper's "BlazeIt (no train)" / "indexed" variants correspond to: once a
+/// network has been trained for some class set, later queries reuse it and pay only
+/// inference.
+pub struct BlazeIt {
+    video: Video,
+    labeled: Arc<LabeledSet>,
+    config: BlazeItConfig,
+    clock: Arc<SimClock>,
+    detector: SimulatedDetector,
+    udfs: UdfRegistry,
+    nn_cache: Mutex<HashMap<String, Arc<SpecializedNN>>>,
+}
+
+impl std::fmt::Debug for BlazeIt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlazeIt")
+            .field("video", &self.video.name())
+            .field("frames", &self.video.len())
+            .field("detection_method", &self.config.detection_method)
+            .finish()
+    }
+}
+
+impl BlazeIt {
+    /// Creates an engine over `video` (the unseen test data) with a pre-built labeled set.
+    pub fn new(video: Video, labeled: Arc<LabeledSet>, config: BlazeItConfig) -> BlazeIt {
+        let clock = SimClock::new();
+        let detector = SimulatedDetector::new(
+            config.detection_method,
+            config.detection_threshold,
+            Arc::clone(&clock),
+        );
+        BlazeIt {
+            video,
+            labeled,
+            config,
+            clock,
+            detector,
+            udfs: builtin_udfs(),
+            nn_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Convenience constructor: generates the three days of a Table 3 preset (train,
+    /// held-out, test) at `frames_per_day` frames each, builds the labeled set, and
+    /// returns an engine over the test day.
+    pub fn for_preset(preset: DatasetPreset, frames_per_day: u64) -> Result<BlazeIt> {
+        let config = BlazeItConfig::for_preset(preset);
+        Self::for_preset_with_config(preset, frames_per_day, config)
+    }
+
+    /// Like [`BlazeIt::for_preset`] but with an explicit configuration.
+    pub fn for_preset_with_config(
+        preset: DatasetPreset,
+        frames_per_day: u64,
+        config: BlazeItConfig,
+    ) -> Result<BlazeIt> {
+        let train = preset.generate_with_frames(DAY_TRAIN, frames_per_day)?;
+        let heldout = preset.generate_with_frames(DAY_HELDOUT, frames_per_day)?;
+        let test = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
+        let labeled = Arc::new(LabeledSet::build(train, heldout, &config)?);
+        Ok(BlazeIt::new(test, labeled, config))
+    }
+
+    /// The unseen (test) video queries run over.
+    pub fn video(&self) -> &Video {
+        &self.video
+    }
+
+    /// The labeled set.
+    pub fn labeled(&self) -> &Arc<LabeledSet> {
+        &self.labeled
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &BlazeItConfig {
+        &self.config
+    }
+
+    /// The simulated clock all costs are charged to.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The configured object detector (charges the engine clock on every call).
+    pub fn detector(&self) -> &SimulatedDetector {
+        &self.detector
+    }
+
+    /// The UDF registry.
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// Registers (or replaces) a UDF available to queries on this engine.
+    pub fn register_udf(
+        &mut self,
+        name: &str,
+        frame_liftable: bool,
+        func: impl Fn(&blazeit_videostore::Frame, &blazeit_videostore::BoundingBox) -> blazeit_frameql::Value
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.udfs.register(name, frame_liftable, func);
+    }
+
+    /// Resets the simulated clock (useful between experiments sharing one engine).
+    pub fn reset_clock(&self) {
+        self.clock.reset();
+    }
+
+    /// Parses, optimizes and executes a FrameQL query.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let started = Instant::now();
+        let cost_before = self.clock.breakdown();
+
+        let parsed = parse_query(sql)?;
+        self.check_video_name(&parsed)?;
+        let info = analyze(&parsed, &self.udfs)?;
+        let output = self.execute(&parsed, &info)?;
+
+        let cost = self.clock.breakdown().since(&cost_before);
+        Ok(QueryResult {
+            query: sql.to_string(),
+            output,
+            cost,
+            wall_secs: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Executes an already-analyzed query. Exposed for harnesses that need to toggle
+    /// plan options.
+    pub fn execute(&self, query: &Query, info: &QueryPlanInfo) -> Result<QueryOutput> {
+        match &info.class {
+            QueryClass::Aggregate { .. } => aggregate::execute(self, query, info),
+            QueryClass::Scrub => scrub::execute(self, query, info),
+            QueryClass::Select | QueryClass::Exhaustive => {
+                select::execute(self, query, info, &select::SelectionOptions::default())
+            }
+        }
+    }
+
+    fn check_video_name(&self, query: &Query) -> Result<()> {
+        let normalize = |s: &str| s.to_ascii_lowercase().replace('_', "-");
+        if normalize(&query.from) != normalize(self.video.name()) {
+            return Err(BlazeItError::WrongVideo {
+                requested: query.from.clone(),
+                available: self.video.name().to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns (training if necessary) a specialized network with one counting head per
+    /// requested `(class, max_count)` pair.
+    ///
+    /// Training is charged to the engine clock; cache hits are free (this is the
+    /// "indexed" / "no train" scenario of the paper).
+    pub fn specialized_for(&self, heads: &[(ObjectClass, usize)]) -> Result<Arc<SpecializedNN>> {
+        if heads.is_empty() {
+            return Err(BlazeItError::Internal("specialized_for requires at least one head".into()));
+        }
+        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
+        sorted.sort_by_key(|(c, _)| c.index());
+        let key = sorted
+            .iter()
+            .map(|(c, m)| format!("{}:{}", c.name(), m))
+            .collect::<Vec<_>>()
+            .join("|");
+
+        if let Some(nn) = self.nn_cache.lock().get(&key) {
+            return Ok(Arc::clone(nn));
+        }
+
+        let spec_heads: Vec<SpecializedHead> = sorted
+            .iter()
+            .map(|&(class, max_count)| SpecializedHead { class, max_count: max_count.max(1) })
+            .collect();
+        let mut spec_config = SpecializedConfig::for_heads(spec_heads);
+        spec_config.features = self.config.features;
+        spec_config.hidden = self.config.specialized_hidden.clone();
+        spec_config.train = self.config.train;
+        spec_config.cost = self.config.cost;
+        spec_config.seed = self.config.sampling_seed ^ 0x5EC1_A112;
+
+        let train_day = self.labeled.train();
+        let (nn, _report) = SpecializedNN::train(
+            spec_config,
+            self.labeled.train_video(),
+            &train_day.frames,
+            &train_day.counts,
+            Arc::clone(&self.clock),
+        )?;
+        let nn = Arc::new(nn);
+        self.nn_cache.lock().insert(key, Arc::clone(&nn));
+        Ok(nn)
+    }
+
+    /// The default counting head size for `class`, chosen by the paper's rule: the
+    /// highest count appearing in at least `count_class_min_fraction` of the labeled
+    /// frames, and never below `at_least`.
+    pub fn default_max_count(&self, class: ObjectClass, at_least: usize) -> usize {
+        let counts = self.labeled.train().class_counts(class);
+        let head = SpecializedHead::from_counts(class, counts, self.config.count_class_min_fraction);
+        head.max_count.max(at_least).max(1)
+    }
+
+    /// Whether a specialized network for these heads is already trained and cached.
+    pub fn has_cached_specialized(&self, heads: &[(ObjectClass, usize)]) -> bool {
+        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
+        sorted.sort_by_key(|(c, _)| c.index());
+        let key = sorted
+            .iter()
+            .map(|(c, m)| format!("{}:{}", c.name(), m))
+            .collect::<Vec<_>>()
+            .join("|");
+        self.nn_cache.lock().contains_key(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::QueryOutput;
+
+    fn engine() -> BlazeIt {
+        BlazeIt::for_preset(DatasetPreset::Taipei, 1_500).unwrap()
+    }
+
+    #[test]
+    fn engine_construction_and_accessors() {
+        let e = engine();
+        assert_eq!(e.video().name(), "taipei");
+        assert_eq!(e.video().len(), 1_500);
+        assert!(e.labeled().train().len() > 0);
+        assert_eq!(e.clock().total(), 0.0);
+    }
+
+    #[test]
+    fn wrong_video_name_is_rejected() {
+        let e = engine();
+        let err = e.query("SELECT FCOUNT(*) FROM rialto WHERE class = 'boat' ERROR WITHIN 0.1");
+        assert!(matches!(err, Err(BlazeItError::WrongVideo { .. })));
+    }
+
+    #[test]
+    fn video_name_normalization_accepts_underscores() {
+        let e = BlazeIt::for_preset(DatasetPreset::NightStreet, 600).unwrap();
+        // night_street vs night-street should be treated as the same relation.
+        let result =
+            e.query("SELECT FCOUNT(*) FROM night_street WHERE class = 'car' ERROR WITHIN 0.5 AT CONFIDENCE 90%");
+        assert!(result.is_ok(), "{result:?}");
+    }
+
+    #[test]
+    fn specialized_cache_hits_avoid_retraining() {
+        let e = engine();
+        let heads = [(ObjectClass::Car, 3usize)];
+        assert!(!e.has_cached_specialized(&heads));
+        let _nn = e.specialized_for(&heads).unwrap();
+        assert!(e.has_cached_specialized(&heads));
+        let training_after_first = e.clock().breakdown().training;
+        assert!(training_after_first > 0.0);
+        let _nn2 = e.specialized_for(&heads).unwrap();
+        let training_after_second = e.clock().breakdown().training;
+        assert!((training_after_second - training_after_first).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_max_count_respects_floor() {
+        let e = engine();
+        let k = e.default_max_count(ObjectClass::Car, 5);
+        assert!(k >= 5);
+        let k2 = e.default_max_count(ObjectClass::Bird, 1);
+        assert_eq!(k2, 1);
+    }
+
+    #[test]
+    fn end_to_end_aggregate_query_runs() {
+        let e = engine();
+        let result = e
+            .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.2 AT CONFIDENCE 95%")
+            .unwrap();
+        match result.output {
+            QueryOutput::Aggregate { value, .. } => assert!(value >= 0.0),
+            other => panic!("expected aggregate output, got {other:?}"),
+        }
+        assert!(result.runtime_secs() > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_scrub_query_runs() {
+        let e = engine();
+        let result = e
+            .query(
+                "SELECT timestamp FROM taipei GROUP BY timestamp \
+                 HAVING SUM(class='car') >= 1 LIMIT 3 GAP 30",
+            )
+            .unwrap();
+        match &result.output {
+            QueryOutput::Frames { frames, .. } => {
+                assert!(frames.len() <= 3);
+                for pair in frames.windows(2) {
+                    let gap = pair[0].abs_diff(pair[1]);
+                    assert!(gap >= 30, "frames {pair:?} violate GAP 30");
+                }
+            }
+            other => panic!("expected frames output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_reset() {
+        let e = engine();
+        e.query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.3 AT CONFIDENCE 90%")
+            .unwrap();
+        assert!(e.clock().total() > 0.0);
+        e.reset_clock();
+        assert_eq!(e.clock().total(), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The labeled set: detector annotations over the training and held-out days.
+//!
+//! BlazeIt assumes a small representative sample of video has been annotated with the
+//! object detector ahead of time (Section 2): one day of video for training labels and
+//! one day for threshold / error estimation. Constructing this labeled set is done
+//! once, offline, and shared across queries, so — exactly as in the paper's evaluation —
+//! its detector cost is *not* charged to any query. Training specialized NNs and
+//! computing filter thresholds from the labeled set, on the other hand, *are* charged
+//! (the paper reports BlazeIt runtimes both with and without that time).
+
+use crate::{BlazeItConfig, Result};
+use blazeit_detect::{CountVector, Detection, ObjectDetector, SimClock, SimulatedDetector};
+use blazeit_videostore::{FrameIndex, ObjectClass, Video};
+use serde::{Deserialize, Serialize};
+
+/// Detector annotations for one day of video at a fixed frame stride.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotatedDay {
+    /// The annotated frame indices (ascending).
+    pub frames: Vec<FrameIndex>,
+    /// The detections for each annotated frame.
+    pub detections: Vec<Vec<Detection>>,
+    /// Per-class counts for each annotated frame (derived from `detections`).
+    pub counts: Vec<CountVector>,
+}
+
+impl AnnotatedDay {
+    fn annotate(video: &Video, detector: &SimulatedDetector, stride: u64) -> AnnotatedDay {
+        let stride = stride.max(1);
+        let mut frames = Vec::new();
+        let mut detections = Vec::new();
+        let mut counts = Vec::new();
+        let mut f = 0u64;
+        while f < video.len() {
+            let dets = detector.detect(video, f);
+            counts.push(CountVector::from_detections(&dets));
+            detections.push(dets);
+            frames.push(f);
+            f += stride;
+        }
+        AnnotatedDay { frames, detections, counts }
+    }
+
+    /// Number of annotated frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the day has no annotated frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Per-frame counts of one class.
+    pub fn class_counts(&self, class: ObjectClass) -> Vec<usize> {
+        self.counts.iter().map(|c| c.get(class)).collect()
+    }
+
+    /// Number of annotated frames whose counts satisfy all `(class, >= n)` requirements.
+    pub fn frames_satisfying(&self, requirements: &[(ObjectClass, usize)]) -> usize {
+        self.counts.iter().filter(|c| c.satisfies_all(requirements)).count()
+    }
+
+    /// The maximum per-frame count of a class.
+    pub fn max_count(&self, class: ObjectClass) -> usize {
+        self.class_counts(class).into_iter().max().unwrap_or(0)
+    }
+}
+
+/// The labeled set: annotated training and held-out days plus their videos.
+#[derive(Debug, Clone)]
+pub struct LabeledSet {
+    train_video: Video,
+    heldout_video: Video,
+    train: AnnotatedDay,
+    heldout: AnnotatedDay,
+}
+
+impl LabeledSet {
+    /// Builds the labeled set by running the configured detector over the training and
+    /// held-out days at the configured strides.
+    ///
+    /// The detector cost of this step is deliberately charged to a throwaway clock
+    /// (offline annotation, as in the paper's evaluation methodology).
+    pub fn build(
+        train_video: Video,
+        heldout_video: Video,
+        config: &BlazeItConfig,
+    ) -> Result<LabeledSet> {
+        let offline_clock = SimClock::new();
+        let detector = SimulatedDetector::new(
+            config.detection_method,
+            config.detection_threshold,
+            offline_clock,
+        );
+        let train = AnnotatedDay::annotate(&train_video, &detector, config.labeled_stride);
+        let heldout = AnnotatedDay::annotate(&heldout_video, &detector, config.heldout_stride);
+        Ok(LabeledSet { train_video, heldout_video, train, heldout })
+    }
+
+    /// The training-day video.
+    pub fn train_video(&self) -> &Video {
+        &self.train_video
+    }
+
+    /// The held-out-day video.
+    pub fn heldout_video(&self) -> &Video {
+        &self.heldout_video
+    }
+
+    /// The training-day annotations.
+    pub fn train(&self) -> &AnnotatedDay {
+        &self.train
+    }
+
+    /// The held-out-day annotations.
+    pub fn heldout(&self) -> &AnnotatedDay {
+        &self.heldout
+    }
+
+    /// Whether the training data has enough positive examples to train a specialized
+    /// model for the given requirements (Algorithm 1's "sufficient training data"
+    /// check and Section 7.1's fallback condition).
+    pub fn has_training_examples(
+        &self,
+        requirements: &[(ObjectClass, usize)],
+        min_examples: usize,
+    ) -> bool {
+        self.train.frames_satisfying(requirements) >= min_examples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazeit_videostore::{DatasetPreset, DAY_HELDOUT, DAY_TRAIN};
+
+    fn labeled(frames: u64) -> LabeledSet {
+        let preset = DatasetPreset::Taipei;
+        let config = BlazeItConfig::for_preset(preset);
+        let train = preset.generate_with_frames(DAY_TRAIN, frames).unwrap();
+        let heldout = preset.generate_with_frames(DAY_HELDOUT, frames).unwrap();
+        LabeledSet::build(train, heldout, &config).unwrap()
+    }
+
+    #[test]
+    fn build_annotates_at_strides() {
+        let set = labeled(900);
+        // labeled_stride = 3, heldout_stride = 7 by default.
+        assert_eq!(set.train().len(), 300);
+        assert_eq!(set.heldout().len(), (900 + 6) / 7);
+        assert_eq!(set.train().frames[1], 3);
+        assert_eq!(set.heldout().frames[1], 7);
+        assert!(!set.train().is_empty());
+    }
+
+    #[test]
+    fn counts_match_detections() {
+        let set = labeled(600);
+        for (dets, counts) in set.train().detections.iter().zip(&set.train().counts) {
+            assert_eq!(CountVector::from_detections(dets), *counts);
+        }
+    }
+
+    #[test]
+    fn class_counts_and_max() {
+        let set = labeled(1500);
+        let car_counts = set.train().class_counts(ObjectClass::Car);
+        assert_eq!(car_counts.len(), set.train().len());
+        let max = set.train().max_count(ObjectClass::Car);
+        assert_eq!(max, car_counts.iter().copied().max().unwrap());
+        assert!(max >= 1, "expected at least one car in the taipei training day");
+        assert_eq!(set.train().max_count(ObjectClass::Bird), 0);
+    }
+
+    #[test]
+    fn training_example_sufficiency() {
+        let set = labeled(1500);
+        assert!(set.has_training_examples(&[(ObjectClass::Car, 1)], 10));
+        assert!(!set.has_training_examples(&[(ObjectClass::Car, 50)], 1));
+        assert!(!set.has_training_examples(&[(ObjectClass::Bird, 1)], 1));
+    }
+
+    #[test]
+    fn frames_satisfying_conjunction() {
+        let set = labeled(1500);
+        let both = set.train().frames_satisfying(&[(ObjectClass::Car, 1), (ObjectClass::Bus, 1)]);
+        let car_only = set.train().frames_satisfying(&[(ObjectClass::Car, 1)]);
+        assert!(both <= car_only);
+    }
+}

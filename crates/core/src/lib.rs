@@ -1,0 +1,106 @@
+//! # blazeit-core
+//!
+//! The BlazeIt query optimizer and execution engine (the paper's primary contribution).
+//!
+//! [`BlazeIt`](engine::BlazeIt) accepts FrameQL queries over a video, classifies them
+//! with the rule-based optimizer, and executes them with the cheapest plan that meets
+//! the requested accuracy:
+//!
+//! * **Aggregation** ([`aggregate`]) — adaptive sampling with a CLT stopping rule
+//!   (Section 6.1), query rewriting with specialized NNs when their held-out error is
+//!   good enough (Section 6.2, Algorithm 1), and control variates otherwise
+//!   (Section 6.3).
+//! * **Scrubbing** ([`scrub`]) — importance ordering of frames by specialized-NN
+//!   confidence for cardinality-limited (LIMIT/GAP) queries (Section 7).
+//! * **Content-based selection** ([`select`]) — automatically inferred label / content
+//!   / temporal / spatial filters applied before object detection (Section 8).
+//! * **Baselines** ([`baselines`]) — the naive full-scan, the NoScope oracle, and naive
+//!   AQP, against which every experiment in the paper compares.
+//!
+//! All expensive work charges the shared [`SimClock`](blazeit_detect::SimClock), so
+//! end-to-end runtimes are deterministic and comparable across plans.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod baselines;
+pub mod config;
+pub mod engine;
+pub mod labeled;
+pub mod metrics;
+pub mod relation;
+pub mod result;
+pub mod scrub;
+pub mod select;
+pub mod stats;
+
+pub use config::BlazeItConfig;
+pub use engine::BlazeIt;
+pub use labeled::LabeledSet;
+pub use metrics::RuntimeReport;
+pub use result::{AggregateMethod, QueryOutput, QueryResult};
+
+use blazeit_frameql::FrameQlError;
+use blazeit_nn::NnError;
+use blazeit_videostore::VideoError;
+
+/// Errors produced by the BlazeIt engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlazeItError {
+    /// Error from the FrameQL front-end.
+    FrameQl(FrameQlError),
+    /// Error from the video substrate.
+    Video(VideoError),
+    /// Error from the NN substrate.
+    Nn(NnError),
+    /// The query references a video other than the one the engine was built over.
+    WrongVideo {
+        /// The video named in the query.
+        requested: String,
+        /// The video the engine holds.
+        available: String,
+    },
+    /// The query is valid FrameQL but not executable by this engine.
+    Unsupported(String),
+    /// An invariant was violated during planning or execution.
+    Internal(String),
+}
+
+impl std::fmt::Display for BlazeItError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlazeItError::FrameQl(e) => write!(f, "FrameQL error: {e}"),
+            BlazeItError::Video(e) => write!(f, "video error: {e}"),
+            BlazeItError::Nn(e) => write!(f, "model error: {e}"),
+            BlazeItError::WrongVideo { requested, available } => {
+                write!(f, "query references video '{requested}' but engine holds '{available}'")
+            }
+            BlazeItError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+            BlazeItError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlazeItError {}
+
+impl From<FrameQlError> for BlazeItError {
+    fn from(e: FrameQlError) -> Self {
+        BlazeItError::FrameQl(e)
+    }
+}
+
+impl From<VideoError> for BlazeItError {
+    fn from(e: VideoError) -> Self {
+        BlazeItError::Video(e)
+    }
+}
+
+impl From<NnError> for BlazeItError {
+    fn from(e: NnError) -> Self {
+        BlazeItError::Nn(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, BlazeItError>;

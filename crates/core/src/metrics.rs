@@ -1,0 +1,104 @@
+//! Runtime accounting and comparison helpers used by tests and experiment harnesses.
+
+use blazeit_detect::clock::CostBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// A named runtime measurement (one bar of a paper figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Name of the method / plan (e.g. `"naive"`, `"blazeit"`).
+    pub name: String,
+    /// Simulated runtime in seconds (decode excluded, as in the paper).
+    pub runtime_secs: f64,
+    /// Number of object-detection invocations.
+    pub detection_calls: u64,
+    /// The full cost breakdown.
+    pub cost: CostBreakdown,
+}
+
+impl RuntimeReport {
+    /// Builds a report from a cost breakdown delta.
+    pub fn from_cost(name: impl Into<String>, cost: CostBreakdown, detection_calls: u64) -> Self {
+        RuntimeReport {
+            name: name.into(),
+            runtime_secs: cost.total() - cost.decode,
+            detection_calls,
+            cost,
+        }
+    }
+
+    /// Runtime excluding training time (the "no train" / "indexed" variants).
+    pub fn runtime_excluding_training(&self) -> f64 {
+        self.runtime_secs - self.cost.training
+    }
+
+    /// The speedup of this report relative to a baseline runtime.
+    pub fn speedup_vs(&self, baseline_runtime_secs: f64) -> f64 {
+        if self.runtime_secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            baseline_runtime_secs / self.runtime_secs
+        }
+    }
+}
+
+/// Formats a set of reports as the "runtime (s) / speedup" rows the paper's figures
+/// show, relative to the first entry (the naive baseline by convention).
+pub fn format_speedup_table(reports: &[RuntimeReport]) -> String {
+    let mut out = String::new();
+    let baseline = reports.first().map(|r| r.runtime_secs).unwrap_or(1.0);
+    out.push_str(&format!(
+        "{:<24} {:>14} {:>14} {:>12}\n",
+        "method", "runtime (s)", "det. calls", "speedup"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<24} {:>14.1} {:>14} {:>11.1}x\n",
+            r.name,
+            r.runtime_secs,
+            r.detection_calls,
+            r.speedup_vs(baseline)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(detection: f64, training: f64, decode: f64) -> CostBreakdown {
+        CostBreakdown { detection, training, decode, ..CostBreakdown::default() }
+    }
+
+    #[test]
+    fn report_excludes_decode() {
+        let r = RuntimeReport::from_cost("x", cost(10.0, 2.0, 100.0), 30);
+        assert!((r.runtime_secs - 12.0).abs() < 1e-12);
+        assert!((r.runtime_excluding_training() - 10.0).abs() < 1e-12);
+        assert_eq!(r.detection_calls, 30);
+    }
+
+    #[test]
+    fn speedup_computation() {
+        let naive = RuntimeReport::from_cost("naive", cost(1000.0, 0.0, 0.0), 3000);
+        let fast = RuntimeReport::from_cost("blazeit", cost(10.0, 0.0, 0.0), 30);
+        assert!((fast.speedup_vs(naive.runtime_secs) - 100.0).abs() < 1e-9);
+        let zero = RuntimeReport::from_cost("free", CostBreakdown::default(), 0);
+        assert!(zero.speedup_vs(naive.runtime_secs).is_infinite());
+    }
+
+    #[test]
+    fn table_formatting_contains_all_methods() {
+        let reports = vec![
+            RuntimeReport::from_cost("naive", cost(100.0, 0.0, 0.0), 300),
+            RuntimeReport::from_cost("blazeit", cost(1.0, 0.5, 0.0), 3),
+        ];
+        let table = format_speedup_table(&reports);
+        assert!(table.contains("naive"));
+        assert!(table.contains("blazeit"));
+        assert!(table.contains("speedup"));
+        // Two data rows plus a header.
+        assert_eq!(table.lines().count(), 3);
+    }
+}

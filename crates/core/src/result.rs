@@ -1,0 +1,162 @@
+//! Query results and execution reports.
+
+use blazeit_detect::clock::CostBreakdown;
+use blazeit_frameql::FrameQlRow;
+use blazeit_videostore::FrameIndex;
+use serde::{Deserialize, Serialize};
+
+/// How an aggregate query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateMethod {
+    /// The specialized NN's answer was returned directly (query rewriting, Section 6.2).
+    QueryRewriting,
+    /// Sampling with the specialized NN as a control variate (Section 6.3).
+    ControlVariates,
+    /// Plain adaptive sampling (no specialized NN available or trainable).
+    NaiveSampling,
+    /// Exact computation (detector on every frame).
+    Exact,
+}
+
+/// The payload of a query result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryOutput {
+    /// An aggregate value (FCOUNT / COUNT / COUNT DISTINCT).
+    Aggregate {
+        /// The estimated (or exact) value.
+        value: f64,
+        /// Standard error of the estimate, when sampled.
+        standard_error: Option<f64>,
+        /// Number of frames on which object detection was invoked.
+        detection_calls: u64,
+        /// How the estimate was produced.
+        method: AggregateMethod,
+    },
+    /// Frames matching a scrubbing query, in the order they were found.
+    Frames {
+        /// Matching frame indices (verified by the full detector).
+        frames: Vec<FrameIndex>,
+        /// Number of frames on which object detection was invoked.
+        detection_calls: u64,
+    },
+    /// Object rows matching a selection query.
+    Rows {
+        /// Matching rows of the FrameQL relation.
+        rows: Vec<FrameQlRow>,
+        /// Number of frames on which object detection was invoked.
+        detection_calls: u64,
+    },
+}
+
+impl QueryOutput {
+    /// The aggregate value, if this is an aggregate result.
+    pub fn aggregate_value(&self) -> Option<f64> {
+        match self {
+            QueryOutput::Aggregate { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The matched frames, if this is a scrubbing result.
+    pub fn frames(&self) -> Option<&[FrameIndex]> {
+        match self {
+            QueryOutput::Frames { frames, .. } => Some(frames),
+            _ => None,
+        }
+    }
+
+    /// The matched rows, if this is a selection result.
+    pub fn rows(&self) -> Option<&[FrameQlRow]> {
+        match self {
+            QueryOutput::Rows { rows, .. } => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// Number of detector invocations used to produce the result.
+    pub fn detection_calls(&self) -> u64 {
+        match self {
+            QueryOutput::Aggregate { detection_calls, .. }
+            | QueryOutput::Frames { detection_calls, .. }
+            | QueryOutput::Rows { detection_calls, .. } => *detection_calls,
+        }
+    }
+}
+
+/// A complete query result: output plus cost accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The query text that produced this result.
+    pub query: String,
+    /// The result payload.
+    pub output: QueryOutput,
+    /// Simulated cost incurred by this query (per category).
+    pub cost: CostBreakdown,
+    /// Wall-clock seconds the engine spent executing the query (diagnostic only; the
+    /// paper's runtimes correspond to the simulated cost).
+    pub wall_secs: f64,
+}
+
+impl QueryResult {
+    /// Total simulated runtime attributed to this query, excluding video decode (the
+    /// paper excludes decode time from all reported runtimes).
+    pub fn runtime_secs(&self) -> f64 {
+        self.cost.total() - self.cost.decode
+    }
+
+    /// Simulated runtime excluding both decode and model training — the paper's
+    /// "BlazeIt (no train)" / "indexed" accounting.
+    pub fn runtime_secs_excluding_training(&self) -> f64 {
+        self.runtime_secs() - self.cost.training
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_accessors() {
+        let agg = QueryOutput::Aggregate {
+            value: 1.5,
+            standard_error: Some(0.02),
+            detection_calls: 100,
+            method: AggregateMethod::ControlVariates,
+        };
+        assert_eq!(agg.aggregate_value(), Some(1.5));
+        assert_eq!(agg.detection_calls(), 100);
+        assert!(agg.frames().is_none());
+        assert!(agg.rows().is_none());
+
+        let frames = QueryOutput::Frames { frames: vec![1, 2, 3], detection_calls: 7 };
+        assert_eq!(frames.frames().unwrap().len(), 3);
+        assert_eq!(frames.detection_calls(), 7);
+
+        let rows = QueryOutput::Rows { rows: vec![], detection_calls: 0 };
+        assert_eq!(rows.rows().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn runtime_excludes_decode_and_optionally_training() {
+        let result = QueryResult {
+            query: "SELECT FCOUNT(*) FROM taipei".into(),
+            output: QueryOutput::Aggregate {
+                value: 1.0,
+                standard_error: None,
+                detection_calls: 0,
+                method: AggregateMethod::QueryRewriting,
+            },
+            cost: CostBreakdown {
+                detection: 10.0,
+                specialized: 5.0,
+                training: 20.0,
+                filter: 1.0,
+                decode: 100.0,
+                other: 0.0,
+            },
+            wall_secs: 0.1,
+        };
+        assert!((result.runtime_secs() - 36.0).abs() < 1e-12);
+        assert!((result.runtime_secs_excluding_training() - 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! The simulated-time cost model.
+//!
+//! Every expensive operation in the pipeline — detector invocations, specialized-NN
+//! inference, filter evaluation, model training, video decode — charges a shared
+//! [`SimClock`]. The experiment harnesses report end-to-end "runtime" from this clock,
+//! which is exactly how the paper reports several of its figures (it extrapolates
+//! runtime from the number of object-detection calls times the per-call cost, because
+//! actually running the detector everywhere would take GPU-years).
+//!
+//! Costs are expressed in *simulated GPU seconds*. The [`CostProfile`] collects the
+//! throughput constants quoted in Section 5 of the paper: object detection at ~3 fps,
+//! specialized NNs at ~10,000 fps, simple filters at ~100,000 fps.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Categories of simulated work, used for cost breakdowns in reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostCategory {
+    /// Full object-detection invocations.
+    Detection,
+    /// Specialized-NN inference.
+    SpecializedInference,
+    /// Specialized-NN (and filter) training.
+    Training,
+    /// Cheap filter evaluation (content / temporal / spatial filters, UDF lifting).
+    Filter,
+    /// Video decode / ingestion.
+    Decode,
+    /// Anything else.
+    Other,
+}
+
+impl CostCategory {
+    /// All categories in display order.
+    pub const ALL: [CostCategory; 6] = [
+        CostCategory::Detection,
+        CostCategory::SpecializedInference,
+        CostCategory::Training,
+        CostCategory::Filter,
+        CostCategory::Decode,
+        CostCategory::Other,
+    ];
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostCategory::Detection => "detection",
+            CostCategory::SpecializedInference => "specialized",
+            CostCategory::Training => "training",
+            CostCategory::Filter => "filter",
+            CostCategory::Decode => "decode",
+            CostCategory::Other => "other",
+        }
+    }
+}
+
+/// Per-category accumulated simulated time, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Seconds spent in full object detection.
+    pub detection: f64,
+    /// Seconds spent in specialized-NN inference.
+    pub specialized: f64,
+    /// Seconds spent training models.
+    pub training: f64,
+    /// Seconds spent in cheap filters.
+    pub filter: f64,
+    /// Seconds spent decoding video.
+    pub decode: f64,
+    /// Seconds spent elsewhere.
+    pub other: f64,
+}
+
+impl CostBreakdown {
+    /// Total simulated seconds across all categories.
+    pub fn total(&self) -> f64 {
+        self.detection + self.specialized + self.training + self.filter + self.decode + self.other
+    }
+
+    /// Total excluding training time — the paper's "BlazeIt (no train)" accounting,
+    /// which assumes specialized models were indexed ahead of time.
+    pub fn total_excluding_training(&self) -> f64 {
+        self.total() - self.training
+    }
+
+    fn slot(&mut self, category: CostCategory) -> &mut f64 {
+        match category {
+            CostCategory::Detection => &mut self.detection,
+            CostCategory::SpecializedInference => &mut self.specialized,
+            CostCategory::Training => &mut self.training,
+            CostCategory::Filter => &mut self.filter,
+            CostCategory::Decode => &mut self.decode,
+            CostCategory::Other => &mut self.other,
+        }
+    }
+
+    /// Reads one category.
+    pub fn get(&self, category: CostCategory) -> f64 {
+        match category {
+            CostCategory::Detection => self.detection,
+            CostCategory::SpecializedInference => self.specialized,
+            CostCategory::Training => self.training,
+            CostCategory::Filter => self.filter,
+            CostCategory::Decode => self.decode,
+            CostCategory::Other => self.other,
+        }
+    }
+
+    /// The difference `self - earlier`, category by category.
+    pub fn since(&self, earlier: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            detection: self.detection - earlier.detection,
+            specialized: self.specialized - earlier.specialized,
+            training: self.training - earlier.training,
+            filter: self.filter - earlier.filter,
+            decode: self.decode - earlier.decode,
+            other: self.other - earlier.other,
+        }
+    }
+}
+
+/// A thread-safe simulated clock shared by detectors, models, filters and the engine.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    inner: Mutex<CostBreakdown>,
+}
+
+impl SimClock {
+    /// Creates a fresh clock at zero.
+    pub fn new() -> Arc<SimClock> {
+        Arc::new(SimClock::default())
+    }
+
+    /// Charges `seconds` of simulated time to `category`.
+    ///
+    /// Negative or non-finite charges are ignored (they would indicate a bug upstream
+    /// and must never corrupt the experiment accounting).
+    pub fn charge(&self, category: CostCategory, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            *self.inner.lock().slot(category) += seconds;
+        }
+    }
+
+    /// A snapshot of the per-category totals.
+    pub fn breakdown(&self) -> CostBreakdown {
+        *self.inner.lock()
+    }
+
+    /// Total simulated seconds so far.
+    pub fn total(&self) -> f64 {
+        self.breakdown().total()
+    }
+
+    /// Resets the clock to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = CostBreakdown::default();
+    }
+}
+
+/// Throughput constants for the simulated pipeline (Section 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// Specialized-NN inference throughput in frames per second (~10,000 in the paper).
+    pub specialized_fps: f64,
+    /// Specialized-NN training throughput in frames per second (forward + backward).
+    pub training_fps: f64,
+    /// Cheap-filter throughput in frames per second (~100,000 in the paper).
+    pub filter_fps: f64,
+    /// Video decode throughput in frames per second (excluded from the paper's
+    /// runtimes; tracked separately here and likewise excluded from reports).
+    pub decode_fps: f64,
+}
+
+impl Default for CostProfile {
+    fn default() -> Self {
+        CostProfile {
+            specialized_fps: 10_000.0,
+            training_fps: 2_500.0,
+            filter_fps: 100_000.0,
+            decode_fps: 1_000.0,
+        }
+    }
+}
+
+impl CostProfile {
+    /// Cost of one specialized-NN inference, in seconds.
+    pub fn specialized_inference_cost(&self) -> f64 {
+        1.0 / self.specialized_fps
+    }
+
+    /// Cost of one training example (one forward+backward pass), in seconds.
+    pub fn training_cost_per_example(&self) -> f64 {
+        1.0 / self.training_fps
+    }
+
+    /// Cost of one filter evaluation, in seconds.
+    pub fn filter_cost(&self) -> f64 {
+        1.0 / self.filter_fps
+    }
+
+    /// Cost of decoding one frame, in seconds.
+    pub fn decode_cost(&self) -> f64 {
+        1.0 / self.decode_fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let clock = SimClock::new();
+        clock.charge(CostCategory::Detection, 1.5);
+        clock.charge(CostCategory::Detection, 0.5);
+        clock.charge(CostCategory::Filter, 0.25);
+        assert!((clock.total() - 2.25).abs() < 1e-12);
+        let b = clock.breakdown();
+        assert!((b.detection - 2.0).abs() < 1e-12);
+        assert!((b.filter - 0.25).abs() < 1e-12);
+        assert_eq!(b.training, 0.0);
+    }
+
+    #[test]
+    fn invalid_charges_ignored() {
+        let clock = SimClock::new();
+        clock.charge(CostCategory::Other, -5.0);
+        clock.charge(CostCategory::Other, f64::NAN);
+        clock.charge(CostCategory::Other, f64::INFINITY);
+        assert_eq!(clock.total(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let clock = SimClock::new();
+        clock.charge(CostCategory::Training, 10.0);
+        clock.reset();
+        assert_eq!(clock.total(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_since() {
+        let clock = SimClock::new();
+        clock.charge(CostCategory::Detection, 1.0);
+        let snap = clock.breakdown();
+        clock.charge(CostCategory::Detection, 2.0);
+        clock.charge(CostCategory::Training, 3.0);
+        let delta = clock.breakdown().since(&snap);
+        assert!((delta.detection - 2.0).abs() < 1e-12);
+        assert!((delta.training - 3.0).abs() < 1e-12);
+        assert!((delta.total() - 5.0).abs() < 1e-12);
+        assert!((delta.total_excluding_training() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_profile_matches_paper_ordering() {
+        let p = CostProfile::default();
+        // Filters are cheaper than specialized NNs, which are vastly cheaper than
+        // detection (detection cost lives in DetectionMethod).
+        assert!(p.filter_cost() < p.specialized_inference_cost());
+        assert!(p.specialized_inference_cost() < 1.0 / 3.0);
+        assert!(p.training_cost_per_example() > p.specialized_inference_cost());
+    }
+
+    #[test]
+    fn concurrent_charges_are_not_lost() {
+        let clock = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&clock);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.charge(CostCategory::Filter, 0.001);
+                    }
+                });
+            }
+        });
+        assert!((clock.total() - 8.0).abs() < 1e-9);
+    }
+}

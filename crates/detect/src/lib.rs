@@ -1,0 +1,39 @@
+//! # blazeit-detect
+//!
+//! The object-detection substrate for the BlazeIt reproduction.
+//!
+//! BlazeIt treats the object detection method (Mask R-CNN, FGFA, YOLOv2 in the paper)
+//! as a configurable, expensive, ground-truth-defining black box: all accuracy is
+//! measured *relative to* the detector's output, and all optimizations exist to call it
+//! as rarely as possible. This crate provides:
+//!
+//! * [`Detection`] / [`ObjectDetector`] — the detector interface and its output type.
+//! * [`SimulatedDetector`](simulated::SimulatedDetector) — a detector that observes the
+//!   synthetic scene's ground truth through a configurable noise model (misses, spurious
+//!   boxes, localization jitter, confidence scores) and charges simulated GPU time per
+//!   call.
+//! * [`DetectionMethod`](methods::DetectionMethod) — the registry of detector "models"
+//!   with the throughput / accuracy trade-offs the paper quotes (Mask R-CNN at 3 fps,
+//!   FGFA at ~2 fps, YOLOv2 at 80 fps).
+//! * [`SimClock`](clock::SimClock) — the simulated-time cost model every BlazeIt
+//!   component charges; end-to-end "runtimes" in the experiment harnesses are read off
+//!   this clock, mirroring how the paper extrapolates runtime from detector-call counts.
+//! * [`IouTracker`](tracker::IouTracker) — the motion-IoU entity-resolution method
+//!   (Section 9) that assigns `trackid`s to detections across consecutive frames.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod counts;
+pub mod detector;
+pub mod methods;
+pub mod simulated;
+pub mod tracker;
+
+pub use clock::{CostProfile, SimClock};
+pub use counts::{count_class, count_classes, CountVector};
+pub use detector::{Detection, DetectorStats, ObjectDetector};
+pub use methods::DetectionMethod;
+pub use simulated::{NoiseModel, SimulatedDetector};
+pub use tracker::IouTracker;

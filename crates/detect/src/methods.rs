@@ -1,0 +1,132 @@
+//! The registry of detection methods and their throughput / accuracy characteristics.
+//!
+//! Section 5 of the paper motivates BlazeIt's optimizations with the throughput gap
+//! between detectors and specialized NNs: the most accurate Mask R-CNN configuration
+//! runs at ~3 fps (mAP 45.2 on MS-COCO), FGFA is comparable, YOLOv2 runs at ~80 fps but
+//! with much lower accuracy (mAP 25.4), while specialized NNs run at ~10,000 fps and
+//! simple filters at ~100,000 fps. These numbers parameterize the simulated cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// A named object-detection method with its simulated performance characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectionMethod {
+    /// Mask R-CNN (X-152-32x8d-FPN, Detectron weights): ~3 fps, mAP 45.2.
+    MaskRcnn,
+    /// Flow-guided feature aggregation: ~2 fps, video-specific detector.
+    Fgfa,
+    /// YOLOv2: ~80 fps, mAP 25.4 — fast but noticeably less accurate.
+    YoloV2,
+}
+
+impl DetectionMethod {
+    /// All registered methods.
+    pub const ALL: [DetectionMethod; 3] =
+        [DetectionMethod::MaskRcnn, DetectionMethod::Fgfa, DetectionMethod::YoloV2];
+
+    /// Short name used in configuration and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DetectionMethod::MaskRcnn => "mask-rcnn",
+            DetectionMethod::Fgfa => "fgfa",
+            DetectionMethod::YoloV2 => "yolov2",
+        }
+    }
+
+    /// Parses a method from its name.
+    pub fn parse(name: &str) -> Option<DetectionMethod> {
+        let lower = name.to_ascii_lowercase();
+        DetectionMethod::ALL.iter().copied().find(|m| m.name() == lower)
+    }
+
+    /// Simulated throughput in frames per second on a full 720p frame.
+    pub fn throughput_fps(&self) -> f64 {
+        match self {
+            DetectionMethod::MaskRcnn => 3.0,
+            DetectionMethod::Fgfa => 2.0,
+            DetectionMethod::YoloV2 => 80.0,
+        }
+    }
+
+    /// Simulated cost in GPU-seconds per full 720p frame.
+    pub fn cost_per_frame_secs(&self) -> f64 {
+        1.0 / self.throughput_fps()
+    }
+
+    /// Nominal mAP on MS-COCO, used to scale the noise model (higher mAP = fewer
+    /// misses / spurious detections).
+    pub fn map_score(&self) -> f64 {
+        match self {
+            DetectionMethod::MaskRcnn => 45.2,
+            DetectionMethod::Fgfa => 41.0,
+            DetectionMethod::YoloV2 => 25.4,
+        }
+    }
+
+    /// Base probability of missing a fully-visible object, derived from the method's
+    /// accuracy. Visibility-dependent adjustments are applied on top of this by the
+    /// noise model.
+    pub fn base_miss_rate(&self) -> f64 {
+        match self {
+            DetectionMethod::MaskRcnn => 0.02,
+            DetectionMethod::Fgfa => 0.03,
+            DetectionMethod::YoloV2 => 0.12,
+        }
+    }
+
+    /// Expected number of spurious (false-positive) detections per frame before
+    /// confidence thresholding.
+    pub fn spurious_rate(&self) -> f64 {
+        match self {
+            DetectionMethod::MaskRcnn => 0.02,
+            DetectionMethod::Fgfa => 0.03,
+            DetectionMethod::YoloV2 => 0.15,
+        }
+    }
+
+    /// Standard deviation of bounding-box localization jitter as a fraction of the
+    /// object's size.
+    pub fn box_jitter(&self) -> f32 {
+        match self {
+            DetectionMethod::MaskRcnn => 0.02,
+            DetectionMethod::Fgfa => 0.03,
+            DetectionMethod::YoloV2 => 0.06,
+        }
+    }
+}
+
+impl std::fmt::Display for DetectionMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for m in DetectionMethod::ALL {
+            assert_eq!(DetectionMethod::parse(m.name()), Some(m));
+        }
+        assert_eq!(DetectionMethod::parse("ssd"), None);
+    }
+
+    #[test]
+    fn accuracy_and_speed_tradeoff() {
+        // The whole premise of the paper: the accurate detectors are slow.
+        assert!(DetectionMethod::MaskRcnn.map_score() > DetectionMethod::YoloV2.map_score());
+        assert!(
+            DetectionMethod::MaskRcnn.throughput_fps() < DetectionMethod::YoloV2.throughput_fps()
+        );
+        assert!(DetectionMethod::MaskRcnn.base_miss_rate() < DetectionMethod::YoloV2.base_miss_rate());
+    }
+
+    #[test]
+    fn cost_is_inverse_throughput() {
+        for m in DetectionMethod::ALL {
+            assert!((m.cost_per_frame_secs() * m.throughput_fps() - 1.0).abs() < 1e-9);
+        }
+    }
+}

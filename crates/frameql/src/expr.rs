@@ -1,0 +1,355 @@
+//! Evaluation of FrameQL expressions against rows and frames.
+//!
+//! Two evaluation contexts exist:
+//!
+//! * **Row-level** ([`evaluate_row`]): a `WHERE` predicate evaluated against a single
+//!   object row (optionally with the frame's pixels available for content UDFs).
+//! * **Frame-level** ([`evaluate_frame_having`]): a `HAVING` predicate evaluated
+//!   against all rows of one frame after `GROUP BY timestamp` — this is how scrubbing
+//!   queries like `HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 5` are defined.
+
+use crate::ast::{BinaryOp, Expr};
+use crate::schema::{FrameQlRow, Value};
+use crate::udf::UdfRegistry;
+use crate::{FrameQlError, Result};
+use blazeit_videostore::Frame;
+
+/// Mask-accessor helpers available in expressions without registration:
+/// `xmin(mask)`, `xmax(mask)`, `ymin(mask)`, `ymax(mask)`, `width(mask)`, `height(mask)`.
+pub const MASK_ACCESSORS: [&str; 6] = ["xmin", "xmax", "ymin", "ymax", "width", "height"];
+
+fn mask_accessor(name: &str, row: &FrameQlRow) -> Option<Value> {
+    let m = &row.mask;
+    let v = match name {
+        "xmin" => m.xmin,
+        "xmax" => m.xmax,
+        "ymin" => m.ymin,
+        "ymax" => m.ymax,
+        "width" => m.width(),
+        "height" => m.height(),
+        _ => return None,
+    };
+    Some(Value::Number(f64::from(v)))
+}
+
+/// Evaluates an expression against one row.
+///
+/// `frame` must be provided when the expression references content UDFs (`redness`,
+/// `classify`, ...); mask-only functions (`area`, `xmin`, ...) work without it.
+pub fn evaluate_row(
+    expr: &Expr,
+    row: &FrameQlRow,
+    frame: Option<&Frame>,
+    udfs: &UdfRegistry,
+) -> Result<Value> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Number(*n)),
+        Expr::StringLit(s) => Ok(Value::Str(s.clone())),
+        Expr::Star => Ok(Value::Number(1.0)),
+        Expr::Column(name) => row
+            .column(name)
+            .ok_or_else(|| FrameQlError::EvalError(format!("unknown column '{name}'"))),
+        Expr::FunctionCall { name, args } => {
+            if MASK_ACCESSORS.contains(&name.as_str()) {
+                return mask_accessor(name, row)
+                    .ok_or_else(|| FrameQlError::EvalError(format!("bad mask accessor {name}")));
+            }
+            // `area(mask)` depends only on the mask, so it never needs frame pixels.
+            if name == "area" && args.len() == 1 {
+                return Ok(Value::Number(f64::from(row.mask.area())));
+            }
+            if udfs.contains(name) {
+                let frame = frame.ok_or_else(|| {
+                    FrameQlError::EvalError(format!(
+                        "UDF '{name}' requires frame content, which is not available in this context"
+                    ))
+                })?;
+                return udfs.call(name, frame, &row.mask);
+            }
+            // `area` is registered as a UDF, but be tolerant if a caller supplies a
+            // registry without the builtins.
+            if name == "area" && args.len() == 1 {
+                return Ok(Value::Number(f64::from(row.mask.area())));
+            }
+            Err(FrameQlError::UnknownUdf(name.clone()))
+        }
+        Expr::Binary { left, op, right } => {
+            let l = evaluate_row(left, row, frame, udfs)?;
+            if matches!(op, BinaryOp::And) {
+                if !l.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                let r = evaluate_row(right, row, frame, udfs)?;
+                return Ok(Value::Bool(r.truthy()));
+            }
+            if matches!(op, BinaryOp::Or) {
+                if l.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                let r = evaluate_row(right, row, frame, udfs)?;
+                return Ok(Value::Bool(r.truthy()));
+            }
+            let r = evaluate_row(right, row, frame, udfs)?;
+            compare(&l, *op, &r)
+        }
+    }
+}
+
+/// Evaluates a `HAVING` expression against all rows of one frame
+/// (`GROUP BY timestamp` semantics).
+pub fn evaluate_frame_having(
+    expr: &Expr,
+    rows: &[FrameQlRow],
+    frame: Option<&Frame>,
+    udfs: &UdfRegistry,
+) -> Result<Value> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Number(*n)),
+        Expr::StringLit(s) => Ok(Value::Str(s.clone())),
+        Expr::FunctionCall { name, args } => match name.as_str() {
+            "sum" => {
+                let arg = args.first().ok_or_else(|| {
+                    FrameQlError::EvalError("SUM requires an argument".into())
+                })?;
+                let mut total = 0.0;
+                for row in rows {
+                    let v = evaluate_row(arg, row, frame, udfs)?;
+                    total += v.as_number().unwrap_or(if v.truthy() { 1.0 } else { 0.0 });
+                }
+                Ok(Value::Number(total))
+            }
+            "count" => Ok(Value::Number(rows.len() as f64)),
+            "avg" => {
+                let arg = args.first().ok_or_else(|| {
+                    FrameQlError::EvalError("AVG requires an argument".into())
+                })?;
+                if rows.is_empty() {
+                    return Ok(Value::Number(0.0));
+                }
+                let mut total = 0.0;
+                for row in rows {
+                    let v = evaluate_row(arg, row, frame, udfs)?;
+                    total += v.as_number().unwrap_or(if v.truthy() { 1.0 } else { 0.0 });
+                }
+                Ok(Value::Number(total / rows.len() as f64))
+            }
+            _ => Err(FrameQlError::EvalError(format!(
+                "function '{name}' is not an aggregate usable in HAVING"
+            ))),
+        },
+        Expr::Binary { left, op, right } => {
+            let l = evaluate_frame_having(left, rows, frame, udfs)?;
+            match op {
+                BinaryOp::And => {
+                    if !l.truthy() {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = evaluate_frame_having(right, rows, frame, udfs)?;
+                    Ok(Value::Bool(r.truthy()))
+                }
+                BinaryOp::Or => {
+                    if l.truthy() {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = evaluate_frame_having(right, rows, frame, udfs)?;
+                    Ok(Value::Bool(r.truthy()))
+                }
+                _ => {
+                    let r = evaluate_frame_having(right, rows, frame, udfs)?;
+                    compare(&l, *op, &r)
+                }
+            }
+        }
+        Expr::Column(name) => Err(FrameQlError::EvalError(format!(
+            "bare column '{name}' is not valid in a frame-level HAVING"
+        ))),
+        Expr::Star => Ok(Value::Number(rows.len() as f64)),
+    }
+}
+
+fn compare(left: &Value, op: BinaryOp, right: &Value) -> Result<Value> {
+    // Numeric comparison when both sides are numeric (or boolean).
+    if let (Some(l), Some(r)) = (left.as_number(), right.as_number()) {
+        let result = match op {
+            BinaryOp::Eq => (l - r).abs() < f64::EPSILON,
+            BinaryOp::NotEq => (l - r).abs() >= f64::EPSILON,
+            BinaryOp::Lt => l < r,
+            BinaryOp::LtEq => l <= r,
+            BinaryOp::Gt => l > r,
+            BinaryOp::GtEq => l >= r,
+            BinaryOp::And | BinaryOp::Or => unreachable!("handled by caller"),
+        };
+        return Ok(Value::Bool(result));
+    }
+    // String comparison.
+    if let (Value::Str(l), Value::Str(r)) = (left, right) {
+        let result = match op {
+            BinaryOp::Eq => l.eq_ignore_ascii_case(r),
+            BinaryOp::NotEq => !l.eq_ignore_ascii_case(r),
+            BinaryOp::Lt => l < r,
+            BinaryOp::LtEq => l <= r,
+            BinaryOp::Gt => l > r,
+            BinaryOp::GtEq => l >= r,
+            BinaryOp::And | BinaryOp::Or => unreachable!("handled by caller"),
+        };
+        return Ok(Value::Bool(result));
+    }
+    // NULL comparisons are false (SQL-ish).
+    if matches!(left, Value::Null) || matches!(right, Value::Null) {
+        return Ok(Value::Bool(false));
+    }
+    Err(FrameQlError::EvalError(format!(
+        "cannot compare {left:?} {op} {right:?}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::udf::builtin_udfs;
+    use blazeit_videostore::object::Color;
+    use blazeit_videostore::{BoundingBox, ObjectClass};
+
+    fn row(class: ObjectClass, x: f32) -> FrameQlRow {
+        FrameQlRow {
+            timestamp: 3.0,
+            frame: 90,
+            class,
+            mask: BoundingBox::new(x, 100.0, x + 400.0, 400.0),
+            trackid: 1,
+            confidence: 0.9,
+            features: vec![],
+        }
+    }
+
+    fn red_frame() -> Frame {
+        Frame::filled(90, 3.0, (1280.0, 720.0), (96, 54), Color::RED)
+    }
+
+    fn where_of(sql: &str) -> Expr {
+        parse_query(sql).unwrap().where_clause.unwrap()
+    }
+
+    #[test]
+    fn class_equality_predicate() {
+        let udfs = builtin_udfs();
+        let e = where_of("SELECT * FROM v WHERE class = 'bus'");
+        let bus = row(ObjectClass::Bus, 100.0);
+        let car = row(ObjectClass::Car, 100.0);
+        assert_eq!(evaluate_row(&e, &bus, None, &udfs).unwrap(), Value::Bool(true));
+        assert_eq!(evaluate_row(&e, &car, None, &udfs).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn udf_predicate_with_content() {
+        let udfs = builtin_udfs();
+        let e = where_of("SELECT * FROM v WHERE redness(content) >= 17.5");
+        let r = row(ObjectClass::Bus, 100.0);
+        let frame = red_frame();
+        assert_eq!(evaluate_row(&e, &r, Some(&frame), &udfs).unwrap(), Value::Bool(true));
+        // Without the frame, a content UDF cannot be evaluated.
+        assert!(evaluate_row(&e, &r, None, &udfs).is_err());
+    }
+
+    #[test]
+    fn area_and_mask_accessors() {
+        let udfs = builtin_udfs();
+        let e = where_of("SELECT * FROM v WHERE area(mask) > 100000");
+        let r = row(ObjectClass::Bus, 100.0); // 400 x 300 = 120,000 px
+        assert_eq!(evaluate_row(&e, &r, None, &udfs).unwrap(), Value::Bool(true));
+        let e2 = where_of("SELECT * FROM v WHERE xmax(mask) < 720");
+        assert_eq!(evaluate_row(&e2, &r, None, &udfs).unwrap(), Value::Bool(true));
+        let far = row(ObjectClass::Bus, 900.0);
+        assert_eq!(evaluate_row(&e2, &far, None, &udfs).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn and_or_short_circuit() {
+        let udfs = builtin_udfs();
+        // The right-hand UDF would fail without a frame, but the left side decides.
+        let e = where_of("SELECT * FROM v WHERE class = 'car' AND redness(content) > 10");
+        let bus = row(ObjectClass::Bus, 0.0);
+        assert_eq!(evaluate_row(&e, &bus, None, &udfs).unwrap(), Value::Bool(false));
+        let e_or = where_of("SELECT * FROM v WHERE class = 'bus' OR redness(content) > 10");
+        assert_eq!(evaluate_row(&e_or, &bus, None, &udfs).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unknown_column_and_udf_errors() {
+        let udfs = builtin_udfs();
+        let e = where_of("SELECT * FROM v WHERE speed > 10");
+        assert!(evaluate_row(&e, &row(ObjectClass::Car, 0.0), None, &udfs).is_err());
+        let e2 = where_of("SELECT * FROM v WHERE sharpness(content) > 10");
+        assert!(matches!(
+            evaluate_row(&e2, &row(ObjectClass::Car, 0.0), Some(&red_frame()), &udfs),
+            Err(FrameQlError::UnknownUdf(_))
+        ));
+    }
+
+    #[test]
+    fn having_sum_of_class_predicates() {
+        let udfs = builtin_udfs();
+        let having = parse_query(
+            "SELECT timestamp FROM v GROUP BY timestamp \
+             HAVING SUM(class='bus')>=1 AND SUM(class='car')>=2 LIMIT 1",
+        )
+        .unwrap()
+        .having
+        .unwrap();
+        let rows_match = vec![
+            row(ObjectClass::Bus, 0.0),
+            row(ObjectClass::Car, 300.0),
+            row(ObjectClass::Car, 600.0),
+        ];
+        let rows_no_match = vec![row(ObjectClass::Car, 0.0), row(ObjectClass::Car, 300.0)];
+        assert_eq!(
+            evaluate_frame_having(&having, &rows_match, None, &udfs).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            evaluate_frame_having(&having, &rows_no_match, None, &udfs).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            evaluate_frame_having(&having, &[], None, &udfs).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn having_count_star() {
+        let udfs = builtin_udfs();
+        let having =
+            parse_query("SELECT * FROM v GROUP BY trackid HAVING COUNT(*) > 2").unwrap().having.unwrap();
+        let rows3 =
+            vec![row(ObjectClass::Bus, 0.0), row(ObjectClass::Bus, 1.0), row(ObjectClass::Bus, 2.0)];
+        assert_eq!(evaluate_frame_having(&having, &rows3, None, &udfs).unwrap(), Value::Bool(true));
+        assert_eq!(
+            evaluate_frame_having(&having, &rows3[..2], None, &udfs).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn string_comparison_is_case_insensitive() {
+        assert_eq!(
+            compare(&Value::Str("Car".into()), BinaryOp::Eq, &Value::Str("car".into())).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            compare(&Value::Str("bus".into()), BinaryOp::NotEq, &Value::Str("car".into())).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        assert_eq!(compare(&Value::Null, BinaryOp::Eq, &Value::Number(1.0)).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn incompatible_comparison_is_error() {
+        assert!(compare(&Value::Str("car".into()), BinaryOp::Lt, &Value::Number(1.0)).is_err());
+    }
+}

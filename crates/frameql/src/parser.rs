@@ -1,0 +1,491 @@
+//! The FrameQL recursive-descent parser.
+//!
+//! The grammar (informally):
+//!
+//! ```text
+//! query      := SELECT select_list FROM ident
+//!               [WHERE expr] [GROUP BY ident (, ident)*] [HAVING expr]
+//!               [constraint]* [LIMIT number [GAP number]] [constraint]* [;]
+//! select_list:= '*' | item (',' item)*
+//! item       := FCOUNT '(' '*' ')' | COUNT '(' (DISTINCT ident | '*') ')'
+//!             | SUM '(' expr ')' | AVG '(' expr ')' | ident
+//! constraint := ERROR WITHIN number | [AT] CONFIDENCE number ['%']
+//!             | FPR WITHIN number | FNR WITHIN number
+//! expr       := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := cmp_expr (AND cmp_expr)*
+//! cmp_expr   := primary [cmp_op primary]
+//! primary    := number | string | '(' expr ')' | ident '(' args ')' | ident | '*'
+//! ```
+
+use crate::ast::{AccuracyConstraints, BinaryOp, Expr, Query, SelectItem};
+use crate::lexer::{tokenize, Token};
+use crate::{FrameQlError, Result};
+
+/// Parses a FrameQL query string.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    parser.expect_end()?;
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_keyword(&self) -> Option<String> {
+        self.peek().and_then(|t| t.as_keyword())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(FrameQlError::ParseError { message: message.into() })
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.peek_keyword() {
+            Some(k) if k == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => self.error(format!("expected {kw}, found {other:?}")),
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword().as_deref() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, token: &Token, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == token => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => self.error(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<f64> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(n),
+            other => self.error(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => self.error(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        while matches!(self.peek(), Some(Token::Semicolon)) {
+            self.pos += 1;
+        }
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.error(format!("unexpected trailing tokens starting at {:?}", self.peek()))
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.expect_ident("video name")?;
+
+        let mut where_clause = None;
+        let mut group_by = Vec::new();
+        let mut having = None;
+        let mut limit = None;
+        let mut gap = None;
+        let mut accuracy = AccuracyConstraints::default();
+
+        loop {
+            match self.peek_keyword().as_deref() {
+                Some("WHERE") => {
+                    self.pos += 1;
+                    if where_clause.is_some() {
+                        return self.error("duplicate WHERE clause");
+                    }
+                    where_clause = Some(self.parse_expr()?);
+                }
+                Some("GROUP") => {
+                    self.pos += 1;
+                    self.expect_keyword("BY")?;
+                    loop {
+                        group_by.push(self.expect_ident("GROUP BY column")?);
+                        if matches!(self.peek(), Some(Token::Comma)) {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some("HAVING") => {
+                    self.pos += 1;
+                    if having.is_some() {
+                        return self.error("duplicate HAVING clause");
+                    }
+                    having = Some(self.parse_expr()?);
+                }
+                Some("LIMIT") => {
+                    self.pos += 1;
+                    limit = Some(self.expect_number("LIMIT count")? as u64);
+                    if self.accept_keyword("GAP") {
+                        gap = Some(self.expect_number("GAP frames")? as u64);
+                    }
+                }
+                Some("ERROR") => {
+                    self.pos += 1;
+                    self.expect_keyword("WITHIN")?;
+                    accuracy.error_within = Some(self.expect_number("error tolerance")?);
+                }
+                Some("AT") => {
+                    self.pos += 1;
+                    self.expect_keyword("CONFIDENCE")?;
+                    accuracy.confidence = Some(self.parse_confidence_value()?);
+                }
+                Some("CONFIDENCE") => {
+                    self.pos += 1;
+                    accuracy.confidence = Some(self.parse_confidence_value()?);
+                }
+                Some("FPR") => {
+                    self.pos += 1;
+                    self.expect_keyword("WITHIN")?;
+                    accuracy.fpr_within = Some(self.expect_number("FPR tolerance")?);
+                }
+                Some("FNR") => {
+                    self.pos += 1;
+                    self.expect_keyword("WITHIN")?;
+                    accuracy.fnr_within = Some(self.expect_number("FNR tolerance")?);
+                }
+                _ => break,
+            }
+        }
+
+        Ok(Query { select, from, where_clause, group_by, having, limit, gap, accuracy })
+    }
+
+    /// Confidence is written either as a percentage (`95%`) or a fraction (`0.95`);
+    /// both normalize to a fraction in `(0, 1)`.
+    fn parse_confidence_value(&mut self) -> Result<f64> {
+        let n = self.expect_number("confidence level")?;
+        let value = if matches!(self.peek(), Some(Token::Percent)) {
+            self.pos += 1;
+            n / 100.0
+        } else if n > 1.0 {
+            n / 100.0
+        } else {
+            n
+        };
+        if !(0.0..1.0).contains(&value) {
+            return self.error(format!("confidence {value} out of range (0, 1)"));
+        }
+        Ok(value)
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        let name = self.expect_ident("select item")?;
+        let upper = name.to_ascii_uppercase();
+        match upper.as_str() {
+            "FCOUNT" => {
+                self.expect_token(&Token::LParen, "(")?;
+                self.expect_token(&Token::Star, "*")?;
+                self.expect_token(&Token::RParen, ")")?;
+                Ok(SelectItem::FCount)
+            }
+            "COUNT" => {
+                self.expect_token(&Token::LParen, "(")?;
+                if matches!(self.peek(), Some(Token::Star)) {
+                    self.pos += 1;
+                    self.expect_token(&Token::RParen, ")")?;
+                    Ok(SelectItem::CountStar)
+                } else if self.accept_keyword("DISTINCT") {
+                    let col = self.expect_ident("DISTINCT column")?;
+                    self.expect_token(&Token::RParen, ")")?;
+                    Ok(SelectItem::CountDistinct(col.to_ascii_lowercase()))
+                } else {
+                    self.error("expected * or DISTINCT in COUNT()")
+                }
+            }
+            "SUM" => {
+                self.expect_token(&Token::LParen, "(")?;
+                let e = self.parse_expr()?;
+                self.expect_token(&Token::RParen, ")")?;
+                Ok(SelectItem::Sum(Box::new(e)))
+            }
+            "AVG" => {
+                self.expect_token(&Token::LParen, "(")?;
+                let e = self.parse_expr()?;
+                self.expect_token(&Token::RParen, ")")?;
+                Ok(SelectItem::Avg(Box::new(e)))
+            }
+            _ => Ok(SelectItem::Column(name.to_ascii_lowercase())),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.accept_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinaryOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_comparison()?;
+        while self.accept_keyword("AND") {
+            let right = self.parse_comparison()?;
+            left = Expr::binary(left, BinaryOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_primary()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::NotEq) => Some(BinaryOp::NotEq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::LtEq) => Some(BinaryOp::LtEq),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::GtEq) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_primary()?;
+            Ok(Expr::binary(left, op, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(Expr::Number(n)),
+            Some(Token::StringLit(s)) => Ok(Expr::StringLit(s)),
+            Some(Token::Star) => Ok(Expr::Star),
+            Some(Token::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect_token(&Token::RParen, ")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Some(Token::RParen)) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if matches!(self.peek(), Some(Token::Comma)) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_token(&Token::RParen, ")")?;
+                    Ok(Expr::FunctionCall { name: name.to_ascii_lowercase(), args })
+                } else {
+                    Ok(Expr::Column(name.to_ascii_lowercase()))
+                }
+            }
+            other => self.error(format!("unexpected token in expression: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SelectItem;
+
+    #[test]
+    fn parse_fcount_aggregate_query() {
+        // Figure 3a of the paper.
+        let q = parse_query(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec![SelectItem::FCount]);
+        assert_eq!(q.from, "taipei");
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.accuracy.error_within, Some(0.1));
+        assert!((q.accuracy.confidence.unwrap() - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_scrubbing_query() {
+        // Figure 3b of the paper.
+        let q = parse_query(
+            "SELECT timestamp FROM taipei GROUP BY timestamp \
+             HAVING SUM(class='bus')>=1 AND SUM(class='car')>=5 LIMIT 10 GAP 300",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec![SelectItem::Column("timestamp".into())]);
+        assert_eq!(q.group_by, vec!["timestamp".to_string()]);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.gap, Some(300));
+        let having = q.having.unwrap();
+        assert_eq!(having.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parse_selection_query() {
+        // Figure 3c of the paper.
+        let q = parse_query(
+            "SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 \
+             AND area(mask) > 100000 GROUP BY trackid HAVING COUNT(*) > 15",
+        )
+        .unwrap();
+        assert!(q.is_select_star());
+        assert_eq!(q.group_by, vec!["trackid".to_string()]);
+        let conjuncts = q.where_clause.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjuncts, 3);
+    }
+
+    #[test]
+    fn parse_count_distinct() {
+        let q = parse_query("SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'").unwrap();
+        assert_eq!(q.select, vec![SelectItem::CountDistinct("trackid".into())]);
+    }
+
+    #[test]
+    fn parse_noscope_style_query() {
+        let q = parse_query(
+            "SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.01 FPR WITHIN 0.01",
+        )
+        .unwrap();
+        assert_eq!(q.accuracy.fnr_within, Some(0.01));
+        assert_eq!(q.accuracy.fpr_within, Some(0.01));
+    }
+
+    #[test]
+    fn parse_udf_classification_query() {
+        let q = parse_query(
+            "SELECT * FROM taipei WHERE class = 'car' AND classify(content) = 'sedan'",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let found_udf = {
+            let mut found = false;
+            w.walk(&mut |e| {
+                if let Expr::FunctionCall { name, .. } = e {
+                    if name == "classify" {
+                        found = true;
+                    }
+                }
+            });
+            found
+        };
+        assert!(found_udf);
+    }
+
+    #[test]
+    fn parse_confidence_without_at_or_percent() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 CONFIDENCE 95%",
+        )
+        .unwrap();
+        assert!((q.accuracy.confidence.unwrap() - 0.95).abs() < 1e-9);
+        let q2 = parse_query("SELECT FCOUNT(*) FROM rialto ERROR WITHIN 0.05 CONFIDENCE 0.9").unwrap();
+        assert!((q2.accuracy.confidence.unwrap() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_hyphenated_video_name_and_semicolon() {
+        let q = parse_query("SELECT FCOUNT(*) FROM night-street WHERE class = 'car';").unwrap();
+        assert_eq!(q.from, "night-street");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("SELECT * FORM taipei").is_err());
+        assert!(parse_query("SELECT * FROM taipei WHERE").is_err());
+        assert!(parse_query("SELECT * FROM taipei LIMIT").is_err());
+        assert!(parse_query("SELECT * FROM taipei trailing garbage").is_err());
+        assert!(parse_query("SELECT COUNT(timestamp) FROM taipei").is_err());
+        assert!(parse_query("SELECT FCOUNT(*) FROM t AT CONFIDENCE 250%").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE a = 1 WHERE b = 2").is_err());
+    }
+
+    #[test]
+    fn or_precedence_binds_looser_than_and() {
+        let q = parse_query("SELECT * FROM v WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinaryOp::And, .. } => {}
+                other => panic!("expected AND on the right of OR, got {other:?}"),
+            },
+            other => panic!("expected OR at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_expressions() {
+        let q = parse_query("SELECT * FROM v WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Binary { op: BinaryOp::And, left, .. } => match *left {
+                Expr::Binary { op: BinaryOp::Or, .. } => {}
+                other => panic!("expected OR inside parens, got {other:?}"),
+            },
+            other => panic!("expected AND at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_sum_and_avg_select_items() {
+        let q = parse_query("SELECT SUM(class='car'), AVG(area(mask)) FROM taipei").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert!(matches!(q.select[0], SelectItem::Sum(_)));
+        assert!(matches!(q.select[1], SelectItem::Avg(_)));
+    }
+}

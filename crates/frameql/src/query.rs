@@ -1,0 +1,483 @@
+//! Query classification and analysis.
+//!
+//! BlazeIt's rule-based optimizer (Section 5) inspects the query's shape to decide
+//! which optimization applies: aggregation (Section 6), cardinality-limited scrubbing
+//! (Section 7), content-based selection (Section 8), or a fallback exhaustive scan.
+//! This module performs that inspection and extracts the structured information the
+//! optimizer and filter-inference code need: which classes with which minimum counts,
+//! which content UDF thresholds, track-duration constraints (→ temporal filter), and
+//! spatial constraints on the mask (→ spatial filter).
+
+use crate::ast::{BinaryOp, Expr, Query, SelectItem};
+use crate::udf::UdfRegistry;
+use crate::{FrameQlError, Result};
+use blazeit_videostore::ObjectClass;
+use serde::{Deserialize, Serialize};
+
+/// "At least `min_count` objects of `class`" — the unit of both WHERE class predicates
+/// and scrubbing HAVING predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassRequirement {
+    /// The object class.
+    pub class: ObjectClass,
+    /// Minimum number of simultaneous objects of that class in a frame.
+    pub min_count: usize,
+}
+
+/// A content predicate over a UDF, e.g. `redness(content) >= 17.5`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentPredicate {
+    /// UDF name (lower case).
+    pub udf: String,
+    /// Comparison operator (always oriented as `udf(content) OP threshold`).
+    pub op: BinaryOp,
+    /// The comparison threshold.
+    pub threshold: f64,
+    /// Whether the UDF is frame-liftable (usable as a frame-level content filter).
+    pub frame_liftable: bool,
+}
+
+/// Which mask coordinate a spatial constraint refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaskAccessor {
+    /// `xmin(mask)`.
+    Xmin,
+    /// `xmax(mask)`.
+    Xmax,
+    /// `ymin(mask)`.
+    Ymin,
+    /// `ymax(mask)`.
+    Ymax,
+}
+
+impl MaskAccessor {
+    /// The accessor's FrameQL function name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MaskAccessor::Xmin => "xmin",
+            MaskAccessor::Xmax => "xmax",
+            MaskAccessor::Ymin => "ymin",
+            MaskAccessor::Ymax => "ymax",
+        }
+    }
+}
+
+/// A spatial constraint on the mask, e.g. `xmax(mask) < 720`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialConstraint {
+    /// Which mask coordinate is constrained.
+    pub accessor: MaskAccessor,
+    /// Comparison operator.
+    pub op: BinaryOp,
+    /// The bound in nominal pixels.
+    pub value: f64,
+}
+
+/// The class of query, which determines the optimization BlazeIt applies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// An aggregate (FCOUNT / COUNT / COUNT DISTINCT), optionally with an error bound.
+    Aggregate {
+        /// What is being aggregated.
+        kind: AggregateKind,
+    },
+    /// A cardinality-limited scrubbing query (`LIMIT n [GAP g]` over frames).
+    Scrub,
+    /// A content-based selection (exhaustive over matching frames, must call detection).
+    Select,
+    /// Anything else: fall back to an exhaustive scan with no optimization.
+    Exhaustive,
+}
+
+/// Which aggregate a query computes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// `FCOUNT(*)` — frame-averaged count.
+    FrameAveragedCount,
+    /// `COUNT(*)` — total row count.
+    Count,
+    /// `COUNT(DISTINCT col)`.
+    CountDistinct(String),
+}
+
+/// The structured information extracted from a query for planning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPlanInfo {
+    /// The classification.
+    pub class: QueryClass,
+    /// Class requirements (class + minimum simultaneous count).
+    pub requirements: Vec<ClassRequirement>,
+    /// Content predicates over UDFs.
+    pub content_predicates: Vec<ContentPredicate>,
+    /// Spatial constraints on the mask.
+    pub spatial_constraints: Vec<SpatialConstraint>,
+    /// Minimum area of the mask, if `area(mask) > v` appears.
+    pub min_area: Option<f64>,
+    /// Minimum number of frames an object must be visible (from
+    /// `GROUP BY trackid HAVING COUNT(*) > k`), driving the temporal filter.
+    pub min_track_frames: Option<u64>,
+    /// The LIMIT, if present.
+    pub limit: Option<u64>,
+    /// The GAP, if present.
+    pub gap: Option<u64>,
+    /// The absolute error tolerance, if present.
+    pub error_within: Option<f64>,
+    /// The confidence level (fraction), if present.
+    pub confidence: Option<f64>,
+}
+
+impl QueryPlanInfo {
+    /// The single queried class, when exactly one class requirement exists.
+    pub fn single_class(&self) -> Option<ObjectClass> {
+        if self.requirements.len() == 1 {
+            Some(self.requirements[0].class)
+        } else {
+            None
+        }
+    }
+
+    /// All queried classes.
+    pub fn classes(&self) -> Vec<ObjectClass> {
+        self.requirements.iter().map(|r| r.class).collect()
+    }
+}
+
+/// Analyzes a parsed query: classifies it and extracts plan-relevant structure.
+pub fn analyze(query: &Query, udfs: &UdfRegistry) -> Result<QueryPlanInfo> {
+    let mut requirements: Vec<ClassRequirement> = Vec::new();
+    let mut content_predicates = Vec::new();
+    let mut spatial_constraints = Vec::new();
+    let mut min_area = None;
+    let mut min_track_frames = None;
+
+    // --- WHERE clause -------------------------------------------------------------
+    if let Some(where_clause) = &query.where_clause {
+        for conjunct in where_clause.conjuncts() {
+            analyze_conjunct(
+                conjunct,
+                udfs,
+                &mut requirements,
+                &mut content_predicates,
+                &mut spatial_constraints,
+                &mut min_area,
+            )?;
+        }
+    }
+
+    // --- HAVING clause ------------------------------------------------------------
+    let grouped_by_timestamp = query.group_by.iter().any(|g| g == "timestamp");
+    let grouped_by_track = query.group_by.iter().any(|g| g == "trackid");
+    if let Some(having) = &query.having {
+        for conjunct in having.conjuncts() {
+            if grouped_by_timestamp {
+                if let Some(req) = extract_sum_class_requirement(conjunct) {
+                    upsert_requirement(&mut requirements, req);
+                    continue;
+                }
+            }
+            if grouped_by_track {
+                if let Some(frames) = extract_count_star_threshold(conjunct) {
+                    min_track_frames = Some(frames);
+                    continue;
+                }
+            }
+            // Other HAVING conjuncts are allowed but carry no plan information.
+        }
+    }
+
+    // --- Classification -----------------------------------------------------------
+    let class = classify(query)?;
+
+    Ok(QueryPlanInfo {
+        class,
+        requirements,
+        content_predicates,
+        spatial_constraints,
+        min_area,
+        min_track_frames,
+        limit: query.limit,
+        gap: query.gap,
+        error_within: query.accuracy.error_within,
+        confidence: query.accuracy.confidence,
+    })
+}
+
+fn classify(query: &Query) -> Result<QueryClass> {
+    // Aggregates take priority: FCOUNT / COUNT selections.
+    for item in &query.select {
+        match item {
+            SelectItem::FCount => {
+                return Ok(QueryClass::Aggregate { kind: AggregateKind::FrameAveragedCount })
+            }
+            SelectItem::CountStar => {
+                return Ok(QueryClass::Aggregate { kind: AggregateKind::Count })
+            }
+            SelectItem::CountDistinct(col) => {
+                return Ok(QueryClass::Aggregate { kind: AggregateKind::CountDistinct(col.clone()) })
+            }
+            _ => {}
+        }
+    }
+    // Cardinality-limited queries are scrubbing queries.
+    if query.limit.is_some() {
+        return Ok(QueryClass::Scrub);
+    }
+    // SELECT * (or column projections) over object rows: content-based selection.
+    if query.is_select_star()
+        || query.select.iter().all(|s| matches!(s, SelectItem::Column(_)))
+    {
+        return Ok(QueryClass::Select);
+    }
+    Ok(QueryClass::Exhaustive)
+}
+
+fn analyze_conjunct(
+    expr: &Expr,
+    udfs: &UdfRegistry,
+    requirements: &mut Vec<ClassRequirement>,
+    content_predicates: &mut Vec<ContentPredicate>,
+    spatial_constraints: &mut Vec<SpatialConstraint>,
+    min_area: &mut Option<f64>,
+) -> Result<()> {
+    let Expr::Binary { left, op, right } = expr else {
+        return Ok(());
+    };
+    if !op.is_comparison() {
+        // OR-expressions and similar are evaluated at execution time but provide no
+        // filter inference.
+        return Ok(());
+    }
+
+    // class = 'car'
+    if let (Expr::Column(col), Expr::StringLit(value)) = (left.as_ref(), right.as_ref()) {
+        if col == "class" && matches!(op, BinaryOp::Eq) {
+            let class = ObjectClass::parse(value).ok_or_else(|| FrameQlError::SemanticError {
+                message: format!("unknown object class '{value}'"),
+            })?;
+            upsert_requirement(requirements, ClassRequirement { class, min_count: 1 });
+            return Ok(());
+        }
+    }
+
+    // udf(content) OP number, area(mask) OP number, accessor(mask) OP number
+    if let (Expr::FunctionCall { name, .. }, Expr::Number(threshold)) =
+        (left.as_ref(), right.as_ref())
+    {
+        match name.as_str() {
+            "area" => {
+                if matches!(op, BinaryOp::Gt | BinaryOp::GtEq) {
+                    *min_area = Some(min_area.map_or(*threshold, |m: f64| m.max(*threshold)));
+                }
+                return Ok(());
+            }
+            "xmin" | "xmax" | "ymin" | "ymax" => {
+                let accessor = match name.as_str() {
+                    "xmin" => MaskAccessor::Xmin,
+                    "xmax" => MaskAccessor::Xmax,
+                    "ymin" => MaskAccessor::Ymin,
+                    _ => MaskAccessor::Ymax,
+                };
+                spatial_constraints.push(SpatialConstraint { accessor, op: *op, value: *threshold });
+                return Ok(());
+            }
+            _ => {
+                if let Some(udf) = udfs.get(name) {
+                    content_predicates.push(ContentPredicate {
+                        udf: name.clone(),
+                        op: *op,
+                        threshold: *threshold,
+                        frame_liftable: udf.frame_liftable,
+                    });
+                    return Ok(());
+                }
+                return Err(FrameQlError::UnknownUdf(name.clone()));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Matches `SUM(class='bus') >= n` (and `>` which means `>= n+1`).
+fn extract_sum_class_requirement(expr: &Expr) -> Option<ClassRequirement> {
+    let Expr::Binary { left, op, right } = expr else { return None };
+    let Expr::FunctionCall { name, args } = left.as_ref() else { return None };
+    if name != "sum" {
+        return None;
+    }
+    let Expr::Binary { left: al, op: BinaryOp::Eq, right: ar } = args.first()? else {
+        return None;
+    };
+    let (Expr::Column(col), Expr::StringLit(class_name)) = (al.as_ref(), ar.as_ref()) else {
+        return None;
+    };
+    if col != "class" {
+        return None;
+    }
+    let class = ObjectClass::parse(class_name)?;
+    let Expr::Number(n) = right.as_ref() else { return None };
+    let min_count = match op {
+        BinaryOp::GtEq => *n as usize,
+        BinaryOp::Gt => *n as usize + 1,
+        BinaryOp::Eq => *n as usize,
+        _ => return None,
+    };
+    Some(ClassRequirement { class, min_count: min_count.max(1) })
+}
+
+/// Matches `COUNT(*) > k` / `COUNT(*) >= k` in a track-grouped HAVING.
+fn extract_count_star_threshold(expr: &Expr) -> Option<u64> {
+    let Expr::Binary { left, op, right } = expr else { return None };
+    let Expr::FunctionCall { name, .. } = left.as_ref() else { return None };
+    if name != "count" {
+        return None;
+    }
+    let Expr::Number(n) = right.as_ref() else { return None };
+    match op {
+        BinaryOp::Gt => Some(*n as u64 + 1),
+        BinaryOp::GtEq => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn upsert_requirement(requirements: &mut Vec<ClassRequirement>, req: ClassRequirement) {
+    match requirements.iter_mut().find(|r| r.class == req.class) {
+        Some(existing) => existing.min_count = existing.min_count.max(req.min_count),
+        None => requirements.push(req),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::udf::builtin_udfs;
+
+    fn analyze_sql(sql: &str) -> QueryPlanInfo {
+        let q = parse_query(sql).unwrap();
+        analyze(&q, &builtin_udfs()).unwrap()
+    }
+
+    #[test]
+    fn aggregate_query_classification() {
+        let info = analyze_sql(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
+        );
+        assert_eq!(info.class, QueryClass::Aggregate { kind: AggregateKind::FrameAveragedCount });
+        assert_eq!(info.requirements, vec![ClassRequirement { class: ObjectClass::Car, min_count: 1 }]);
+        assert_eq!(info.single_class(), Some(ObjectClass::Car));
+        assert_eq!(info.error_within, Some(0.1));
+    }
+
+    #[test]
+    fn count_distinct_classification() {
+        let info = analyze_sql("SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'");
+        assert_eq!(
+            info.class,
+            QueryClass::Aggregate { kind: AggregateKind::CountDistinct("trackid".into()) }
+        );
+    }
+
+    #[test]
+    fn scrubbing_query_extracts_multi_class_requirements() {
+        let info = analyze_sql(
+            "SELECT timestamp FROM taipei GROUP BY timestamp \
+             HAVING SUM(class='bus')>=1 AND SUM(class='car')>=5 LIMIT 10 GAP 300",
+        );
+        assert_eq!(info.class, QueryClass::Scrub);
+        assert_eq!(info.limit, Some(10));
+        assert_eq!(info.gap, Some(300));
+        assert_eq!(info.requirements.len(), 2);
+        assert!(info
+            .requirements
+            .contains(&ClassRequirement { class: ObjectClass::Bus, min_count: 1 }));
+        assert!(info
+            .requirements
+            .contains(&ClassRequirement { class: ObjectClass::Car, min_count: 5 }));
+        assert_eq!(info.single_class(), None);
+        assert_eq!(info.classes().len(), 2);
+    }
+
+    #[test]
+    fn selection_query_extracts_filters() {
+        let info = analyze_sql(
+            "SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 17.5 \
+             AND area(mask) > 100000 GROUP BY trackid HAVING COUNT(*) > 15",
+        );
+        assert_eq!(info.class, QueryClass::Select);
+        assert_eq!(info.requirements, vec![ClassRequirement { class: ObjectClass::Bus, min_count: 1 }]);
+        assert_eq!(info.min_area, Some(100_000.0));
+        assert_eq!(info.min_track_frames, Some(16));
+        assert_eq!(info.content_predicates.len(), 1);
+        let p = &info.content_predicates[0];
+        assert_eq!(p.udf, "redness");
+        assert!(p.frame_liftable);
+        assert_eq!(p.op, BinaryOp::GtEq);
+        assert!((p.threshold - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_constraints_extracted() {
+        let info = analyze_sql(
+            "SELECT * FROM taipei WHERE class = 'car' AND xmax(mask) < 720 AND ymin(mask) >= 100",
+        );
+        assert_eq!(info.spatial_constraints.len(), 2);
+        assert_eq!(info.spatial_constraints[0].accessor, MaskAccessor::Xmax);
+        assert_eq!(info.spatial_constraints[0].op, BinaryOp::Lt);
+        assert_eq!(info.spatial_constraints[1].accessor, MaskAccessor::Ymin);
+        assert_eq!(info.spatial_constraints[1].accessor.name(), "ymin");
+    }
+
+    #[test]
+    fn non_liftable_udf_recorded_as_such() {
+        let info = analyze_sql("SELECT * FROM taipei WHERE class = 'car' AND area(mask) > 5000");
+        assert!(info.content_predicates.is_empty());
+        let info2 =
+            analyze_sql("SELECT * FROM taipei WHERE class = 'car' AND luminance(content) >= 50");
+        assert_eq!(info2.content_predicates.len(), 1);
+        assert!(info2.content_predicates[0].frame_liftable);
+    }
+
+    #[test]
+    fn duplicate_class_requirements_take_max() {
+        let info = analyze_sql(
+            "SELECT timestamp FROM taipei WHERE class = 'car' GROUP BY timestamp \
+             HAVING SUM(class='car') >= 4 LIMIT 5",
+        );
+        assert_eq!(info.requirements, vec![ClassRequirement { class: ObjectClass::Car, min_count: 4 }]);
+    }
+
+    #[test]
+    fn unknown_class_is_semantic_error() {
+        let q = parse_query("SELECT FCOUNT(*) FROM taipei WHERE class = 'dragon'").unwrap();
+        assert!(matches!(
+            analyze(&q, &builtin_udfs()),
+            Err(FrameQlError::SemanticError { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_udf_in_where_is_error() {
+        let q = parse_query("SELECT * FROM taipei WHERE shininess(content) > 3").unwrap();
+        assert!(matches!(analyze(&q, &builtin_udfs()), Err(FrameQlError::UnknownUdf(_))));
+    }
+
+    #[test]
+    fn noscope_style_query_is_selection() {
+        let info = analyze_sql(
+            "SELECT timestamp FROM taipei WHERE class = 'car' FNR WITHIN 0.01 FPR WITHIN 0.01",
+        );
+        assert_eq!(info.class, QueryClass::Select);
+    }
+
+    #[test]
+    fn sum_with_gt_becomes_plus_one() {
+        let info = analyze_sql(
+            "SELECT timestamp FROM taipei GROUP BY timestamp HAVING SUM(class='boat') > 6 LIMIT 10",
+        );
+        assert_eq!(
+            info.requirements,
+            vec![ClassRequirement { class: ObjectClass::Boat, min_count: 7 }]
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The FrameQL data schema and value model (Table 1 of the paper).
+//!
+//! Each row of the virtual relation represents one object visible in one frame:
+//! `timestamp` (seconds), `class`, `mask` (bounding box), `trackid`, `content` (the
+//! pixels inside the mask — represented here by the frame index plus the mask, so UDFs
+//! can read the pixels lazily) and `features` (the detector's feature embedding).
+
+use blazeit_videostore::{BoundingBox, FrameIndex, ObjectClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scalar value produced by evaluating FrameQL expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing / inapplicable.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Double-precision number (all FrameQL numerics are f64).
+    Number(f64),
+    /// String.
+    Str(String),
+    /// A bounding box (the `mask` column).
+    Mask(BoundingBox),
+}
+
+impl Value {
+    /// Interprets the value as a boolean (SQL-ish semantics: numbers are true when
+    /// non-zero, strings when non-empty, NULL is false).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Number(n) => *n != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Mask(_) => true,
+        }
+    }
+
+    /// Interprets the value as a number, if possible (booleans become 0/1).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Mask(m) => {
+                write!(f, "[{:.1},{:.1},{:.1},{:.1}]", m.xmin, m.ymin, m.xmax, m.ymax)
+            }
+        }
+    }
+}
+
+/// One row of the FrameQL relation: an object visible in a frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameQlRow {
+    /// Timestamp in seconds from the start of the video.
+    pub timestamp: f64,
+    /// Frame index the row was materialized from (not part of the paper's schema, but
+    /// needed to lazily fetch `content` pixels).
+    pub frame: FrameIndex,
+    /// Object class.
+    pub class: ObjectClass,
+    /// The object's mask (bounding box).
+    pub mask: BoundingBox,
+    /// Track identifier assigned by the entity-resolution method.
+    pub trackid: u64,
+    /// Detector confidence for this object.
+    pub confidence: f32,
+    /// The detector's feature embedding.
+    pub features: Vec<f32>,
+}
+
+impl FrameQlRow {
+    /// Reads a named column of the row. `content` is intentionally *not* readable here:
+    /// it requires frame pixels and is evaluated through the UDF context instead.
+    pub fn column(&self, name: &str) -> Option<Value> {
+        match name {
+            "timestamp" => Some(Value::Number(self.timestamp)),
+            "frame" => Some(Value::Number(self.frame as f64)),
+            "class" => Some(Value::Str(self.class.name().to_string())),
+            "mask" => Some(Value::Mask(self.mask)),
+            "trackid" => Some(Value::Number(self.trackid as f64)),
+            "confidence" => Some(Value::Number(f64::from(self.confidence))),
+            _ => None,
+        }
+    }
+
+    /// The names of the schema columns (Table 1), in presentation order.
+    pub fn column_names() -> &'static [&'static str] {
+        &["timestamp", "class", "mask", "trackid", "content", "features"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> FrameQlRow {
+        FrameQlRow {
+            timestamp: 1.5,
+            frame: 45,
+            class: ObjectClass::Bus,
+            mask: BoundingBox::new(10.0, 20.0, 110.0, 220.0),
+            trackid: 7,
+            confidence: 0.93,
+            features: vec![0.1, 0.2],
+        }
+    }
+
+    #[test]
+    fn column_access() {
+        let r = row();
+        assert_eq!(r.column("timestamp"), Some(Value::Number(1.5)));
+        assert_eq!(r.column("class"), Some(Value::Str("bus".into())));
+        assert_eq!(r.column("trackid"), Some(Value::Number(7.0)));
+        assert!(matches!(r.column("mask"), Some(Value::Mask(_))));
+        assert_eq!(r.column("no_such_column"), None);
+        assert_eq!(r.column("content"), None);
+    }
+
+    #[test]
+    fn value_truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Number(0.0).truthy());
+        assert!(Value::Number(3.0).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Str("x".into()).truthy());
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Number(2.5).as_number(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_number(), Some(1.0));
+        assert_eq!(Value::Str("car".into()).as_number(), None);
+        assert_eq!(Value::Str("car".into()).as_str(), Some("car"));
+        assert_eq!(Value::Number(1.0).as_str(), None);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Str("bus".into()).to_string(), "bus");
+        assert_eq!(Value::Number(2.0).to_string(), "2");
+    }
+
+    #[test]
+    fn schema_columns_match_paper() {
+        let names = FrameQlRow::column_names();
+        assert!(names.contains(&"timestamp"));
+        assert!(names.contains(&"mask"));
+        assert!(names.contains(&"content"));
+        assert_eq!(names.len(), 6);
+    }
+}

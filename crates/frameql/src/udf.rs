@@ -1,0 +1,190 @@
+//! User-defined functions over masks and content.
+//!
+//! UDFs (Section 3 of the paper) are functions of a timestamp, mask and the rectangular
+//! set of pixels inside the mask. BlazeIt ships `redness`-style color UDFs, `area` over
+//! the mask, and a toy fine-grained `classify`. A UDF additionally declares whether it
+//! is *liftable to the frame level*: a liftable UDF returns a continuous value that is
+//! still meaningful when evaluated over the whole frame, which is what lets the
+//! optimizer turn `redness(content) >= 17.5` into a cheap frame-level content filter
+//! (Section 8.1).
+
+use crate::schema::Value;
+use crate::{FrameQlError, Result};
+use blazeit_videostore::{BoundingBox, Frame};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The signature of a UDF implementation: frame pixels + the object mask.
+pub type UdfFn = dyn Fn(&Frame, &BoundingBox) -> Value + Send + Sync;
+
+/// A registered UDF.
+#[derive(Clone)]
+pub struct Udf {
+    /// Lower-case name used in queries.
+    pub name: String,
+    /// Whether the UDF returns a continuous value that is meaningful at the frame level
+    /// (and can therefore be used as an inferred content filter).
+    pub frame_liftable: bool,
+    /// The implementation.
+    pub func: Arc<UdfFn>,
+}
+
+impl std::fmt::Debug for Udf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Udf")
+            .field("name", &self.name)
+            .field("frame_liftable", &self.frame_liftable)
+            .finish()
+    }
+}
+
+/// A registry of UDFs available to query evaluation and filter inference.
+#[derive(Debug, Clone, Default)]
+pub struct UdfRegistry {
+    udfs: BTreeMap<String, Udf>,
+}
+
+impl UdfRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    /// Registers a UDF (replacing any existing UDF of the same name).
+    pub fn register(
+        &mut self,
+        name: &str,
+        frame_liftable: bool,
+        func: impl Fn(&Frame, &BoundingBox) -> Value + Send + Sync + 'static,
+    ) {
+        let name = name.to_ascii_lowercase();
+        self.udfs.insert(
+            name.clone(),
+            Udf { name, frame_liftable, func: Arc::new(func) },
+        );
+    }
+
+    /// Looks up a UDF by name.
+    pub fn get(&self, name: &str) -> Option<&Udf> {
+        self.udfs.get(&name.to_ascii_lowercase())
+    }
+
+    /// Whether `name` refers to a registered UDF.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Evaluates a UDF over a frame region.
+    pub fn call(&self, name: &str, frame: &Frame, mask: &BoundingBox) -> Result<Value> {
+        let udf = self
+            .get(name)
+            .ok_or_else(|| FrameQlError::UnknownUdf(name.to_string()))?;
+        Ok((udf.func)(frame, mask))
+    }
+
+    /// Names of all registered UDFs.
+    pub fn names(&self) -> Vec<String> {
+        self.udfs.keys().cloned().collect()
+    }
+}
+
+/// Builds the registry of built-in UDFs used by the paper's example queries.
+///
+/// * `redness(content)` / `blueness(content)` — mean red/blue channel dominance of the
+///   masked pixels (frame-liftable, continuous).
+/// * `area(mask)` — area of the mask in nominal pixels (not content-dependent).
+/// * `luminance(content)` — mean brightness (frame-liftable).
+/// * `classify(content)` — a toy fine-grained classifier distinguishing `sedan` from
+///   `suv` by the mask's aspect ratio (not frame-liftable: it returns a discrete label).
+pub fn builtin_udfs() -> UdfRegistry {
+    let mut registry = UdfRegistry::new();
+    registry.register("redness", true, |frame, mask| {
+        Value::Number(f64::from(frame.redness_in(mask)))
+    });
+    registry.register("blueness", true, |frame, mask| {
+        Value::Number(f64::from(frame.blueness_in(mask)))
+    });
+    registry.register("luminance", true, |frame, mask| {
+        let (r, g, b) = frame.mean_color_in(mask);
+        Value::Number(f64::from(0.299 * r + 0.587 * g + 0.114 * b))
+    });
+    registry.register("area", false, |_frame, mask| Value::Number(f64::from(mask.area())));
+    registry.register("classify", false, |_frame, mask| {
+        let aspect = mask.width() / mask.height().max(1.0);
+        Value::Str(if aspect >= 1.5 { "sedan".to_string() } else { "suv".to_string() })
+    });
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazeit_videostore::object::Color;
+
+    fn red_frame() -> Frame {
+        Frame::filled(0, 0.0, (1280.0, 720.0), (96, 54), Color::RED)
+    }
+
+    #[test]
+    fn builtin_registry_contents() {
+        let reg = builtin_udfs();
+        for name in ["redness", "blueness", "area", "classify", "luminance"] {
+            assert!(reg.contains(name), "missing builtin {name}");
+        }
+        assert!(!reg.contains("nope"));
+        assert_eq!(reg.names().len(), 5);
+    }
+
+    #[test]
+    fn redness_udf_on_red_frame() {
+        let reg = builtin_udfs();
+        let frame = red_frame();
+        let mask = BoundingBox::new(0.0, 0.0, 1280.0, 720.0);
+        let v = reg.call("redness", &frame, &mask).unwrap();
+        assert!(v.as_number().unwrap() > 100.0);
+        let b = reg.call("blueness", &frame, &mask).unwrap();
+        assert!(b.as_number().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn area_udf_uses_mask_only() {
+        let reg = builtin_udfs();
+        let frame = red_frame();
+        let mask = BoundingBox::new(0.0, 0.0, 200.0, 500.0);
+        assert_eq!(reg.call("area", &frame, &mask).unwrap(), Value::Number(100_000.0));
+    }
+
+    #[test]
+    fn classify_udf_by_aspect_ratio() {
+        let reg = builtin_udfs();
+        let frame = red_frame();
+        let wide = BoundingBox::new(0.0, 0.0, 300.0, 100.0);
+        let tall = BoundingBox::new(0.0, 0.0, 100.0, 100.0);
+        assert_eq!(reg.call("classify", &frame, &wide).unwrap(), Value::Str("sedan".into()));
+        assert_eq!(reg.call("classify", &frame, &tall).unwrap(), Value::Str("suv".into()));
+    }
+
+    #[test]
+    fn unknown_udf_is_an_error() {
+        let reg = builtin_udfs();
+        let frame = red_frame();
+        let mask = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(matches!(
+            reg.call("sharpness", &frame, &mask),
+            Err(FrameQlError::UnknownUdf(_))
+        ));
+    }
+
+    #[test]
+    fn custom_udf_registration_and_liftability() {
+        let mut reg = builtin_udfs();
+        reg.register("always_one", true, |_, _| Value::Number(1.0));
+        assert!(reg.get("always_one").unwrap().frame_liftable);
+        assert!(reg.get("classify").map(|u| !u.frame_liftable).unwrap());
+        let frame = red_frame();
+        assert_eq!(
+            reg.call("ALWAYS_ONE", &frame, &BoundingBox::new(0.0, 0.0, 1.0, 1.0)).unwrap(),
+            Value::Number(1.0)
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Frame featurization for specialized networks.
+//!
+//! The paper's specialized NNs consume 65x65 RGB crops and learn convolutional
+//! features. Here the convolutional stem is replaced by a deterministic featurizer: the
+//! frame is resized to a small grid and flattened, and a handful of global channel
+//! statistics are appended. This keeps training cheap on CPU while preserving what the
+//! optimizations need — features that are *predictive but not perfectly predictive* of
+//! the detector's per-frame counts.
+
+use crate::Result;
+use blazeit_videostore::ingest::resize;
+use blazeit_videostore::{BoundingBox, Frame};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the frame featurizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Side length of the downsampled grid (the grid is `side x side` pixels).
+    pub grid_side: usize,
+    /// Whether to append global channel statistics (mean and variance per channel,
+    /// plus redness/blueness summaries).
+    pub include_stats: bool,
+    /// Whether to append a per-cell "deviation from the frame's mean color" map.
+    ///
+    /// Counting requires a signal that is invariant to *which* color an object is; the
+    /// deviation map measures how much each grid cell departs from the background,
+    /// which is what a small CNN's early layers would learn. Without it, a linear model
+    /// tends to learn the training day's count prior instead of actually counting.
+    pub include_deviation: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { grid_side: 12, include_stats: true, include_deviation: true }
+    }
+}
+
+impl FeatureConfig {
+    /// The dimensionality of the produced feature vectors.
+    pub fn dim(&self) -> usize {
+        let cells = self.grid_side * self.grid_side;
+        cells * 3
+            + if self.include_deviation { cells + 2 * self.grid_side + 3 } else { 0 }
+            + if self.include_stats { 8 } else { 0 }
+    }
+}
+
+/// Converts frames (or frame regions) into fixed-length feature vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameFeaturizer {
+    config: FeatureConfig,
+}
+
+impl FrameFeaturizer {
+    /// Creates a featurizer.
+    pub fn new(config: FeatureConfig) -> FrameFeaturizer {
+        FrameFeaturizer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> FeatureConfig {
+        self.config
+    }
+
+    /// The dimensionality of produced features.
+    pub fn dim(&self) -> usize {
+        self.config.dim()
+    }
+
+    /// Featurizes a whole frame.
+    ///
+    /// The representation is what the first layers of a small counting CNN would
+    /// compute, made explicit so a modest MLP can learn counting from a few thousand
+    /// labeled frames:
+    ///
+    /// * background-subtracted grid pixels (per-channel deviation from the frame's mean
+    ///   color, signed) — carries *where* and *what color* foreground objects are;
+    /// * a per-cell L1 deviation map — a color-agnostic occupancy map;
+    /// * row and column sums of the deviation map, the total deviation, and the number
+    ///   of cells above two occupancy thresholds — pooled features whose magnitude
+    ///   scales directly with the number of visible objects;
+    /// * optional global channel statistics.
+    pub fn features(&self, frame: &Frame) -> Result<Vec<f32>> {
+        let side = self.config.grid_side;
+        let small = resize(frame, side, side).map_err(|e| crate::NnError::InvalidConfig(e.to_string()))?;
+
+        // Per-channel mean of the downsampled frame (background estimate).
+        let n = (side * side).max(1) as f32;
+        let mut mean = [0.0f32; 3];
+        for px in small.pixels.chunks_exact(3) {
+            for c in 0..3 {
+                mean[c] += px[c] as f32 / 255.0;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+
+        // Background-subtracted grid pixels.
+        let mut out: Vec<f32> = Vec::with_capacity(self.dim());
+        for px in small.pixels.chunks_exact(3) {
+            for c in 0..3 {
+                out.push(px[c] as f32 / 255.0 - mean[c]);
+            }
+        }
+
+        if self.config.include_deviation {
+            // Color-agnostic occupancy map plus pooled summaries.
+            let mut deviation = Vec::with_capacity(side * side);
+            for px in small.pixels.chunks_exact(3) {
+                let dev: f32 = (0..3)
+                    .map(|c| (px[c] as f32 / 255.0 - mean[c]).abs())
+                    .sum::<f32>()
+                    / 3.0;
+                deviation.push(dev);
+            }
+            out.extend_from_slice(&deviation);
+
+            let mut row_sums = vec![0.0f32; side];
+            let mut col_sums = vec![0.0f32; side];
+            for (i, &d) in deviation.iter().enumerate() {
+                row_sums[i / side] += d;
+                col_sums[i % side] += d;
+            }
+            out.extend_from_slice(&row_sums);
+            out.extend_from_slice(&col_sums);
+            let total: f32 = deviation.iter().sum();
+            let occupied_loose = deviation.iter().filter(|&&d| d > 0.05).count() as f32;
+            let occupied_tight = deviation.iter().filter(|&&d| d > 0.12).count() as f32;
+            out.push(total / 20.0);
+            out.push(occupied_loose / 10.0);
+            out.push(occupied_tight / 10.0);
+        }
+        if self.config.include_stats {
+            out.extend(Self::channel_stats(frame));
+        }
+        Ok(out)
+    }
+
+    /// Featurizes a region of a frame (used by spatially filtered pipelines).
+    pub fn features_in(&self, frame: &Frame, region: &BoundingBox) -> Result<Vec<f32>> {
+        let cropped = blazeit_videostore::ingest::crop(frame, region)
+            .map_err(|e| crate::NnError::InvalidConfig(e.to_string()))?;
+        self.features(&cropped)
+    }
+
+    /// Per-dimension standardization statistics are computed by [`Standardizer::fit`].
+    fn channel_stats(frame: &Frame) -> Vec<f32> {
+        let n = frame.num_pixels().max(1) as f64;
+        let mut sums = [0.0f64; 3];
+        let mut sq = [0.0f64; 3];
+        for px in frame.pixels.chunks_exact(3) {
+            for c in 0..3 {
+                let v = px[c] as f64 / 255.0;
+                sums[c] += v;
+                sq[c] += v * v;
+            }
+        }
+        let mean: Vec<f64> = sums.iter().map(|s| s / n).collect();
+        let var: Vec<f64> = sq.iter().zip(&mean).map(|(s, m)| (s / n - m * m).max(0.0)).collect();
+        vec![
+            mean[0] as f32,
+            mean[1] as f32,
+            mean[2] as f32,
+            var[0] as f32,
+            var[1] as f32,
+            var[2] as f32,
+            (mean[0] - (mean[1] + mean[2]) / 2.0) as f32, // redness
+            (mean[2] - (mean[0] + mean[1]) / 2.0) as f32, // blueness
+        ]
+    }
+}
+
+/// Per-dimension standardization (zero mean, unit variance), fit on the training set
+/// and applied at inference time.
+///
+/// The raw frame features have a large common-mode component (background, gradient,
+/// sensor noise) and a per-object signal that is orders of magnitude smaller; without
+/// standardization, SGD settles on the bias-only solution (the training day's count
+/// prior) long before it amplifies the per-object signal. Standardizing each dimension
+/// with training-set statistics is the moral equivalent of the batch normalization the
+/// paper's tiny ResNet uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f32>,
+    inv_stds: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits standardization statistics from training feature rows.
+    pub fn fit(rows: &[Vec<f32>]) -> Standardizer {
+        let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        let n = rows.len().max(1) as f64;
+        let mut means = vec![0.0f64; dim];
+        for row in rows {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += f64::from(v);
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; dim];
+        for row in rows {
+            for ((v, &x), m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = f64::from(x) - m;
+                *v += d * d;
+            }
+        }
+        let inv_stds = vars
+            .iter()
+            .map(|v| {
+                let std = (v / n).sqrt();
+                if std < 1e-4 {
+                    0.0 // constant feature: zero it out rather than amplify noise
+                } else {
+                    (1.0 / std) as f32
+                }
+            })
+            .collect();
+        Standardizer { means: means.into_iter().map(|m| m as f32).collect(), inv_stds }
+    }
+
+    /// The feature dimensionality this standardizer was fit on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one feature vector in place.
+    pub fn transform_in_place(&self, features: &mut [f32]) {
+        for ((x, m), inv) in features.iter_mut().zip(&self.means).zip(&self.inv_stds) {
+            *x = (*x - m) * inv;
+        }
+    }
+
+    /// Standardizes a copy of one feature vector.
+    pub fn transform(&self, features: &[f32]) -> Vec<f32> {
+        let mut out = features.to_vec();
+        self.transform_in_place(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazeit_videostore::{DatasetPreset, ObjectClass, DAY_TEST};
+
+    #[test]
+    fn standardizer_zero_means_and_unit_variance() {
+        let rows = vec![
+            vec![1.0f32, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+            vec![4.0, 400.0, 5.0],
+        ];
+        let st = Standardizer::fit(&rows);
+        assert_eq!(st.dim(), 3);
+        let transformed: Vec<Vec<f32>> = rows.iter().map(|r| st.transform(r)).collect();
+        for d in 0..2 {
+            let mean: f32 = transformed.iter().map(|r| r[d]).sum::<f32>() / 4.0;
+            let var: f32 = transformed.iter().map(|r| r[d] * r[d]).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "dim {d} var {var}");
+        }
+        // The constant dimension is zeroed, not blown up.
+        assert!(transformed.iter().all(|r| r[2] == 0.0));
+    }
+
+    #[test]
+    fn feature_dimension_matches_config() {
+        let f = FrameFeaturizer::new(FeatureConfig {
+            grid_side: 8,
+            include_stats: true,
+            include_deviation: true,
+        });
+        assert_eq!(f.dim(), 8 * 8 * 3 + (8 * 8 + 2 * 8 + 3) + 8);
+        let plain = FrameFeaturizer::new(FeatureConfig {
+            grid_side: 8,
+            include_stats: false,
+            include_deviation: false,
+        });
+        assert_eq!(plain.dim(), 8 * 8 * 3);
+    }
+
+    #[test]
+    fn features_have_declared_length_and_range() {
+        let video = DatasetPreset::Taipei.generate_with_frames(DAY_TEST, 500).unwrap();
+        let featurizer = FrameFeaturizer::default();
+        let frame = video.frame(123).unwrap();
+        let feats = featurizer.features(&frame).unwrap();
+        assert_eq!(feats.len(), featurizer.dim());
+        // Background-subtracted values are small; pooled sums are bounded by the grid size.
+        assert!(feats.iter().all(|&x| x.is_finite() && x.abs() <= 20.0));
+    }
+
+    #[test]
+    fn features_are_deterministic() {
+        let video = DatasetPreset::Taipei.generate_with_frames(DAY_TEST, 500).unwrap();
+        let featurizer = FrameFeaturizer::default();
+        let frame = video.frame(321).unwrap();
+        assert_eq!(featurizer.features(&frame).unwrap(), featurizer.features(&frame).unwrap());
+    }
+
+    #[test]
+    fn busy_frames_differ_from_empty_frames() {
+        // Find an empty frame and a busy frame; their features must differ substantially.
+        let video = DatasetPreset::Taipei.generate_with_frames(DAY_TEST, 4_000).unwrap();
+        let featurizer = FrameFeaturizer::default();
+        let mut empty = None;
+        let mut busy = None;
+        for f in 0..4_000 {
+            let count = video.ground_truth_count(f, ObjectClass::Car).unwrap();
+            if count == 0 && empty.is_none() {
+                empty = Some(f);
+            }
+            if count >= 3 && busy.is_none() {
+                busy = Some(f);
+            }
+            if empty.is_some() && busy.is_some() {
+                break;
+            }
+        }
+        let (e, b) = (empty.expect("empty frame"), busy.expect("busy frame"));
+        let fe = featurizer.features(&video.frame(e).unwrap()).unwrap();
+        let fb = featurizer.features(&video.frame(b).unwrap()).unwrap();
+        let dist: f32 = fe.iter().zip(&fb).map(|(a, b)| (a - b).abs()).sum();
+        assert!(dist > 1.0, "feature distance between empty and busy frame was {dist}");
+    }
+
+    #[test]
+    fn region_features_work() {
+        let video = DatasetPreset::Taipei.generate_with_frames(DAY_TEST, 200).unwrap();
+        let featurizer = FrameFeaturizer::default();
+        let frame = video.frame(50).unwrap();
+        let region = BoundingBox::new(0.0, 360.0, 1280.0, 720.0);
+        let feats = featurizer.features_in(&frame, &region).unwrap();
+        assert_eq!(feats.len(), featurizer.dim());
+    }
+}

@@ -1,0 +1,211 @@
+//! Fully-connected layers and activations.
+
+use crate::tensor::Matrix;
+use crate::Result;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected (dense) layer: `y = x W + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix, `input_dim x output_dim`.
+    pub weights: Matrix,
+    /// Bias row vector, `1 x output_dim`.
+    pub bias: Matrix,
+    /// Whether a ReLU is applied after the affine transform.
+    pub relu: bool,
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    #[serde(skip)]
+    cached_pre_activation: Option<Matrix>,
+}
+
+/// Gradients of a dense layer's parameters for one batch.
+#[derive(Debug, Clone)]
+pub struct DenseGradients {
+    /// Gradient with respect to the weights.
+    pub d_weights: Matrix,
+    /// Gradient with respect to the bias.
+    pub d_bias: Matrix,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialized weights.
+    pub fn new(input_dim: usize, output_dim: usize, relu: bool, rng: &mut StdRng) -> Dense {
+        Dense {
+            weights: Matrix::xavier(input_dim, output_dim, rng),
+            bias: Matrix::zeros(1, output_dim),
+            relu,
+            cached_input: None,
+            cached_pre_activation: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.cols()
+    }
+
+    /// Forward pass, caching activations for a subsequent [`Dense::backward`] call.
+    pub fn forward(&mut self, input: &Matrix) -> Result<Matrix> {
+        let pre = input.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
+        let out = if self.relu { pre.map(|x| x.max(0.0)) } else { pre.clone() };
+        self.cached_input = Some(input.clone());
+        self.cached_pre_activation = Some(pre);
+        Ok(out)
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, input: &Matrix) -> Result<Matrix> {
+        let pre = input.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
+        Ok(if self.relu { pre.map(|x| x.max(0.0)) } else { pre })
+    }
+
+    /// Backward pass: takes the gradient of the loss with respect to this layer's
+    /// output, returns `(gradient wrt input, parameter gradients)`.
+    ///
+    /// Must be called after [`Dense::forward`] on the same batch.
+    pub fn backward(&mut self, d_output: &Matrix) -> Result<(Matrix, DenseGradients)> {
+        let input = self.cached_input.take().ok_or_else(|| crate::NnError::InvalidConfig(
+            "backward called before forward".into(),
+        ))?;
+        let pre = self.cached_pre_activation.take().ok_or_else(|| {
+            crate::NnError::InvalidConfig("backward called before forward".into())
+        })?;
+        // Gradient through the ReLU.
+        let d_pre = if self.relu {
+            let mask = pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+            d_output.hadamard(&mask)?
+        } else {
+            d_output.clone()
+        };
+        let d_weights = input.transpose().matmul(&d_pre)?;
+        let d_bias = d_pre.sum_rows();
+        let d_input = d_pre.matmul(&self.weights.transpose())?;
+        Ok((d_input, DenseGradients { d_weights, d_bias }))
+    }
+}
+
+/// Numerically stable softmax over each row of `logits`.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    let cols = logits.cols();
+    for r in 0..logits.rows() {
+        let row_max = logits.row(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for c in 0..cols {
+            let e = (logits.get(r, c) - row_max).exp();
+            out.set(r, c, e);
+            sum += e;
+        }
+        if sum > 0.0 {
+            for c in 0..cols {
+                out.set(r, c, out.get(r, c) / sum);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Dense::new(4, 3, true, &mut rng);
+        let x = Matrix::zeros(5, 4);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.rows(), 5);
+        assert_eq!(y.cols(), 3);
+        assert_eq!(layer.num_params(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn relu_clamps_negative_outputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Dense::new(2, 2, true, &mut rng);
+        layer.weights = Matrix::from_vec(2, 2, vec![-1.0, 1.0, -1.0, 1.0]).unwrap();
+        let x = Matrix::row_from_slice(&[1.0, 1.0]);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.get(0, 0), 0.0);
+        assert_eq!(y.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn backward_before_forward_is_error() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Dense::new(2, 2, false, &mut rng);
+        assert!(layer.backward(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(6, 4, true, &mut rng);
+        let x = Matrix::xavier(3, 6, &mut rng);
+        let a = layer.forward(&x).unwrap();
+        let b = layer.forward_inference(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    /// Numerical gradient check on a tiny layer: the analytic weight gradient from
+    /// `backward` must match finite differences of a scalar loss.
+    #[test]
+    fn gradient_check_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut layer = Dense::new(3, 2, true, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.8, 1.0, 0.3, -0.7]).unwrap();
+
+        // Loss = sum of outputs (so dL/dy = all ones).
+        let loss_of = |layer: &Dense, x: &Matrix| -> f32 {
+            layer.forward_inference(x).unwrap().data().iter().sum()
+        };
+
+        let y = layer.forward(&x).unwrap();
+        let d_out = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]).unwrap();
+        let (_, grads) = layer.backward(&d_out).unwrap();
+
+        let eps = 1e-3f32;
+        for r in 0..3 {
+            for c in 0..2 {
+                let orig = layer.weights.get(r, c);
+                layer.weights.set(r, c, orig + eps);
+                let up = loss_of(&layer, &x);
+                layer.weights.set(r, c, orig - eps);
+                let down = loss_of(&layer, &x);
+                layer.weights.set(r, c, orig);
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = grads.d_weights.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "grad mismatch at ({r},{c}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]).unwrap();
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.get(0, 2) > p.get(0, 1));
+        assert!(p.get(1, 2) > 0.99);
+    }
+}

@@ -1,0 +1,75 @@
+//! # blazeit-nn
+//!
+//! A from-scratch neural-network library plus BlazeIt's *specialized networks*.
+//!
+//! The paper's specialized NNs are "tiny ResNets" trained in PyTorch to mimic the
+//! expensive object detector on a reduced task (counting the objects of a class in a
+//! frame, or multi-class counting). PyTorch and GPUs are not available here, so this
+//! crate implements the minimum viable deep-learning stack needed to *actually train*
+//! such models on the synthetic frames:
+//!
+//! * [`tensor`] — a small dense matrix type with the operations the MLP needs.
+//! * [`layers`] — fully-connected layers with ReLU activations.
+//! * [`network`] — a sequential network with forward / backward passes and support for
+//!   *grouped softmax heads* (one softmax per queried object class, the "single NN that
+//!   detects each object class separately" of Section 7.1).
+//! * [`loss`] — softmax cross-entropy (per head) and mean-squared error.
+//! * [`optimizer`] — SGD with momentum (the paper trains with momentum 0.9).
+//! * [`train`] — a mini-batch training loop.
+//! * [`features`] — frame featurization (downsampled pixels + channel statistics),
+//!   standing in for the 65x65 CNN input.
+//! * [`specialized`] — the [`SpecializedNN`](specialized::SpecializedNN) abstraction:
+//!   count / multi-class / binary heads, bootstrap error estimation on a held-out day,
+//!   and no-false-negative threshold calibration, with simulated-time accounting.
+//!
+//! The point of training real (small) models instead of hard-coding a correlated
+//! signal: control variates (Section 6.3) and importance sampling (Section 7) rely on
+//! the specialized model being *imperfectly* correlated with the detector. Learned
+//! models on rendered frames produce that imperfection organically.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod features;
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod optimizer;
+pub mod specialized;
+pub mod tensor;
+pub mod train;
+
+pub use features::{FeatureConfig, FrameFeaturizer};
+pub use network::{Network, NetworkConfig};
+pub use specialized::{SpecializedConfig, SpecializedHead, SpecializedNN, TrainingReport};
+pub use tensor::Matrix;
+pub use train::{TrainConfig, Trainer};
+
+/// Errors produced by the NN substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Matrix dimensions do not match for the requested operation.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        context: String,
+    },
+    /// The training set is empty or labels are inconsistent with the configuration.
+    InvalidTrainingData(String),
+    /// A configuration value is invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            NnError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, NnError>;

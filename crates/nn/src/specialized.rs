@@ -1,0 +1,589 @@
+//! Specialized networks: the core primitive of BlazeIt.
+//!
+//! A specialized NN is a small model trained to mimic the expensive object detector on
+//! a *reduced* task (Section 3): counting the objects of one class per frame, counting
+//! several classes at once (one softmax head per class, Section 7.1), or binary
+//! presence (the NoScope task, which is just "count >= 1"). Because the task is so much
+//! simpler than detection, inference runs orders of magnitude faster (~10,000 fps vs
+//! ~3 fps), which is the entire source of BlazeIt's speedups.
+//!
+//! This module provides:
+//!
+//! * [`SpecializedNN::train`] — featurize labeled frames and train the network with
+//!   SGD + momentum, charging simulated training time.
+//! * Per-frame scoring with probability outputs per head, charging simulated inference
+//!   time.
+//! * [`SpecializedNN::estimate_fcount_error`] — the bootstrap error estimate on the
+//!   held-out day used by Algorithm 1 to decide whether query rewriting is safe.
+//! * [`SpecializedNN::calibrate_presence_threshold`] — the no-false-negative threshold
+//!   selection used by the label-based selection filter (Section 8).
+
+use crate::features::{FeatureConfig, FrameFeaturizer, Standardizer};
+use crate::network::{Network, NetworkConfig};
+use crate::train::{TrainConfig, Trainer};
+use crate::{NnError, Result};
+use blazeit_detect::clock::CostCategory;
+use blazeit_detect::{CostProfile, CountVector, SimClock};
+use blazeit_videostore::{FrameIndex, ObjectClass, Video};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One output head of a specialized network: counts of one object class, capped at
+/// `max_count` (so the head is a softmax over `0..=max_count`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecializedHead {
+    /// The object class this head counts.
+    pub class: ObjectClass,
+    /// The largest count the head distinguishes; larger true counts are clamped.
+    pub max_count: usize,
+}
+
+impl SpecializedHead {
+    /// Chooses `max_count` as the paper prescribes (Section 6.2): the highest count
+    /// that occurs in at least `min_fraction` of the labeled frames.
+    pub fn from_counts<I>(class: ObjectClass, counts: I, min_fraction: f64) -> SpecializedHead
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let counts: Vec<usize> = counts.into_iter().collect();
+        let n = counts.len().max(1) as f64;
+        let max_observed = counts.iter().copied().max().unwrap_or(0);
+        let mut max_count = 1;
+        for k in (1..=max_observed).rev() {
+            let frac = counts.iter().filter(|&&c| c >= k).count() as f64 / n;
+            if frac >= min_fraction {
+                max_count = k;
+                break;
+            }
+        }
+        SpecializedHead { class, max_count: max_count.max(1) }
+    }
+
+    /// Number of classes of this head's softmax (`max_count + 1`).
+    pub fn head_size(&self) -> usize {
+        self.max_count + 1
+    }
+}
+
+/// Configuration of a specialized network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecializedConfig {
+    /// Output heads (one per queried object class).
+    pub heads: Vec<SpecializedHead>,
+    /// Frame featurization settings.
+    pub features: FeatureConfig,
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Training-loop settings.
+    pub train: TrainConfig,
+    /// Weight-initialization seed.
+    pub seed: u64,
+    /// Simulated throughput profile (inference / training cost).
+    pub cost: CostProfile,
+}
+
+impl SpecializedConfig {
+    /// A sensible default configuration for the given heads.
+    pub fn for_heads(heads: Vec<SpecializedHead>) -> SpecializedConfig {
+        SpecializedConfig {
+            heads,
+            features: FeatureConfig::default(),
+            hidden: vec![32],
+            train: TrainConfig::default(),
+            seed: 7,
+            cost: CostProfile::default(),
+        }
+    }
+
+    fn network_config(&self) -> NetworkConfig {
+        NetworkConfig {
+            input_dim: self.features.dim(),
+            hidden: self.hidden.clone(),
+            heads: self.heads.iter().map(|h| h.head_size()).collect(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Summary of training a specialized network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Number of labeled frames used.
+    pub num_examples: usize,
+    /// Simulated seconds charged for training (featurization + SGD).
+    pub training_cost_secs: f64,
+    /// Final-epoch mean loss.
+    pub final_loss: f32,
+    /// Training-set exact-match accuracy (all heads correct).
+    pub train_accuracy: f64,
+}
+
+/// The bootstrap error estimate of a specialized network's frame-averaged count
+/// (FCOUNT) on a held-out day, used by Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcountErrorEstimate {
+    /// Mean predicted count per frame on the held-out data.
+    pub mean_predicted: f64,
+    /// Mean true count per frame on the held-out data.
+    pub mean_true: f64,
+    /// Absolute error of the means.
+    pub abs_error: f64,
+    /// Mean absolute per-frame error (a stricter diagnostic).
+    pub mean_abs_frame_error: f64,
+    /// Bootstrap distribution of the absolute error of the mean.
+    pub bootstrap_errors: Vec<f64>,
+}
+
+impl FcountErrorEstimate {
+    /// Estimated probability that the FCOUNT error on unseen data is within `tolerance`.
+    pub fn prob_error_within(&self, tolerance: f64) -> f64 {
+        if self.bootstrap_errors.is_empty() {
+            return if self.abs_error <= tolerance { 1.0 } else { 0.0 };
+        }
+        let within = self.bootstrap_errors.iter().filter(|&&e| e <= tolerance).count();
+        within as f64 / self.bootstrap_errors.len() as f64
+    }
+}
+
+/// A trained specialized network bound to a simulated clock.
+#[derive(Debug, Clone)]
+pub struct SpecializedNN {
+    config: SpecializedConfig,
+    featurizer: FrameFeaturizer,
+    standardizer: Standardizer,
+    network: Network,
+    clock: Arc<SimClock>,
+}
+
+impl SpecializedNN {
+    /// Trains a specialized network on labeled frames of `video`.
+    ///
+    /// `frames[i]` is a frame index of the (training-day) video and `labels[i]` the
+    /// per-class ground-truth counts for that frame, as produced by running the object
+    /// detector over the labeled set.
+    pub fn train(
+        config: SpecializedConfig,
+        video: &Video,
+        frames: &[FrameIndex],
+        labels: &[CountVector],
+        clock: Arc<SimClock>,
+    ) -> Result<(SpecializedNN, TrainingReport)> {
+        if frames.len() != labels.len() {
+            return Err(NnError::InvalidTrainingData(format!(
+                "{} frames vs {} labels",
+                frames.len(),
+                labels.len()
+            )));
+        }
+        if frames.is_empty() {
+            return Err(NnError::InvalidTrainingData("no labeled frames".into()));
+        }
+        if config.heads.is_empty() {
+            return Err(NnError::InvalidConfig("at least one head required".into()));
+        }
+
+        let featurizer = FrameFeaturizer::new(config.features);
+        let mut xs = Vec::with_capacity(frames.len());
+        let mut ys = Vec::with_capacity(frames.len());
+        for (&f, counts) in frames.iter().zip(labels) {
+            let frame = video
+                .frame(f)
+                .map_err(|e| NnError::InvalidTrainingData(e.to_string()))?;
+            xs.push(featurizer.features(&frame)?);
+            ys.push(
+                config
+                    .heads
+                    .iter()
+                    .map(|h| counts.get(h.class).min(h.max_count))
+                    .collect::<Vec<usize>>(),
+            );
+        }
+
+        // Standardize features with training-set statistics (the stand-in for the
+        // normalization layers of the paper's tiny ResNet); without this the tiny
+        // per-object signal is swamped by the common-mode background component.
+        let standardizer = Standardizer::fit(&xs);
+        let xs: Vec<Vec<f32>> = xs.iter().map(|row| standardizer.transform(row)).collect();
+
+        let mut network = Network::new(config.network_config())?;
+        let trainer = Trainer::new(config.train);
+        let outcome = trainer.fit(&mut network, &xs, &ys)?;
+
+        // Charge simulated training time: one training pass per example-visit, plus
+        // decode time for reading the labeled frames (reported separately).
+        let training_cost =
+            outcome.examples_processed as f64 * config.cost.training_cost_per_example();
+        clock.charge(CostCategory::Training, training_cost);
+        clock.charge(CostCategory::Decode, frames.len() as f64 * config.cost.decode_cost());
+
+        let x_matrix = crate::tensor::Matrix::from_rows(&xs)?;
+        let train_accuracy = network.accuracy(&x_matrix, &ys)?;
+
+        let nn = SpecializedNN { config, featurizer, standardizer, network, clock };
+        let report = TrainingReport {
+            num_examples: frames.len(),
+            training_cost_secs: training_cost,
+            final_loss: outcome.final_loss,
+            train_accuracy,
+        };
+        Ok((nn, report))
+    }
+
+    /// The configuration used to build this network.
+    pub fn config(&self) -> &SpecializedConfig {
+        &self.config
+    }
+
+    /// The output heads.
+    pub fn heads(&self) -> &[SpecializedHead] {
+        &self.config.heads
+    }
+
+    /// The index of the head for `class`, if present.
+    pub fn head_index(&self, class: ObjectClass) -> Option<usize> {
+        self.config.heads.iter().position(|h| h.class == class)
+    }
+
+    /// Scores one frame: per-head probability distributions over counts.
+    ///
+    /// Charges simulated specialized-inference time (plus decode time, tracked
+    /// separately and excluded from reported runtimes, as in the paper).
+    pub fn score_frame(&self, video: &Video, frame: FrameIndex) -> Result<Vec<Vec<f32>>> {
+        let f = video.frame(frame).map_err(|e| NnError::InvalidConfig(e.to_string()))?;
+        self.clock.charge(CostCategory::Decode, self.config.cost.decode_cost());
+        self.clock.charge(
+            CostCategory::SpecializedInference,
+            self.config.cost.specialized_inference_cost(),
+        );
+        let mut feats = self.featurizer.features(&f)?;
+        self.standardizer.transform_in_place(&mut feats);
+        let x = crate::tensor::Matrix::row_from_slice(&feats);
+        let probs = self.network.predict_probs(&x)?;
+        Ok(probs.into_iter().next().unwrap_or_default())
+    }
+
+    /// Predicted (argmax) count per head for one frame.
+    pub fn predict_counts(&self, video: &Video, frame: FrameIndex) -> Result<Vec<usize>> {
+        let probs = self.score_frame(video, frame)?;
+        Ok(probs.iter().map(|head| argmax(head)).collect())
+    }
+
+    /// Expected count (`sum_k k * p_k`) for `class` in one frame.
+    pub fn expected_count(&self, video: &Video, frame: FrameIndex, class: ObjectClass) -> Result<f64> {
+        let head = self
+            .head_index(class)
+            .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
+        let probs = self.score_frame(video, frame)?;
+        Ok(expectation(&probs[head]))
+    }
+
+    /// Probability that the frame contains at least `n` objects of `class`.
+    pub fn prob_at_least(
+        &self,
+        video: &Video,
+        frame: FrameIndex,
+        class: ObjectClass,
+        n: usize,
+    ) -> Result<f64> {
+        let head = self
+            .head_index(class)
+            .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
+        let probs = self.score_frame(video, frame)?;
+        Ok(tail_probability(&probs[head], n))
+    }
+
+    /// The scrubbing confidence signal for a conjunction of requirements
+    /// (Section 7: "the sum of the probability of the frame having at least one bus
+    /// and at least five cars").
+    pub fn requirement_confidence(
+        &self,
+        video: &Video,
+        frame: FrameIndex,
+        requirements: &[(ObjectClass, usize)],
+    ) -> Result<f64> {
+        let probs = self.score_frame(video, frame)?;
+        let mut total = 0.0;
+        for &(class, n) in requirements {
+            let head = self
+                .head_index(class)
+                .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
+            total += tail_probability(&probs[head], n);
+        }
+        Ok(total)
+    }
+
+    /// Estimates the FCOUNT error of this network for `class` on a held-out day via the
+    /// bootstrap (Section 6.2), given the held-out frames' true counts.
+    pub fn estimate_fcount_error(
+        &self,
+        video: &Video,
+        frames: &[FrameIndex],
+        true_counts: &[usize],
+        class: ObjectClass,
+        bootstrap_samples: usize,
+        seed: u64,
+    ) -> Result<FcountErrorEstimate> {
+        if frames.len() != true_counts.len() || frames.is_empty() {
+            return Err(NnError::InvalidTrainingData(
+                "held-out frames and counts must be non-empty and equal length".into(),
+            ));
+        }
+        let mut predicted = Vec::with_capacity(frames.len());
+        for &f in frames {
+            predicted.push(self.expected_count(video, f, class)?);
+        }
+        let n = frames.len();
+        let mean_pred = predicted.iter().sum::<f64>() / n as f64;
+        let mean_true = true_counts.iter().sum::<usize>() as f64 / n as f64;
+        let mean_abs_frame_error = predicted
+            .iter()
+            .zip(true_counts)
+            .map(|(p, &t)| (p - t as f64).abs())
+            .sum::<f64>()
+            / n as f64;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bootstrap_errors = Vec::with_capacity(bootstrap_samples);
+        for _ in 0..bootstrap_samples {
+            let mut sum_p = 0.0;
+            let mut sum_t = 0.0;
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                sum_p += predicted[i];
+                sum_t += true_counts[i] as f64;
+            }
+            bootstrap_errors.push(((sum_p - sum_t) / n as f64).abs());
+        }
+
+        Ok(FcountErrorEstimate {
+            mean_predicted: mean_pred,
+            mean_true,
+            abs_error: (mean_pred - mean_true).abs(),
+            mean_abs_frame_error,
+            bootstrap_errors,
+        })
+    }
+
+    /// Calibrates a presence threshold for `class` with no false negatives on the
+    /// held-out frames: returns the largest confidence `t` such that every held-out
+    /// frame that truly contains the class scores `P(count >= 1) >= t`.
+    ///
+    /// Frames scoring below the returned threshold can be discarded by the label-based
+    /// selection filter without introducing false negatives on the held-out day
+    /// (Section 8).
+    pub fn calibrate_presence_threshold(
+        &self,
+        video: &Video,
+        frames: &[FrameIndex],
+        true_counts: &[usize],
+        class: ObjectClass,
+    ) -> Result<f64> {
+        if frames.len() != true_counts.len() || frames.is_empty() {
+            return Err(NnError::InvalidTrainingData(
+                "held-out frames and counts must be non-empty and equal length".into(),
+            ));
+        }
+        let mut min_positive_score = f64::INFINITY;
+        for (&f, &count) in frames.iter().zip(true_counts) {
+            if count == 0 {
+                continue;
+            }
+            let p = self.prob_at_least(video, f, class, 1)?;
+            if p < min_positive_score {
+                min_positive_score = p;
+            }
+        }
+        if !min_positive_score.is_finite() {
+            // No positive frames in the held-out set: nothing can be safely filtered.
+            return Ok(0.0);
+        }
+        // Small safety margin against held-out/test distribution mismatch.
+        Ok((min_positive_score * 0.9).clamp(0.0, 1.0))
+    }
+}
+
+fn argmax(probs: &[f32]) -> usize {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn expectation(probs: &[f32]) -> f64 {
+    probs.iter().enumerate().map(|(k, &p)| k as f64 * f64::from(p)).sum()
+}
+
+fn tail_probability(probs: &[f32], n: usize) -> f64 {
+    probs.iter().skip(n).map(|&p| f64::from(p)).sum::<f64>().clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazeit_videostore::{DatasetPreset, DAY_HELDOUT, DAY_TRAIN};
+
+    fn labeled_counts(video: &Video, frames: &[FrameIndex]) -> Vec<CountVector> {
+        frames
+            .iter()
+            .map(|&f| CountVector::from_ground_truth(&video.scene().visible_at(f)))
+            .collect()
+    }
+
+    fn train_car_counter(frames_per_day: u64, train_stride: usize) -> (SpecializedNN, Video, Video) {
+        let train_video = DatasetPreset::Taipei.generate_with_frames(DAY_TRAIN, frames_per_day).unwrap();
+        let heldout_video =
+            DatasetPreset::Taipei.generate_with_frames(DAY_HELDOUT, frames_per_day).unwrap();
+        let frames: Vec<FrameIndex> = (0..frames_per_day).step_by(train_stride).collect();
+        let labels = labeled_counts(&train_video, &frames);
+        let max_count = labels.iter().map(|c| c.get(ObjectClass::Car)).max().unwrap_or(1);
+        let head = SpecializedHead { class: ObjectClass::Car, max_count: max_count.max(1) };
+        let mut config = SpecializedConfig::for_heads(vec![head]);
+        config.train.epochs = 3;
+        let clock = SimClock::new();
+        let (nn, report) =
+            SpecializedNN::train(config, &train_video, &frames, &labels, clock).unwrap();
+        assert!(report.training_cost_secs > 0.0);
+        (nn, train_video, heldout_video)
+    }
+
+    #[test]
+    fn head_from_counts_uses_one_percent_rule() {
+        // 1000 frames: counts of 3 occur 2% of the time, counts of 4 only 0.5%.
+        let mut counts = vec![0usize; 700];
+        counts.extend(vec![1; 200]);
+        counts.extend(vec![2; 75]);
+        counts.extend(vec![3; 20]);
+        counts.extend(vec![4; 5]);
+        let head = SpecializedHead::from_counts(ObjectClass::Car, counts, 0.01);
+        assert_eq!(head.max_count, 3);
+        assert_eq!(head.head_size(), 4);
+    }
+
+    #[test]
+    fn head_from_counts_handles_empty_and_all_zero() {
+        let empty = SpecializedHead::from_counts(ObjectClass::Car, Vec::<usize>::new(), 0.01);
+        assert_eq!(empty.max_count, 1);
+        let zeros = SpecializedHead::from_counts(ObjectClass::Car, vec![0; 100], 0.01);
+        assert_eq!(zeros.max_count, 1);
+    }
+
+    #[test]
+    fn training_produces_correlated_counts() {
+        let (nn, train_video, _) = train_car_counter(3_000, 3);
+        // On the training day the predicted counts should correlate with ground truth.
+        let mut pred_sum = 0.0;
+        let mut true_sum = 0.0;
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for f in (0..3_000).step_by(97) {
+            let true_count = train_video.ground_truth_count(f, ObjectClass::Car).unwrap();
+            let pred = nn.predict_counts(&train_video, f).unwrap()[0];
+            pred_sum += pred as f64;
+            true_sum += true_count as f64;
+            if (pred as i64 - true_count as i64).abs() <= 1 {
+                agree += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            agree as f64 / total as f64 > 0.6,
+            "specialized NN within-1 agreement too low: {agree}/{total}"
+        );
+        // The averages should be in the same ballpark (not identical — it is a proxy).
+        assert!((pred_sum - true_sum).abs() / (total as f64) < 1.0);
+    }
+
+    #[test]
+    fn scoring_charges_inference_time() {
+        let (nn, train_video, _) = train_car_counter(1_500, 5);
+        let before = nn.clock.breakdown().specialized;
+        nn.score_frame(&train_video, 100).unwrap();
+        nn.score_frame(&train_video, 101).unwrap();
+        let after = nn.clock.breakdown().specialized;
+        let expected = 2.0 * nn.config.cost.specialized_inference_cost();
+        assert!((after - before - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_are_normalized_and_tail_is_monotone() {
+        let (nn, _, heldout) = train_car_counter(1_500, 5);
+        let probs = nn.score_frame(&heldout, 700).unwrap();
+        assert_eq!(probs.len(), 1);
+        let head = &probs[0];
+        let sum: f32 = head.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        let mut prev = 1.0 + 1e-6;
+        for n in 0..head.len() {
+            let tail = tail_probability(head, n);
+            assert!(tail <= prev + 1e-6);
+            prev = tail;
+        }
+    }
+
+    #[test]
+    fn fcount_error_estimate_and_bootstrap() {
+        let (nn, _, heldout) = train_car_counter(2_000, 4);
+        let frames: Vec<FrameIndex> = (0..2_000).step_by(7).collect();
+        let true_counts: Vec<usize> = frames
+            .iter()
+            .map(|&f| heldout.ground_truth_count(f, ObjectClass::Car).unwrap())
+            .collect();
+        let est = nn
+            .estimate_fcount_error(&heldout, &frames, &true_counts, ObjectClass::Car, 50, 3)
+            .unwrap();
+        assert_eq!(est.bootstrap_errors.len(), 50);
+        assert!(est.mean_true > 0.0);
+        assert!(est.abs_error < 1.0, "held-out FCOUNT error too large: {}", est.abs_error);
+        // Probability is monotone in the tolerance.
+        assert!(est.prob_error_within(1.0) >= est.prob_error_within(0.01));
+        assert!(est.prob_error_within(10.0) == 1.0);
+    }
+
+    #[test]
+    fn presence_threshold_has_no_false_negatives_on_heldout() {
+        let (nn, _, heldout) = train_car_counter(2_000, 4);
+        let frames: Vec<FrameIndex> = (0..2_000).step_by(11).collect();
+        let true_counts: Vec<usize> = frames
+            .iter()
+            .map(|&f| heldout.ground_truth_count(f, ObjectClass::Car).unwrap())
+            .collect();
+        let threshold = nn
+            .calibrate_presence_threshold(&heldout, &frames, &true_counts, ObjectClass::Car)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&threshold));
+        // Every held-out frame containing a car must score at or above the threshold.
+        for (&f, &count) in frames.iter().zip(&true_counts) {
+            if count > 0 {
+                let p = nn.prob_at_least(&heldout, f, ObjectClass::Car, 1).unwrap();
+                assert!(p >= threshold, "frame {f} with {count} cars scored {p} < {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_training_inputs_rejected() {
+        let video = DatasetPreset::Taipei.generate_with_frames(DAY_TRAIN, 200).unwrap();
+        let config = SpecializedConfig::for_heads(vec![SpecializedHead {
+            class: ObjectClass::Car,
+            max_count: 3,
+        }]);
+        let clock = SimClock::new();
+        let err = SpecializedNN::train(config.clone(), &video, &[1, 2, 3], &[], clock.clone());
+        assert!(err.is_err());
+        let err2 = SpecializedNN::train(config, &video, &[], &[], clock);
+        assert!(err2.is_err());
+    }
+
+    #[test]
+    fn missing_head_is_an_error() {
+        let (nn, train_video, _) = train_car_counter(1_000, 10);
+        assert!(nn.expected_count(&train_video, 0, ObjectClass::Boat).is_err());
+        assert!(nn.head_index(ObjectClass::Boat).is_none());
+        assert!(nn.head_index(ObjectClass::Car).is_some());
+    }
+}

@@ -1,0 +1,194 @@
+//! Mini-batch training loop.
+//!
+//! The paper trains specialized NNs with SGD + momentum, batch size 16, for one epoch
+//! over ~150,000 frames (Section 6.2 / 9). The [`Trainer`] reproduces that procedure
+//! (epochs and batch size are configurable) and reports what it did so the engine can
+//! charge the simulated training cost.
+
+use crate::network::Network;
+use crate::optimizer::SgdConfig;
+use crate::tensor::Matrix;
+use crate::{NnError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training data (1 in the paper).
+    pub epochs: usize,
+    /// Mini-batch size (16 in the paper).
+    pub batch_size: usize,
+    /// Optimizer settings.
+    pub sgd: SgdConfig,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 1, batch_size: 16, sgd: SgdConfig::default(), seed: 0 }
+    }
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainOutcome {
+    /// Number of examples in the training set.
+    pub num_examples: usize,
+    /// Total number of example-visits (examples x epochs), which drives the simulated
+    /// training cost.
+    pub examples_processed: usize,
+    /// Mean loss of the final epoch.
+    pub final_loss: f32,
+    /// Mean loss of the first epoch (for convergence checks).
+    pub first_epoch_loss: f32,
+}
+
+/// Drives mini-batch training of a [`Network`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Trainer {
+        Trainer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> TrainConfig {
+        self.config
+    }
+
+    /// Trains `network` on `(features, labels)` rows.
+    pub fn fit(
+        &self,
+        network: &mut Network,
+        features: &[Vec<f32>],
+        labels: &[Vec<usize>],
+    ) -> Result<TrainOutcome> {
+        if features.is_empty() {
+            return Err(NnError::InvalidTrainingData("empty training set".into()));
+        }
+        if features.len() != labels.len() {
+            return Err(NnError::InvalidTrainingData(format!(
+                "{} feature rows vs {} label rows",
+                features.len(),
+                labels.len()
+            )));
+        }
+        if self.config.batch_size == 0 || self.config.epochs == 0 {
+            return Err(NnError::InvalidConfig("batch_size and epochs must be positive".into()));
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut first_epoch_loss = 0.0f32;
+        let mut final_loss = 0.0f32;
+
+        for epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let batch_rows: Vec<Vec<f32>> =
+                    chunk.iter().map(|&i| features[i].clone()).collect();
+                let batch_labels: Vec<Vec<usize>> =
+                    chunk.iter().map(|&i| labels[i].clone()).collect();
+                let x = Matrix::from_rows(&batch_rows)?;
+                let loss = network.train_batch(&x, &batch_labels, self.config.sgd)?;
+                epoch_loss += f64::from(loss);
+                batches += 1;
+            }
+            let mean = (epoch_loss / batches.max(1) as f64) as f32;
+            if epoch == 0 {
+                first_epoch_loss = mean;
+            }
+            final_loss = mean;
+        }
+
+        Ok(TrainOutcome {
+            num_examples: features.len(),
+            examples_processed: features.len() * self.config.epochs,
+            final_loss,
+            first_epoch_loss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use rand::Rng;
+
+    fn make_data(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<usize>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let label: usize = rng.gen_range(0..3);
+            let base = label as f32;
+            xs.push(vec![
+                base + rng.gen_range(-0.2..0.2),
+                -base + rng.gen_range(-0.2..0.2),
+            ]);
+            ys.push(vec![label]);
+        }
+        (xs, ys)
+    }
+
+    fn network() -> Network {
+        Network::new(NetworkConfig { input_dim: 2, hidden: vec![16], heads: vec![3], seed: 2 })
+            .unwrap()
+    }
+
+    #[test]
+    fn fit_learns_three_way_classification() {
+        let (xs, ys) = make_data(600, 5);
+        let mut net = network();
+        let trainer = Trainer::new(TrainConfig { epochs: 5, ..TrainConfig::default() });
+        let outcome = trainer.fit(&mut net, &xs, &ys).unwrap();
+        assert_eq!(outcome.num_examples, 600);
+        assert_eq!(outcome.examples_processed, 3000);
+        assert!(outcome.final_loss < outcome.first_epoch_loss);
+        let x = Matrix::from_rows(&xs).unwrap();
+        assert!(net.accuracy(&x, &ys).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn fit_rejects_invalid_inputs() {
+        let mut net = network();
+        let trainer = Trainer::new(TrainConfig::default());
+        assert!(trainer.fit(&mut net, &[], &[]).is_err());
+        assert!(trainer
+            .fit(&mut net, &[vec![0.0, 0.0]], &[vec![0], vec![1]])
+            .is_err());
+        let bad_cfg = Trainer::new(TrainConfig { batch_size: 0, ..TrainConfig::default() });
+        assert!(bad_cfg.fit(&mut net, &[vec![0.0, 0.0]], &[vec![0]]).is_err());
+    }
+
+    #[test]
+    fn single_epoch_matches_paper_defaults() {
+        let cfg = TrainConfig::default();
+        assert_eq!(cfg.epochs, 1);
+        assert_eq!(cfg.batch_size, 16);
+        assert!((cfg.sgd.momentum - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (xs, ys) = make_data(100, 8);
+        let trainer = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() });
+        let mut a = network();
+        let mut b = network();
+        trainer.fit(&mut a, &xs, &ys).unwrap();
+        trainer.fit(&mut b, &xs, &ys).unwrap();
+        let x = Matrix::from_rows(&xs).unwrap();
+        assert_eq!(a.logits(&x).unwrap(), b.logits(&x).unwrap());
+    }
+}

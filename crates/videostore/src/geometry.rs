@@ -1,0 +1,265 @@
+//! Geometric primitives: points and axis-aligned bounding boxes.
+//!
+//! FrameQL's `mask` field is a polygon; like the paper, we only consider rectangular
+//! masks (bounding boxes). Coordinates are expressed in the *nominal* resolution of the
+//! video (e.g. 1280x720 for a 720p stream); the renderer maps them down to the internal
+//! pixel grid.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2D point in nominal-resolution coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (pixels, 0 = left edge).
+    pub x: f32,
+    /// Vertical coordinate (pixels, 0 = top edge).
+    pub y: f32,
+}
+
+impl Point {
+    /// Creates a new point.
+    pub fn new(x: f32, y: f32) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An axis-aligned bounding box in nominal-resolution coordinates.
+///
+/// Invariant: `xmin <= xmax` and `ymin <= ymax`. Constructors normalize the corners so
+/// the invariant always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Left edge.
+    pub xmin: f32,
+    /// Top edge.
+    pub ymin: f32,
+    /// Right edge.
+    pub xmax: f32,
+    /// Bottom edge.
+    pub ymax: f32,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from two corner points, normalizing the order.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        BoundingBox {
+            xmin: x0.min(x1),
+            ymin: y0.min(y1),
+            xmax: x0.max(x1),
+            ymax: y0.max(y1),
+        }
+    }
+
+    /// Creates a bounding box from a center point and a width/height.
+    pub fn from_center(center: Point, width: f32, height: f32) -> Self {
+        let hw = width.abs() / 2.0;
+        let hh = height.abs() / 2.0;
+        BoundingBox::new(center.x - hw, center.y - hh, center.x + hw, center.y + hh)
+    }
+
+    /// Width of the box (always non-negative).
+    pub fn width(&self) -> f32 {
+        self.xmax - self.xmin
+    }
+
+    /// Height of the box (always non-negative).
+    pub fn height(&self) -> f32 {
+        self.ymax - self.ymin
+    }
+
+    /// Area of the box in square (nominal) pixels.
+    pub fn area(&self) -> f32 {
+        self.width() * self.height()
+    }
+
+    /// Center point of the box.
+    pub fn center(&self) -> Point {
+        Point::new((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+    }
+
+    /// Whether the point lies inside (or on the boundary of) the box.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.xmin && p.x <= self.xmax && p.y >= self.ymin && p.y <= self.ymax
+    }
+
+    /// The intersection of two boxes, or `None` if they do not overlap.
+    pub fn intersection(&self, other: &BoundingBox) -> Option<BoundingBox> {
+        let xmin = self.xmin.max(other.xmin);
+        let ymin = self.ymin.max(other.ymin);
+        let xmax = self.xmax.min(other.xmax);
+        let ymax = self.ymax.min(other.ymax);
+        if xmin < xmax && ymin < ymax {
+            Some(BoundingBox { xmin, ymin, xmax, ymax })
+        } else {
+            None
+        }
+    }
+
+    /// Intersection-over-union with another box.
+    ///
+    /// Returns a value in `[0, 1]`. Zero-area boxes have IoU 0 with everything.
+    /// This is the measure BlazeIt's motion-IoU tracker uses to decide whether two
+    /// detections in consecutive frames are the same object (threshold 0.7, Section 9).
+    pub fn iou(&self, other: &BoundingBox) -> f32 {
+        let inter = match self.intersection(other) {
+            Some(b) => b.area(),
+            None => return 0.0,
+        };
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Clamps the box to lie within `[0, width] x [0, height]`.
+    ///
+    /// Used when a simulated object is partially outside the camera's field of view.
+    pub fn clamp_to(&self, width: f32, height: f32) -> BoundingBox {
+        BoundingBox {
+            xmin: self.xmin.clamp(0.0, width),
+            ymin: self.ymin.clamp(0.0, height),
+            xmax: self.xmax.clamp(0.0, width),
+            ymax: self.ymax.clamp(0.0, height),
+        }
+    }
+
+    /// Returns the box translated by `(dx, dy)`.
+    pub fn translate(&self, dx: f32, dy: f32) -> BoundingBox {
+        BoundingBox {
+            xmin: self.xmin + dx,
+            ymin: self.ymin + dy,
+            xmax: self.xmax + dx,
+            ymax: self.ymax + dy,
+        }
+    }
+
+    /// Whether the box has any overlap with the frame `[0, width] x [0, height]`.
+    pub fn visible_in(&self, width: f32, height: f32) -> bool {
+        self.xmax > 0.0 && self.ymax > 0.0 && self.xmin < width && self.ymin < height
+    }
+
+    /// Whether this box's area is zero (degenerate box).
+    pub fn is_empty(&self) -> bool {
+        self.width() <= 0.0 || self.height() <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_normalizes_corners() {
+        let b = BoundingBox::new(10.0, 20.0, 5.0, 2.0);
+        assert_eq!(b.xmin, 5.0);
+        assert_eq!(b.ymin, 2.0);
+        assert_eq!(b.xmax, 10.0);
+        assert_eq!(b.ymax, 20.0);
+    }
+
+    #[test]
+    fn bbox_area_and_center() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 4.0);
+        assert_eq!(b.area(), 40.0);
+        assert_eq!(b.center(), Point::new(5.0, 2.0));
+        assert_eq!(b.width(), 10.0);
+        assert_eq!(b.height(), 4.0);
+    }
+
+    #[test]
+    fn bbox_from_center() {
+        let b = BoundingBox::from_center(Point::new(5.0, 5.0), 4.0, 2.0);
+        assert_eq!(b.xmin, 3.0);
+        assert_eq!(b.xmax, 7.0);
+        assert_eq!(b.ymin, 4.0);
+        assert_eq!(b.ymax, 6.0);
+    }
+
+    #[test]
+    fn bbox_contains() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(b.contains(&Point::new(5.0, 5.0)));
+        assert!(b.contains(&Point::new(0.0, 0.0)));
+        assert!(!b.contains(&Point::new(11.0, 5.0)));
+    }
+
+    #[test]
+    fn bbox_intersection_overlapping() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 5.0, 15.0, 15.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, BoundingBox::new(5.0, 5.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn bbox_intersection_disjoint() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(20.0, 20.0, 30.0, 30.0);
+        assert!(a.intersection(&b).is_none());
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn bbox_iou_identical_is_one() {
+        let a = BoundingBox::new(1.0, 2.0, 5.0, 9.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_iou_half_overlap() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 0.0, 15.0, 10.0);
+        // intersection 50, union 150.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_iou_symmetric() {
+        let a = BoundingBox::new(0.0, 0.0, 7.0, 3.0);
+        let b = BoundingBox::new(2.0, 1.0, 9.0, 8.0);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bbox_clamp() {
+        let b = BoundingBox::new(-5.0, -5.0, 20.0, 20.0).clamp_to(10.0, 10.0);
+        assert_eq!(b, BoundingBox::new(0.0, 0.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn bbox_translate() {
+        let b = BoundingBox::new(0.0, 0.0, 2.0, 2.0).translate(1.0, -1.0);
+        assert_eq!(b, BoundingBox::new(1.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn bbox_visibility() {
+        let b = BoundingBox::new(-10.0, -10.0, -1.0, -1.0);
+        assert!(!b.visible_in(100.0, 100.0));
+        let c = BoundingBox::new(-10.0, -10.0, 1.0, 1.0);
+        assert!(c.visible_in(100.0, 100.0));
+    }
+
+    #[test]
+    fn degenerate_box_is_empty() {
+        let b = BoundingBox::new(5.0, 5.0, 5.0, 9.0);
+        assert!(b.is_empty());
+        assert_eq!(b.iou(&BoundingBox::new(0.0, 0.0, 10.0, 10.0)), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Frame ingestion utilities: resizing, cropping and normalization.
+//!
+//! BlazeIt's implementation (Section 9 of the paper) resizes frames to 65x65 pixels for
+//! the specialized NNs and to a short side of 600 pixels for the object detectors, and
+//! normalizes pixel values before model input. The spatial filter (Section 8) crops the
+//! frame to a region of interest and prefers square inputs because detectors run faster
+//! on square images. These helpers implement those operations on the synthetic frames.
+
+use crate::frame::Frame;
+use crate::geometry::BoundingBox;
+use crate::object::Color;
+use crate::{Result, VideoError};
+
+/// The input side length used for specialized NNs (65x65 in the paper).
+pub const SPECIALIZED_INPUT_SIDE: usize = 65;
+
+/// The short-edge size object detectors resize to (600 px in the paper's Faster R-CNN
+/// style preprocessing).
+pub const DETECTION_SHORT_SIDE: f32 = 600.0;
+
+/// Resizes a frame's pixel buffer to `width x height` using nearest-neighbor sampling.
+///
+/// Nearest-neighbor is sufficient here: the source buffers are already small and the
+/// consumers are learned models that only need consistent, deterministic downsampling.
+pub fn resize(frame: &Frame, width: usize, height: usize) -> Result<Frame> {
+    if width == 0 || height == 0 {
+        return Err(VideoError::InvalidRegion { reason: "resize target must be non-empty".into() });
+    }
+    let mut out = Frame::filled(
+        frame.index,
+        frame.timestamp,
+        (frame.nominal_width, frame.nominal_height),
+        (width, height),
+        Color::rgb(0, 0, 0),
+    );
+    for y in 0..height {
+        let sy = y * frame.height / height;
+        for x in 0..width {
+            let sx = x * frame.width / width;
+            out.set_pixel(x, y, frame.pixel(sx, sy));
+        }
+    }
+    Ok(out)
+}
+
+/// Crops a frame to a nominal-coordinate region, producing a new frame whose nominal
+/// size is the region size.
+///
+/// This is the substrate for BlazeIt's *spatial filter*: when a query restricts objects
+/// to a region of the scene, the detector only needs to look at that region.
+pub fn crop(frame: &Frame, region: &BoundingBox) -> Result<Frame> {
+    let clamped = region.clamp_to(frame.nominal_width, frame.nominal_height);
+    if clamped.is_empty() {
+        return Err(VideoError::InvalidRegion {
+            reason: format!("crop region {region:?} lies outside the frame"),
+        });
+    }
+    let (x0, y0, x1, y1) = frame.buffer_rect(&clamped);
+    let w = (x1 - x0).max(1);
+    let h = (y1 - y0).max(1);
+    let mut out = Frame::filled(
+        frame.index,
+        frame.timestamp,
+        (clamped.width(), clamped.height()),
+        (w, h),
+        Color::rgb(0, 0, 0),
+    );
+    for y in 0..h {
+        for x in 0..w {
+            out.set_pixel(x, y, frame.pixel(x0 + x, y0 + y));
+        }
+    }
+    Ok(out)
+}
+
+/// Flattens a frame into a normalized `f32` feature vector in `[0, 1]`, channel-interleaved
+/// (`r, g, b, r, g, b, ...` in row-major pixel order).
+pub fn to_normalized(frame: &Frame) -> Vec<f32> {
+    frame.pixels.iter().map(|&b| b as f32 / 255.0).collect()
+}
+
+/// Resizes to the specialized-NN input size and normalizes, in one call.
+pub fn specialized_input(frame: &Frame) -> Result<Vec<f32>> {
+    let resized = resize(frame, SPECIALIZED_INPUT_SIDE, SPECIALIZED_INPUT_SIDE)?;
+    Ok(to_normalized(&resized))
+}
+
+/// Computes the pixel dimensions a detector would process for a frame restricted to
+/// `region` (or the full frame if `None`), following the paper's short-side-600 resize
+/// rule. Returns `(width, height)` in detector-input pixels.
+///
+/// The simulated detector's cost scales with this area, which is what makes the spatial
+/// filter's "make the image more square / smaller" optimization pay off (Section 8).
+pub fn detection_input_dims(
+    nominal_width: f32,
+    nominal_height: f32,
+    region: Option<&BoundingBox>,
+) -> (f32, f32) {
+    let (w, h) = match region {
+        Some(r) => (r.width().max(1.0), r.height().max(1.0)),
+        None => (nominal_width, nominal_height),
+    };
+    let short = w.min(h);
+    let scale = DETECTION_SHORT_SIDE / short;
+    (w * scale, h * scale)
+}
+
+/// The relative cost of running a detector on a frame restricted to `region`, compared
+/// to running it on the full frame. Always in `(0, 1]` for regions inside the frame.
+pub fn detection_cost_fraction(
+    nominal_width: f32,
+    nominal_height: f32,
+    region: Option<&BoundingBox>,
+) -> f64 {
+    let (fw, fh) = detection_input_dims(nominal_width, nominal_height, None);
+    let (rw, rh) = detection_input_dims(nominal_width, nominal_height, region);
+    let frac = f64::from(rw * rh) / f64::from(fw * fh);
+    frac.clamp(0.0, 1.0).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        let mut f = Frame::filled(3, 0.1, (1280.0, 720.0), (96, 54), Color::rgb(50, 50, 50));
+        // Put a red block in the top-left quadrant of the buffer.
+        for y in 0..27 {
+            for x in 0..48 {
+                f.set_pixel(x, y, Color::RED);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn resize_preserves_metadata_and_color_layout() {
+        let f = frame();
+        let r = resize(&f, 65, 65).unwrap();
+        assert_eq!(r.width, 65);
+        assert_eq!(r.height, 65);
+        assert_eq!(r.index, 3);
+        // Top-left should still be red, bottom-right grey.
+        assert_eq!(r.pixel(5, 5), Color::RED);
+        assert_eq!(r.pixel(60, 60), Color::rgb(50, 50, 50));
+    }
+
+    #[test]
+    fn resize_rejects_empty_target() {
+        assert!(resize(&frame(), 0, 10).is_err());
+    }
+
+    #[test]
+    fn crop_top_left_is_red() {
+        let f = frame();
+        let c = crop(&f, &BoundingBox::new(0.0, 0.0, 640.0, 360.0)).unwrap();
+        let (r, g, b) = c.mean_color();
+        assert!(r > 150.0 && g < 100.0 && b < 100.0, "({r},{g},{b})");
+    }
+
+    #[test]
+    fn crop_outside_frame_is_error() {
+        let f = frame();
+        assert!(crop(&f, &BoundingBox::new(2000.0, 2000.0, 3000.0, 3000.0)).is_err());
+    }
+
+    #[test]
+    fn normalized_values_in_unit_interval() {
+        let v = to_normalized(&frame());
+        assert_eq!(v.len(), 96 * 54 * 3);
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn specialized_input_has_expected_length() {
+        let v = specialized_input(&frame()).unwrap();
+        assert_eq!(v.len(), SPECIALIZED_INPUT_SIDE * SPECIALIZED_INPUT_SIDE * 3);
+    }
+
+    #[test]
+    fn detection_dims_follow_short_side_rule() {
+        let (w, h) = detection_input_dims(1280.0, 720.0, None);
+        assert!((h - 600.0).abs() < 1e-3);
+        assert!((w - 600.0 * 1280.0 / 720.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn square_region_costs_less_than_full_frame() {
+        let region = BoundingBox::new(0.0, 0.0, 720.0, 720.0);
+        let frac = detection_cost_fraction(1280.0, 720.0, Some(&region));
+        assert!(frac < 1.0);
+        assert!(frac > 0.4);
+        assert!((detection_cost_fraction(1280.0, 720.0, None) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn squarer_region_is_cheaper_than_skinny_region() {
+        // Under the short-side-600 rule, fixing the short edge means a skinny region
+        // blows up the long edge: squarer crops are cheaper (Section 8 of the paper).
+        let square = BoundingBox::new(0.0, 0.0, 720.0, 720.0);
+        let skinny = BoundingBox::new(0.0, 0.0, 180.0, 720.0);
+        let c_square = detection_cost_fraction(1280.0, 720.0, Some(&square));
+        let c_skinny = detection_cost_fraction(1280.0, 720.0, Some(&skinny));
+        assert!(c_square < c_skinny, "square {c_square} should be cheaper than skinny {c_skinny}");
+    }
+}

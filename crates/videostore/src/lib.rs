@@ -1,0 +1,89 @@
+//! # blazeit-videostore
+//!
+//! The synthetic video substrate for the BlazeIt reproduction.
+//!
+//! The original BlazeIt system (Kang, Bailis, Zaharia, VLDB 2019) is evaluated on six
+//! real webcam streams scraped from YouTube (Table 3 of the paper). Real video and a
+//! GPU-backed object detector are not available in this environment, so this crate
+//! provides the closest synthetic equivalent that exercises the same code paths:
+//!
+//! * A **scene simulator** ([`scene`]) that generates object *tracks* (cars, buses,
+//!   boats, people, ...) with Poisson arrivals, stochastic dwell times, trajectories,
+//!   sizes and colors, so the per-frame statistics (occupancy, counts, rarity of
+//!   events) can be matched to the paper's datasets.
+//! * A **renderer** ([`render`]) that draws the visible objects of a frame into a small
+//!   RGB pixel buffer, so pixel-level UDFs (`redness`, `area`) and the learned
+//!   specialized networks have real visual signal to work with.
+//! * **Dataset presets** ([`datasets`]) mirroring the six videos of Table 3
+//!   (`taipei`, `night-street`, `rialto`, `grand-canal`, `amsterdam`, `archie`) with
+//!   three independently-seeded "days" each (train / threshold / test), exactly the
+//!   split the paper uses.
+//! * **Ingestion utilities** ([`ingest`]) for resizing / normalizing / cropping frames
+//!   the way BlazeIt's implementation does (65x65 inputs for specialized NNs,
+//!   short-side-600 for object detection, spatial-filter crops).
+//! * **Statistics** ([`stats`]) that recompute the Table 3 columns from a generated
+//!   video.
+//!
+//! Everything is deterministic given a seed: the same [`VideoConfig`](video::VideoConfig)
+//! and seed always produce the same tracks, frames and pixels.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datasets;
+pub mod frame;
+pub mod geometry;
+pub mod ingest;
+pub mod object;
+pub mod render;
+pub mod scene;
+pub mod stats;
+pub mod track;
+pub mod video;
+
+pub use datasets::{DatasetPreset, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
+pub use frame::{Frame, FrameIndex, Timestamp};
+pub use geometry::{BoundingBox, Point};
+pub use object::{Color, GroundTruthObject, ObjectClass};
+pub use scene::{ClassProfile, SceneConfig, SceneSimulator};
+pub use track::{Track, TrackId};
+pub use video::{Video, VideoConfig};
+
+/// Errors produced by the video substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VideoError {
+    /// A frame index beyond the end of the video was requested.
+    FrameOutOfRange {
+        /// The requested frame index.
+        requested: u64,
+        /// The number of frames in the video.
+        len: u64,
+    },
+    /// A crop or resize region does not fit inside the frame.
+    InvalidRegion {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A dataset preset name was not recognized.
+    UnknownDataset(String),
+    /// A configuration value was invalid (zero fps, empty class profile, ...).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for VideoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VideoError::FrameOutOfRange { requested, len } => {
+                write!(f, "frame {requested} out of range (video has {len} frames)")
+            }
+            VideoError::InvalidRegion { reason } => write!(f, "invalid region: {reason}"),
+            VideoError::UnknownDataset(name) => write!(f, "unknown dataset preset: {name}"),
+            VideoError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for VideoError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, VideoError>;

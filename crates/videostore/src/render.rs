@@ -1,0 +1,252 @@
+//! Rendering ground-truth objects into pixel buffers.
+//!
+//! The renderer exists so that the learned components of BlazeIt (specialized NNs,
+//! content filters) have genuine visual signal to exploit: frames with more cars really
+//! do look different from empty frames, and frames containing a red bus really are
+//! redder. The visual model is deliberately simple — a background gradient, per-class
+//! colored rectangles with a darker border, and deterministic per-pixel noise — because
+//! BlazeIt's optimizations depend on the *predictability* of frames, not on photo
+//! realism.
+
+use crate::frame::{Frame, FrameIndex};
+use crate::object::{Color, GroundTruthObject};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the frame renderer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RenderConfig {
+    /// Internal pixel-buffer width.
+    pub buffer_width: usize,
+    /// Internal pixel-buffer height.
+    pub buffer_height: usize,
+    /// Base background color (roughly asphalt / water depending on the scene).
+    pub background: Color,
+    /// Amplitude of the background vertical gradient (0-255).
+    pub gradient: u8,
+    /// Amplitude of deterministic per-pixel noise (0-255).
+    pub noise: u8,
+    /// Global illumination scale in `(0, 1]`; night scenes use < 1.
+    pub illumination: f32,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            buffer_width: 96,
+            buffer_height: 54,
+            background: Color::rgb(95, 98, 102),
+            gradient: 30,
+            noise: 10,
+            illumination: 1.0,
+        }
+    }
+}
+
+impl RenderConfig {
+    /// A renderer preset for night-time streams (darker, noisier).
+    pub fn night() -> Self {
+        RenderConfig {
+            background: Color::rgb(35, 38, 48),
+            gradient: 15,
+            noise: 18,
+            illumination: 0.55,
+            ..RenderConfig::default()
+        }
+    }
+
+    /// A renderer preset for water scenes (canals).
+    pub fn water() -> Self {
+        RenderConfig {
+            background: Color::rgb(60, 95, 120),
+            gradient: 25,
+            noise: 12,
+            illumination: 1.0,
+            ..RenderConfig::default()
+        }
+    }
+}
+
+/// Deterministic renderer: same frame index + objects always produce the same pixels.
+#[derive(Debug, Clone)]
+pub struct Renderer {
+    config: RenderConfig,
+    nominal_width: f32,
+    nominal_height: f32,
+    fps: f64,
+}
+
+impl Renderer {
+    /// Creates a renderer for a stream with the given nominal resolution and fps.
+    pub fn new(config: RenderConfig, nominal_width: f32, nominal_height: f32, fps: f64) -> Self {
+        Renderer { config, nominal_width, nominal_height, fps }
+    }
+
+    /// The render configuration.
+    pub fn config(&self) -> &RenderConfig {
+        &self.config
+    }
+
+    fn scale(&self, c: u8) -> u8 {
+        ((c as f32) * self.config.illumination).clamp(0.0, 255.0) as u8
+    }
+
+    fn shade(&self, color: Color) -> Color {
+        Color::rgb(self.scale(color.r), self.scale(color.g), self.scale(color.b))
+    }
+
+    /// A cheap deterministic hash used for per-pixel noise. Depending on the frame
+    /// index means consecutive frames differ slightly, like sensor noise.
+    fn noise_at(&self, frame: FrameIndex, x: usize, y: usize) -> i16 {
+        if self.config.noise == 0 {
+            return 0;
+        }
+        let mut h = frame
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((x as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add((y as u64).wrapping_mul(0x1656_67B1_9E37_79F9));
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        let span = self.config.noise as i16;
+        ((h % (2 * span as u64 + 1)) as i16) - span
+    }
+
+    /// Renders the frame at `index` containing the given ground-truth objects.
+    pub fn render(&self, index: FrameIndex, objects: &[GroundTruthObject]) -> Frame {
+        let timestamp = index as f64 / self.fps;
+        let mut frame = Frame::filled(
+            index,
+            timestamp,
+            (self.nominal_width, self.nominal_height),
+            (self.config.buffer_width, self.config.buffer_height),
+            self.shade(self.config.background),
+        );
+
+        // Background: vertical gradient + noise.
+        let bg = self.shade(self.config.background);
+        for y in 0..frame.height {
+            let grad = ((y as f32 / frame.height.max(1) as f32) * self.config.gradient as f32) as i16;
+            for x in 0..frame.width {
+                let n = self.noise_at(index, x, y);
+                let add = grad + n;
+                frame.set_pixel(
+                    x,
+                    y,
+                    Color::rgb(
+                        clamp_u8(bg.r as i16 + add),
+                        clamp_u8(bg.g as i16 + add),
+                        clamp_u8(bg.b as i16 + add),
+                    ),
+                );
+            }
+        }
+
+        // Objects: filled rectangle in the object's color with a darker border, painted
+        // in track-id order so overlaps are deterministic.
+        for obj in objects {
+            let body = self.shade(obj.color);
+            let border = Color::rgb(body.r / 2, body.g / 2, body.b / 2);
+            let (x0, y0, x1, y1) = frame.buffer_rect(&obj.bbox);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let on_border = x == x0 || y == y0 || x + 1 == x1 || y + 1 == y1;
+                    let c = if on_border { border } else { body };
+                    let n = self.noise_at(index, x, y) / 2;
+                    frame.set_pixel(
+                        x,
+                        y,
+                        Color::rgb(
+                            clamp_u8(c.r as i16 + n),
+                            clamp_u8(c.g as i16 + n),
+                            clamp_u8(c.b as i16 + n),
+                        ),
+                    );
+                }
+            }
+        }
+
+        frame
+    }
+}
+
+fn clamp_u8(v: i16) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BoundingBox;
+    use crate::object::ObjectClass;
+
+    fn renderer() -> Renderer {
+        Renderer::new(RenderConfig::default(), 1280.0, 720.0, 30.0)
+    }
+
+    fn car_at(x: f32, color: Color) -> GroundTruthObject {
+        GroundTruthObject::new(
+            1,
+            ObjectClass::Car,
+            BoundingBox::new(x, 300.0, x + 200.0, 440.0),
+            color,
+        )
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let r = renderer();
+        let objs = vec![car_at(400.0, Color::RED)];
+        assert_eq!(r.render(17, &objs), r.render(17, &objs));
+    }
+
+    #[test]
+    fn consecutive_frames_differ_by_noise() {
+        let r = renderer();
+        let a = r.render(1, &[]);
+        let b = r.render(2, &[]);
+        assert_ne!(a.pixels, b.pixels);
+    }
+
+    #[test]
+    fn object_region_takes_object_color() {
+        let r = renderer();
+        let obj = car_at(400.0, Color::RED);
+        let frame = r.render(5, &[obj.clone()]);
+        let redness_in_box = frame.redness_in(&obj.bbox);
+        let redness_elsewhere = frame.redness_in(&BoundingBox::new(900.0, 0.0, 1280.0, 200.0));
+        assert!(redness_in_box > 60.0, "redness in box was {redness_in_box}");
+        assert!(redness_elsewhere < 20.0);
+    }
+
+    #[test]
+    fn empty_frames_look_different_from_busy_frames() {
+        let r = renderer();
+        let empty = r.render(10, &[]);
+        let busy = r.render(
+            10,
+            &[car_at(100.0, Color::WHITE), car_at(500.0, Color::BLACK), car_at(900.0, Color::BLUE)],
+        );
+        let (er, eg, eb) = empty.mean_color();
+        let (br, bg_, bb) = busy.mean_color();
+        let diff = (er - br).abs() + (eg - bg_).abs() + (eb - bb).abs();
+        assert!(diff > 3.0, "busy and empty frames are indistinguishable (diff {diff})");
+    }
+
+    #[test]
+    fn night_preset_is_darker() {
+        let day = renderer().render(3, &[]);
+        let night = Renderer::new(RenderConfig::night(), 1280.0, 720.0, 30.0).render(3, &[]);
+        let lum = |f: &Frame| {
+            let (r, g, b) = f.mean_color();
+            0.299 * r + 0.587 * g + 0.114 * b
+        };
+        assert!(lum(&night) < lum(&day));
+    }
+
+    #[test]
+    fn timestamp_derived_from_fps() {
+        let r = Renderer::new(RenderConfig::default(), 1280.0, 720.0, 60.0);
+        let f = r.render(120, &[]);
+        assert!((f.timestamp - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Ground-truth object tracks.
+//!
+//! A [`Track`] is one object's continuous appearance in the scene: it enters at some
+//! frame, moves along a linear trajectory (with a small amount of jitter), and leaves.
+//! Tracks are the unit the scene simulator generates; the per-frame ground truth is
+//! derived by asking every track whether (and where) it is visible at that frame.
+//!
+//! `trackid` in the FrameQL schema corresponds to the id of the track *as recovered by
+//! the entity-resolution method* (the motion-IoU tracker in `blazeit-detect`); the
+//! ground-truth [`TrackId`] here is what that tracker is evaluated against.
+
+use crate::geometry::{BoundingBox, Point};
+use crate::object::{Color, GroundTruthObject, ObjectClass};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a ground-truth track, unique within one video (one "day").
+pub type TrackId = u64;
+
+/// A single object's path through the scene.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    /// Unique id of this track within its video.
+    pub id: TrackId,
+    /// Object class.
+    pub class: ObjectClass,
+    /// First frame (inclusive) in which the object is visible.
+    pub enter_frame: u64,
+    /// Last frame (inclusive) in which the object is visible.
+    pub exit_frame: u64,
+    /// Center position at `enter_frame`, in nominal coordinates.
+    pub start: Point,
+    /// Per-frame velocity of the center, in nominal pixels per frame.
+    pub velocity: Point,
+    /// Object width in nominal pixels.
+    pub width: f32,
+    /// Object height in nominal pixels.
+    pub height: f32,
+    /// Dominant color.
+    pub color: Color,
+    /// Amplitude of deterministic positional wobble (simulates bobbing boats,
+    /// weaving bicycles). Zero for most vehicles.
+    pub wobble: f32,
+}
+
+impl Track {
+    /// Number of frames the track is visible for.
+    pub fn duration_frames(&self) -> u64 {
+        self.exit_frame.saturating_sub(self.enter_frame) + 1
+    }
+
+    /// Whether the track is visible at `frame`.
+    pub fn visible_at(&self, frame: u64) -> bool {
+        frame >= self.enter_frame && frame <= self.exit_frame
+    }
+
+    /// Center position at `frame` (meaningful only when [`Track::visible_at`] is true).
+    pub fn center_at(&self, frame: u64) -> Point {
+        let dt = frame.saturating_sub(self.enter_frame) as f32;
+        // A small deterministic wobble makes boats/bicycles drift without needing a
+        // per-frame RNG (which would make random access to frames order-dependent).
+        let wob_x = self.wobble * (dt * 0.13).sin();
+        let wob_y = self.wobble * 0.5 * (dt * 0.07).cos();
+        Point::new(
+            self.start.x + self.velocity.x * dt + wob_x,
+            self.start.y + self.velocity.y * dt + wob_y,
+        )
+    }
+
+    /// Bounding box at `frame`, before clamping to the frame bounds.
+    pub fn bbox_at(&self, frame: u64) -> BoundingBox {
+        BoundingBox::from_center(self.center_at(frame), self.width, self.height)
+    }
+
+    /// Produces the ground-truth object for `frame`, clamped to a `width x height`
+    /// scene, or `None` if the track is not visible (either out of its time interval
+    /// or entirely outside the field of view).
+    pub fn ground_truth_at(
+        &self,
+        frame: u64,
+        scene_width: f32,
+        scene_height: f32,
+    ) -> Option<GroundTruthObject> {
+        if !self.visible_at(frame) {
+            return None;
+        }
+        let bbox = self.bbox_at(frame);
+        if !bbox.visible_in(scene_width, scene_height) {
+            return None;
+        }
+        let clamped = bbox.clamp_to(scene_width, scene_height);
+        if clamped.is_empty() {
+            return None;
+        }
+        // Visibility degrades for small apparent size (area relative to the scene) and
+        // for objects partially outside the frame.
+        let size_frac = (clamped.area() / (scene_width * scene_height)).clamp(0.0, 1.0);
+        let size_vis = (size_frac / 0.002).clamp(0.15, 1.0);
+        let clip_vis = (clamped.area() / bbox.area().max(1.0)).clamp(0.2, 1.0);
+        let visibility = (size_vis * clip_vis).clamp(0.05, 1.0);
+        Some(GroundTruthObject {
+            track_id: self.id,
+            class: self.class,
+            bbox: clamped,
+            color: self.color,
+            visibility,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_track() -> Track {
+        Track {
+            id: 7,
+            class: ObjectClass::Car,
+            enter_frame: 100,
+            exit_frame: 199,
+            start: Point::new(100.0, 360.0),
+            velocity: Point::new(5.0, 0.0),
+            width: 120.0,
+            height: 80.0,
+            color: Color::GREY,
+            wobble: 0.0,
+        }
+    }
+
+    #[test]
+    fn duration_is_inclusive() {
+        assert_eq!(sample_track().duration_frames(), 100);
+    }
+
+    #[test]
+    fn visibility_window() {
+        let t = sample_track();
+        assert!(!t.visible_at(99));
+        assert!(t.visible_at(100));
+        assert!(t.visible_at(199));
+        assert!(!t.visible_at(200));
+    }
+
+    #[test]
+    fn center_moves_linearly() {
+        let t = sample_track();
+        let c0 = t.center_at(100);
+        let c10 = t.center_at(110);
+        assert!((c0.x - 100.0).abs() < 1e-5);
+        assert!((c10.x - 150.0).abs() < 1e-5);
+        assert!((c10.y - c0.y).abs() < 1e-5);
+    }
+
+    #[test]
+    fn wobble_changes_position_but_stays_bounded() {
+        let mut t = sample_track();
+        t.wobble = 10.0;
+        let c = t.center_at(137);
+        let base_x = 100.0 + 5.0 * 37.0;
+        assert!((c.x - base_x).abs() <= 10.0 + 1e-4);
+        assert!((c.y - 360.0).abs() <= 10.0 + 1e-4);
+    }
+
+    #[test]
+    fn ground_truth_none_outside_time() {
+        let t = sample_track();
+        assert!(t.ground_truth_at(50, 1280.0, 720.0).is_none());
+    }
+
+    #[test]
+    fn ground_truth_none_outside_view() {
+        let mut t = sample_track();
+        t.start = Point::new(-5000.0, 360.0);
+        assert!(t.ground_truth_at(100, 1280.0, 720.0).is_none());
+    }
+
+    #[test]
+    fn ground_truth_clamped_to_scene() {
+        let mut t = sample_track();
+        t.start = Point::new(10.0, 360.0); // left edge partially out of view
+        let gt = t.ground_truth_at(100, 1280.0, 720.0).unwrap();
+        assert!(gt.bbox.xmin >= 0.0);
+        assert_eq!(gt.track_id, 7);
+        assert_eq!(gt.class, ObjectClass::Car);
+    }
+
+    #[test]
+    fn small_objects_have_lower_visibility() {
+        let mut big = sample_track();
+        big.width = 300.0;
+        big.height = 200.0;
+        let mut small = sample_track();
+        small.width = 20.0;
+        small.height = 15.0;
+        let gt_big = big.ground_truth_at(150, 1280.0, 720.0).unwrap();
+        let gt_small = small.ground_truth_at(150, 1280.0, 720.0).unwrap();
+        assert!(gt_big.visibility > gt_small.visibility);
+    }
+}

@@ -1,0 +1,241 @@
+//! The [`Video`] type: a lazily-rendered, seekable synthetic video stream.
+//!
+//! A `Video` pairs a generated scene (ground-truth tracks) with a renderer. Frames are
+//! rendered on demand — BlazeIt's whole point is to touch as few frames as possible, so
+//! the substrate must support cheap random access without materializing the stream.
+
+use crate::frame::{Frame, FrameIndex};
+use crate::object::{GroundTruthObject, ObjectClass};
+use crate::render::{RenderConfig, Renderer};
+use crate::scene::{SceneConfig, SceneSimulator};
+use crate::track::Track;
+use crate::{Result, VideoError};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one day of synthetic video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoConfig {
+    /// Human-readable stream name (e.g. `"taipei"`).
+    pub name: String,
+    /// Scene-generation parameters.
+    pub scene: SceneConfig,
+    /// Rendering parameters.
+    pub render: RenderConfig,
+    /// Number of frames in this day of video.
+    pub num_frames: u64,
+    /// Base RNG seed identifying the camera; combined with `day`.
+    pub seed: u64,
+    /// Which day of footage this is (0 = train, 1 = held-out, 2 = test by convention).
+    pub day: u32,
+}
+
+impl VideoConfig {
+    /// Returns a copy of this configuration for a different day of the same camera.
+    pub fn for_day(&self, day: u32) -> VideoConfig {
+        VideoConfig { day, ..self.clone() }
+    }
+
+    /// Returns a copy with a different number of frames (e.g. a shorter smoke-test day).
+    pub fn with_frames(&self, num_frames: u64) -> VideoConfig {
+        VideoConfig { num_frames, ..self.clone() }
+    }
+}
+
+/// One day of synthetic video: ground truth + lazily rendered frames.
+#[derive(Debug, Clone)]
+pub struct Video {
+    config: VideoConfig,
+    scene: SceneSimulator,
+    renderer: Renderer,
+}
+
+impl Video {
+    /// Generates the video described by `config`.
+    pub fn generate(config: VideoConfig) -> Result<Self> {
+        if config.num_frames == 0 {
+            return Err(VideoError::InvalidConfig("video must have at least one frame".into()));
+        }
+        let scene = SceneSimulator::generate(
+            config.scene.clone(),
+            config.seed,
+            config.day,
+            config.num_frames,
+        )?;
+        let renderer = Renderer::new(
+            config.render.clone(),
+            config.scene.width,
+            config.scene.height,
+            config.scene.fps,
+        );
+        Ok(Video { config, scene, renderer })
+    }
+
+    /// The configuration this video was generated from.
+    pub fn config(&self) -> &VideoConfig {
+        &self.config
+    }
+
+    /// The stream name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> u64 {
+        self.config.num_frames
+    }
+
+    /// Whether the video has zero frames (never true for a generated video).
+    pub fn is_empty(&self) -> bool {
+        self.config.num_frames == 0
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        self.config.scene.fps
+    }
+
+    /// Duration of the video in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.config.num_frames as f64 / self.fps()
+    }
+
+    /// Nominal resolution `(width, height)`.
+    pub fn resolution(&self) -> (f32, f32) {
+        (self.config.scene.width, self.config.scene.height)
+    }
+
+    /// The underlying scene simulator (ground truth).
+    pub fn scene(&self) -> &SceneSimulator {
+        &self.scene
+    }
+
+    /// All ground-truth tracks of this day.
+    pub fn tracks(&self) -> &[Track] {
+        self.scene.tracks()
+    }
+
+    /// Ground-truth objects visible at `frame`.
+    ///
+    /// Returns an error if the frame index is out of range; use this in library code
+    /// where the index comes from a query, and [`SceneSimulator::visible_at`] directly
+    /// when iterating known-valid indices.
+    pub fn ground_truth(&self, frame: FrameIndex) -> Result<Vec<GroundTruthObject>> {
+        self.check_frame(frame)?;
+        Ok(self.scene.visible_at(frame))
+    }
+
+    /// Number of ground-truth objects of `class` at `frame`.
+    pub fn ground_truth_count(&self, frame: FrameIndex, class: ObjectClass) -> Result<usize> {
+        self.check_frame(frame)?;
+        Ok(self.scene.count_at(frame, class))
+    }
+
+    /// Renders (decodes) the frame at `frame`.
+    pub fn frame(&self, frame: FrameIndex) -> Result<Frame> {
+        self.check_frame(frame)?;
+        let objects = self.scene.visible_at(frame);
+        Ok(self.renderer.render(frame, &objects))
+    }
+
+    /// Timestamp in seconds of a frame index.
+    pub fn timestamp(&self, frame: FrameIndex) -> f64 {
+        frame as f64 / self.fps()
+    }
+
+    /// Converts a timestamp (seconds) to the nearest frame index, clamped to the video.
+    pub fn frame_at_time(&self, secs: f64) -> FrameIndex {
+        let idx = (secs * self.fps()).round();
+        if idx <= 0.0 {
+            0
+        } else {
+            (idx as u64).min(self.config.num_frames - 1)
+        }
+    }
+
+    fn check_frame(&self, frame: FrameIndex) -> Result<()> {
+        if frame >= self.config.num_frames {
+            Err(VideoError::FrameOutOfRange { requested: frame, len: self.config.num_frames })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::ClassProfile;
+
+    fn test_config(frames: u64) -> VideoConfig {
+        VideoConfig {
+            name: "test".into(),
+            scene: SceneConfig {
+                width: 1280.0,
+                height: 720.0,
+                fps: 30.0,
+                classes: vec![ClassProfile::car(1.0, 2.0)],
+                diurnal_amplitude: 0.2,
+                day_variation: 0.2,
+            },
+            render: RenderConfig::default(),
+            num_frames: frames,
+            seed: 99,
+            day: 0,
+        }
+    }
+
+    #[test]
+    fn generate_and_access() {
+        let v = Video::generate(test_config(2_000)).unwrap();
+        assert_eq!(v.len(), 2_000);
+        assert!(!v.is_empty());
+        assert_eq!(v.name(), "test");
+        assert!((v.duration_secs() - 2_000.0 / 30.0).abs() < 1e-9);
+        let f = v.frame(100).unwrap();
+        assert_eq!(f.index, 100);
+        assert!((f.timestamp - 100.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_frame_is_error() {
+        let v = Video::generate(test_config(100)).unwrap();
+        assert!(matches!(
+            v.frame(100),
+            Err(VideoError::FrameOutOfRange { requested: 100, len: 100 })
+        ));
+        assert!(v.ground_truth(1_000).is_err());
+    }
+
+    #[test]
+    fn zero_length_video_rejected() {
+        assert!(Video::generate(test_config(0)).is_err());
+    }
+
+    #[test]
+    fn frame_at_time_clamps() {
+        let v = Video::generate(test_config(300)).unwrap();
+        assert_eq!(v.frame_at_time(-5.0), 0);
+        assert_eq!(v.frame_at_time(0.0), 0);
+        assert_eq!(v.frame_at_time(1.0), 30);
+        assert_eq!(v.frame_at_time(1e9), 299);
+    }
+
+    #[test]
+    fn ground_truth_matches_scene() {
+        let v = Video::generate(test_config(2_000)).unwrap();
+        for f in [0u64, 17, 555, 1999] {
+            assert_eq!(v.ground_truth(f).unwrap(), v.scene().visible_at(f));
+        }
+    }
+
+    #[test]
+    fn day_config_helpers() {
+        let cfg = test_config(100);
+        let d2 = cfg.for_day(2);
+        assert_eq!(d2.day, 2);
+        assert_eq!(d2.seed, cfg.seed);
+        let short = cfg.with_frames(10);
+        assert_eq!(short.num_frames, 10);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build an engine over a synthetic stream and run one of each query class.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use blazeit::prelude::*;
+
+fn main() {
+    // Three synthetic days of the "taipei" intersection are generated (train, held-out,
+    // test); the first two are annotated offline by the simulated detector to form the
+    // labeled set, and queries run over the unseen test day.
+    let frames_per_day = 6_000;
+    println!("generating taipei ({frames_per_day} frames per day) and building the labeled set...");
+    let engine = BlazeIt::for_preset(DatasetPreset::Taipei, frames_per_day).expect("engine");
+
+    // 1. An aggregate with an error bound: how many cars are in a frame on average?
+    let aggregate = engine
+        .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%")
+        .expect("aggregate query");
+    println!("\n[aggregate] {}", aggregate.query);
+    if let QueryOutput::Aggregate { value, method, detection_calls, .. } = &aggregate.output {
+        println!(
+            "  FCOUNT(car) ~= {value:.3}  (plan: {method:?}, {detection_calls} detector calls, \
+             {:.1} simulated GPU-seconds)",
+            aggregate.runtime_secs()
+        );
+    }
+
+    // 2. A scrubbing query: find 5 frames with at least one bus and one car, 10 s apart.
+    let scrub = engine
+        .query(
+            "SELECT timestamp FROM taipei GROUP BY timestamp \
+             HAVING SUM(class='bus')>=1 AND SUM(class='car')>=1 LIMIT 5 GAP 300",
+        )
+        .expect("scrubbing query");
+    println!("\n[scrubbing] {}", scrub.query);
+    if let QueryOutput::Frames { frames, detection_calls } = &scrub.output {
+        println!(
+            "  found {} frames {:?} with {detection_calls} detector calls ({:.1} simulated s)",
+            frames.len(),
+            frames,
+            scrub.runtime_secs()
+        );
+    }
+
+    // 3. A content-based selection: every red bus on screen for at least half a second.
+    let select = engine
+        .query(
+            "SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 10 \
+             AND area(mask) > 20000 GROUP BY trackid HAVING COUNT(*) > 15",
+        )
+        .expect("selection query");
+    println!("\n[selection] {}", select.query);
+    if let QueryOutput::Rows { rows, detection_calls } = &select.output {
+        let tracks: std::collections::BTreeSet<u64> = rows.iter().map(|r| r.trackid).collect();
+        println!(
+            "  {} matching rows across {} red-bus tracks, {detection_calls} detector calls \
+             ({:.1} simulated s)",
+            rows.len(),
+            tracks.len(),
+            select.runtime_secs()
+        );
+    }
+
+    println!("\ntotal simulated GPU time charged this session: {:.1} s", engine.clock().total());
+}

@@ -1,0 +1,51 @@
+//! Rare-event scrubbing (the autonomous-vehicle analyst use case of Section 2): search
+//! a long stream for a handful of frames containing an unusually busy moment, and
+//! compare how many expensive detector calls each strategy needs.
+//!
+//! Run with `cargo run --release --example rare_event_search`.
+
+use blazeit::core::baselines;
+use blazeit::core::scrub::{blazeit_scrub, specialized_for_requirements, ScrubOptions};
+use blazeit::prelude::*;
+
+fn main() {
+    let engine = BlazeIt::for_preset(DatasetPreset::Amsterdam, 12_000).expect("engine");
+    let class = ObjectClass::Car;
+
+    // Pick a genuinely rare event on this stream: the highest simultaneous car count
+    // that still has at least 15 occurrences on the test day (the paper's Table 6 rule).
+    let counts = baselines::oracle_counts(&engine, engine.video());
+    let max = counts.iter().map(|c| c.get(class)).max().unwrap_or(1);
+    let threshold = (1..=max)
+        .rev()
+        .find(|&n| counts.iter().filter(|c| c.get(class) >= n).count() >= 15)
+        .unwrap_or(1);
+    let instances = counts.iter().filter(|c| c.get(class) >= threshold).count();
+    println!(
+        "searching amsterdam for frames with >= {threshold} cars ({instances} such frames out of {})",
+        engine.video().len()
+    );
+
+    let requirements = [(class, threshold)];
+    let opts = ScrubOptions { limit: 10, gap: 300 };
+
+    // Naive sequential scan.
+    let (naive_frames, naive_calls) =
+        baselines::naive_scrub(&engine, &requirements, opts.limit, opts.gap).expect("naive");
+    // NoScope oracle: skips frames with no car at all, for free.
+    let (_, noscope_calls) =
+        baselines::noscope_scrub(&engine, &requirements, opts.limit, opts.gap).expect("noscope");
+    // BlazeIt: importance ordering by specialized-NN confidence.
+    let nn = specialized_for_requirements(&engine, &requirements).expect("specialized NN");
+    let outcome = blazeit_scrub(&engine, &nn, &requirements, opts).expect("blazeit");
+
+    println!("\n{:<20} {:>16} {:>12}", "method", "detector calls", "found");
+    println!("{:<20} {:>16} {:>12}", "naive scan", naive_calls, naive_frames.len());
+    println!("{:<20} {:>16} {:>12}", "noscope (oracle)", noscope_calls, naive_frames.len());
+    println!("{:<20} {:>16} {:>12}", "blazeit", outcome.detection_calls, outcome.frames.len());
+    println!(
+        "\nBlazeIt inspected {:.2}% of the frames the naive scan needed.",
+        100.0 * outcome.detection_calls as f64 / naive_calls.max(1) as f64
+    );
+    println!("frames found by BlazeIt (confidence order): {:?}", outcome.frames);
+}

@@ -1,0 +1,71 @@
+//! # BlazeIt (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of **BlazeIt** (Kang, Bailis, Zaharia — VLDB
+//! 2019): a declarative video analytics system that optimizes aggregation,
+//! cardinality-limited "scrubbing", and content-based selection queries over video by
+//! replacing most object-detector invocations with specialized neural networks,
+//! control variates, importance sampling, and inferred filters.
+//!
+//! This crate is a facade re-exporting the public API of the workspace crates:
+//!
+//! * [`videostore`] — synthetic video substrate (scenes, rendering, Table 3 datasets).
+//! * [`detect`] — simulated object detection, tracking, and the simulated-time cost model.
+//! * [`nn`] — the from-scratch NN library and BlazeIt's specialized networks.
+//! * [`frameql`] — the FrameQL declarative query language.
+//! * [`core`] — the BlazeIt engine: optimizer, executors, baselines.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use blazeit::prelude::*;
+//!
+//! // Build an engine over the "taipei" stream (generates 3 synthetic days and labels
+//! // the first two offline, exactly the paper's setup).
+//! let engine = BlazeIt::for_preset(DatasetPreset::Taipei, 18_000).unwrap();
+//!
+//! // Ask for the average number of cars per frame, within 0.1 at 95% confidence.
+//! let result = engine
+//!     .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%")
+//!     .unwrap();
+//! println!("{:?} in {:.1} simulated GPU-seconds", result.output, result.runtime_secs());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use blazeit_core as core;
+pub use blazeit_detect as detect;
+pub use blazeit_frameql as frameql;
+pub use blazeit_nn as nn;
+pub use blazeit_videostore as videostore;
+
+/// The most commonly used types, importable with `use blazeit::prelude::*`.
+pub mod prelude {
+    pub use blazeit_core::aggregate::SamplingOptions;
+    pub use blazeit_core::scrub::ScrubOptions;
+    pub use blazeit_core::select::SelectionOptions;
+    pub use blazeit_core::{
+        baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, LabeledSet, QueryOutput,
+        QueryResult,
+    };
+    pub use blazeit_detect::{DetectionMethod, ObjectDetector, SimClock, SimulatedDetector};
+    pub use blazeit_frameql::{parse_query, Query, Value};
+    pub use blazeit_nn::specialized::{SpecializedHead, SpecializedNN};
+    pub use blazeit_videostore::{
+        BoundingBox, DatasetPreset, Frame, ObjectClass, Video, VideoConfig, DAY_HELDOUT, DAY_TEST,
+        DAY_TRAIN,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let engine = BlazeIt::for_preset(DatasetPreset::NightStreet, 600).unwrap();
+        let result = engine
+            .query("SELECT FCOUNT(*) FROM night-street WHERE class = 'car' ERROR WITHIN 0.5 AT CONFIDENCE 90%")
+            .unwrap();
+        assert!(result.output.aggregate_value().unwrap_or(-1.0) >= 0.0);
+    }
+}
