@@ -1,6 +1,12 @@
 //! Criterion microbenchmarks for the hot primitives of the pipeline: frame rendering,
-//! featurization, specialized-NN inference, detection simulation, the FrameQL parser,
-//! IoU, and the adaptive-sampling estimator.
+//! featurization, specialized-NN inference (serial and batched), detection simulation,
+//! the FrameQL parser, IoU, and the adaptive-sampling estimator.
+//!
+//! The `inference_pipeline` group additionally times full-day scoring through both
+//! paths (`score_frames_serial` = per-frame [`SpecializedNN::score_frame`],
+//! `score_frames_batched` = [`SpecializedNN::score_video`]), verifies they agree
+//! element-wise, and records frames/sec for both in `BENCH_inference.json` at the
+//! workspace root.
 
 use blazeit_core::aggregate::{naive_aqp_fcount, SamplingOptions};
 use blazeit_core::BlazeIt;
@@ -9,6 +15,7 @@ use blazeit_frameql::parse_query;
 use blazeit_nn::features::FrameFeaturizer;
 use blazeit_videostore::{BoundingBox, DatasetPreset, ObjectClass, DAY_TEST};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 fn bench_video_substrate(c: &mut Criterion) {
     let video = DatasetPreset::Taipei.generate_with_frames(DAY_TEST, 4_000).unwrap();
@@ -28,7 +35,9 @@ fn bench_video_substrate(c: &mut Criterion) {
     });
     let featurizer = FrameFeaturizer::default();
     let frame = video.frame(123).unwrap();
-    c.bench_function("featurize_frame", |b| b.iter(|| black_box(featurizer.features(&frame).unwrap())));
+    c.bench_function("featurize_frame", |b| {
+        b.iter(|| black_box(featurizer.features(&frame).unwrap()))
+    });
 }
 
 fn bench_detection_and_nn(c: &mut Criterion) {
@@ -79,11 +88,81 @@ fn bench_sampling(c: &mut Criterion) {
     });
 }
 
+/// Frames per synthetic day for the inference-pipeline comparison (a "preset day"
+/// at bench scale; override with `BLAZEIT_BENCH_FRAMES`).
+fn inference_bench_frames() -> u64 {
+    std::env::var("BLAZEIT_BENCH_FRAMES").ok().and_then(|v| v.parse().ok()).unwrap_or(4_000)
+}
+
+fn bench_inference_pipeline(c: &mut Criterion) {
+    let frames_per_day = inference_bench_frames();
+    let engine = BlazeIt::for_preset(DatasetPreset::Taipei, frames_per_day).unwrap();
+    let video = engine.video();
+    let nn = engine
+        .specialized_for(&[(ObjectClass::Car, engine.default_max_count(ObjectClass::Car, 1))])
+        .unwrap();
+
+    // Warm both paths (lazy allocations, page faults) before the timed passes.
+    nn.score_frame(video, 0).unwrap();
+    nn.score_batch(video, &[0, 1, 2, 3]).unwrap();
+
+    let started = Instant::now();
+    let mut serial = Vec::with_capacity(frames_per_day as usize);
+    for frame in 0..frames_per_day {
+        serial.push(nn.score_frame(video, frame).unwrap());
+    }
+    let serial_secs = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let batched = nn.score_video(video).unwrap();
+    let batched_secs = started.elapsed().as_secs_f64();
+
+    // The two paths must agree element-wise, or the comparison is meaningless.
+    for frame in 0..frames_per_day as usize {
+        assert_eq!(batched.frame_probs(frame), serial[frame], "scores diverge at frame {frame}");
+    }
+
+    let serial_fps = frames_per_day as f64 / serial_secs;
+    let batched_fps = frames_per_day as f64 / batched_secs;
+    let speedup = serial_secs / batched_secs;
+    println!(
+        "score_frames_serial   {frames_per_day} frames in {serial_secs:.3} s ({serial_fps:.0} fps)"
+    );
+    println!(
+        "score_frames_batched  {frames_per_day} frames in {batched_secs:.3} s ({batched_fps:.0} fps, {speedup:.1}x)"
+    );
+
+    let report = format!(
+        "{{\n  \"dataset\": \"taipei\",\n  \"frames\": {frames_per_day},\n  \
+         \"serial_secs\": {serial_secs:.6},\n  \"batched_secs\": {batched_secs:.6},\n  \
+         \"serial_fps\": {serial_fps:.1},\n  \"batched_fps\": {batched_fps:.1},\n  \
+         \"speedup\": {speedup:.2}\n}}\n"
+    );
+    let out_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_inference.json");
+    std::fs::write(&out_path, report).expect("write BENCH_inference.json");
+    println!("wrote {}", out_path.display());
+
+    // Per-frame steady-state costs of each path, for the criterion report.
+    c.bench_function("score_frame_serial", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 31) % frames_per_day;
+            black_box(nn.score_frame(video, i).unwrap())
+        })
+    });
+    let window: Vec<u64> = (0..256).collect();
+    c.bench_function("score_batch_256", |b| {
+        b.iter(|| black_box(nn.score_batch(video, &window).unwrap()))
+    });
+}
+
 criterion_group!(
     benches,
     bench_video_substrate,
     bench_detection_and_nn,
     bench_frameql,
-    bench_sampling
+    bench_sampling,
+    bench_inference_pipeline
 );
 criterion_main!(benches);

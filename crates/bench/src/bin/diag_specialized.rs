@@ -40,7 +40,8 @@ fn main() {
             .expect("estimate");
 
         // Test-day rewrite vs detector ground truth.
-        let rewrite = blazeit_core::aggregate::rewrite_fcount(&engine, &nn, class).expect("rewrite");
+        let rewrite =
+            blazeit_core::aggregate::rewrite_fcount(&engine, &nn, class).expect("rewrite");
         let (truth, _) = baselines::oracle_fcount(&engine, Some(class));
 
         // Does the per-frame prediction vary at all, and does it correlate with truth?
@@ -57,7 +58,8 @@ fn main() {
         let mut tr_truths = Vec::new();
         for f in (0..engine.labeled().train_video().len()).step_by(17) {
             tr_preds.push(nn.expected_count(engine.labeled().train_video(), f, class).unwrap());
-            tr_truths.push(engine.labeled().train_video().ground_truth_count(f, class).unwrap() as f64);
+            tr_truths
+                .push(engine.labeled().train_video().ground_truth_count(f, class).unwrap() as f64);
         }
         let tr_corr = blazeit_core::stats::correlation(&tr_preds, &tr_truths);
 

@@ -14,11 +14,13 @@ use blazeit_core::metrics::{format_speedup_table, RuntimeReport};
 use blazeit_core::scrub::{
     blazeit_scrub, score_frames, specialized_for_requirements, verify_ranked, ScrubOptions,
 };
-use blazeit_core::select::{execute_with_options, ground_truth_tracks, red_bus_query, SelectionOptions};
+use blazeit_core::select::{
+    execute_with_options, ground_truth_tracks, red_bus_query, SelectionOptions,
+};
 use blazeit_core::BlazeIt;
 use blazeit_detect::clock::CostBreakdown;
-use blazeit_frameql::query::analyze;
 use blazeit_frameql::parse_query;
+use blazeit_frameql::query::analyze;
 use blazeit_videostore::stats::VideoStats;
 use blazeit_videostore::{DatasetPreset, ObjectClass};
 use std::fmt::Write as _;
@@ -49,7 +51,8 @@ pub fn table3(scale: ExperimentScale) -> String {
         let video = preset
             .generate_with_frames(blazeit_videostore::DAY_TEST, scale.frames_per_day)
             .expect("video generation");
-        let stats = VideoStats::compute_classes(&video, &[preset.primary_class(), ObjectClass::Bus]);
+        let stats =
+            VideoStats::compute_classes(&video, &[preset.primary_class(), ObjectClass::Bus]);
         let mut classes: Vec<ObjectClass> = vec![preset.primary_class()];
         if preset == DatasetPreset::Taipei {
             classes.push(ObjectClass::Bus);
@@ -118,8 +121,11 @@ pub fn fig4(scale: ExperimentScale) -> (Vec<Fig4Row>, String) {
             SamplingOptions::new(0.1, 0.95, engine.config().sampling_seed),
         )
         .expect("aqp");
-        let aqp =
-            RuntimeReport::from_cost("aqp (naive)", cost_since(&engine, &before), aqp_outcome.samples);
+        let aqp = RuntimeReport::from_cost(
+            "aqp (naive)",
+            cost_since(&engine, &before),
+            aqp_outcome.samples,
+        );
 
         // BlazeIt (Algorithm 1), including training time.
         let sql = format!(
@@ -133,11 +139,8 @@ pub fn fig4(scale: ExperimentScale) -> (Vec<Fig4Row>, String) {
             blazeit_core::QueryOutput::Aggregate { method, .. } => format!("{method:?}"),
             _ => "unknown".into(),
         };
-        let blazeit = RuntimeReport::from_cost(
-            "blazeit",
-            result.cost,
-            result.output.detection_calls(),
-        );
+        let blazeit =
+            RuntimeReport::from_cost("blazeit", result.cost, result.output.detection_calls());
         let mut no_train = blazeit.clone();
         no_train.name = "blazeit (no train)".into();
         no_train.runtime_secs = blazeit.runtime_excluding_training();
@@ -221,8 +224,7 @@ pub fn table5(scale: ExperimentScale) -> String {
         let actual1 = heldout.class_counts(class).iter().sum::<usize>() as f64
             / heldout.frames.len().max(1) as f64;
 
-        let pred2 =
-            blazeit_core::aggregate::rewrite_fcount(&engine, &nn, class).expect("rewrite");
+        let pred2 = blazeit_core::aggregate::rewrite_fcount(&engine, &nn, class).expect("rewrite");
         let (actual2, _) = baselines::oracle_fcount(&engine, Some(class));
 
         let _ = writeln!(
@@ -322,7 +324,8 @@ pub fn table6_specs(scale: ExperimentScale) -> Vec<ScrubQuerySpec> {
             let class = preset.primary_class();
             let counts = baselines::oracle_counts(&engine, engine.video());
             let max = counts.iter().map(|c| c.get(class)).max().unwrap_or(0);
-            let instances_of = |n: usize| counts.iter().filter(|c| c.get(class) >= n).count() as u64;
+            let instances_of =
+                |n: usize| counts.iter().filter(|c| c.get(class) >= n).count() as u64;
             let mut threshold = 1;
             for n in (1..=max.max(1)).rev() {
                 if instances_of(n) >= 20 {
@@ -367,9 +370,10 @@ pub fn scrub_variants(
 
     // NoScope oracle.
     let before = engine.clock().breakdown();
-    let (_, ns_calls) =
-        baselines::noscope_scrub(engine, requirements, opts.limit, opts.gap).expect("noscope scrub");
-    let noscope = RuntimeReport::from_cost("noscope (oracle)", cost_since(engine, &before), ns_calls);
+    let (_, ns_calls) = baselines::noscope_scrub(engine, requirements, opts.limit, opts.gap)
+        .expect("noscope scrub");
+    let noscope =
+        RuntimeReport::from_cost("noscope (oracle)", cost_since(engine, &before), ns_calls);
 
     // BlazeIt: training + scoring + verification.
     let before = engine.clock().breakdown();
@@ -393,11 +397,7 @@ pub fn fig6(scale: ExperimentScale) -> String {
     for spec in table6_specs(scale) {
         let engine = engine_for(spec.preset, scale);
         let requirements = [(spec.class, spec.threshold)];
-        let reports = scrub_variants(
-            &engine,
-            &requirements,
-            ScrubOptions { limit: 10, gap: 300 },
-        );
+        let reports = scrub_variants(&engine, &requirements, ScrubOptions { limit: 10, gap: 300 });
         let _ = writeln!(
             out,
             "--- {} (>= {} {}, {} instances) ---",
@@ -429,8 +429,8 @@ pub fn fig7(scale: ExperimentScale) -> String {
         let instances = counts.iter().filter(|c| c.get(ObjectClass::Car) >= n).count();
         let (_, naive_calls) =
             baselines::naive_scrub(&engine, &requirements, opts.limit, opts.gap).expect("naive");
-        let (_, ns_calls) =
-            baselines::noscope_scrub(&engine, &requirements, opts.limit, opts.gap).expect("noscope");
+        let (_, ns_calls) = baselines::noscope_scrub(&engine, &requirements, opts.limit, opts.gap)
+            .expect("noscope");
         let nn = specialized_for_requirements(&engine, &requirements).expect("specialized NN");
         let outcome = blazeit_scrub(&engine, &nn, &requirements, opts).expect("blazeit scrub");
         let _ = writeln!(
@@ -524,19 +524,24 @@ pub fn fig10(scale: ExperimentScale) -> String {
     let before = engine.clock().breakdown();
     let naive_outcome =
         execute_with_options(&engine, &query, &info, &SelectionOptions::none()).expect("naive");
-    let naive =
-        RuntimeReport::from_cost("naive", cost_since(&engine, &before), naive_outcome.detection_calls);
+    let naive = RuntimeReport::from_cost(
+        "naive",
+        cost_since(&engine, &before),
+        naive_outcome.detection_calls,
+    );
 
     // NoScope oracle: detection on frames with any bus present.
     let before = engine.clock().breakdown();
     let (_, ns_calls) =
         baselines::noscope_selection_scan(&engine, ObjectClass::Bus).expect("noscope");
-    let noscope = RuntimeReport::from_cost("noscope (oracle)", cost_since(&engine, &before), ns_calls);
+    let noscope =
+        RuntimeReport::from_cost("noscope (oracle)", cost_since(&engine, &before), ns_calls);
 
     // BlazeIt with all inferred filters.
     let before = engine.clock().breakdown();
     let blazeit_outcome =
-        execute_with_options(&engine, &query, &info, &SelectionOptions::default()).expect("blazeit");
+        execute_with_options(&engine, &query, &info, &SelectionOptions::default())
+            .expect("blazeit");
     let blazeit = RuntimeReport::from_cost(
         "blazeit",
         cost_since(&engine, &before),
@@ -549,11 +554,8 @@ pub fn fig10(scale: ExperimentScale) -> String {
     let naive_tracks = ground_truth_tracks(&engine, &naive_outcome.rows);
     let blazeit_tracks = ground_truth_tracks(&engine, &blazeit_outcome.rows);
     let found = naive_tracks.iter().filter(|t| blazeit_tracks.contains(t)).count();
-    let fnr = if naive_tracks.is_empty() {
-        0.0
-    } else {
-        1.0 - found as f64 / naive_tracks.len() as f64
-    };
+    let fnr =
+        if naive_tracks.is_empty() { 0.0 } else { 1.0 - found as f64 / naive_tracks.len() as f64 };
 
     let mut out = String::new();
     let _ = writeln!(out, "query: {sql}");
@@ -586,10 +588,7 @@ pub fn fig11(scale: ExperimentScale) -> String {
 
     let configs_factor: Vec<(&str, SelectionOptions)> = vec![
         ("naive", SelectionOptions::none()),
-        (
-            "+spatial",
-            SelectionOptions { use_spatial_filter: true, ..SelectionOptions::none() },
-        ),
+        ("+spatial", SelectionOptions { use_spatial_filter: true, ..SelectionOptions::none() }),
         (
             "+temporal",
             SelectionOptions {
@@ -612,7 +611,10 @@ pub fn fig11(scale: ExperimentScale) -> String {
     let configs_lesion: Vec<(&str, SelectionOptions)> = vec![
         ("combined", SelectionOptions::default()),
         ("-spatial", SelectionOptions { use_spatial_filter: false, ..SelectionOptions::default() }),
-        ("-temporal", SelectionOptions { use_temporal_filter: false, ..SelectionOptions::default() }),
+        (
+            "-temporal",
+            SelectionOptions { use_temporal_filter: false, ..SelectionOptions::default() },
+        ),
         ("-content", SelectionOptions { use_content_filter: false, ..SelectionOptions::default() }),
         ("-label", SelectionOptions { use_label_filter: false, ..SelectionOptions::default() }),
     ];

@@ -45,10 +45,8 @@ impl ExperimentScale {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(default.frames_per_day);
-        let runs = std::env::var("BLAZEIT_RUNS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default.runs);
+        let runs =
+            std::env::var("BLAZEIT_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(default.runs);
         ExperimentScale { frames_per_day, runs }
     }
 
@@ -100,7 +98,10 @@ mod tests {
 
     #[test]
     fn engine_for_builds() {
-        let engine = engine_for(DatasetPreset::NightStreet, ExperimentScale { frames_per_day: 600, runs: 1 });
+        let engine = engine_for(
+            DatasetPreset::NightStreet,
+            ExperimentScale { frames_per_day: 600, runs: 1 },
+        );
         assert_eq!(engine.video().len(), 600);
     }
 }

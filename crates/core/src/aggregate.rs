@@ -113,17 +113,18 @@ pub fn execute(engine: &BlazeIt, _query: &Query, info: &QueryPlanInfo) -> Result
 
     // Algorithm 1: try a specialized NN when there is enough training data.
     if let Some(class) = class {
-        let enough_data = engine
-            .labeled()
-            .has_training_examples(&[(class, 1)], MIN_TRAINING_EXAMPLES);
+        let enough_data =
+            engine.labeled().has_training_examples(&[(class, 1)], MIN_TRAINING_EXAMPLES);
         if enough_data {
             let max_count = engine.default_max_count(class, 1);
             let nn = engine.specialized_for(&[(class, max_count)])?;
-            let heldout = engine.labeled().heldout();
-            let estimate = nn.estimate_fcount_error(
-                engine.labeled().heldout_video(),
-                &heldout.frames,
-                &heldout.class_counts(class),
+            // Algorithm 1's held-out error check runs on every aggregate query;
+            // reading from the cached held-out score index means only the first
+            // query per class set pays the (batched) inference for it.
+            let heldout_scores = engine.heldout_score_index(&nn)?;
+            let estimate = nn.estimate_fcount_error_from_scores(
+                &heldout_scores,
+                &engine.labeled().heldout().class_counts(class),
                 class,
                 engine.config().bootstrap_samples,
                 engine.config().sampling_seed,
@@ -168,14 +169,22 @@ fn finalize_kind(kind: &AggregateKind, fcount: f64, engine: &BlazeIt) -> f64 {
 
 /// Answers an FCOUNT query directly from the specialized NN (query rewriting): the
 /// mean of the NN's expected count over every frame of the unseen video. No object
-/// detection is performed.
-pub fn rewrite_fcount(engine: &BlazeIt, nn: &Arc<SpecializedNN>, class: ObjectClass) -> Result<f64> {
-    let video = engine.video();
+/// detection is performed; the per-frame scores come from the engine's cached
+/// batched score index, so only the first query per class set pays inference.
+pub fn rewrite_fcount(
+    engine: &BlazeIt,
+    nn: &Arc<SpecializedNN>,
+    class: ObjectClass,
+) -> Result<f64> {
+    let head = nn
+        .head_index(class)
+        .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))?;
+    let scores = engine.score_index(nn)?;
     let mut total = 0.0f64;
-    for frame in 0..video.len() {
-        total += nn.expected_count(video, frame, class)?;
+    for frame in 0..scores.num_frames() {
+        total += scores.expected_count(frame, head);
     }
-    Ok(total / video.len().max(1) as f64)
+    Ok(total / scores.num_frames().max(1) as f64)
 }
 
 /// The number of detector samples at which adaptive sampling starts: `K / ε`, where `K`
@@ -221,18 +230,19 @@ pub fn control_variate_fcount(
 }
 
 /// Computes the specialized NN's expected count for every frame of the unseen video
-/// (the control variate's values). Charges specialized-inference time.
+/// (the control variate's values), reading from the engine's cached batched score
+/// index. The first call per class set charges (batched) specialized-inference
+/// time; repeated calls are free.
 pub fn specialized_scores(
     engine: &BlazeIt,
     nn: &Arc<SpecializedNN>,
     class: ObjectClass,
 ) -> Result<Vec<f64>> {
-    let video = engine.video();
-    let mut t_all = Vec::with_capacity(video.len() as usize);
-    for frame in 0..video.len() {
-        t_all.push(nn.expected_count(video, frame, class)?);
-    }
-    Ok(t_all)
+    let head = nn
+        .head_index(class)
+        .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))?;
+    let scores = engine.score_index(nn)?;
+    Ok((0..scores.num_frames()).map(|frame| scores.expected_count(frame, head)).collect())
 }
 
 /// Control-variate sampling reusing precomputed per-frame specialized-NN scores (the
@@ -281,15 +291,7 @@ fn adaptive_sampling(
     let num_frames = video.len();
     let range_k = match class {
         Some(c) => engine.default_max_count(c, 1) + 1,
-        None => engine
-            .labeled()
-            .train()
-            .counts
-            .iter()
-            .map(|cv| cv.total())
-            .max()
-            .unwrap_or(1)
-            + 1,
+        None => engine.labeled().train().counts.iter().map(|cv| cv.total()).max().unwrap_or(1) + 1,
     };
     let z = normal_critical_value(opts.confidence);
     let initial = initial_sample_size(range_k, opts.error).min(num_frames.max(1));
@@ -349,11 +351,8 @@ fn estimator_state(
             } else {
                 0.0
             };
-            let adjusted: Vec<f64> = m_samples
-                .iter()
-                .zip(t_samples)
-                .map(|(m, t)| m + c * (t - cv.tau))
-                .collect();
+            let adjusted: Vec<f64> =
+                m_samples.iter().zip(t_samples).map(|(m, t)| m + c * (t - cv.tau)).collect();
             let estimate = mean_m + c * (mean_t - cv.tau);
             let std = sample_std(&adjusted);
             (estimate, std / n.sqrt(), c)
@@ -401,12 +400,9 @@ mod tests {
     fn naive_sampling_estimates_fcount_within_tolerance() {
         let e = engine();
         let (true_fcount, _) = baselines::oracle_fcount(&e, Some(ObjectClass::Car));
-        let outcome = naive_aqp_fcount(
-            &e,
-            Some(ObjectClass::Car),
-            SamplingOptions::new(0.1, 0.95, 17),
-        )
-        .unwrap();
+        let outcome =
+            naive_aqp_fcount(&e, Some(ObjectClass::Car), SamplingOptions::new(0.1, 0.95, 17))
+                .unwrap();
         assert!(outcome.samples >= initial_sample_size(2, 0.1));
         assert!(
             (outcome.estimate - true_fcount).abs() < 0.25,
@@ -456,8 +452,7 @@ mod tests {
     #[test]
     fn execute_exact_when_no_error_bound() {
         let e = engine();
-        let result =
-            e.query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car'").unwrap();
+        let result = e.query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car'").unwrap();
         match result.output {
             QueryOutput::Aggregate { method, detection_calls, .. } => {
                 assert_eq!(method, AggregateMethod::Exact);

@@ -15,49 +15,76 @@
 use crate::engine::BlazeIt;
 use crate::relation::RelationBuilder;
 use crate::{BlazeItError, Result};
-use blazeit_detect::{count_class, CountVector, ObjectDetector, SimClock, SimulatedDetector};
+use blazeit_detect::{
+    count_class, CountVector, Detection, ObjectDetector, SimClock, SimulatedDetector,
+};
 use blazeit_frameql::query::ClassRequirement;
 use blazeit_videostore::{FrameIndex, ObjectClass, Video};
 use std::collections::BTreeSet;
+
+/// How many frames each full-scan baseline hands to [`ObjectDetector::detect_batch`]
+/// at a time. Large enough to amortize per-call bookkeeping, small enough to keep
+/// per-chunk detection buffers modest.
+const DETECT_CHUNK: usize = 1024;
 
 /// Converts plan requirements into `(class, min_count)` pairs.
 pub fn requirement_pairs(requirements: &[ClassRequirement]) -> Vec<(ObjectClass, usize)> {
     requirements.iter().map(|r| (r.class, r.min_count)).collect()
 }
 
-fn frame_count(engine: &BlazeIt, frame: FrameIndex, class: Option<ObjectClass>) -> usize {
-    let detections = engine.detector().detect(engine.video(), frame);
+/// Runs `visit(frame, detections)` over `frames` in detection batches of
+/// [`DETECT_CHUNK`], using `detector`. The shared driver behind every full-scan
+/// baseline: detection is batched, while the visitor (counting, tracking, row
+/// materialization) stays sequential and order-preserving.
+fn scan_detections(
+    detector: &dyn ObjectDetector,
+    video: &Video,
+    frames: &[FrameIndex],
+    mut visit: impl FnMut(FrameIndex, &[Detection]),
+) {
+    for chunk in frames.chunks(DETECT_CHUNK) {
+        let batch = detector.detect_batch(video, chunk);
+        for (&frame, detections) in chunk.iter().zip(&batch) {
+            visit(frame, detections);
+        }
+    }
+}
+
+fn all_frames(video: &Video) -> Vec<FrameIndex> {
+    (0..video.len()).collect()
+}
+
+fn count_for(detections: &[Detection], class: Option<ObjectClass>) -> usize {
     match class {
-        Some(c) => count_class(&detections, c),
+        Some(c) => count_class(detections, c),
         None => detections.len(),
     }
 }
 
-/// Naive exact FCOUNT: object detection on every frame. Returns `(fcount, detector calls)`.
+/// Naive exact FCOUNT: object detection on every frame (in batches).
+/// Returns `(fcount, detector calls)`.
 pub fn naive_fcount(engine: &BlazeIt, class: Option<ObjectClass>) -> Result<(f64, u64)> {
     let video = engine.video();
     let mut total = 0usize;
-    for frame in 0..video.len() {
-        total += frame_count(engine, frame, class);
-    }
+    scan_detections(engine.detector(), video, &all_frames(video), |_, detections| {
+        total += count_for(detections, class);
+    });
     Ok((total as f64 / video.len().max(1) as f64, video.len()))
 }
 
 /// NoScope-oracle FCOUNT: the binary-presence oracle is free, and the detector is run
-/// only on frames that contain at least one object of the class (it must be, because
-/// NoScope cannot distinguish one object from several). Returns `(fcount, detector calls)`.
+/// (in batches) only on frames that contain at least one object of the class (it must
+/// be, because NoScope cannot distinguish one object from several).
+/// Returns `(fcount, detector calls)`.
 pub fn noscope_fcount(engine: &BlazeIt, class: ObjectClass) -> Result<(f64, u64)> {
     let video = engine.video();
+    let occupied: Vec<FrameIndex> =
+        (0..video.len()).filter(|&f| video.scene().count_at(f, class) > 0).collect();
     let mut total = 0usize;
-    let mut calls = 0u64;
-    for frame in 0..video.len() {
-        if video.scene().count_at(frame, class) == 0 {
-            continue;
-        }
-        total += frame_count(engine, frame, Some(class));
-        calls += 1;
-    }
-    Ok((total as f64 / video.len().max(1) as f64, calls))
+    scan_detections(engine.detector(), video, &occupied, |_, detections| {
+        total += count_class(detections, class);
+    });
+    Ok((total as f64 / video.len().max(1) as f64, occupied.len() as u64))
 }
 
 /// Ground-truth FCOUNT relative to the configured detector, computed *without charging
@@ -71,13 +98,9 @@ pub fn oracle_fcount(engine: &BlazeIt, class: Option<ObjectClass>) -> (f64, u64)
     );
     let video = engine.video();
     let mut total = 0usize;
-    for frame in 0..video.len() {
-        let detections = detector.detect(video, frame);
-        total += match class {
-            Some(c) => count_class(&detections, c),
-            None => detections.len(),
-        };
-    }
+    scan_detections(&detector, video, &all_frames(video), |_, detections| {
+        total += count_for(detections, class);
+    });
     (total as f64 / video.len().max(1) as f64, video.len())
 }
 
@@ -90,22 +113,26 @@ pub fn oracle_counts(engine: &BlazeIt, video: &Video) -> Vec<CountVector> {
         engine.config().detection_threshold,
         offline,
     );
-    (0..video.len()).map(|f| CountVector::from_detections(&detector.detect(video, f))).collect()
+    let mut counts = Vec::with_capacity(video.len() as usize);
+    scan_detections(&detector, video, &all_frames(video), |_, detections| {
+        counts.push(CountVector::from_detections(detections));
+    });
+    counts
 }
 
-/// Exact `COUNT(DISTINCT trackid)`: detection + entity resolution over every frame.
-/// Returns `(distinct track count, detector calls)`.
+/// Exact `COUNT(DISTINCT trackid)`: batched detection + sequential entity resolution
+/// over every frame. Returns `(distinct track count, detector calls)`.
 pub fn exact_distinct_count(engine: &BlazeIt, class: Option<ObjectClass>) -> Result<(f64, u64)> {
     let video = engine.video();
     let mut builder = RelationBuilder::new(engine.detector(), engine.config().tracker_iou, 1);
     let mut tracks: BTreeSet<u64> = BTreeSet::new();
-    for frame in 0..video.len() {
-        for row in builder.rows_for_frame(video, frame, None) {
+    scan_detections(engine.detector(), video, &all_frames(video), |frame, detections| {
+        for row in builder.rows_for_detections(video, frame, detections) {
             if class.map(|c| c == row.class).unwrap_or(true) {
                 tracks.insert(row.trackid);
             }
         }
-    }
+    });
     Ok((tracks.len() as f64, video.len()))
 }
 
@@ -118,6 +145,10 @@ pub fn respects_gap(accepted: &[FrameIndex], frame: FrameIndex, gap: u64) -> boo
 /// Naive scrubbing: scan frames in order, running the detector on each, until `limit`
 /// frames satisfying the requirements (and the GAP constraint) are found.
 /// Returns `(matching frames, detector calls)`.
+///
+/// Deliberately *not* batched: the scan stops at the `limit`-th hit and the GAP
+/// check depends on previously accepted frames, so batching detection ahead of
+/// the cursor would change the number of detector calls the baseline reports.
 pub fn naive_scrub(
     engine: &BlazeIt,
     requirements: &[(ObjectClass, usize)],
@@ -169,9 +200,8 @@ pub fn noscope_scrub(
             continue;
         }
         // Free binary-presence oracle: every required class must be present at all.
-        let present = requirements
-            .iter()
-            .all(|&(class, _)| video.scene().count_at(frame, class) > 0);
+        let present =
+            requirements.iter().all(|&(class, _)| video.scene().count_at(frame, class) > 0);
         if !present {
             continue;
         }
@@ -185,8 +215,8 @@ pub fn noscope_scrub(
     Ok((accepted, calls))
 }
 
-/// Naive content-based selection: detection + tracking on every frame, row predicates
-/// evaluated afterwards. Returns `(rows, detector calls)`.
+/// Naive content-based selection: batched detection + sequential tracking on every
+/// frame, row predicates evaluated afterwards. Returns `(rows, detector calls)`.
 pub fn naive_selection_scan(
     engine: &BlazeIt,
     class: Option<ObjectClass>,
@@ -194,38 +224,35 @@ pub fn naive_selection_scan(
     let video = engine.video();
     let mut builder = RelationBuilder::new(engine.detector(), engine.config().tracker_iou, 1);
     let mut rows = Vec::new();
-    for frame in 0..video.len() {
-        for row in builder.rows_for_frame(video, frame, None) {
+    scan_detections(engine.detector(), video, &all_frames(video), |frame, detections| {
+        for row in builder.rows_for_detections(video, frame, detections) {
             if class.map(|c| c == row.class).unwrap_or(true) {
                 rows.push(row);
             }
         }
-    }
+    });
     Ok((rows, video.len()))
 }
 
-/// NoScope-oracle selection: detection + tracking only on frames where the class is
-/// present (binary presence known for free).
+/// NoScope-oracle selection: batched detection + sequential tracking only on frames
+/// where the class is present (binary presence known for free).
 pub fn noscope_selection_scan(
     engine: &BlazeIt,
     class: ObjectClass,
 ) -> Result<(Vec<blazeit_frameql::FrameQlRow>, u64)> {
     let video = engine.video();
+    let occupied: Vec<FrameIndex> =
+        (0..video.len()).filter(|&f| video.scene().count_at(f, class) > 0).collect();
     let mut builder = RelationBuilder::new(engine.detector(), engine.config().tracker_iou, 1);
     let mut rows = Vec::new();
-    let mut calls = 0u64;
-    for frame in 0..video.len() {
-        if video.scene().count_at(frame, class) == 0 {
-            continue;
-        }
-        calls += 1;
-        for row in builder.rows_for_frame(video, frame, None) {
+    scan_detections(engine.detector(), video, &occupied, |frame, detections| {
+        for row in builder.rows_for_detections(video, frame, detections) {
             if row.class == class {
                 rows.push(row);
             }
         }
-    }
-    Ok((rows, calls))
+    });
+    Ok((rows, occupied.len() as u64))
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use blazeit_detect::{SimClock, SimulatedDetector};
 use blazeit_frameql::query::{analyze, QueryClass, QueryPlanInfo};
 use blazeit_frameql::{builtin_udfs, parse_query, Query, UdfRegistry};
 use blazeit_nn::specialized::{SpecializedConfig, SpecializedHead, SpecializedNN};
+use blazeit_nn::ScoreMatrix;
 use blazeit_videostore::{DatasetPreset, ObjectClass, Video, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -20,11 +21,18 @@ use std::time::Instant;
 /// The BlazeIt query engine over one (unseen) video.
 ///
 /// The engine holds the unseen test-day video, the labeled set (training + held-out
-/// days annotated offline), the configured detector, the UDF registry, and a cache of
-/// trained specialized networks keyed by their output heads. The specialized-NN cache
-/// is what the paper's "BlazeIt (no train)" / "indexed" variants correspond to: once a
-/// network has been trained for some class set, later queries reuse it and pay only
-/// inference.
+/// days annotated offline), the configured detector, the UDF registry, and two caches
+/// keyed by the specialized networks' output heads:
+///
+/// * `nn_cache` — trained specialized networks. Once a network has been trained for
+///   some class set, later queries reuse it and pay only inference (the paper's
+///   "BlazeIt (no train)" scenario).
+/// * `score_cache` — per-video [`ScoreMatrix`] indexes produced by the batched
+///   scoring pipeline, keyed by video identity + head set + feature configuration.
+///   The first query over a class set scores the whole video once
+///   ([`SpecializedNN::score_video`]); every later query answers from the cached
+///   index and pays *no* specialized inference at all — the paper's
+///   "BlazeIt (indexed)" scenario made concrete.
 pub struct BlazeIt {
     video: Video,
     labeled: Arc<LabeledSet>,
@@ -33,6 +41,7 @@ pub struct BlazeIt {
     detector: SimulatedDetector,
     udfs: UdfRegistry,
     nn_cache: Mutex<HashMap<String, Arc<SpecializedNN>>>,
+    score_cache: Mutex<HashMap<String, Arc<ScoreMatrix>>>,
 }
 
 impl std::fmt::Debug for BlazeIt {
@@ -62,6 +71,7 @@ impl BlazeIt {
             detector,
             udfs: builtin_udfs(),
             nn_cache: Mutex::new(HashMap::new()),
+            score_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -121,7 +131,10 @@ impl BlazeIt {
         &mut self,
         name: &str,
         frame_liftable: bool,
-        func: impl Fn(&blazeit_videostore::Frame, &blazeit_videostore::BoundingBox) -> blazeit_frameql::Value
+        func: impl Fn(
+                &blazeit_videostore::Frame,
+                &blazeit_videostore::BoundingBox,
+            ) -> blazeit_frameql::Value
             + Send
             + Sync
             + 'static,
@@ -176,27 +189,43 @@ impl BlazeIt {
         Ok(())
     }
 
-    /// Returns (training if necessary) a specialized network with one counting head per
-    /// requested `(class, max_count)` pair.
-    ///
-    /// Training is charged to the engine clock; cache hits are free (this is the
-    /// "indexed" / "no train" scenario of the paper).
-    pub fn specialized_for(&self, heads: &[(ObjectClass, usize)]) -> Result<Arc<SpecializedNN>> {
-        if heads.is_empty() {
-            return Err(BlazeItError::Internal("specialized_for requires at least one head".into()));
-        }
+    /// The cache key for a set of `(class, max_count)` heads (order-insensitive).
+    fn head_key(heads: &[(ObjectClass, usize)]) -> String {
         let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
         sorted.sort_by_key(|(c, _)| c.index());
-        let key = sorted
-            .iter()
-            .map(|(c, m)| format!("{}:{}", c.name(), m))
-            .collect::<Vec<_>>()
-            .join("|");
+        sorted.iter().map(|(c, m)| format!("{}:{}", c.name(), m)).collect::<Vec<_>>().join("|")
+    }
 
-        if let Some(nn) = self.nn_cache.lock().get(&key) {
-            return Ok(Arc::clone(nn));
-        }
+    /// The cache key for a score index: full video identity (name, day, seed,
+    /// length, frames scored) + the network's own architecture (heads, feature
+    /// config, hidden widths, init seed).
+    ///
+    /// The day/seed components distinguish the test-day index from the held-out
+    /// index even when both days are the same length and fully annotated; the
+    /// architecture components come from the *network being scored* (not the
+    /// engine config), so an externally trained network with the same heads but
+    /// different features cannot collide with an engine-trained one.
+    fn score_key(video: &Video, frames_scored: usize, config: &SpecializedConfig) -> String {
+        let heads: Vec<(ObjectClass, usize)> =
+            config.heads.iter().map(|h| (h.class, h.max_count)).collect();
+        format!(
+            "{}#day{}#vseed{}#{}#{}#{:?}#{:?}#nnseed{}#{}",
+            video.name(),
+            video.config().day,
+            video.config().seed,
+            video.len(),
+            frames_scored,
+            config.features,
+            config.hidden,
+            config.seed,
+            Self::head_key(&heads),
+        )
+    }
 
+    /// The specialized-network configuration this engine trains for a sorted
+    /// head set (shared by [`BlazeIt::specialized_for`] and the cache-key
+    /// derivations so they can never disagree).
+    fn engine_spec_config(&self, sorted: &[(ObjectClass, usize)]) -> SpecializedConfig {
         let spec_heads: Vec<SpecializedHead> = sorted
             .iter()
             .map(|&(class, max_count)| SpecializedHead { class, max_count: max_count.max(1) })
@@ -207,7 +236,29 @@ impl BlazeIt {
         spec_config.train = self.config.train;
         spec_config.cost = self.config.cost;
         spec_config.seed = self.config.sampling_seed ^ 0x5EC1_A112;
+        spec_config
+    }
 
+    /// Returns (training if necessary) a specialized network with one counting head per
+    /// requested `(class, max_count)` pair.
+    ///
+    /// Training is charged to the engine clock; cache hits are free (this is the
+    /// "indexed" / "no train" scenario of the paper).
+    pub fn specialized_for(&self, heads: &[(ObjectClass, usize)]) -> Result<Arc<SpecializedNN>> {
+        if heads.is_empty() {
+            return Err(BlazeItError::Internal(
+                "specialized_for requires at least one head".into(),
+            ));
+        }
+        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
+        sorted.sort_by_key(|(c, _)| c.index());
+        let key = Self::head_key(heads);
+
+        if let Some(nn) = self.nn_cache.lock().get(&key) {
+            return Ok(Arc::clone(nn));
+        }
+
+        let spec_config = self.engine_spec_config(&sorted);
         let train_day = self.labeled.train();
         let (nn, _report) = SpecializedNN::train(
             spec_config,
@@ -226,20 +277,60 @@ impl BlazeIt {
     /// frames, and never below `at_least`.
     pub fn default_max_count(&self, class: ObjectClass, at_least: usize) -> usize {
         let counts = self.labeled.train().class_counts(class);
-        let head = SpecializedHead::from_counts(class, counts, self.config.count_class_min_fraction);
+        let head =
+            SpecializedHead::from_counts(class, counts, self.config.count_class_min_fraction);
         head.max_count.max(at_least).max(1)
     }
 
     /// Whether a specialized network for these heads is already trained and cached.
     pub fn has_cached_specialized(&self, heads: &[(ObjectClass, usize)]) -> bool {
+        self.nn_cache.lock().contains_key(&Self::head_key(heads))
+    }
+
+    /// The per-video score index for `nn` over the unseen (test) video: every frame
+    /// scored by the batched pipeline, cached so repeated queries over the same
+    /// class set pay specialized inference only once (the paper's
+    /// "BlazeIt (indexed)" scenario).
+    ///
+    /// The first call charges the full-video inference cost to the engine clock;
+    /// later calls are free.
+    pub fn score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
+        let key = Self::score_key(&self.video, self.video.len() as usize, nn.config());
+        // The lock is held across the build so two concurrent first queries
+        // cannot both score the video (which would double-charge the clock).
+        let mut cache = self.score_cache.lock();
+        if let Some(scores) = cache.get(&key) {
+            return Ok(Arc::clone(scores));
+        }
+        let scores = Arc::new(nn.score_video(&self.video)?);
+        cache.insert(key, Arc::clone(&scores));
+        Ok(scores)
+    }
+
+    /// The score index for `nn` over the held-out day's annotated frames (row `i`
+    /// corresponds to `labeled().heldout().frames[i]`), cached like
+    /// [`BlazeIt::score_index`]. Algorithm 1's error estimate and the selection
+    /// label-filter calibration both read from this index, so re-running a query
+    /// re-checks its plan without re-scoring the held-out day.
+    pub fn heldout_score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
+        let heldout = self.labeled.heldout();
+        let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn.config());
+        let mut cache = self.score_cache.lock();
+        if let Some(scores) = cache.get(&key) {
+            return Ok(Arc::clone(scores));
+        }
+        let scores = Arc::new(nn.score_batch(self.labeled.heldout_video(), &heldout.frames)?);
+        cache.insert(key, Arc::clone(&scores));
+        Ok(scores)
+    }
+
+    /// Whether the unseen video's score index for these heads is already built.
+    pub fn has_cached_score_index(&self, heads: &[(ObjectClass, usize)]) -> bool {
         let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
         sorted.sort_by_key(|(c, _)| c.index());
-        let key = sorted
-            .iter()
-            .map(|(c, m)| format!("{}:{}", c.name(), m))
-            .collect::<Vec<_>>()
-            .join("|");
-        self.nn_cache.lock().contains_key(&key)
+        let config = self.engine_spec_config(&sorted);
+        let key = Self::score_key(&self.video, self.video.len() as usize, &config);
+        self.score_cache.lock().contains_key(&key)
     }
 }
 
@@ -292,6 +383,66 @@ mod tests {
     }
 
     #[test]
+    fn score_index_cache_hits_charge_no_inference() {
+        let e = engine();
+        let heads = [(ObjectClass::Car, 2usize)];
+        let nn = e.specialized_for(&heads).unwrap();
+        assert!(!e.has_cached_score_index(&heads));
+
+        let before = e.clock().breakdown().specialized;
+        let index = e.score_index(&nn).unwrap();
+        assert_eq!(index.num_frames() as u64, e.video().len());
+        let after_first = e.clock().breakdown().specialized;
+        assert!(after_first > before, "building the index must charge inference");
+        assert!(e.has_cached_score_index(&heads));
+
+        let index_again = e.score_index(&nn).unwrap();
+        assert!(Arc::ptr_eq(&index, &index_again));
+        let after_second = e.clock().breakdown().specialized;
+        assert!(
+            (after_second - after_first).abs() < 1e-12,
+            "cache hit must not charge specialized inference"
+        );
+    }
+
+    #[test]
+    fn score_index_distinguishes_test_and_heldout_days() {
+        // With heldout_stride = 1 the held-out day is fully annotated, so its
+        // index covers the same number of frames as the test day's, and both
+        // videos share the preset name and length — the cache keys must still
+        // differ (they encode the day), or rewriting would silently answer
+        // queries from the held-out day's scores.
+        let mut config = BlazeItConfig::for_preset(DatasetPreset::Taipei);
+        config.heldout_stride = 1;
+        let e = BlazeIt::for_preset_with_config(DatasetPreset::Taipei, 600, config).unwrap();
+        let nn = e.specialized_for(&[(ObjectClass::Car, 2)]).unwrap();
+        let heldout_index = e.heldout_score_index(&nn).unwrap();
+        let test_index = e.score_index(&nn).unwrap();
+        assert!(!Arc::ptr_eq(&heldout_index, &test_index));
+        assert_eq!(heldout_index.num_frames(), test_index.num_frames());
+        assert_ne!(heldout_index.probs(), test_index.probs());
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_score_index() {
+        // The "BlazeIt (indexed)" acceptance scenario: the second identical query
+        // over the same video + class set pays zero specialized inference.
+        let e = engine();
+        let sql =
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.2 AT CONFIDENCE 95%";
+        e.query(sql).unwrap();
+        let after_first = e.clock().breakdown().specialized;
+        assert!(after_first > 0.0);
+        e.query(sql).unwrap();
+        let after_second = e.clock().breakdown().specialized;
+        assert!(
+            (after_second - after_first).abs() < 1e-12,
+            "second query charged {} extra specialized-inference seconds",
+            after_second - after_first
+        );
+    }
+
+    #[test]
     fn default_max_count_respects_floor() {
         let e = engine();
         let k = e.default_max_count(ObjectClass::Car, 5);
@@ -337,8 +488,10 @@ mod tests {
     #[test]
     fn clock_reset() {
         let e = engine();
-        e.query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.3 AT CONFIDENCE 90%")
-            .unwrap();
+        e.query(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.3 AT CONFIDENCE 90%",
+        )
+        .unwrap();
         assert!(e.clock().total() > 0.0);
         e.reset_clock();
         assert_eq!(e.clock().total(), 0.0);

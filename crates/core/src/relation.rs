@@ -7,7 +7,7 @@
 //! maximum frame gap equal to the scan stride so that slow objects keep their identity
 //! across skipped frames.
 
-use blazeit_detect::{IouTracker, SimulatedDetector};
+use blazeit_detect::{Detection, IouTracker, SimulatedDetector};
 use blazeit_frameql::FrameQlRow;
 use blazeit_videostore::{BoundingBox, FrameIndex, Video};
 
@@ -40,7 +40,19 @@ impl<'a> RelationBuilder<'a> {
         region: Option<&BoundingBox>,
     ) -> Vec<FrameQlRow> {
         let detections = self.detector.detect_in_region(video, frame, region);
-        let tracked = self.tracker.update(frame, &detections);
+        self.rows_for_detections(video, frame, &detections)
+    }
+
+    /// Materializes rows from already-computed detections for `frame` (the tracker
+    /// still updates sequentially). This is how batched scans decouple detection
+    /// (one `detect_batch` call per chunk) from entity resolution.
+    pub fn rows_for_detections(
+        &mut self,
+        video: &Video,
+        frame: FrameIndex,
+        detections: &[Detection],
+    ) -> Vec<FrameQlRow> {
+        let tracked = self.tracker.update(frame, detections);
         let timestamp = video.timestamp(frame);
         tracked
             .into_iter()
@@ -85,7 +97,7 @@ mod tests {
         let (video, detector) = setup();
         let mut builder = RelationBuilder::new(&detector, 0.7, 1);
         let mut any_rows = false;
-        for f in 0..200 {
+        for f in 0..1_000 {
             for row in builder.rows_for_frame(&video, f, None) {
                 any_rows = true;
                 assert!((row.timestamp - f as f64 / 30.0).abs() < 1e-9);
@@ -94,7 +106,7 @@ mod tests {
                 assert!(row.confidence > 0.0);
             }
         }
-        assert!(any_rows, "expected at least one detection in 200 frames");
+        assert!(any_rows, "expected at least one detection in 1000 frames");
     }
 
     #[test]

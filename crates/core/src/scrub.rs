@@ -91,21 +91,32 @@ pub fn specialized_for_requirements(
 /// satisfies the requirements, returning `(frame, confidence)` pairs sorted by
 /// descending confidence.
 ///
-/// This is the "index" the paper's BlazeIt (indexed) variant assumes already exists;
-/// the inference cost of building it is charged to the engine clock here.
+/// The per-frame scores come from the engine's cached batched score index (the
+/// "index" the paper's BlazeIt (indexed) variant assumes already exists): the first
+/// query per class set builds it with [`SpecializedNN::score_video`] and charges the
+/// inference cost to the engine clock; repeated queries rank from the cache for free.
 pub fn score_frames(
     engine: &BlazeIt,
     nn: &Arc<SpecializedNN>,
     requirements: &[(ObjectClass, usize)],
 ) -> Result<Vec<(FrameIndex, f64)>> {
-    let video = engine.video();
-    let mut scored = Vec::with_capacity(video.len() as usize);
-    for frame in 0..video.len() {
-        let confidence = nn.requirement_confidence(video, frame, requirements)?;
-        scored.push((frame, confidence));
-    }
-    // Descending by confidence; ties broken by frame index for determinism.
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    let head_requirements: Vec<(usize, usize)> = requirements
+        .iter()
+        .map(|&(class, n)| {
+            nn.head_index(class)
+                .map(|head| (head, n))
+                .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))
+        })
+        .collect::<Result<_>>()?;
+    let scores = engine.score_index(nn)?;
+    let mut scored: Vec<(FrameIndex, f64)> = (0..scores.num_frames())
+        .map(|frame| {
+            (frame as FrameIndex, scores.requirement_confidence(frame, &head_requirements))
+        })
+        .collect();
+    // Descending by confidence (NaN-safe total order); ties broken by frame index
+    // for determinism.
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     Ok(scored)
 }
 
@@ -134,11 +145,7 @@ pub fn verify_ranked(
             accepted.push(frame);
         }
     }
-    ScrubOutcome {
-        frames: accepted,
-        detection_calls: calls,
-        frames_scored: ranked.len() as u64,
-    }
+    ScrubOutcome { frames: accepted, detection_calls: calls, frames_scored: ranked.len() as u64 }
 }
 
 /// The full BlazeIt scrubbing plan: score every frame with the specialized NN, then
@@ -168,8 +175,7 @@ mod tests {
         let e = engine();
         let reqs = [(ObjectClass::Car, 2usize)];
         let nn = specialized_for_requirements(&e, &reqs).unwrap();
-        let outcome =
-            blazeit_scrub(&e, &nn, &reqs, ScrubOptions { limit: 5, gap: 10 }).unwrap();
+        let outcome = blazeit_scrub(&e, &nn, &reqs, ScrubOptions { limit: 5, gap: 10 }).unwrap();
         assert!(outcome.frames.len() <= 5);
         assert_eq!(outcome.frames_scored, e.video().len());
         // Every returned frame must genuinely satisfy the predicate according to the

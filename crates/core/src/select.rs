@@ -30,8 +30,8 @@ use blazeit_frameql::ast::BinaryOp;
 use blazeit_frameql::expr::evaluate_row;
 use blazeit_frameql::query::{ContentPredicate, MaskAccessor, QueryPlanInfo};
 use blazeit_frameql::{FrameQlRow, Query};
-use blazeit_nn::specialized::SpecializedNN;
-use blazeit_videostore::{BoundingBox, FrameIndex, ObjectClass};
+use blazeit_nn::ScoreMatrix;
+use blazeit_videostore::{BoundingBox, FrameIndex};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -92,8 +92,11 @@ pub struct FilterPlan {
     pub region: Option<BoundingBox>,
     /// Calibrated frame-level content filters.
     pub content_filters: Vec<ContentFilter>,
-    /// Label filter: specialized NN, target class, and no-false-negative threshold.
-    pub label_filter: Option<(Arc<SpecializedNN>, ObjectClass, f64)>,
+    /// Label filter: the unseen video's batched score index, the head to read,
+    /// and the no-false-negative presence threshold. Scoring happened when the
+    /// index was built (cached on the engine), so applying the filter during the
+    /// scan is a lookup, not an inference.
+    pub label_filter: Option<(Arc<ScoreMatrix>, usize, f64)>,
     /// Minimum number of *scanned* frames a track must appear in (derived from the
     /// track-duration constraint and the stride).
     pub min_track_appearances: u64,
@@ -207,11 +210,7 @@ pub fn plan_filters(
     };
 
     // --- Spatial filter ---------------------------------------------------------------
-    let region = if options.use_spatial_filter {
-        spatial_region(engine, info)
-    } else {
-        None
-    };
+    let region = if options.use_spatial_filter { spatial_region(engine, info) } else { None };
 
     // --- Content filters ---------------------------------------------------------------
     let content_filters = if options.use_content_filter {
@@ -221,11 +220,8 @@ pub fn plan_filters(
     };
 
     // --- Label filter ------------------------------------------------------------------
-    let label_filter = if options.use_label_filter {
-        calibrate_label_filter(engine, info)?
-    } else {
-        None
-    };
+    let label_filter =
+        if options.use_label_filter { calibrate_label_filter(engine, info)? } else { None };
 
     Ok(FilterPlan { stride, region, content_filters, label_filter, min_track_appearances })
 }
@@ -284,8 +280,8 @@ fn spatial_region(engine: &BlazeIt, info: &QueryPlanInfo) -> Option<BoundingBox>
     }
     let pad_x = 0.05 * width;
     let pad_y = 0.05 * height;
-    let region =
-        BoundingBox::new(xmin - pad_x, ymin - pad_y, xmax + pad_x, ymax + pad_y).clamp_to(width, height);
+    let region = BoundingBox::new(xmin - pad_x, ymin - pad_y, xmax + pad_x, ymax + pad_y)
+        .clamp_to(width, height);
     if region.area() < 0.85 * width * height {
         Some(region)
     } else {
@@ -295,10 +291,7 @@ fn spatial_region(engine: &BlazeIt, info: &QueryPlanInfo) -> Option<BoundingBox>
 
 /// Calibrates frame-level thresholds for liftable content predicates on the held-out
 /// day, with no false negatives on that day (Section 8.1).
-fn calibrate_content_filters(
-    engine: &BlazeIt,
-    info: &QueryPlanInfo,
-) -> Result<Vec<ContentFilter>> {
+fn calibrate_content_filters(engine: &BlazeIt, info: &QueryPlanInfo) -> Result<Vec<ContentFilter>> {
     let liftable: Vec<&ContentPredicate> = info
         .content_predicates
         .iter()
@@ -322,16 +315,15 @@ fn calibrate_content_filters(
             let pixels = heldout_video.frame(frame)?;
             engine.clock().charge(CostCategory::Decode, engine.config().cost.decode_cost());
             engine.clock().charge(CostCategory::Filter, engine.config().cost.filter_cost());
-            let frame_value = engine
-                .udfs()
-                .call(&predicate.udf, &pixels, &full)?
-                .as_number()
-                .ok_or_else(|| {
-                    BlazeItError::Unsupported(format!(
-                        "UDF '{}' does not return a continuous value",
-                        predicate.udf
-                    ))
-                })?;
+            let frame_value =
+                engine.udfs().call(&predicate.udf, &pixels, &full)?.as_number().ok_or_else(
+                    || {
+                        BlazeItError::Unsupported(format!(
+                            "UDF '{}' does not return a continuous value",
+                            predicate.udf
+                        ))
+                    },
+                )?;
             all_values.push(frame_value);
 
             // Does this held-out frame contain a qualifying object (right class, and
@@ -364,8 +356,7 @@ fn calibrate_content_filters(
             // used effectively").
             continue;
         }
-        let min_positive =
-            qualifying_frame_values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_positive = qualifying_frame_values.iter().cloned().fold(f64::INFINITY, f64::min);
         let spread = {
             let max_all = all_values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let min_all = all_values.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -380,24 +371,32 @@ fn calibrate_content_filters(
     Ok(filters)
 }
 
-/// Trains and calibrates the label-based (binary presence) filter for the target class.
+/// Trains and calibrates the label-based (binary presence) filter for the target
+/// class, returning the unseen video's score index plus the calibrated threshold.
+///
+/// Both score matrices involved (held-out day for calibration, test day for the
+/// filter itself) come from the engine's batched score-index cache, so repeated
+/// selection queries over the same class neither retrain nor rescore anything.
 fn calibrate_label_filter(
     engine: &BlazeIt,
     info: &QueryPlanInfo,
-) -> Result<Option<(Arc<SpecializedNN>, ObjectClass, f64)>> {
+) -> Result<Option<(Arc<ScoreMatrix>, usize, f64)>> {
     let Some(class) = info.single_class() else { return Ok(None) };
     if !engine.labeled().has_training_examples(&[(class, 1)], 20) {
         return Ok(None);
     }
     let nn = engine.specialized_for(&[(class, engine.default_max_count(class, 1))])?;
-    let heldout = engine.labeled().heldout();
-    let threshold = nn.calibrate_presence_threshold(
-        engine.labeled().heldout_video(),
-        &heldout.frames,
-        &heldout.class_counts(class),
+    let heldout_scores = engine.heldout_score_index(&nn)?;
+    let threshold = nn.presence_threshold_from_scores(
+        &heldout_scores,
+        &engine.labeled().heldout().class_counts(class),
         class,
     )?;
-    Ok(Some((nn, class, threshold)))
+    let head = nn
+        .head_index(class)
+        .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))?;
+    let scores = engine.score_index(&nn)?;
+    Ok(Some((scores, head, threshold)))
 }
 
 /// Runs the selection scan with a resolved filter plan.
@@ -410,7 +409,8 @@ pub fn run_selection(
     let video = engine.video();
     let (width, height) = video.resolution();
     let full = BoundingBox::new(0.0, 0.0, width, height);
-    let mut builder = RelationBuilder::new(engine.detector(), engine.config().tracker_iou, plan.stride);
+    let mut builder =
+        RelationBuilder::new(engine.detector(), engine.config().tracker_iou, plan.stride);
 
     let mut rows: Vec<FrameQlRow> = Vec::new();
     let mut track_appearances: HashMap<u64, u64> = HashMap::new();
@@ -449,9 +449,10 @@ pub fn run_selection(
         }
         frames_after_content += 1;
 
-        // Label filter (specialized NN, ~10,000 fps).
-        if let Some((nn, class, threshold)) = &plan.label_filter {
-            let p = nn.prob_at_least(video, frame, *class, 1)?;
+        // Label filter: a lookup into the batched score index (the inference ran
+        // when the index was built).
+        if let Some((scores, head, threshold)) = &plan.label_filter {
+            let p = scores.tail_probability(frame as usize, *head, 1);
             if p < *threshold {
                 frame += plan.stride;
                 continue;
@@ -527,9 +528,9 @@ pub fn red_bus_query(video: &str, redness: f64, min_area: f64, min_frames: u64) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blazeit_frameql::query::analyze;
     use blazeit_frameql::parse_query;
-    use blazeit_videostore::DatasetPreset;
+    use blazeit_frameql::query::analyze;
+    use blazeit_videostore::{DatasetPreset, ObjectClass};
 
     fn engine() -> BlazeIt {
         BlazeIt::for_preset(DatasetPreset::Taipei, 2_000).unwrap()
@@ -616,10 +617,7 @@ mod tests {
             return; // No red buses in this sample — nothing to compare.
         }
         let blazeit_tracks = ground_truth_tracks(&e, &blazeit.rows);
-        let found = naive_tracks
-            .iter()
-            .filter(|t| blazeit_tracks.contains(t))
-            .count();
+        let found = naive_tracks.iter().filter(|t| blazeit_tracks.contains(t)).count();
         let recall = found as f64 / naive_tracks.len() as f64;
         assert!(
             recall >= 0.5,
@@ -645,7 +643,8 @@ mod tests {
     #[test]
     fn explicit_spatial_constraints_define_the_region() {
         let e = engine();
-        let sql = "SELECT * FROM taipei WHERE class = 'car' AND xmax(mask) < 720 AND ymin(mask) >= 100";
+        let sql =
+            "SELECT * FROM taipei WHERE class = 'car' AND xmax(mask) < 720 AND ymin(mask) >= 100";
         let q = parse_query(sql).unwrap();
         let info = analyze(&q, e.udfs()).unwrap();
         let plan = plan_filters(&e, &info, &SelectionOptions::default()).unwrap();

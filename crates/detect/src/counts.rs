@@ -72,11 +72,7 @@ impl CountVector {
 
     /// Iterates over `(class, count)` pairs with non-zero counts.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (ObjectClass, usize)> + '_ {
-        ObjectClass::ALL
-            .iter()
-            .copied()
-            .map(move |c| (c, self.get(c)))
-            .filter(|&(_, n)| n > 0)
+        ObjectClass::ALL.iter().copied().map(move |c| (c, self.get(c))).filter(|&(_, n)| n > 0)
     }
 }
 

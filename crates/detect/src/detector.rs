@@ -51,6 +51,18 @@ pub trait ObjectDetector: Send + Sync {
     /// (after the method's confidence threshold).
     fn detect(&self, video: &Video, frame: FrameIndex) -> Vec<Detection>;
 
+    /// Runs detection on a batch of frames, returning one detection list per
+    /// frame (same order as `frames`).
+    ///
+    /// Results and total simulated cost are identical to calling
+    /// [`ObjectDetector::detect`] per frame; implementations may amortize
+    /// bookkeeping (e.g. charge their clock once per batch), which is what makes
+    /// full-video baseline scans cheap to drive. The default implementation just
+    /// loops.
+    fn detect_batch(&self, video: &Video, frames: &[FrameIndex]) -> Vec<Vec<Detection>> {
+        frames.iter().map(|&frame| self.detect(video, frame)).collect()
+    }
+
     /// The simulated cost, in GPU-seconds, of one invocation on a full frame of `video`.
     fn cost_per_frame(&self, video: &Video) -> f64;
 

@@ -120,7 +120,9 @@ mod tests {
         assert!(
             DetectionMethod::MaskRcnn.throughput_fps() < DetectionMethod::YoloV2.throughput_fps()
         );
-        assert!(DetectionMethod::MaskRcnn.base_miss_rate() < DetectionMethod::YoloV2.base_miss_rate());
+        assert!(
+            DetectionMethod::MaskRcnn.base_miss_rate() < DetectionMethod::YoloV2.base_miss_rate()
+        );
     }
 
     #[test]

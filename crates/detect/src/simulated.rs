@@ -191,18 +191,29 @@ impl SimulatedDetector {
             CostCategory::Detection,
             self.method.cost_per_frame_secs() * self.resolution_cost_scale(video) * frac,
         );
+        self.detect_uncharged(video, frame, region)
+    }
+
+    /// Generates one frame's detections without touching the clock (the caller
+    /// has already charged for it, possibly as part of a batch).
+    fn detect_uncharged(
+        &self,
+        video: &Video,
+        frame: FrameIndex,
+        region: Option<&BoundingBox>,
+    ) -> Vec<Detection> {
         let mut rng = self.frame_rng(video, frame);
         let ground_truth = video.scene().visible_at(frame);
-        let mut detections: Vec<Detection> = ground_truth
-            .iter()
-            .filter_map(|gt| self.observe(&mut rng, gt))
-            .collect();
+        let mut detections: Vec<Detection> =
+            ground_truth.iter().filter_map(|gt| self.observe(&mut rng, gt)).collect();
         detections.extend(self.spurious(&mut rng, video));
         detections.retain(|d| d.confidence >= self.threshold);
         if let Some(r) = region {
             detections.retain(|d| r.contains(&d.bbox.center()));
         }
-        detections.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+        detections.sort_by(|a, b| {
+            b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
+        });
         detections
     }
 
@@ -226,6 +237,18 @@ impl ObjectDetector for SimulatedDetector {
         self.detect_in_region(video, frame, None)
     }
 
+    fn detect_batch(&self, video: &Video, frames: &[FrameIndex]) -> Vec<Vec<Detection>> {
+        // One clock charge for the whole batch (identical total to per-frame
+        // charging) and one resolution/cost lookup, then per-frame generation.
+        self.clock.charge(
+            CostCategory::Detection,
+            frames.len() as f64
+                * self.method.cost_per_frame_secs()
+                * self.resolution_cost_scale(video),
+        );
+        frames.iter().map(|&frame| self.detect_uncharged(video, frame, None)).collect()
+    }
+
     fn cost_per_frame(&self, video: &Video) -> f64 {
         self.method.cost_per_frame_secs() * self.resolution_cost_scale(video)
     }
@@ -246,7 +269,26 @@ mod tests {
 
     fn detector(video_threshold: f32) -> (SimulatedDetector, Arc<SimClock>) {
         let clock = SimClock::new();
-        (SimulatedDetector::new(DetectionMethod::MaskRcnn, video_threshold, Arc::clone(&clock)), clock)
+        (
+            SimulatedDetector::new(DetectionMethod::MaskRcnn, video_threshold, Arc::clone(&clock)),
+            clock,
+        )
+    }
+
+    #[test]
+    fn detect_batch_matches_per_frame_detection_and_cost() {
+        let v = video();
+        let (batch_detector, batch_clock) = detector(0.5);
+        let (serial_detector, serial_clock) = detector(0.5);
+        let frames: Vec<FrameIndex> = (0..300).collect();
+        let batched = batch_detector.detect_batch(&v, &frames);
+        let serial: Vec<_> = frames.iter().map(|&f| serial_detector.detect(&v, f)).collect();
+        assert_eq!(batched, serial);
+        assert!(
+            (batch_clock.breakdown().detection - serial_clock.breakdown().detection).abs() < 1e-9
+        );
+        assert!(batch_clock.breakdown().detection > 0.0);
+        assert!(batch_detector.detect_batch(&v, &[]).is_empty());
     }
 
     #[test]

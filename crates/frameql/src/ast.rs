@@ -218,7 +218,10 @@ mod tests {
     #[test]
     fn walk_visits_every_node() {
         let e = Expr::binary(
-            Expr::FunctionCall { name: "redness".into(), args: vec![Expr::Column("content".into())] },
+            Expr::FunctionCall {
+                name: "redness".into(),
+                args: vec![Expr::Column("content".into())],
+            },
             BinaryOp::GtEq,
             Expr::Number(17.5),
         );

@@ -108,9 +108,9 @@ pub fn evaluate_frame_having(
         Expr::StringLit(s) => Ok(Value::Str(s.clone())),
         Expr::FunctionCall { name, args } => match name.as_str() {
             "sum" => {
-                let arg = args.first().ok_or_else(|| {
-                    FrameQlError::EvalError("SUM requires an argument".into())
-                })?;
+                let arg = args
+                    .first()
+                    .ok_or_else(|| FrameQlError::EvalError("SUM requires an argument".into()))?;
                 let mut total = 0.0;
                 for row in rows {
                     let v = evaluate_row(arg, row, frame, udfs)?;
@@ -120,9 +120,9 @@ pub fn evaluate_frame_having(
             }
             "count" => Ok(Value::Number(rows.len() as f64)),
             "avg" => {
-                let arg = args.first().ok_or_else(|| {
-                    FrameQlError::EvalError("AVG requires an argument".into())
-                })?;
+                let arg = args
+                    .first()
+                    .ok_or_else(|| FrameQlError::EvalError("AVG requires an argument".into()))?;
                 if rows.is_empty() {
                     return Ok(Value::Number(0.0));
                 }
@@ -198,9 +198,7 @@ fn compare(left: &Value, op: BinaryOp, right: &Value) -> Result<Value> {
     if matches!(left, Value::Null) || matches!(right, Value::Null) {
         return Ok(Value::Bool(false));
     }
-    Err(FrameQlError::EvalError(format!(
-        "cannot compare {left:?} {op} {right:?}"
-    )))
+    Err(FrameQlError::EvalError(format!("cannot compare {left:?} {op} {right:?}")))
 }
 
 #[cfg(test)]
@@ -311,19 +309,21 @@ mod tests {
             evaluate_frame_having(&having, &rows_no_match, None, &udfs).unwrap(),
             Value::Bool(false)
         );
-        assert_eq!(
-            evaluate_frame_having(&having, &[], None, &udfs).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(evaluate_frame_having(&having, &[], None, &udfs).unwrap(), Value::Bool(false));
     }
 
     #[test]
     fn having_count_star() {
         let udfs = builtin_udfs();
-        let having =
-            parse_query("SELECT * FROM v GROUP BY trackid HAVING COUNT(*) > 2").unwrap().having.unwrap();
-        let rows3 =
-            vec![row(ObjectClass::Bus, 0.0), row(ObjectClass::Bus, 1.0), row(ObjectClass::Bus, 2.0)];
+        let having = parse_query("SELECT * FROM v GROUP BY trackid HAVING COUNT(*) > 2")
+            .unwrap()
+            .having
+            .unwrap();
+        let rows3 = vec![
+            row(ObjectClass::Bus, 0.0),
+            row(ObjectClass::Bus, 1.0),
+            row(ObjectClass::Bus, 2.0),
+        ];
         assert_eq!(evaluate_frame_having(&having, &rows3, None, &udfs).unwrap(), Value::Bool(true));
         assert_eq!(
             evaluate_frame_having(&having, &rows3[..2], None, &udfs).unwrap(),
@@ -345,7 +345,10 @@ mod tests {
 
     #[test]
     fn null_comparisons_are_false() {
-        assert_eq!(compare(&Value::Null, BinaryOp::Eq, &Value::Number(1.0)).unwrap(), Value::Bool(false));
+        assert_eq!(
+            compare(&Value::Null, BinaryOp::Eq, &Value::Number(1.0)).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]

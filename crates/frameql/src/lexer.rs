@@ -209,7 +209,8 @@ mod tests {
 
     #[test]
     fn lex_operators_and_numbers() {
-        let tokens = tokenize("a >= 17.5 AND b <> 3 OR c != 1 AND d <= 2 AND e < 5 AND f > 0.1").unwrap();
+        let tokens =
+            tokenize("a >= 17.5 AND b <> 3 OR c != 1 AND d <= 2 AND e < 5 AND f > 0.1").unwrap();
         assert!(tokens.contains(&Token::GtEq));
         assert!(tokens.contains(&Token::Number(17.5)));
         assert_eq!(tokens.iter().filter(|t| **t == Token::NotEq).count(), 2);

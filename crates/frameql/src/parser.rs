@@ -393,7 +393,8 @@ mod tests {
 
     #[test]
     fn parse_count_distinct() {
-        let q = parse_query("SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'").unwrap();
+        let q =
+            parse_query("SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'").unwrap();
         assert_eq!(q.select, vec![SelectItem::CountDistinct("trackid".into())]);
     }
 
@@ -409,10 +410,9 @@ mod tests {
 
     #[test]
     fn parse_udf_classification_query() {
-        let q = parse_query(
-            "SELECT * FROM taipei WHERE class = 'car' AND classify(content) = 'sedan'",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT * FROM taipei WHERE class = 'car' AND classify(content) = 'sedan'")
+                .unwrap();
         let w = q.where_clause.unwrap();
         let found_udf = {
             let mut found = false;
@@ -435,7 +435,8 @@ mod tests {
         )
         .unwrap();
         assert!((q.accuracy.confidence.unwrap() - 0.95).abs() < 1e-9);
-        let q2 = parse_query("SELECT FCOUNT(*) FROM rialto ERROR WITHIN 0.05 CONFIDENCE 0.9").unwrap();
+        let q2 =
+            parse_query("SELECT FCOUNT(*) FROM rialto ERROR WITHIN 0.05 CONFIDENCE 0.9").unwrap();
         assert!((q2.accuracy.confidence.unwrap() - 0.9).abs() < 1e-9);
     }
 

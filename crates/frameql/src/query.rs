@@ -213,7 +213,9 @@ fn classify(query: &Query) -> Result<QueryClass> {
                 return Ok(QueryClass::Aggregate { kind: AggregateKind::Count })
             }
             SelectItem::CountDistinct(col) => {
-                return Ok(QueryClass::Aggregate { kind: AggregateKind::CountDistinct(col.clone()) })
+                return Ok(QueryClass::Aggregate {
+                    kind: AggregateKind::CountDistinct(col.clone()),
+                })
             }
             _ => {}
         }
@@ -223,9 +225,7 @@ fn classify(query: &Query) -> Result<QueryClass> {
         return Ok(QueryClass::Scrub);
     }
     // SELECT * (or column projections) over object rows: content-based selection.
-    if query.is_select_star()
-        || query.select.iter().all(|s| matches!(s, SelectItem::Column(_)))
-    {
+    if query.is_select_star() || query.select.iter().all(|s| matches!(s, SelectItem::Column(_))) {
         return Ok(QueryClass::Select);
     }
     Ok(QueryClass::Exhaustive)
@@ -277,7 +277,11 @@ fn analyze_conjunct(
                     "ymin" => MaskAccessor::Ymin,
                     _ => MaskAccessor::Ymax,
                 };
-                spatial_constraints.push(SpatialConstraint { accessor, op: *op, value: *threshold });
+                spatial_constraints.push(SpatialConstraint {
+                    accessor,
+                    op: *op,
+                    value: *threshold,
+                });
                 return Ok(());
             }
             _ => {
@@ -364,7 +368,10 @@ mod tests {
             "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
         );
         assert_eq!(info.class, QueryClass::Aggregate { kind: AggregateKind::FrameAveragedCount });
-        assert_eq!(info.requirements, vec![ClassRequirement { class: ObjectClass::Car, min_count: 1 }]);
+        assert_eq!(
+            info.requirements,
+            vec![ClassRequirement { class: ObjectClass::Car, min_count: 1 }]
+        );
         assert_eq!(info.single_class(), Some(ObjectClass::Car));
         assert_eq!(info.error_within, Some(0.1));
     }
@@ -405,7 +412,10 @@ mod tests {
              AND area(mask) > 100000 GROUP BY trackid HAVING COUNT(*) > 15",
         );
         assert_eq!(info.class, QueryClass::Select);
-        assert_eq!(info.requirements, vec![ClassRequirement { class: ObjectClass::Bus, min_count: 1 }]);
+        assert_eq!(
+            info.requirements,
+            vec![ClassRequirement { class: ObjectClass::Bus, min_count: 1 }]
+        );
         assert_eq!(info.min_area, Some(100_000.0));
         assert_eq!(info.min_track_frames, Some(16));
         assert_eq!(info.content_predicates.len(), 1);
@@ -444,16 +454,16 @@ mod tests {
             "SELECT timestamp FROM taipei WHERE class = 'car' GROUP BY timestamp \
              HAVING SUM(class='car') >= 4 LIMIT 5",
         );
-        assert_eq!(info.requirements, vec![ClassRequirement { class: ObjectClass::Car, min_count: 4 }]);
+        assert_eq!(
+            info.requirements,
+            vec![ClassRequirement { class: ObjectClass::Car, min_count: 4 }]
+        );
     }
 
     #[test]
     fn unknown_class_is_semantic_error() {
         let q = parse_query("SELECT FCOUNT(*) FROM taipei WHERE class = 'dragon'").unwrap();
-        assert!(matches!(
-            analyze(&q, &builtin_udfs()),
-            Err(FrameQlError::SemanticError { .. })
-        ));
+        assert!(matches!(analyze(&q, &builtin_udfs()), Err(FrameQlError::SemanticError { .. })));
     }
 
     #[test]

@@ -58,10 +58,7 @@ impl UdfRegistry {
         func: impl Fn(&Frame, &BoundingBox) -> Value + Send + Sync + 'static,
     ) {
         let name = name.to_ascii_lowercase();
-        self.udfs.insert(
-            name.clone(),
-            Udf { name, frame_liftable, func: Arc::new(func) },
-        );
+        self.udfs.insert(name.clone(), Udf { name, frame_liftable, func: Arc::new(func) });
     }
 
     /// Looks up a UDF by name.
@@ -76,9 +73,7 @@ impl UdfRegistry {
 
     /// Evaluates a UDF over a frame region.
     pub fn call(&self, name: &str, frame: &Frame, mask: &BoundingBox) -> Result<Value> {
-        let udf = self
-            .get(name)
-            .ok_or_else(|| FrameQlError::UnknownUdf(name.to_string()))?;
+        let udf = self.get(name).ok_or_else(|| FrameQlError::UnknownUdf(name.to_string()))?;
         Ok((udf.func)(frame, mask))
     }
 
@@ -98,9 +93,8 @@ impl UdfRegistry {
 ///   `suv` by the mask's aspect ratio (not frame-liftable: it returns a discrete label).
 pub fn builtin_udfs() -> UdfRegistry {
     let mut registry = UdfRegistry::new();
-    registry.register("redness", true, |frame, mask| {
-        Value::Number(f64::from(frame.redness_in(mask)))
-    });
+    registry
+        .register("redness", true, |frame, mask| Value::Number(f64::from(frame.redness_in(mask))));
     registry.register("blueness", true, |frame, mask| {
         Value::Number(f64::from(frame.blueness_in(mask)))
     });
@@ -169,10 +163,7 @@ mod tests {
         let reg = builtin_udfs();
         let frame = red_frame();
         let mask = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
-        assert!(matches!(
-            reg.call("sharpness", &frame, &mask),
-            Err(FrameQlError::UnknownUdf(_))
-        ));
+        assert!(matches!(reg.call("sharpness", &frame, &mask), Err(FrameQlError::UnknownUdf(_))));
     }
 
     #[test]

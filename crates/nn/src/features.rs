@@ -2,14 +2,20 @@
 //!
 //! The paper's specialized NNs consume 65x65 RGB crops and learn convolutional
 //! features. Here the convolutional stem is replaced by a deterministic featurizer: the
-//! frame is resized to a small grid and flattened, and a handful of global channel
-//! statistics are appended. This keeps training cheap on CPU while preserving what the
-//! optimizations need — features that are *predictive but not perfectly predictive* of
-//! the detector's per-frame counts.
+//! frame is resized to a small grid and flattened, and a handful of per-channel
+//! statistics over that grid are appended. This keeps training cheap on CPU while
+//! preserving what the optimizations need — features that are *predictive but not
+//! perfectly predictive* of the detector's per-frame counts.
+//!
+//! Every feature depends only on the `grid_side × grid_side` nearest-neighbor sample
+//! of the frame. That property is what makes the batched scoring pipeline fast: the
+//! fast path ([`FrameFeaturizer::features_for_video_frame`]) renders *only* those
+//! sampled pixels via [`Video::frame_sampled`] (bit-identical to decoding the full
+//! frame and resizing) instead of materializing the whole buffer per frame.
 
 use crate::Result;
 use blazeit_videostore::ingest::resize;
-use blazeit_videostore::{BoundingBox, Frame};
+use blazeit_videostore::{BoundingBox, Frame, FrameIndex, Video};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the frame featurizer.
@@ -79,13 +85,62 @@ impl FrameFeaturizer {
     /// * row and column sums of the deviation map, the total deviation, and the number
     ///   of cells above two occupancy thresholds — pooled features whose magnitude
     ///   scales directly with the number of visible objects;
-    /// * optional global channel statistics.
+    /// * optional per-channel statistics over the grid (mean, variance,
+    ///   redness/blueness summaries).
     pub fn features(&self, frame: &Frame) -> Result<Vec<f32>> {
         let side = self.config.grid_side;
-        let small = resize(frame, side, side).map_err(|e| crate::NnError::InvalidConfig(e.to_string()))?;
+        let small =
+            resize(frame, side, side).map_err(|e| crate::NnError::InvalidConfig(e.to_string()))?;
+        let mut out = vec![0.0f32; self.dim()];
+        self.features_into_grid(&small, &mut out);
+        Ok(out)
+    }
 
+    /// Featurizes a frame of `video` through the sparse-render fast path.
+    ///
+    /// Renders only the `grid_side × grid_side` pixels featurization samples
+    /// ([`Video::frame_sampled`]) instead of decoding the full frame — the same
+    /// feature vector as `features(&video.frame(f)?)`, at a fraction of the
+    /// per-frame cost.
+    pub fn features_for_video_frame(&self, video: &Video, frame: FrameIndex) -> Result<Vec<f32>> {
+        let mut out = vec![0.0f32; self.dim()];
+        self.features_for_video_frame_into(video, frame, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`FrameFeaturizer::features_for_video_frame`], but writes into a
+    /// caller-provided slice of length [`FrameFeaturizer::dim`] — the
+    /// allocation-free featurization kernel of the batched scoring pipeline
+    /// (each worker fills its rows of the batch feature matrix directly).
+    pub fn features_for_video_frame_into(
+        &self,
+        video: &Video,
+        frame: FrameIndex,
+        out: &mut [f32],
+    ) -> Result<()> {
+        if out.len() != self.dim() {
+            return Err(crate::NnError::ShapeMismatch {
+                context: format!("feature buffer of {} for dim {}", out.len(), self.dim()),
+            });
+        }
+        let side = self.config.grid_side;
+        let small = video
+            .frame_sampled(frame, side, side)
+            .map_err(|e| crate::NnError::InvalidConfig(e.to_string()))?;
+        self.features_into_grid(&small, out);
+        Ok(())
+    }
+
+    /// Assembles the feature vector from an already-downsampled `grid_side ×
+    /// grid_side` frame into `out` (length [`FrameFeaturizer::dim`]); the shared
+    /// back half of [`FrameFeaturizer::features`] and the fast paths. Writes
+    /// every position, in the same order and with the same arithmetic as the
+    /// original push-based construction.
+    fn features_into_grid(&self, small: &Frame, out: &mut [f32]) {
+        let side = self.config.grid_side;
+        let cells = side * side;
         // Per-channel mean of the downsampled frame (background estimate).
-        let n = (side * side).max(1) as f32;
+        let n = cells.max(1) as f32;
         let mut mean = [0.0f32; 3];
         for px in small.pixels.chunks_exact(3) {
             for c in 0..3 {
@@ -97,44 +152,42 @@ impl FrameFeaturizer {
         }
 
         // Background-subtracted grid pixels.
-        let mut out: Vec<f32> = Vec::with_capacity(self.dim());
-        for px in small.pixels.chunks_exact(3) {
+        for (i, px) in small.pixels.chunks_exact(3).enumerate() {
             for c in 0..3 {
-                out.push(px[c] as f32 / 255.0 - mean[c]);
+                out[i * 3 + c] = px[c] as f32 / 255.0 - mean[c];
             }
         }
 
+        let mut cursor = cells * 3;
         if self.config.include_deviation {
-            // Color-agnostic occupancy map plus pooled summaries.
-            let mut deviation = Vec::with_capacity(side * side);
-            for px in small.pixels.chunks_exact(3) {
-                let dev: f32 = (0..3)
-                    .map(|c| (px[c] as f32 / 255.0 - mean[c]).abs())
-                    .sum::<f32>()
-                    / 3.0;
-                deviation.push(dev);
+            // Color-agnostic occupancy map plus pooled summaries. The deviation
+            // map is written straight into its output slot and the pooled sums
+            // read it back from there.
+            for (d, px) in out[cursor..cursor + cells].iter_mut().zip(small.pixels.chunks_exact(3))
+            {
+                *d = (0..3).map(|c| (px[c] as f32 / 255.0 - mean[c]).abs()).sum::<f32>() / 3.0;
             }
-            out.extend_from_slice(&deviation);
-
-            let mut row_sums = vec![0.0f32; side];
-            let mut col_sums = vec![0.0f32; side];
+            let (head, rest) = out.split_at_mut(cursor + cells);
+            let deviation = &head[cursor..];
+            let (row_sums, rest) = rest.split_at_mut(side);
+            let (col_sums, pooled) = rest.split_at_mut(side);
+            row_sums.fill(0.0);
+            col_sums.fill(0.0);
             for (i, &d) in deviation.iter().enumerate() {
                 row_sums[i / side] += d;
                 col_sums[i % side] += d;
             }
-            out.extend_from_slice(&row_sums);
-            out.extend_from_slice(&col_sums);
             let total: f32 = deviation.iter().sum();
             let occupied_loose = deviation.iter().filter(|&&d| d > 0.05).count() as f32;
             let occupied_tight = deviation.iter().filter(|&&d| d > 0.12).count() as f32;
-            out.push(total / 20.0);
-            out.push(occupied_loose / 10.0);
-            out.push(occupied_tight / 10.0);
+            pooled[0] = total / 20.0;
+            pooled[1] = occupied_loose / 10.0;
+            pooled[2] = occupied_tight / 10.0;
+            cursor += cells + 2 * side + 3;
         }
         if self.config.include_stats {
-            out.extend(Self::channel_stats(frame));
+            out[cursor..cursor + 8].copy_from_slice(&Self::channel_stats(small));
         }
-        Ok(out)
     }
 
     /// Featurizes a region of a frame (used by spatially filtered pipelines).
@@ -144,8 +197,13 @@ impl FrameFeaturizer {
         self.features(&cropped)
     }
 
-    /// Per-dimension standardization statistics are computed by [`Standardizer::fit`].
-    fn channel_stats(frame: &Frame) -> Vec<f32> {
+    /// Per-channel mean/variance and redness/blueness summaries of the grid.
+    ///
+    /// Computed over the downsampled grid rather than the full frame so that the
+    /// entire feature vector depends only on the sampled pixels — the invariant
+    /// the sparse-render fast path relies on. (Per-dimension standardization
+    /// statistics are computed separately by [`Standardizer::fit`].)
+    fn channel_stats(frame: &Frame) -> [f32; 8] {
         let n = frame.num_pixels().max(1) as f64;
         let mut sums = [0.0f64; 3];
         let mut sq = [0.0f64; 3];
@@ -158,7 +216,7 @@ impl FrameFeaturizer {
         }
         let mean: Vec<f64> = sums.iter().map(|s| s / n).collect();
         let var: Vec<f64> = sq.iter().zip(&mean).map(|(s, m)| (s / n - m * m).max(0.0)).collect();
-        vec![
+        [
             mean[0] as f32,
             mean[1] as f32,
             mean[2] as f32,
@@ -292,6 +350,20 @@ mod tests {
         assert_eq!(feats.len(), featurizer.dim());
         // Background-subtracted values are small; pooled sums are bounded by the grid size.
         assert!(feats.iter().all(|&x| x.is_finite() && x.abs() <= 20.0));
+    }
+
+    #[test]
+    fn fast_path_features_match_full_frame_features() {
+        // The sparse-render fast path must produce exactly the features the
+        // decode-then-featurize path produces — it is what makes batched
+        // scoring a pure performance change.
+        let video = DatasetPreset::Taipei.generate_with_frames(DAY_TEST, 400).unwrap();
+        let featurizer = FrameFeaturizer::default();
+        for f in (0..400).step_by(29) {
+            let slow = featurizer.features(&video.frame(f).unwrap()).unwrap();
+            let fast = featurizer.features_for_video_frame(&video, f).unwrap();
+            assert_eq!(slow, fast, "fast-path features diverge at frame {f}");
+        }
     }
 
     #[test]

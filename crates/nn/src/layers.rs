@@ -67,8 +67,22 @@ impl Dense {
 
     /// Forward pass without caching (inference only).
     pub fn forward_inference(&self, input: &Matrix) -> Result<Matrix> {
-        let pre = input.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
-        Ok(if self.relu { pre.map(|x| x.max(0.0)) } else { pre })
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Forward pass writing into a caller-provided output matrix (inference only).
+    ///
+    /// The batched-inference kernel: `out`'s storage is reused across calls, so a
+    /// steady-state forward pass performs no allocation and no per-layer clones.
+    pub fn forward_into(&self, input: &Matrix, out: &mut Matrix) -> Result<()> {
+        input.matmul_into(&self.weights, out)?;
+        out.add_row_broadcast_in_place(&self.bias)?;
+        if self.relu {
+            out.relu_in_place();
+        }
+        Ok(())
     }
 
     /// Backward pass: takes the gradient of the loss with respect to this layer's
@@ -76,9 +90,9 @@ impl Dense {
     ///
     /// Must be called after [`Dense::forward`] on the same batch.
     pub fn backward(&mut self, d_output: &Matrix) -> Result<(Matrix, DenseGradients)> {
-        let input = self.cached_input.take().ok_or_else(|| crate::NnError::InvalidConfig(
-            "backward called before forward".into(),
-        ))?;
+        let input = self.cached_input.take().ok_or_else(|| {
+            crate::NnError::InvalidConfig("backward called before forward".into())
+        })?;
         let pre = self.cached_pre_activation.take().ok_or_else(|| {
             crate::NnError::InvalidConfig("backward called before forward".into())
         })?;
@@ -93,6 +107,34 @@ impl Dense {
         let d_bias = d_pre.sum_rows();
         let d_input = d_pre.matmul(&self.weights.transpose())?;
         Ok((d_input, DenseGradients { d_weights, d_bias }))
+    }
+}
+
+/// Softmax over consecutive segments of one logits row, written into `out`.
+///
+/// `heads` gives the width of each segment (the grouped-softmax head layout);
+/// `logits` and `out` must both be exactly `heads.iter().sum()` long. Each
+/// segment is normalized with the same numerically stable max-shift sequence as
+/// [`softmax_rows`], so batched scoring produces bit-identical probabilities to
+/// the row-at-a-time path.
+pub fn softmax_segments_into(logits: &[f32], heads: &[usize], out: &mut [f32]) {
+    let mut offset = 0usize;
+    for &size in heads {
+        let seg = &logits[offset..offset + size];
+        let dst = &mut out[offset..offset + size];
+        let seg_max = seg.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (d, &x) in dst.iter_mut().zip(seg) {
+            let e = (x - seg_max).exp();
+            *d = e;
+            sum += e;
+        }
+        if sum > 0.0 {
+            for d in dst.iter_mut() {
+                *d /= sum;
+            }
+        }
+        offset += size;
     }
 }
 

@@ -18,9 +18,17 @@
 //! * [`train`] — a mini-batch training loop.
 //! * [`features`] — frame featurization (downsampled pixels + channel statistics),
 //!   standing in for the 65x65 CNN input.
+//! * [`score`] — the flat [`ScoreMatrix`](score::ScoreMatrix) holding per-frame,
+//!   per-head probabilities: the output of batched scoring and the reusable
+//!   per-video score index.
+//! * [`parallel`] — scoped-thread chunk parallelism for batched featurization
+//!   (rayon is unavailable in this build environment).
 //! * [`specialized`] — the [`SpecializedNN`](specialized::SpecializedNN) abstraction:
-//!   count / multi-class / binary heads, bootstrap error estimation on a held-out day,
-//!   and no-false-negative threshold calibration, with simulated-time accounting.
+//!   count / multi-class / binary heads, batched scoring
+//!   ([`score_batch`](specialized::SpecializedNN::score_batch) /
+//!   [`score_video`](specialized::SpecializedNN::score_video)), bootstrap error
+//!   estimation on a held-out day, and no-false-negative threshold calibration, with
+//!   simulated-time accounting.
 //!
 //! The point of training real (small) models instead of hard-coding a correlated
 //! signal: control variates (Section 6.3) and importance sampling (Section 7) rely on
@@ -35,12 +43,15 @@ pub mod layers;
 pub mod loss;
 pub mod network;
 pub mod optimizer;
+pub mod parallel;
+pub mod score;
 pub mod specialized;
 pub mod tensor;
 pub mod train;
 
 pub use features::{FeatureConfig, FrameFeaturizer};
-pub use network::{Network, NetworkConfig};
+pub use network::{ForwardScratch, Network, NetworkConfig};
+pub use score::ScoreMatrix;
 pub use specialized::{SpecializedConfig, SpecializedHead, SpecializedNN, TrainingReport};
 pub use tensor::Matrix;
 pub use train::{TrainConfig, Trainer};

@@ -1,13 +1,26 @@
 //! The sequential multi-layer network with grouped softmax heads.
 
-use crate::layers::{softmax_rows, Dense};
+use crate::layers::{softmax_segments_into, Dense};
 use crate::loss::{grouped_cross_entropy, HeadLayout};
 use crate::optimizer::{SgdConfig, SgdState};
+use crate::score::ScoreMatrix;
 use crate::tensor::Matrix;
 use crate::{NnError, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for batched inference forward passes.
+///
+/// [`Network::logits_batch`] ping-pongs layer activations between the two
+/// matrices held here, so a steady-state forward pass over a batch performs no
+/// allocation and no per-layer clones. Create one scratch per scoring loop and
+/// reuse it across batches; buffers grow to the largest batch seen and stay
+/// there.
+#[derive(Debug, Default)]
+pub struct ForwardScratch {
+    bufs: [Matrix; 2],
+}
 
 /// Architecture of a specialized network: input size, hidden sizes and output heads.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,48 +95,106 @@ impl Network {
 
     /// Forward pass producing raw logits (no caching; safe for concurrent inference).
     pub fn logits(&self, input: &Matrix) -> Result<Matrix> {
-        let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.forward_inference(&x)?;
+        let mut scratch = ForwardScratch::default();
+        Ok(self.logits_batch(input, &mut scratch)?.clone())
+    }
+
+    /// Batched forward pass into reusable scratch buffers, returning the logits.
+    ///
+    /// Unlike [`Network::logits`], no matrix is allocated once `scratch` has
+    /// warmed up: activations ping-pong between the two scratch buffers, and the
+    /// returned reference points at whichever holds the final layer's output.
+    /// This is the inner loop of [`SpecializedNN::score_batch`]
+    /// (crate::specialized::SpecializedNN::score_batch) and produces bit-identical
+    /// logits to the row-at-a-time path.
+    pub fn logits_batch<'s>(
+        &self,
+        input: &Matrix,
+        scratch: &'s mut ForwardScratch,
+    ) -> Result<&'s Matrix> {
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .ok_or_else(|| NnError::InvalidConfig("network has no layers".into()))?;
+        first.forward_into(input, &mut scratch.bufs[0])?;
+        let mut cur = 0usize;
+        for layer in rest {
+            let (a, b) = scratch.bufs.split_at_mut(1);
+            let (src, dst) = if cur == 0 { (&a[0], &mut b[0]) } else { (&b[0], &mut a[0]) };
+            layer.forward_into(src, dst)?;
+            cur ^= 1;
         }
-        Ok(x)
+        Ok(&scratch.bufs[cur])
+    }
+
+    /// Per-head softmax scores for a batch, in flat [`ScoreMatrix`] form.
+    ///
+    /// Row `r` of the result holds the grouped-softmax probabilities of example
+    /// `r`. Softmax is applied per head segment with the same max-shift /
+    /// exponentiate / normalize sequence the nested API uses, so the two agree
+    /// element-wise.
+    pub fn predict_scores(
+        &self,
+        input: &Matrix,
+        scratch: &mut ForwardScratch,
+    ) -> Result<ScoreMatrix> {
+        let mut scores = ScoreMatrix::zeros(input.rows(), self.config.heads.clone());
+        self.predict_scores_into_rows(input, scratch, &mut scores, 0)?;
+        Ok(scores)
+    }
+
+    /// Scores a batch into rows `first_row..first_row + input.rows()` of an
+    /// existing [`ScoreMatrix`] (the whole-video indexing loop fills one big
+    /// matrix batch by batch).
+    pub fn predict_scores_into_rows(
+        &self,
+        input: &Matrix,
+        scratch: &mut ForwardScratch,
+        scores: &mut ScoreMatrix,
+        first_row: usize,
+    ) -> Result<()> {
+        if scores.head_sizes() != self.config.heads.as_slice() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "score matrix heads {:?} vs network heads {:?}",
+                    scores.head_sizes(),
+                    self.config.heads
+                ),
+            });
+        }
+        if first_row + input.rows() > scores.num_frames() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "batch of {} rows at offset {first_row} overflows score matrix of {}",
+                    input.rows(),
+                    scores.num_frames()
+                ),
+            });
+        }
+        let logits = self.logits_batch(input, scratch)?;
+        for r in 0..logits.rows() {
+            softmax_segments_into(logits.row(r), &self.config.heads, scores.row_mut(first_row + r));
+        }
+        Ok(())
     }
 
     /// Per-head softmax probabilities for a batch: `probs[example][head][class]`.
+    ///
+    /// Legacy nested layout; batched callers should prefer
+    /// [`Network::predict_scores`], which produces the same numbers without the
+    /// per-example allocations.
     pub fn predict_probs(&self, input: &Matrix) -> Result<Vec<Vec<Vec<f32>>>> {
-        let logits = self.logits(input)?;
-        let mut out = Vec::with_capacity(logits.rows());
-        for r in 0..logits.rows() {
-            let mut heads = Vec::with_capacity(self.config.heads.len());
-            let mut offset = 0usize;
-            for &size in &self.config.heads {
-                let slice: Vec<f32> = (0..size).map(|c| logits.get(r, offset + c)).collect();
-                let probs = softmax_rows(&Matrix::row_from_slice(&slice));
-                heads.push(probs.row(0).to_vec());
-                offset += size;
-            }
-            out.push(heads);
-        }
-        Ok(out)
+        let mut scratch = ForwardScratch::default();
+        let scores = self.predict_scores(input, &mut scratch)?;
+        Ok((0..scores.num_frames()).map(|r| scores.frame_probs(r)).collect())
     }
 
-    /// Argmax class per head for each example.
+    /// Argmax class per head for each example (NaN-safe).
     pub fn predict_classes(&self, input: &Matrix) -> Result<Vec<Vec<usize>>> {
-        let probs = self.predict_probs(input)?;
-        Ok(probs
-            .into_iter()
-            .map(|heads| {
-                heads
-                    .into_iter()
-                    .map(|p| {
-                        p.iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                            .map(|(i, _)| i)
-                            .unwrap_or(0)
-                    })
-                    .collect()
-            })
+        let mut scratch = ForwardScratch::default();
+        let scores = self.predict_scores(input, &mut scratch)?;
+        Ok((0..scores.num_frames())
+            .map(|r| (0..scores.num_heads()).map(|h| scores.argmax_count(r, h)).collect())
             .collect())
     }
 
@@ -258,13 +329,9 @@ mod tests {
     #[test]
     fn training_learns_separable_data() {
         let (x, y) = xor_like_data(400, 3);
-        let mut net = Network::new(NetworkConfig {
-            input_dim: 3,
-            hidden: vec![16],
-            heads: vec![2],
-            seed: 7,
-        })
-        .unwrap();
+        let mut net =
+            Network::new(NetworkConfig { input_dim: 3, hidden: vec![16], heads: vec![2], seed: 7 })
+                .unwrap();
         let sgd = SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0 };
         let initial_acc = net.accuracy(&x, &y).unwrap();
         for _ in 0..30 {
@@ -277,13 +344,9 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let (x, y) = xor_like_data(200, 9);
-        let mut net = Network::new(NetworkConfig {
-            input_dim: 3,
-            hidden: vec![8],
-            heads: vec![2],
-            seed: 1,
-        })
-        .unwrap();
+        let mut net =
+            Network::new(NetworkConfig { input_dim: 3, hidden: vec![8], heads: vec![2], seed: 1 })
+                .unwrap();
         let sgd = SgdConfig::default();
         let first = net.train_batch(&x, &y, sgd).unwrap();
         let mut last = first;

@@ -61,7 +61,8 @@ mod tests {
     fn step_moves_against_gradient() {
         let mut param = Matrix::from_vec(1, 2, vec![1.0, -1.0]).unwrap();
         let grad = Matrix::from_vec(1, 2, vec![1.0, -1.0]).unwrap();
-        let mut state = SgdState::new(1, 2, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        let mut state =
+            SgdState::new(1, 2, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0 });
         state.step(&mut param, &grad).unwrap();
         assert!(param.get(0, 0) < 1.0);
         assert!(param.get(0, 1) > -1.0);
@@ -72,8 +73,10 @@ mod tests {
         let mut p_no_momentum = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
         let mut p_momentum = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
         let grad = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
-        let mut plain = SgdState::new(1, 1, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0 });
-        let mut with_mom = SgdState::new(1, 1, SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0 });
+        let mut plain =
+            SgdState::new(1, 1, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        let mut with_mom =
+            SgdState::new(1, 1, SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0 });
         for _ in 0..5 {
             plain.step(&mut p_no_momentum, &grad).unwrap();
             with_mom.step(&mut p_momentum, &grad).unwrap();
@@ -86,7 +89,8 @@ mod tests {
     fn weight_decay_shrinks_parameters() {
         let mut param = Matrix::from_vec(1, 1, vec![10.0]).unwrap();
         let zero_grad = Matrix::zeros(1, 1);
-        let mut state = SgdState::new(1, 1, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.5 });
+        let mut state =
+            SgdState::new(1, 1, SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.5 });
         for _ in 0..10 {
             state.step(&mut param, &zero_grad).unwrap();
         }
@@ -98,7 +102,11 @@ mod tests {
     fn quadratic_convergence() {
         // Minimize f(x) = (x - 3)^2 with gradient 2(x - 3).
         let mut x = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
-        let mut state = SgdState::new(1, 1, SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0 });
+        let mut state = SgdState::new(
+            1,
+            1,
+            SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0 },
+        );
         for _ in 0..200 {
             let grad = Matrix::from_vec(1, 1, vec![2.0 * (x.get(0, 0) - 3.0)]).unwrap();
             state.step(&mut x, &grad).unwrap();

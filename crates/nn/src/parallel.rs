@@ -1,0 +1,90 @@
+//! Data-parallel helpers for the batched scoring pipeline.
+//!
+//! The build environment has no `rayon`, so this module provides the one
+//! primitive batched featurization needs: splitting a flat output buffer into
+//! contiguous chunks and filling them from scoped worker threads. On a
+//! single-core host (or for small inputs) the work runs inline with zero
+//! threading overhead.
+
+/// Splits `data` into at most `available_parallelism()` contiguous chunks whose
+/// lengths are multiples of `align` and runs `f(start_offset, chunk)` for each,
+/// in parallel when more than one core is available.
+///
+/// `align` is the row width of the flattened 2-D buffer, so chunk boundaries
+/// always fall between rows. The first error (by chunk order) is returned;
+/// panics in workers propagate.
+pub fn par_fill_chunks<T, E, F>(data: &mut [T], align: usize, f: F) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, &mut [T]) -> Result<(), E> + Sync,
+{
+    assert!(align > 0 && data.len() % align == 0, "buffer is not row-aligned");
+    let rows = data.len() / align;
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let rows_per_chunk = rows.div_ceil(threads.max(1)).max(1);
+    let chunk_len = rows_per_chunk * align;
+
+    if threads <= 1 || rows <= rows_per_chunk {
+        let mut start = 0usize;
+        for chunk in data.chunks_mut(chunk_len) {
+            let len = chunk.len();
+            f(start, chunk)?;
+            start += len;
+        }
+        return Ok(());
+    }
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::new();
+        let mut start = 0usize;
+        for chunk in data.chunks_mut(chunk_len) {
+            let offset = start;
+            start += chunk.len();
+            handles.push(scope.spawn(move || f(offset, chunk)));
+        }
+        let mut result = Ok(());
+        for handle in handles {
+            let outcome = handle.join().expect("parallel featurization worker panicked");
+            if result.is_ok() {
+                result = outcome;
+            }
+        }
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_every_row_exactly_once() {
+        let mut data = vec![0u32; 7 * 3];
+        par_fill_chunks(&mut data, 3, |start, chunk| -> Result<(), ()> {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (start + i) as u32;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let expected: Vec<u32> = (0..21).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let mut data = vec![0u8; 8];
+        let err =
+            par_fill_chunks(&mut data, 2, |start, _| if start == 0 { Err("boom") } else { Ok(()) });
+        assert_eq!(err, Err("boom"));
+    }
+
+    #[test]
+    fn empty_buffer_is_a_noop() {
+        let mut data: Vec<u8> = Vec::new();
+        par_fill_chunks(&mut data, 4, |_, _| -> Result<(), ()> { panic!("should not run") })
+            .unwrap();
+    }
+}

@@ -1,0 +1,173 @@
+//! Flat per-frame score storage for batched specialized-NN inference.
+//!
+//! [`ScoreMatrix`] replaces the nested `Vec<Vec<Vec<f32>>>` the per-frame
+//! scoring path used to produce: one contiguous `Vec<f32>` holding, for every
+//! scored frame, the concatenated per-head probability distributions (the same
+//! grouped-softmax layout the network's output layer uses). A whole-video score
+//! matrix is the paper's reusable *index* over the unseen video: build it once
+//! with [`SpecializedNN::score_video`](crate::specialized::SpecializedNN::score_video),
+//! then answer aggregation, scrubbing, and selection-filter lookups from it
+//! without touching the network again.
+//!
+//! The probability layout is row-major: row `f` occupies
+//! `probs[f * stride .. (f + 1) * stride]`, where `stride` is the sum of the
+//! head sizes, and head `h` occupies the sub-slice starting at the head's
+//! offset. All derived quantities (expected counts, tail probabilities) use the
+//! same `f32 → f64` accumulation order as the old per-frame helpers, so results
+//! are bit-identical.
+
+/// Per-frame, per-head probability distributions in one flat buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreMatrix {
+    frames: usize,
+    heads: Vec<usize>,
+    offsets: Vec<usize>,
+    stride: usize,
+    probs: Vec<f32>,
+}
+
+impl ScoreMatrix {
+    /// Creates a zero-filled score matrix for `frames` frames and the given
+    /// head sizes.
+    pub fn zeros(frames: usize, heads: Vec<usize>) -> ScoreMatrix {
+        let mut offsets = Vec::with_capacity(heads.len());
+        let mut stride = 0usize;
+        for &size in &heads {
+            offsets.push(stride);
+            stride += size;
+        }
+        ScoreMatrix { frames, heads, offsets, stride, probs: vec![0.0; frames * stride] }
+    }
+
+    /// Number of scored frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Number of output heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// The size (number of count classes) of each head.
+    pub fn head_sizes(&self) -> &[usize] {
+        &self.heads
+    }
+
+    /// Width of one frame's row (sum of head sizes).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The full flat probability buffer (row-major by frame).
+    pub fn probs(&self) -> &[f32] {
+        &self.probs
+    }
+
+    /// One frame's concatenated per-head probabilities.
+    pub fn row(&self, frame: usize) -> &[f32] {
+        &self.probs[frame * self.stride..(frame + 1) * self.stride]
+    }
+
+    /// Mutable access to one frame's row (used while filling the matrix).
+    pub fn row_mut(&mut self, frame: usize) -> &mut [f32] {
+        &mut self.probs[frame * self.stride..(frame + 1) * self.stride]
+    }
+
+    /// The probability distribution of head `head` for `frame`.
+    pub fn head(&self, frame: usize, head: usize) -> &[f32] {
+        let start = frame * self.stride + self.offsets[head];
+        &self.probs[start..start + self.heads[head]]
+    }
+
+    /// One frame's scores in the legacy nested layout (`[head][class]`).
+    pub fn frame_probs(&self, frame: usize) -> Vec<Vec<f32>> {
+        (0..self.heads.len()).map(|h| self.head(frame, h).to_vec()).collect()
+    }
+
+    /// Expected count (`Σ k·p_k`) of head `head` for `frame`.
+    pub fn expected_count(&self, frame: usize, head: usize) -> f64 {
+        expectation(self.head(frame, head))
+    }
+
+    /// Probability that `frame` contains at least `n` objects of head `head`.
+    pub fn tail_probability(&self, frame: usize, head: usize, n: usize) -> f64 {
+        tail_probability(self.head(frame, head), n)
+    }
+
+    /// The most likely count of head `head` for `frame` (NaN-safe argmax).
+    pub fn argmax_count(&self, frame: usize, head: usize) -> usize {
+        argmax(self.head(frame, head))
+    }
+
+    /// The scrubbing confidence signal for a conjunction of requirements given
+    /// as `(head index, minimum count)` pairs: the sum of per-requirement tail
+    /// probabilities (Section 7 of the paper).
+    pub fn requirement_confidence(&self, frame: usize, requirements: &[(usize, usize)]) -> f64 {
+        requirements.iter().map(|&(head, n)| self.tail_probability(frame, head, n)).sum()
+    }
+}
+
+/// `Σ k·p_k` over one head's distribution.
+pub(crate) fn expectation(probs: &[f32]) -> f64 {
+    probs.iter().enumerate().map(|(k, &p)| k as f64 * f64::from(p)).sum()
+}
+
+/// `Σ_{k≥n} p_k`, clamped to `[0, 1]`.
+pub(crate) fn tail_probability(probs: &[f32], n: usize) -> f64 {
+    probs.iter().skip(n).map(|&p| f64::from(p)).sum::<f64>().clamp(0.0, 1.0)
+}
+
+/// NaN-safe argmax over one head's distribution (`f32::total_cmp`).
+pub(crate) fn argmax(probs: &[f32]) -> usize {
+    probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> ScoreMatrix {
+        // 2 frames, heads of size 3 and 2.
+        let mut m = ScoreMatrix::zeros(2, vec![3, 2]);
+        m.row_mut(0).copy_from_slice(&[0.5, 0.3, 0.2, 0.9, 0.1]);
+        m.row_mut(1).copy_from_slice(&[0.1, 0.2, 0.7, 0.4, 0.6]);
+        m
+    }
+
+    #[test]
+    fn layout_and_accessors() {
+        let m = filled();
+        assert_eq!(m.num_frames(), 2);
+        assert_eq!(m.num_heads(), 2);
+        assert_eq!(m.stride(), 5);
+        assert_eq!(m.head(0, 0), &[0.5, 0.3, 0.2]);
+        assert_eq!(m.head(1, 1), &[0.4, 0.6]);
+        assert_eq!(m.frame_probs(1), vec![vec![0.1, 0.2, 0.7], vec![0.4, 0.6]]);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let m = filled();
+        assert!((m.expected_count(0, 0) - (0.3 + 2.0 * 0.2)).abs() < 1e-6);
+        assert!((m.tail_probability(0, 0, 1) - 0.5).abs() < 1e-6);
+        assert_eq!(m.argmax_count(1, 0), 2);
+        assert_eq!(m.argmax_count(0, 1), 0);
+        let conf = m.requirement_confidence(1, &[(0, 2), (1, 1)]);
+        assert!((conf - (0.7 + 0.6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_is_nan_safe() {
+        assert_eq!(argmax(&[0.1, f32::NAN, 0.2]), 1); // NaN sorts above all finites
+        assert_eq!(argmax(&[0.1, 0.9, 0.2]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn tail_clamps_and_expectation_sums() {
+        assert_eq!(tail_probability(&[0.6, 0.7], 0), 1.0);
+        assert_eq!(tail_probability(&[0.5, 0.25], 2), 0.0);
+        assert!((expectation(&[0.0, 1.0]) - 1.0).abs() < 1e-9);
+    }
+}

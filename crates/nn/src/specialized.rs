@@ -11,15 +11,24 @@
 //!
 //! * [`SpecializedNN::train`] — featurize labeled frames and train the network with
 //!   SGD + momentum, charging simulated training time.
-//! * Per-frame scoring with probability outputs per head, charging simulated inference
-//!   time.
+//! * [`SpecializedNN::score_batch`] / [`SpecializedNN::score_video`] — the batched
+//!   scoring pipeline: frames are featurized in parallel chunks, stacked into one
+//!   feature matrix per batch, pushed through a single scratch-buffer forward pass,
+//!   and written into a flat [`ScoreMatrix`]. Simulated inference time is charged
+//!   once per batch with the same per-frame totals as the serial path, and the
+//!   scores are element-wise identical to [`SpecializedNN::score_frame`].
+//! * [`SpecializedNN::score_frame`] — per-frame scoring with probability outputs per
+//!   head (the serial compatibility path; full-video scans should use the batch API).
 //! * [`SpecializedNN::estimate_fcount_error`] — the bootstrap error estimate on the
 //!   held-out day used by Algorithm 1 to decide whether query rewriting is safe.
 //! * [`SpecializedNN::calibrate_presence_threshold`] — the no-false-negative threshold
 //!   selection used by the label-based selection filter (Section 8).
 
 use crate::features::{FeatureConfig, FrameFeaturizer, Standardizer};
-use crate::network::{Network, NetworkConfig};
+use crate::network::{ForwardScratch, Network, NetworkConfig};
+use crate::parallel::par_fill_chunks;
+use crate::score::{argmax, expectation, tail_probability, ScoreMatrix};
+use crate::tensor::Matrix;
 use crate::train::{TrainConfig, Trainer};
 use crate::{NnError, Result};
 use blazeit_detect::clock::CostCategory;
@@ -48,13 +57,25 @@ impl SpecializedHead {
     where
         I: IntoIterator<Item = usize>,
     {
-        let counts: Vec<usize> = counts.into_iter().collect();
-        let n = counts.len().max(1) as f64;
-        let max_observed = counts.iter().copied().max().unwrap_or(0);
-        let mut max_count = 1;
-        for k in (1..=max_observed).rev() {
-            let frac = counts.iter().filter(|&&c| c >= k).count() as f64 / n;
-            if frac >= min_fraction {
+        // Single pass: histogram the counts, then walk the suffix sum downward.
+        // `running` after processing bucket k is the number of frames with count
+        // >= k, so the first k (from the top) whose suffix fraction clears the
+        // threshold is the answer — O(n + max_count) instead of O(n·max_count).
+        let mut histogram: Vec<usize> = Vec::new();
+        let mut n = 0usize;
+        for count in counts {
+            if count >= histogram.len() {
+                histogram.resize(count + 1, 0);
+            }
+            histogram[count] += 1;
+            n += 1;
+        }
+        let n = n.max(1) as f64;
+        let mut max_count = 1usize;
+        let mut running = 0usize;
+        for k in (1..histogram.len()).rev() {
+            running += histogram[k];
+            if running as f64 / n >= min_fraction {
                 max_count = k;
                 break;
             }
@@ -189,10 +210,11 @@ impl SpecializedNN {
         let mut xs = Vec::with_capacity(frames.len());
         let mut ys = Vec::with_capacity(frames.len());
         for (&f, counts) in frames.iter().zip(labels) {
-            let frame = video
-                .frame(f)
-                .map_err(|e| NnError::InvalidTrainingData(e.to_string()))?;
-            xs.push(featurizer.features(&frame)?);
+            xs.push(
+                featurizer
+                    .features_for_video_frame(video, f)
+                    .map_err(|e| NnError::InvalidTrainingData(e.to_string()))?,
+            );
             ys.push(
                 config
                     .heads
@@ -247,10 +269,76 @@ impl SpecializedNN {
         self.config.heads.iter().position(|h| h.class == class)
     }
 
+    /// The sizes of this network's output heads (`max_count + 1` each).
+    pub fn head_sizes(&self) -> Vec<usize> {
+        self.config.heads.iter().map(|h| h.head_size()).collect()
+    }
+
+    /// Number of frames scored per forward pass by the batch API.
+    pub const BATCH_FRAMES: usize = 512;
+
+    /// Scores a set of frames with batched, data-parallel inference.
+    ///
+    /// Frames are processed in batches of [`SpecializedNN::BATCH_FRAMES`]: each
+    /// batch is featurized and standardized in parallel chunks (one contiguous
+    /// chunk per available core), stacked into a single feature matrix, pushed
+    /// through one scratch-buffer forward pass, and softmaxed into row
+    /// `i` of the returned [`ScoreMatrix`] (row `i` corresponds to `frames[i]`).
+    ///
+    /// Simulated decode and specialized-inference time are charged once per
+    /// batch, with the same per-frame totals [`SpecializedNN::score_frame`]
+    /// charges. Scores are element-wise identical to the serial path: the
+    /// per-frame featurize → standardize → forward → per-head softmax sequence
+    /// is unchanged, only its batching differs.
+    pub fn score_batch(&self, video: &Video, frames: &[FrameIndex]) -> Result<ScoreMatrix> {
+        let mut scores = ScoreMatrix::zeros(frames.len(), self.head_sizes());
+        let dim = self.featurizer.dim();
+        let mut features = Matrix::zeros(0, 0);
+        let mut scratch = ForwardScratch::default();
+        for (batch_index, batch) in frames.chunks(Self::BATCH_FRAMES).enumerate() {
+            self.clock
+                .charge(CostCategory::Decode, batch.len() as f64 * self.config.cost.decode_cost());
+            self.clock.charge(
+                CostCategory::SpecializedInference,
+                batch.len() as f64 * self.config.cost.specialized_inference_cost(),
+            );
+            features.reset_zeroed(batch.len(), dim);
+            par_fill_chunks(features.data_mut(), dim, |offset, chunk| {
+                let first = offset / dim;
+                for (i, row) in chunk.chunks_mut(dim).enumerate() {
+                    // Sparse-render featurization straight into this frame's row
+                    // of the batch feature matrix: only the sampled grid pixels
+                    // are rendered, and no per-frame buffers are allocated —
+                    // identical features to the full-frame path.
+                    self.featurizer.features_for_video_frame_into(video, batch[first + i], row)?;
+                    self.standardizer.transform_in_place(row);
+                }
+                Ok(())
+            })?;
+            self.network.predict_scores_into_rows(
+                &features,
+                &mut scratch,
+                &mut scores,
+                batch_index * Self::BATCH_FRAMES,
+            )?;
+        }
+        Ok(scores)
+    }
+
+    /// Scores every frame of `video`, producing the reusable per-video score
+    /// index (the paper's "BlazeIt (indexed)" artifact). Row `f` of the result
+    /// holds frame `f`'s per-head probabilities.
+    pub fn score_video(&self, video: &Video) -> Result<ScoreMatrix> {
+        let frames: Vec<FrameIndex> = (0..video.len()).collect();
+        self.score_batch(video, &frames)
+    }
+
     /// Scores one frame: per-head probability distributions over counts.
     ///
     /// Charges simulated specialized-inference time (plus decode time, tracked
-    /// separately and excluded from reported runtimes, as in the paper).
+    /// separately and excluded from reported runtimes, as in the paper). This is
+    /// the serial compatibility path; full-video scans should use
+    /// [`SpecializedNN::score_batch`] / [`SpecializedNN::score_video`].
     pub fn score_frame(&self, video: &Video, frame: FrameIndex) -> Result<Vec<Vec<f32>>> {
         let f = video.frame(frame).map_err(|e| NnError::InvalidConfig(e.to_string()))?;
         self.clock.charge(CostCategory::Decode, self.config.cost.decode_cost());
@@ -272,7 +360,12 @@ impl SpecializedNN {
     }
 
     /// Expected count (`sum_k k * p_k`) for `class` in one frame.
-    pub fn expected_count(&self, video: &Video, frame: FrameIndex, class: ObjectClass) -> Result<f64> {
+    pub fn expected_count(
+        &self,
+        video: &Video,
+        frame: FrameIndex,
+        class: ObjectClass,
+    ) -> Result<f64> {
         let head = self
             .head_index(class)
             .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
@@ -331,19 +424,38 @@ impl SpecializedNN {
                 "held-out frames and counts must be non-empty and equal length".into(),
             ));
         }
-        let mut predicted = Vec::with_capacity(frames.len());
-        for &f in frames {
-            predicted.push(self.expected_count(video, f, class)?);
+        let scores = self.score_batch(video, frames)?;
+        self.estimate_fcount_error_from_scores(&scores, true_counts, class, bootstrap_samples, seed)
+    }
+
+    /// Like [`SpecializedNN::estimate_fcount_error`], but reuses an existing
+    /// [`ScoreMatrix`] over the held-out frames (row `i` of `scores` must be
+    /// the frame `true_counts[i]` describes). No inference time is charged —
+    /// this is how the engine re-checks Algorithm 1 against a cached index.
+    pub fn estimate_fcount_error_from_scores(
+        &self,
+        scores: &ScoreMatrix,
+        true_counts: &[usize],
+        class: ObjectClass,
+        bootstrap_samples: usize,
+        seed: u64,
+    ) -> Result<FcountErrorEstimate> {
+        if scores.num_frames() != true_counts.len() || true_counts.is_empty() {
+            return Err(NnError::InvalidTrainingData(
+                "held-out scores and counts must be non-empty and equal length".into(),
+            ));
         }
-        let n = frames.len();
+        let head = self
+            .head_index(class)
+            .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
+        let predicted: Vec<f64> =
+            (0..scores.num_frames()).map(|i| scores.expected_count(i, head)).collect();
+        let n = true_counts.len();
         let mean_pred = predicted.iter().sum::<f64>() / n as f64;
         let mean_true = true_counts.iter().sum::<usize>() as f64 / n as f64;
-        let mean_abs_frame_error = predicted
-            .iter()
-            .zip(true_counts)
-            .map(|(p, &t)| (p - t as f64).abs())
-            .sum::<f64>()
-            / n as f64;
+        let mean_abs_frame_error =
+            predicted.iter().zip(true_counts).map(|(p, &t)| (p - t as f64).abs()).sum::<f64>()
+                / n as f64;
 
         let mut rng = StdRng::seed_from_u64(seed);
         let mut bootstrap_errors = Vec::with_capacity(bootstrap_samples);
@@ -386,12 +498,34 @@ impl SpecializedNN {
                 "held-out frames and counts must be non-empty and equal length".into(),
             ));
         }
+        let scores = self.score_batch(video, frames)?;
+        self.presence_threshold_from_scores(&scores, true_counts, class)
+    }
+
+    /// Like [`SpecializedNN::calibrate_presence_threshold`], but reuses an
+    /// existing [`ScoreMatrix`] over the held-out frames (row `i` of `scores`
+    /// must be the frame `true_counts[i]` describes). No inference time is
+    /// charged.
+    pub fn presence_threshold_from_scores(
+        &self,
+        scores: &ScoreMatrix,
+        true_counts: &[usize],
+        class: ObjectClass,
+    ) -> Result<f64> {
+        if scores.num_frames() != true_counts.len() || true_counts.is_empty() {
+            return Err(NnError::InvalidTrainingData(
+                "held-out scores and counts must be non-empty and equal length".into(),
+            ));
+        }
+        let head = self
+            .head_index(class)
+            .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
         let mut min_positive_score = f64::INFINITY;
-        for (&f, &count) in frames.iter().zip(true_counts) {
+        for (i, &count) in true_counts.iter().enumerate() {
             if count == 0 {
                 continue;
             }
-            let p = self.prob_at_least(video, f, class, 1)?;
+            let p = scores.tail_probability(i, head, 1);
             if p < min_positive_score {
                 min_positive_score = p;
             }
@@ -403,23 +537,6 @@ impl SpecializedNN {
         // Small safety margin against held-out/test distribution mismatch.
         Ok((min_positive_score * 0.9).clamp(0.0, 1.0))
     }
-}
-
-fn argmax(probs: &[f32]) -> usize {
-    probs
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
-}
-
-fn expectation(probs: &[f32]) -> f64 {
-    probs.iter().enumerate().map(|(k, &p)| k as f64 * f64::from(p)).sum()
-}
-
-fn tail_probability(probs: &[f32], n: usize) -> f64 {
-    probs.iter().skip(n).map(|&p| f64::from(p)).sum::<f64>().clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -434,8 +551,12 @@ mod tests {
             .collect()
     }
 
-    fn train_car_counter(frames_per_day: u64, train_stride: usize) -> (SpecializedNN, Video, Video) {
-        let train_video = DatasetPreset::Taipei.generate_with_frames(DAY_TRAIN, frames_per_day).unwrap();
+    fn train_car_counter(
+        frames_per_day: u64,
+        train_stride: usize,
+    ) -> (SpecializedNN, Video, Video) {
+        let train_video =
+            DatasetPreset::Taipei.generate_with_frames(DAY_TRAIN, frames_per_day).unwrap();
         let heldout_video =
             DatasetPreset::Taipei.generate_with_frames(DAY_HELDOUT, frames_per_day).unwrap();
         let frames: Vec<FrameIndex> = (0..frames_per_day).step_by(train_stride).collect();
@@ -496,6 +617,73 @@ mod tests {
         );
         // The averages should be in the same ballpark (not identical — it is a proxy).
         assert!((pred_sum - true_sum).abs() / (total as f64) < 1.0);
+    }
+
+    #[test]
+    fn score_batch_matches_score_frame_elementwise_over_a_day() {
+        // The batched pipeline must be a pure performance change: every
+        // probability it produces for an entire preset day must equal the
+        // serial per-frame path bit for bit.
+        let frames_per_day = 1_500u64;
+        let (nn, _, heldout) = train_car_counter(frames_per_day, 5);
+        let batched = nn.score_video(&heldout).unwrap();
+        assert_eq!(batched.num_frames() as u64, frames_per_day);
+        for f in 0..frames_per_day {
+            let serial = nn.score_frame(&heldout, f).unwrap();
+            assert_eq!(
+                batched.frame_probs(f as usize),
+                serial,
+                "batched and serial scores diverge at frame {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_batch_charges_the_same_inference_totals_as_serial() {
+        let (nn, train_video, _) = train_car_counter(1_000, 5);
+        let frames: Vec<FrameIndex> = (0..1_000).collect();
+
+        let before = nn.clock.breakdown();
+        let _ = nn.score_batch(&train_video, &frames).unwrap();
+        let batched = nn.clock.breakdown().since(&before);
+
+        let before = nn.clock.breakdown();
+        for &f in &frames {
+            nn.score_frame(&train_video, f).unwrap();
+        }
+        let serial = nn.clock.breakdown().since(&before);
+
+        assert!((batched.specialized - serial.specialized).abs() < 1e-9);
+        assert!((batched.decode - serial.decode).abs() < 1e-9);
+        let expected = 1_000.0 * nn.config.cost.specialized_inference_cost();
+        assert!((batched.specialized - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_batch_handles_multiple_heads_and_odd_batch_sizes() {
+        let frames_per_day = 700u64; // not a multiple of BATCH_FRAMES
+        let train_video =
+            DatasetPreset::Taipei.generate_with_frames(DAY_TRAIN, frames_per_day).unwrap();
+        let frames: Vec<FrameIndex> = (0..frames_per_day).step_by(2).collect();
+        let labels = labeled_counts(&train_video, &frames);
+        let heads = vec![
+            SpecializedHead { class: ObjectClass::Car, max_count: 3 },
+            SpecializedHead { class: ObjectClass::Bus, max_count: 1 },
+        ];
+        let mut config = SpecializedConfig::for_heads(heads);
+        config.train.epochs = 2;
+        let (nn, _) =
+            SpecializedNN::train(config, &train_video, &frames, &labels, SimClock::new()).unwrap();
+
+        let scores = nn.score_batch(&train_video, &frames).unwrap();
+        assert_eq!(scores.num_frames(), frames.len());
+        assert_eq!(scores.head_sizes(), &[4, 2]);
+        for (i, &f) in frames.iter().enumerate() {
+            assert_eq!(scores.frame_probs(i), nn.score_frame(&train_video, f).unwrap());
+        }
+        // Empty input is fine.
+        let empty = nn.score_batch(&train_video, &[]).unwrap();
+        assert_eq!(empty.num_frames(), 0);
     }
 
     #[test]

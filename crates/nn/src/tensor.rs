@@ -11,7 +11,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -24,11 +24,25 @@ impl Matrix {
         Matrix { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Resets to a zero-filled `rows x cols` matrix, reusing the allocation.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Creates a matrix from row-major data.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Matrix> {
         if data.len() != rows * cols {
             return Err(NnError::ShapeMismatch {
-                context: format!("from_vec: {}x{} needs {} values, got {}", rows, cols, rows * cols, data.len()),
+                context: format!(
+                    "from_vec: {}x{} needs {} values, got {}",
+                    rows,
+                    cols,
+                    rows * cols,
+                    data.len()
+                ),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -83,6 +97,22 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * other`, written into `out` (resized as needed).
+    ///
+    /// This is the allocation-free kernel behind batched inference: callers hold
+    /// a scratch matrix and reuse its backing storage across batches. Output
+    /// columns are processed in fixed-width tiles whose accumulators live in a
+    /// stack array the compiler keeps in vector registers across the whole
+    /// reduction — no per-element branching (the old zero-skip test is gone)
+    /// and no store traffic inside the inner loop. Each output element is still
+    /// the sum over `k` in ascending order, so results are element-wise
+    /// identical to the naive triple loop.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(NnError::ShapeMismatch {
                 context: format!(
@@ -91,21 +121,39 @@ impl Matrix {
                 ),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        const TILE: usize = 16;
+        let n = other.cols;
+        out.rows = self.rows;
+        out.cols = n;
+        out.data.clear();
+        out.data.resize(self.rows * n, 0.0);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j0 = 0usize;
+            while j0 < n {
+                let width = TILE.min(n - j0);
+                let mut acc = [0.0f32; TILE];
+                if width == TILE {
+                    for (k, &a) in a_row.iter().enumerate() {
+                        let b_tile = &other.data[k * n + j0..k * n + j0 + TILE];
+                        for t in 0..TILE {
+                            acc[t] += a * b_tile[t];
+                        }
+                    }
+                } else {
+                    for (k, &a) in a_row.iter().enumerate() {
+                        let b_tile = &other.data[k * n + j0..k * n + j0 + width];
+                        for (t, &b) in b_tile.iter().enumerate() {
+                            acc[t] += a * b;
+                        }
+                    }
                 }
-                let out_row = i * out.cols;
-                let other_row = k * other.cols;
-                for j in 0..other.cols {
-                    out.data[out_row + j] += a * other.data[other_row + j];
-                }
+                out_row[j0..j0 + width].copy_from_slice(&acc[..width]);
+                j0 += TILE;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transpose.
@@ -149,6 +197,13 @@ impl Matrix {
 
     /// Adds a row vector (1 x cols) to every row.
     pub fn add_row_broadcast(&self, row: &Matrix) -> Result<Matrix> {
+        let mut out = self.clone();
+        out.add_row_broadcast_in_place(row)?;
+        Ok(out)
+    }
+
+    /// Adds a row vector (1 x cols) to every row, in place.
+    pub fn add_row_broadcast_in_place(&mut self, row: &Matrix) -> Result<()> {
         if row.rows != 1 || row.cols != self.cols {
             return Err(NnError::ShapeMismatch {
                 context: format!(
@@ -157,13 +212,19 @@ impl Matrix {
                 ),
             });
         }
-        let mut out = self.clone();
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out.data[r * self.cols + c] += row.data[c];
+                self.data[r * self.cols + c] += row.data[c];
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Applies `max(x, 0)` element-wise, in place.
+    pub fn relu_in_place(&mut self) {
+        for x in &mut self.data {
+            *x = x.max(0.0);
+        }
     }
 
     /// Sums each column, producing a `1 x cols` matrix.

@@ -133,10 +133,7 @@ mod tests {
         for _ in 0..n {
             let label: usize = rng.gen_range(0..3);
             let base = label as f32;
-            xs.push(vec![
-                base + rng.gen_range(-0.2..0.2),
-                -base + rng.gen_range(-0.2..0.2),
-            ]);
+            xs.push(vec![base + rng.gen_range(-0.2..0.2), -base + rng.gen_range(-0.2..0.2)]);
             ys.push(vec![label]);
         }
         (xs, ys)
@@ -165,9 +162,7 @@ mod tests {
         let mut net = network();
         let trainer = Trainer::new(TrainConfig::default());
         assert!(trainer.fit(&mut net, &[], &[]).is_err());
-        assert!(trainer
-            .fit(&mut net, &[vec![0.0, 0.0]], &[vec![0], vec![1]])
-            .is_err());
+        assert!(trainer.fit(&mut net, &[vec![0.0, 0.0]], &[vec![0], vec![1]]).is_err());
         let bad_cfg = Trainer::new(TrainConfig { batch_size: 0, ..TrainConfig::default() });
         assert!(bad_cfg.fit(&mut net, &[vec![0.0, 0.0]], &[vec![0]]).is_err());
     }

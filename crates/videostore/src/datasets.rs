@@ -155,10 +155,9 @@ impl DatasetPreset {
                 // A small amount of pedestrian traffic as a confuser class.
                 (ObjectClass::Person, 0.05, 2.0),
             ],
-            DatasetPreset::NightStreet => vec![
-                (ObjectClass::Car, 0.281, 3.94),
-                (ObjectClass::Person, 0.04, 3.0),
-            ],
+            DatasetPreset::NightStreet => {
+                vec![(ObjectClass::Car, 0.281, 3.94), (ObjectClass::Person, 0.04, 3.0)]
+            }
             DatasetPreset::Rialto => vec![(ObjectClass::Boat, 0.899, 10.7)],
             DatasetPreset::GrandCanal => vec![(ObjectClass::Boat, 0.577, 9.50)],
             DatasetPreset::Amsterdam => vec![
@@ -195,10 +194,7 @@ impl DatasetPreset {
             ObjectClass::Boat => ClassProfile::boat(mean_concurrent, duration),
             ObjectClass::Person => ClassProfile::person(mean_concurrent, duration),
             ObjectClass::Bird => ClassProfile::bird(mean_concurrent, duration),
-            _ => ClassProfile {
-                class,
-                ..ClassProfile::car(mean_concurrent, duration)
-            },
+            _ => ClassProfile { class, ..ClassProfile::car(mean_concurrent, duration) },
         }
     }
 
@@ -283,9 +279,7 @@ mod tests {
 
     #[test]
     fn occupancy_conversion_monotone() {
-        assert!(
-            occupancy_to_mean_concurrent(0.9) > occupancy_to_mean_concurrent(0.5)
-        );
+        assert!(occupancy_to_mean_concurrent(0.9) > occupancy_to_mean_concurrent(0.5));
         assert!(occupancy_to_mean_concurrent(0.0) == 0.0);
     }
 

@@ -98,13 +98,7 @@ impl Frame {
     /// Converts a nominal-coordinate bounding box into an inclusive-exclusive pixel
     /// rectangle `(x0, y0, x1, y1)` in buffer coordinates, clamped to the buffer.
     pub fn buffer_rect(&self, bbox: &BoundingBox) -> (usize, usize, usize, usize) {
-        let sx = self.scale_x();
-        let sy = self.scale_y();
-        let x0 = (bbox.xmin * sx).floor().max(0.0) as usize;
-        let y0 = (bbox.ymin * sy).floor().max(0.0) as usize;
-        let x1 = ((bbox.xmax * sx).ceil() as usize).min(self.width);
-        let y1 = ((bbox.ymax * sy).ceil() as usize).min(self.height);
-        (x0.min(self.width), y0.min(self.height), x1, y1)
+        buffer_rect_in(self.nominal_width, self.nominal_height, self.width, self.height, bbox)
     }
 
     /// Mean color over the whole frame.
@@ -118,7 +112,8 @@ impl Frame {
     /// well defined; this mirrors OpenCV-style mean-over-ROI used by the paper's UDFs.
     pub fn mean_color_in(&self, bbox: &BoundingBox) -> (f32, f32, f32) {
         let (x0, y0, x1, y1) = self.buffer_rect(bbox);
-        let (x1, y1) = (x1.max(x0 + 1).min(self.width.max(1)), y1.max(y0 + 1).min(self.height.max(1)));
+        let (x1, y1) =
+            (x1.max(x0 + 1).min(self.width.max(1)), y1.max(y0 + 1).min(self.height.max(1)));
         let mut sum = (0.0f64, 0.0f64, 0.0f64);
         let mut n = 0u64;
         for y in y0..y1 {
@@ -155,6 +150,28 @@ impl Frame {
     pub fn num_pixels(&self) -> usize {
         self.width * self.height
     }
+}
+
+/// The buffer-coordinate rectangle a nominal-coordinate `bbox` maps to for a
+/// `width x height` buffer over the given nominal dimensions.
+///
+/// Shared by [`Frame::buffer_rect`] and the sparse renderer
+/// ([`crate::render::Renderer::render_sampled`]), which must agree exactly on
+/// where object rectangles land without materializing a full-size frame.
+pub fn buffer_rect_in(
+    nominal_width: f32,
+    nominal_height: f32,
+    width: usize,
+    height: usize,
+    bbox: &BoundingBox,
+) -> (usize, usize, usize, usize) {
+    let sx = width as f32 / nominal_width;
+    let sy = height as f32 / nominal_height;
+    let x0 = (bbox.xmin * sx).floor().max(0.0) as usize;
+    let y0 = (bbox.ymin * sy).floor().max(0.0) as usize;
+    let x1 = ((bbox.xmax * sx).ceil() as usize).min(width);
+    let y1 = ((bbox.ymax * sy).ceil() as usize).min(height);
+    (x0.min(width), y0.min(height), x1, y1)
 }
 
 #[cfg(test)]

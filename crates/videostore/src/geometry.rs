@@ -49,12 +49,7 @@ pub struct BoundingBox {
 impl BoundingBox {
     /// Creates a bounding box from two corner points, normalizing the order.
     pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
-        BoundingBox {
-            xmin: x0.min(x1),
-            ymin: y0.min(y1),
-            xmax: x0.max(x1),
-            ymax: y0.max(y1),
-        }
+        BoundingBox { xmin: x0.min(x1), ymin: y0.min(y1), xmax: x0.max(x1), ymax: y0.max(y1) }
     }
 
     /// Creates a bounding box from a center point and a width/height.

@@ -258,7 +258,8 @@ impl SceneSimulator {
     /// * `num_frames` — length of the day in frames.
     pub fn generate(config: SceneConfig, seed: u64, day: u32, num_frames: u64) -> Result<Self> {
         config.validate()?;
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(day as u64 + 1)));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(day as u64 + 1)));
         let day_mult = config.day_multiplier(day);
         let mut tracks = Vec::new();
         let mut next_id: TrackId = 1;

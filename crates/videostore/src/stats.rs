@@ -40,9 +40,7 @@ impl ClassStats {
     /// The paper "selected rare events with at least 10 instances" (Table 6); this
     /// helper performs that selection against the synthetic streams.
     pub fn rare_event_threshold(&self, min_instances: u64) -> Option<usize> {
-        (1..=self.max_per_frame)
-            .rev()
-            .find(|&n| self.frames_with_at_least(n) >= min_instances)
+        (1..=self.max_per_frame).rev().find(|&n| self.frames_with_at_least(n) >= min_instances)
     }
 }
 

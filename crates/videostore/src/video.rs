@@ -138,6 +138,17 @@ impl Video {
         Ok(self.renderer.render(frame, &objects))
     }
 
+    /// Renders only a `width x height` nearest-neighbor sample of the frame.
+    ///
+    /// Bit-identical pixels to `resize(self.frame(f)?, width, height)` without
+    /// materializing the full buffer — the fast path batched featurization uses
+    /// (see [`crate::render::Renderer::render_sampled`]).
+    pub fn frame_sampled(&self, frame: FrameIndex, width: usize, height: usize) -> Result<Frame> {
+        self.check_frame(frame)?;
+        let objects = self.scene.visible_at(frame);
+        Ok(self.renderer.render_sampled(frame, &objects, width, height))
+    }
+
     /// Timestamp in seconds of a frame index.
     pub fn timestamp(&self, frame: FrameIndex) -> f64 {
         frame as f64 / self.fps()
@@ -195,6 +206,41 @@ mod tests {
         let f = v.frame(100).unwrap();
         assert_eq!(f.index, 100);
         assert!((f.timestamp - 100.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_sampled_matches_resize_of_full_render() {
+        // The sparse renderer must agree bit for bit with render-then-resize:
+        // batched featurization reads it instead of decoding full frames.
+        let v = Video::generate(test_config(500)).unwrap();
+        for f in (0..500).step_by(23) {
+            let full = v.frame(f).unwrap();
+            for side in [1usize, 7, 12, 32] {
+                let sampled = v.frame_sampled(f, side, side).unwrap();
+                assert_eq!(
+                    sampled,
+                    crate::ingest::resize(&full, side, side).unwrap(),
+                    "sparse render diverges at frame {f}, grid {side}"
+                );
+            }
+        }
+        assert!(v.frame_sampled(500, 12, 12).is_err());
+    }
+
+    #[test]
+    fn frame_sampled_matches_resize_across_presets() {
+        for preset in [
+            crate::DatasetPreset::Taipei,
+            crate::DatasetPreset::NightStreet,
+            crate::DatasetPreset::GrandCanal,
+        ] {
+            let v = preset.generate_with_frames(crate::DAY_TEST, 300).unwrap();
+            for f in (0..300).step_by(41) {
+                let full = v.frame(f).unwrap();
+                let sampled = v.frame_sampled(f, 12, 12).unwrap();
+                assert_eq!(sampled, crate::ingest::resize(&full, 12, 12).unwrap());
+            }
+        }
     }
 
     #[test]

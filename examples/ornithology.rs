@@ -36,9 +36,7 @@ fn main() {
     );
 
     // Left vs right side of the feeder: spatial predicates over the mask.
-    for (side, predicate) in
-        [("left", "xmax(mask) < 640"), ("right", "xmin(mask) >= 640")]
-    {
+    for (side, predicate) in [("left", "xmax(mask) < 640"), ("right", "xmin(mask) >= 640")] {
         let sql = format!("SELECT * FROM bird-feeder WHERE class = 'bird' AND {predicate}");
         let result = engine.query(&sql).expect("side query");
         if let QueryOutput::Rows { rows, detection_calls } = &result.output {

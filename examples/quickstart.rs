@@ -14,7 +14,9 @@ fn main() {
 
     // 1. An aggregate with an error bound: how many cars are in a frame on average?
     let aggregate = engine
-        .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%")
+        .query(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
+        )
         .expect("aggregate query");
     println!("\n[aggregate] {}", aggregate.query);
     if let QueryOutput::Aggregate { value, method, detection_calls, .. } = &aggregate.output {

@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run --release --example red_bus_selection`.
 
-use blazeit::core::select::{
-    execute_with_options, plan_filters, red_bus_query, SelectionOptions,
-};
+use blazeit::core::select::{execute_with_options, plan_filters, red_bus_query, SelectionOptions};
 use blazeit::frameql::query::analyze;
 use blazeit::prelude::*;
 

@@ -26,12 +26,17 @@ fn main() {
     // NoScope oracle: detector only on frames that contain a car at all.
     let before = engine.clock().breakdown();
     let (_, ns_calls) = baselines::noscope_fcount(&engine, class).expect("noscope");
-    let noscope =
-        RuntimeReport::from_cost("noscope (oracle)", engine.clock().breakdown().since(&before), ns_calls);
+    let noscope = RuntimeReport::from_cost(
+        "noscope (oracle)",
+        engine.clock().breakdown().since(&before),
+        ns_calls,
+    );
 
     // BlazeIt: Algorithm 1 picks query rewriting or control variates.
     let result = engine
-        .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%")
+        .query(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
+        )
         .expect("blazeit");
     let blazeit = RuntimeReport::from_cost("blazeit", result.cost, result.output.detection_calls());
 

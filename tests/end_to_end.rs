@@ -12,7 +12,9 @@ fn taipei(frames: u64) -> BlazeIt {
 fn aggregate_estimate_respects_error_bound_against_detector_truth() {
     let engine = taipei(3_000);
     let result = engine
-        .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.15 AT CONFIDENCE 95%")
+        .query(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.15 AT CONFIDENCE 95%",
+        )
         .unwrap();
     let estimate = result.output.aggregate_value().unwrap();
     let (truth, _) = baselines::oracle_fcount(&engine, Some(ObjectClass::Car));
@@ -28,7 +30,9 @@ fn aggregate_estimate_respects_error_bound_against_detector_truth() {
 fn aggregate_is_cheaper_than_both_baselines() {
     let engine = taipei(3_000);
     let result = engine
-        .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%")
+        .query(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
+        )
         .unwrap();
     let blazeit_runtime = result.runtime_secs();
 
@@ -128,7 +132,9 @@ fn clock_accounts_for_every_query() {
     let engine = taipei(900);
     assert_eq!(engine.clock().total(), 0.0);
     let r1 = engine
-        .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.3 AT CONFIDENCE 90%")
+        .query(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.3 AT CONFIDENCE 90%",
+        )
         .unwrap();
     let after_first = engine.clock().total();
     assert!(after_first > 0.0);

@@ -1,0 +1,112 @@
+//! Minimal in-repo replacement for `criterion`.
+//!
+//! Provides [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is warmed
+//! up briefly, then timed adaptively until a wall-clock budget is reached; the
+//! mean time per iteration is printed. No statistics, plots or baselines — just
+//! enough to run `cargo bench` offline and compare numbers by eye.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(800) }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints the mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher =
+            Bencher { iterations: 0, elapsed: Duration::ZERO, budget: self.measurement_time };
+        f(&mut bencher);
+        let per_iter = if bencher.iterations > 0 {
+            bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64
+        } else {
+            f64::NAN
+        };
+        println!("{name:<40} {:>12.1} ns/iter ({} iterations)", per_iter, bencher.iterations);
+        self
+    }
+}
+
+/// Timer handed to the closure passed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly (after a short warm-up) until the time budget is
+    /// spent, accumulating timing for the final report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few untimed calls so lazy initialization is excluded.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        while started.elapsed() < self.budget || iterations < 10 {
+            black_box(f());
+            iterations += 1;
+            if iterations >= 10_000_000 {
+                break;
+            }
+        }
+        self.elapsed = started.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(5) };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 10);
+    }
+}

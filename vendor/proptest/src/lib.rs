@@ -1,0 +1,299 @@
+//! Minimal in-repo replacement for `proptest`.
+//!
+//! Implements the subset of the proptest API this repository's property tests
+//! use: the [`proptest!`] macro (each test body is run for a fixed number of
+//! seeded random cases), `prop_assert!` / `prop_assert_eq!`, the [`Strategy`]
+//! trait with `prop_map`, numeric-range and tuple strategies, string-ish
+//! strategies from `&str` patterns, `prop::collection::vec` and
+//! `prop::sample::select`. No shrinking: a failing case panics with the normal
+//! assertion message (the case is deterministic per test name + index, so
+//! failures reproduce exactly).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: u64 = 64;
+
+/// The RNG driving case generation. Deterministic per `(test name, case)`.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the generator for one test case.
+    pub fn deterministic(test_name: &str, case: u64) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&str` strategies stand in for proptest's regex strategies: the pattern's
+/// `{lo,hi}` repetition suffix (if any) bounds the length of a random printable
+/// ASCII string. That covers the fuzzing use ("any short string"), which is the
+/// only way this repository uses string strategies.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repetition_bounds(self).unwrap_or((0, 32));
+        let len = if hi > lo { rng.rng().gen_range(lo..hi + 1) } else { lo };
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with a sprinkle of query-ish characters
+                // so the parser fuzz test exercises interesting prefixes.
+                let roll: u32 = rng.rng().gen_range(0..100u32);
+                if roll < 80 {
+                    char::from(rng.rng().gen_range(0x20u8..0x7F))
+                } else {
+                    const QUERYISH: &[char] =
+                        &['S', 'E', 'L', 'C', 'T', '*', '(', ')', '\'', '%', '=', '>', '_'];
+                    QUERYISH[rng.rng().gen_range(0..QUERYISH.len())]
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_repetition_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern[open..].find('}')? + open;
+    let body = &pattern[open + 1..close];
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Modules mirroring `proptest::collection` and `proptest::sample`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A number-of-elements specification: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange { lo: r.start, hi: r.end.saturating_sub(1) }
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy producing `Vec`s of `element` values with a length in
+    /// `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.hi > self.size.lo {
+                rng.rng().gen_range(self.size.lo..self.size.hi + 1)
+            } else {
+                self.size.lo
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// See [`collection`].
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy choosing uniformly among fixed options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Creates a strategy that picks one of `options` uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.rng().gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// The usual glob import target, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+
+    /// Mirrors the `prop` module of the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body (no shrinking; panics like
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a `#[test]` running `CASES` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let strategy = ($($strategy,)+);
+            for case in 0..$crate::CASES {
+                let mut rng = $crate::TestRng::deterministic(stringify!($name), case);
+                let ($($arg,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps_compose(x in 0u64..100, y in (0.0f64..1.0).prop_map(|v| v * 2.0)) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_select_work(
+            v in prop::collection::vec(0usize..5, 2..10),
+            s in prop::sample::select(vec!["a", "b"]),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(s == "a" || s == "b");
+        }
+
+        #[test]
+        fn string_patterns_bound_length(s in "\\PC{0,120}") {
+            prop_assert!(s.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::Strategy::generate(
+            &(0u64..1_000_000),
+            &mut crate::TestRng::deterministic("t", 3),
+        );
+        let b = crate::Strategy::generate(
+            &(0u64..1_000_000),
+            &mut crate::TestRng::deterministic("t", 3),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Minimal in-repo replacement for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! vendored crate re-implements the small slice of `rand`'s public API the
+//! workspace uses: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! the [`Rng`] extension methods (`gen`, `gen_range`, `gen_bool`), and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — deterministic for a given seed, statistically solid for the
+//! simulation and sampling workloads in this repository (it is *not* a
+//! cryptographic RNG, and its streams differ from the real `rand::StdRng`).
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::StdRng;
+
+/// Types that can construct themselves from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling support for the value types used by this workspace.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[range.start, range.end)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: &core::ops::Range<Self>) -> Self;
+}
+
+/// Types with a "standard" distribution (`Rng::gen`): floats in `[0, 1)`.
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// The user-facing random-number trait: core output plus convenience methods.
+pub trait Rng {
+    /// The next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value from the type's standard distribution (floats in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Uniform sample in `[range.start, range.end)`. Panics on an empty range.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, &range)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[inline]
+fn uniform_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // 53 high bits → [0, 1) with full double precision.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn uniform_f32<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // 24 high bits → [0, 1) with full single precision.
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl Standard for f64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        uniform_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        uniform_f32(rng)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: &core::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + uniform_f64(rng) * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: &core::ops::Range<f32>) -> f32 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + uniform_f32(rng) * (range.end - range.start)
+    }
+}
+
+/// Unbiased-enough integer sampling: widening-multiply range reduction
+/// (Lemire's method without the rejection step; bias is < 2^-64 per draw).
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: &core::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                range.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y: usize = rng.gen_range(5..8);
+            assert!((5..8).contains(&y));
+            let z: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean drifted: {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "gen_bool(0.25) hit rate {frac}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

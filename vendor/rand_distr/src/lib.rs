@@ -1,0 +1,159 @@
+//! Minimal in-repo replacement for the `rand_distr` crate.
+//!
+//! Provides the three distributions the scene simulator draws from —
+//! [`Exp`], [`Normal`], and [`Poisson`] — behind the same `new(..) ->
+//! Result` / [`Distribution::sample`] API as the real crate.
+
+use rand::Rng;
+
+/// Error returned when a distribution is constructed with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be sampled with an [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// The exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Exp, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u avoids ln(0) because u ∈ [0, 1).
+        -(1.0 - rng.gen::<f64>()).ln() / self.lambda
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; `std_dev` must be non-negative and finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Box–Muller; one fresh pair per draw, second value discarded (simplicity
+    // over throughput — the scene simulator draws a few thousand per day).
+    let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The Poisson distribution with mean `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates the distribution; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Poisson, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Poisson { lambda })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0f64;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction, adequate for the
+            // large-mean arrival batches of the scene simulator.
+            let z = standard_normal(rng);
+            (self.lambda + self.lambda.sqrt() * z + 0.5).floor().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Normal::new(3.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn sample_means_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let exp = Exp::new(0.25).unwrap();
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "Exp(0.25) mean {mean}");
+
+        let norm = Normal::new(2.0, 3.0).unwrap();
+        let mean: f64 = (0..n).map(|_| norm.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "Normal(2,3) mean {mean}");
+
+        for lambda in [0.5, 5.0, 80.0] {
+            let pois = Poisson::new(lambda).unwrap();
+            let mean: f64 = (0..n).map(|_| pois.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "Poisson({lambda}) mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Facade re-exporting the no-op [`serde_derive`] macros.
+//!
+//! See `vendor/serde_derive` for why these are no-ops: the workspace annotates
+//! types for serialization but never serializes, and the build environment has
+//! no registry access for the real `serde`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! Nothing in this workspace actually serializes values — the derives exist so
+//! type definitions can keep the standard `#[derive(Serialize, Deserialize)]`
+//! annotations (and `#[serde(..)]` field attributes) without the real `serde`
+//! dependency, which is unavailable in the no-network build environment. Each
+//! derive expands to an empty token stream; the `attributes(serde)` declaration
+//! makes the helper attributes legal.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(..)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(..)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
