@@ -118,8 +118,8 @@ fn bench_inference_pipeline(c: &mut Criterion) {
     let batched_secs = started.elapsed().as_secs_f64();
 
     // The two paths must agree element-wise, or the comparison is meaningless.
-    for frame in 0..frames_per_day as usize {
-        assert_eq!(batched.frame_probs(frame), serial[frame], "scores diverge at frame {frame}");
+    for (frame, expected) in serial.iter().enumerate() {
+        assert_eq!(batched.frame_probs(frame), *expected, "scores diverge at frame {frame}");
     }
 
     let serial_fps = frames_per_day as f64 / serial_secs;

@@ -2,7 +2,7 @@
 //! frame-averaged counts across days? Used to tune training hyperparameters; not part
 //! of the paper's experiment suite.
 
-use blazeit_core::{baselines, BlazeIt, BlazeItConfig};
+use blazeit_core::{baselines, BlazeItConfig, Catalog};
 use blazeit_nn::train::TrainConfig;
 use blazeit_videostore::{DatasetPreset, ObjectClass};
 
@@ -21,7 +21,9 @@ fn main() {
         if let Ok(g) = std::env::var("GRID") {
             config.features.grid_side = g.parse().unwrap_or(12);
         }
-        let engine = BlazeIt::for_preset_with_config(preset, frames, config).expect("engine");
+        let mut catalog = Catalog::new();
+        catalog.register_preset_with_config(preset, frames, config).expect("register");
+        let engine = catalog.context(preset.name()).expect("registered");
 
         let max_count = engine.default_max_count(class, 1);
         let nn = engine.specialized_for(&[(class, max_count)]).expect("train");
@@ -40,9 +42,8 @@ fn main() {
             .expect("estimate");
 
         // Test-day rewrite vs detector ground truth.
-        let rewrite =
-            blazeit_core::aggregate::rewrite_fcount(&engine, &nn, class).expect("rewrite");
-        let (truth, _) = baselines::oracle_fcount(&engine, Some(class));
+        let rewrite = blazeit_core::aggregate::rewrite_fcount(engine, &nn, class).expect("rewrite");
+        let (truth, _) = baselines::oracle_fcount(engine, Some(class));
 
         // Does the per-frame prediction vary at all, and does it correlate with truth?
         let mut preds = Vec::new();

@@ -5,7 +5,7 @@
 //! seconds from the shared cost model (decode excluded), exactly the accounting the
 //! paper uses; "samples" are object-detection invocations.
 
-use crate::{engine_for, ExperimentScale, AGGREGATION_PRESETS, ALL_PRESETS};
+use crate::{catalog_for, context_of, ExperimentScale, AGGREGATION_PRESETS, ALL_PRESETS};
 use blazeit_core::aggregate::{
     control_variate_fcount_with_scores, naive_aqp_fcount, specialized_scores, SamplingOptions,
 };
@@ -17,7 +17,7 @@ use blazeit_core::scrub::{
 use blazeit_core::select::{
     execute_with_options, ground_truth_tracks, red_bus_query, SelectionOptions,
 };
-use blazeit_core::BlazeIt;
+use blazeit_core::VideoContext;
 use blazeit_detect::clock::CostBreakdown;
 use blazeit_frameql::parse_query;
 use blazeit_frameql::query::analyze;
@@ -25,8 +25,8 @@ use blazeit_videostore::stats::VideoStats;
 use blazeit_videostore::{DatasetPreset, ObjectClass};
 use std::fmt::Write as _;
 
-fn cost_since(engine: &BlazeIt, before: &CostBreakdown) -> CostBreakdown {
-    engine.clock().breakdown().since(before)
+fn cost_since(ctx: &VideoContext, before: &CostBreakdown) -> CostBreakdown {
+    ctx.clock().breakdown().since(before)
 }
 
 /// The red-bus selection query used for Figures 10 and 11, with thresholds adapted to
@@ -98,32 +98,33 @@ pub struct Fig4Row {
 pub fn fig4(scale: ExperimentScale) -> (Vec<Fig4Row>, String) {
     let mut rows = Vec::new();
     for preset in AGGREGATION_PRESETS {
-        let engine = engine_for(preset, scale);
+        let catalog = catalog_for(preset, scale);
+        let engine = context_of(&catalog, preset);
         let class = preset.primary_class();
-        let (truth, _) = baselines::oracle_fcount(&engine, Some(class));
+        let (truth, _) = baselines::oracle_fcount(engine, Some(class));
 
         // Naive.
         let before = engine.clock().breakdown();
-        let (_, naive_calls) = baselines::naive_fcount(&engine, Some(class)).expect("naive");
-        let naive = RuntimeReport::from_cost("naive", cost_since(&engine, &before), naive_calls);
+        let (_, naive_calls) = baselines::naive_fcount(engine, Some(class)).expect("naive");
+        let naive = RuntimeReport::from_cost("naive", cost_since(engine, &before), naive_calls);
 
         // NoScope oracle.
         let before = engine.clock().breakdown();
-        let (_, ns_calls) = baselines::noscope_fcount(&engine, class).expect("noscope");
+        let (_, ns_calls) = baselines::noscope_fcount(engine, class).expect("noscope");
         let noscope =
-            RuntimeReport::from_cost("noscope (oracle)", cost_since(&engine, &before), ns_calls);
+            RuntimeReport::from_cost("noscope (oracle)", cost_since(engine, &before), ns_calls);
 
         // Naive AQP.
         let before = engine.clock().breakdown();
         let aqp_outcome = naive_aqp_fcount(
-            &engine,
+            engine,
             Some(class),
             SamplingOptions::new(0.1, 0.95, engine.config().sampling_seed),
         )
         .expect("aqp");
         let aqp = RuntimeReport::from_cost(
             "aqp (naive)",
-            cost_since(&engine, &before),
+            cost_since(engine, &before),
             aqp_outcome.samples,
         );
 
@@ -133,7 +134,7 @@ pub fn fig4(scale: ExperimentScale) -> (Vec<Fig4Row>, String) {
             preset.name().replace('-', "_"),
             class.name()
         );
-        let result = engine.query(&sql).expect("blazeit aggregate");
+        let result = catalog.session().query(&sql).expect("blazeit aggregate");
         let blazeit_value = result.output.aggregate_value().unwrap_or(0.0);
         let method = match &result.output {
             blazeit_core::QueryOutput::Aggregate { method, .. } => format!("{method:?}"),
@@ -177,13 +178,14 @@ pub fn table4(scale: ExperimentScale) -> String {
         for run in 0..scale.runs {
             let config =
                 blazeit_core::BlazeItConfig::for_preset(preset).with_seed(0xB1A2_E175 + run * 7919);
-            let engine = crate::engine_with_config(preset, scale, config);
+            let catalog = crate::catalog_with_config(preset, scale, config);
+            let engine = context_of(&catalog, preset);
             let nn = engine
                 .specialized_for(&[(class, engine.default_max_count(class, 1))])
                 .expect("train specialized NN");
             let value =
-                blazeit_core::aggregate::rewrite_fcount(&engine, &nn, class).expect("rewrite");
-            let (truth, _) = baselines::oracle_fcount(&engine, Some(class));
+                blazeit_core::aggregate::rewrite_fcount(engine, &nn, class).expect("rewrite");
+            let (truth, _) = baselines::oracle_fcount(engine, Some(class));
             errors.push((value - truth).abs());
         }
         let avg = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
@@ -207,7 +209,8 @@ pub fn table5(scale: ExperimentScale) -> String {
         DatasetPreset::Rialto,
         DatasetPreset::GrandCanal,
     ] {
-        let engine = engine_for(preset, scale);
+        let catalog = catalog_for(preset, scale);
+        let engine = context_of(&catalog, preset);
         let class = preset.primary_class();
         let nn = engine
             .specialized_for(&[(class, engine.default_max_count(class, 1))])
@@ -224,8 +227,8 @@ pub fn table5(scale: ExperimentScale) -> String {
         let actual1 = heldout.class_counts(class).iter().sum::<usize>() as f64
             / heldout.frames.len().max(1) as f64;
 
-        let pred2 = blazeit_core::aggregate::rewrite_fcount(&engine, &nn, class).expect("rewrite");
-        let (actual2, _) = baselines::oracle_fcount(&engine, Some(class));
+        let pred2 = blazeit_core::aggregate::rewrite_fcount(engine, &nn, class).expect("rewrite");
+        let (actual2, _) = baselines::oracle_fcount(engine, Some(class));
 
         let _ = writeln!(
             out,
@@ -256,22 +259,23 @@ pub fn fig5(scale: ExperimentScale) -> String {
         "video", "error", "naive samples", "control variate", "reduction"
     );
     for preset in ALL_PRESETS {
-        let engine = engine_for(preset, scale);
+        let catalog = catalog_for(preset, scale);
+        let engine = context_of(&catalog, preset);
         let class = preset.primary_class();
         let nn = engine
             .specialized_for(&[(class, engine.default_max_count(class, 1))])
             .expect("train specialized NN");
-        let scores = specialized_scores(&engine, &nn, class).expect("scores");
+        let scores = specialized_scores(engine, &nn, class).expect("scores");
         for &error in &FIG5_ERRORS {
             let mut naive_total = 0u64;
             let mut cv_total = 0u64;
             for run in 0..scale.runs {
                 let seed = engine.config().sampling_seed + run * 104_729;
                 let naive =
-                    naive_aqp_fcount(&engine, Some(class), SamplingOptions::new(error, 0.95, seed))
+                    naive_aqp_fcount(engine, Some(class), SamplingOptions::new(error, 0.95, seed))
                         .expect("naive aqp");
                 let cv = control_variate_fcount_with_scores(
-                    &engine,
+                    engine,
                     &scores,
                     class,
                     SamplingOptions::new(error, 0.95, seed),
@@ -320,9 +324,10 @@ pub fn table6_specs(scale: ExperimentScale) -> Vec<ScrubQuerySpec> {
     ALL_PRESETS
         .iter()
         .map(|&preset| {
-            let engine = engine_for(preset, scale);
+            let catalog = catalog_for(preset, scale);
+            let engine = context_of(&catalog, preset);
             let class = preset.primary_class();
-            let counts = baselines::oracle_counts(&engine, engine.video());
+            let counts = baselines::oracle_counts(engine, engine.video());
             let max = counts.iter().map(|c| c.get(class)).max().unwrap_or(0);
             let instances_of =
                 |n: usize| counts.iter().filter(|c| c.get(class) >= n).count() as u64;
@@ -358,31 +363,30 @@ pub fn table6(scale: ExperimentScale) -> String {
 /// Runs the four scrubbing variants of Figure 6 for one requirement set and returns the
 /// runtime reports (naive, noscope, blazeit, blazeit-indexed).
 pub fn scrub_variants(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     requirements: &[(ObjectClass, usize)],
     opts: ScrubOptions,
 ) -> Vec<RuntimeReport> {
     // Naive sequential scan.
-    let before = engine.clock().breakdown();
+    let before = ctx.clock().breakdown();
     let (_, naive_calls) =
-        baselines::naive_scrub(engine, requirements, opts.limit, opts.gap).expect("naive scrub");
-    let naive = RuntimeReport::from_cost("naive", cost_since(engine, &before), naive_calls);
+        baselines::naive_scrub(ctx, requirements, opts.limit, opts.gap).expect("naive scrub");
+    let naive = RuntimeReport::from_cost("naive", cost_since(ctx, &before), naive_calls);
 
     // NoScope oracle.
-    let before = engine.clock().breakdown();
-    let (_, ns_calls) = baselines::noscope_scrub(engine, requirements, opts.limit, opts.gap)
-        .expect("noscope scrub");
-    let noscope =
-        RuntimeReport::from_cost("noscope (oracle)", cost_since(engine, &before), ns_calls);
+    let before = ctx.clock().breakdown();
+    let (_, ns_calls) =
+        baselines::noscope_scrub(ctx, requirements, opts.limit, opts.gap).expect("noscope scrub");
+    let noscope = RuntimeReport::from_cost("noscope (oracle)", cost_since(ctx, &before), ns_calls);
 
     // BlazeIt: training + scoring + verification.
-    let before = engine.clock().breakdown();
-    let nn = specialized_for_requirements(engine, requirements).expect("specialized NN");
-    let ranked = score_frames(engine, &nn, requirements).expect("scoring");
-    let after_scoring = engine.clock().breakdown();
-    let outcome = verify_ranked(engine, &ranked, requirements, opts);
-    let total = cost_since(engine, &before);
-    let verification_only = engine.clock().breakdown().since(&after_scoring);
+    let before = ctx.clock().breakdown();
+    let nn = specialized_for_requirements(ctx, requirements).expect("specialized NN");
+    let ranked = score_frames(ctx, &nn, requirements).expect("scoring");
+    let after_scoring = ctx.clock().breakdown();
+    let outcome = verify_ranked(ctx, &ranked, requirements, opts);
+    let total = cost_since(ctx, &before);
+    let verification_only = ctx.clock().breakdown().since(&after_scoring);
     let blazeit = RuntimeReport::from_cost("blazeit", total, outcome.detection_calls);
     // Indexed: the specialized NN was trained and run ahead of time (e.g. by a previous
     // aggregate query), so only detector verification is charged.
@@ -395,9 +399,10 @@ pub fn scrub_variants(
 pub fn fig6(scale: ExperimentScale) -> String {
     let mut out = String::new();
     for spec in table6_specs(scale) {
-        let engine = engine_for(spec.preset, scale);
+        let catalog = catalog_for(spec.preset, scale);
+        let engine = context_of(&catalog, spec.preset);
         let requirements = [(spec.class, spec.threshold)];
-        let reports = scrub_variants(&engine, &requirements, ScrubOptions { limit: 10, gap: 300 });
+        let reports = scrub_variants(engine, &requirements, ScrubOptions { limit: 10, gap: 300 });
         let _ = writeln!(
             out,
             "--- {} (>= {} {}, {} instances) ---",
@@ -415,7 +420,8 @@ pub fn fig6(scale: ExperimentScale) -> String {
 /// Figure 7: sample complexity (detector calls) when searching for at least N cars in
 /// taipei, N = 1..=6, LIMIT 10.
 pub fn fig7(scale: ExperimentScale) -> String {
-    let engine = engine_for(DatasetPreset::Taipei, scale);
+    let catalog = catalog_for(DatasetPreset::Taipei, scale);
+    let engine = context_of(&catalog, DatasetPreset::Taipei);
     let opts = ScrubOptions { limit: 10, gap: 300 };
     let mut out = String::new();
     let _ = writeln!(
@@ -423,16 +429,16 @@ pub fn fig7(scale: ExperimentScale) -> String {
         "{:>7} {:>14} {:>16} {:>14} {:>10}",
         "N cars", "naive samples", "noscope samples", "blazeit", "instances"
     );
-    let counts = baselines::oracle_counts(&engine, engine.video());
+    let counts = baselines::oracle_counts(engine, engine.video());
     for n in 1..=6usize {
         let requirements = [(ObjectClass::Car, n)];
         let instances = counts.iter().filter(|c| c.get(ObjectClass::Car) >= n).count();
         let (_, naive_calls) =
-            baselines::naive_scrub(&engine, &requirements, opts.limit, opts.gap).expect("naive");
-        let (_, ns_calls) = baselines::noscope_scrub(&engine, &requirements, opts.limit, opts.gap)
-            .expect("noscope");
-        let nn = specialized_for_requirements(&engine, &requirements).expect("specialized NN");
-        let outcome = blazeit_scrub(&engine, &nn, &requirements, opts).expect("blazeit scrub");
+            baselines::naive_scrub(engine, &requirements, opts.limit, opts.gap).expect("naive");
+        let (_, ns_calls) =
+            baselines::noscope_scrub(engine, &requirements, opts.limit, opts.gap).expect("noscope");
+        let nn = specialized_for_requirements(engine, &requirements).expect("specialized NN");
+        let outcome = blazeit_scrub(engine, &nn, &requirements, opts).expect("blazeit scrub");
         let _ = writeln!(
             out,
             "{:>7} {:>14} {:>16} {:>14} {:>10}",
@@ -446,10 +452,10 @@ pub fn fig7(scale: ExperimentScale) -> String {
 /// at least N cars in taipei, with N chosen so the conjunction has at least
 /// `min_instances` event frames (the paper's query uses N = 5 on its much longer days).
 pub fn multiclass_requirements(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     min_instances: usize,
 ) -> (Vec<(ObjectClass, usize)>, u64) {
-    let counts = baselines::oracle_counts(engine, engine.video());
+    let counts = baselines::oracle_counts(ctx, ctx.video());
     let instances_of = |n: usize| {
         counts
             .iter()
@@ -468,9 +474,10 @@ pub fn multiclass_requirements(
 
 /// Figure 8: end-to-end runtime for the multi-class scrubbing query on taipei.
 pub fn fig8(scale: ExperimentScale) -> String {
-    let engine = engine_for(DatasetPreset::Taipei, scale);
-    let (requirements, instances) = multiclass_requirements(&engine, 15);
-    let reports = scrub_variants(&engine, &requirements, ScrubOptions { limit: 10, gap: 300 });
+    let catalog = catalog_for(DatasetPreset::Taipei, scale);
+    let engine = context_of(&catalog, DatasetPreset::Taipei);
+    let (requirements, instances) = multiclass_requirements(engine, 15);
+    let reports = scrub_variants(engine, &requirements, ScrubOptions { limit: 10, gap: 300 });
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -483,10 +490,11 @@ pub fn fig8(scale: ExperimentScale) -> String {
 
 /// Figure 9: sample complexity as a function of the LIMIT for the multi-class query.
 pub fn fig9(scale: ExperimentScale) -> String {
-    let engine = engine_for(DatasetPreset::Taipei, scale);
-    let (requirements, _) = multiclass_requirements(&engine, 15);
-    let nn = specialized_for_requirements(&engine, &requirements).expect("specialized NN");
-    let ranked = score_frames(&engine, &nn, &requirements).expect("scoring");
+    let catalog = catalog_for(DatasetPreset::Taipei, scale);
+    let engine = context_of(&catalog, DatasetPreset::Taipei);
+    let (requirements, _) = multiclass_requirements(engine, 15);
+    let nn = specialized_for_requirements(engine, &requirements).expect("specialized NN");
+    let ranked = score_frames(engine, &nn, &requirements).expect("scoring");
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -496,10 +504,10 @@ pub fn fig9(scale: ExperimentScale) -> String {
     for limit in [1u64, 5, 10, 15, 20, 25, 30] {
         let opts = ScrubOptions { limit, gap: 300 };
         let (_, naive_calls) =
-            baselines::naive_scrub(&engine, &requirements, limit, opts.gap).expect("naive");
+            baselines::naive_scrub(engine, &requirements, limit, opts.gap).expect("naive");
         let (_, ns_calls) =
-            baselines::noscope_scrub(&engine, &requirements, limit, opts.gap).expect("noscope");
-        let outcome = verify_ranked(&engine, &ranked, &requirements, opts);
+            baselines::noscope_scrub(engine, &requirements, limit, opts.gap).expect("noscope");
+        let outcome = verify_ranked(engine, &ranked, &requirements, opts);
         let _ = writeln!(
             out,
             "{:>6} {:>14} {:>16} {:>14}",
@@ -515,7 +523,8 @@ pub fn fig9(scale: ExperimentScale) -> String {
 
 /// Figure 10: end-to-end runtime of the red-bus content-based selection query.
 pub fn fig10(scale: ExperimentScale) -> String {
-    let engine = engine_for(DatasetPreset::Taipei, scale);
+    let catalog = catalog_for(DatasetPreset::Taipei, scale);
+    let engine = context_of(&catalog, DatasetPreset::Taipei);
     let sql = selection_query("taipei");
     let query = parse_query(&sql).expect("parse");
     let info = analyze(&query, engine.udfs()).expect("analyze");
@@ -523,36 +532,35 @@ pub fn fig10(scale: ExperimentScale) -> String {
     // Naive: detection on every frame (the unfiltered plan).
     let before = engine.clock().breakdown();
     let naive_outcome =
-        execute_with_options(&engine, &query, &info, &SelectionOptions::none()).expect("naive");
+        execute_with_options(engine, &query, &info, &SelectionOptions::none()).expect("naive");
     let naive = RuntimeReport::from_cost(
         "naive",
-        cost_since(&engine, &before),
+        cost_since(engine, &before),
         naive_outcome.detection_calls,
     );
 
     // NoScope oracle: detection on frames with any bus present.
     let before = engine.clock().breakdown();
     let (_, ns_calls) =
-        baselines::noscope_selection_scan(&engine, ObjectClass::Bus).expect("noscope");
+        baselines::noscope_selection_scan(engine, ObjectClass::Bus).expect("noscope");
     let noscope =
-        RuntimeReport::from_cost("noscope (oracle)", cost_since(&engine, &before), ns_calls);
+        RuntimeReport::from_cost("noscope (oracle)", cost_since(engine, &before), ns_calls);
 
     // BlazeIt with all inferred filters.
     let before = engine.clock().breakdown();
     let blazeit_outcome =
-        execute_with_options(&engine, &query, &info, &SelectionOptions::default())
-            .expect("blazeit");
+        execute_with_options(engine, &query, &info, &SelectionOptions::all()).expect("blazeit");
     let blazeit = RuntimeReport::from_cost(
         "blazeit",
-        cost_since(&engine, &before),
+        cost_since(engine, &before),
         blazeit_outcome.detection_calls,
     );
 
     // False-negative rate at the (ground-truth) track level versus the naive result
     // set. Tracker ids are scan-local, so result sets are compared through the scene's
     // ground-truth track identities.
-    let naive_tracks = ground_truth_tracks(&engine, &naive_outcome.rows);
-    let blazeit_tracks = ground_truth_tracks(&engine, &blazeit_outcome.rows);
+    let naive_tracks = ground_truth_tracks(engine, &naive_outcome.rows);
+    let blazeit_tracks = ground_truth_tracks(engine, &blazeit_outcome.rows);
     let found = naive_tracks.iter().filter(|t| blazeit_tracks.contains(t)).count();
     let fnr =
         if naive_tracks.is_empty() { 0.0 } else { 1.0 - found as f64 / naive_tracks.len() as f64 };
@@ -573,7 +581,8 @@ pub fn fig10(scale: ExperimentScale) -> String {
 /// Figure 11: factor analysis (adding filters one at a time) and lesion study (removing
 /// each filter from the full plan) for the red-bus query.
 pub fn fig11(scale: ExperimentScale) -> String {
-    let engine = engine_for(DatasetPreset::Taipei, scale);
+    let catalog = catalog_for(DatasetPreset::Taipei, scale);
+    let engine = context_of(&catalog, DatasetPreset::Taipei);
     let sql = selection_query("taipei");
     let query = parse_query(&sql).expect("parse");
     let info = analyze(&query, engine.udfs()).expect("analyze");
@@ -581,8 +590,8 @@ pub fn fig11(scale: ExperimentScale) -> String {
 
     let run = |opts: &SelectionOptions| -> (f64, u64) {
         let before = engine.clock().breakdown();
-        let outcome = execute_with_options(&engine, &query, &info, opts).expect("selection");
-        let cost = cost_since(&engine, &before);
+        let outcome = execute_with_options(engine, &query, &info, opts).expect("selection");
+        let cost = cost_since(engine, &before);
         (cost.total() - cost.decode, outcome.detection_calls)
     };
 
@@ -606,17 +615,14 @@ pub fn fig11(scale: ExperimentScale) -> String {
                 ..SelectionOptions::none()
             },
         ),
-        ("+label", SelectionOptions::default()),
+        ("+label", SelectionOptions::all()),
     ];
     let configs_lesion: Vec<(&str, SelectionOptions)> = vec![
-        ("combined", SelectionOptions::default()),
-        ("-spatial", SelectionOptions { use_spatial_filter: false, ..SelectionOptions::default() }),
-        (
-            "-temporal",
-            SelectionOptions { use_temporal_filter: false, ..SelectionOptions::default() },
-        ),
-        ("-content", SelectionOptions { use_content_filter: false, ..SelectionOptions::default() }),
-        ("-label", SelectionOptions { use_label_filter: false, ..SelectionOptions::default() }),
+        ("combined", SelectionOptions::all()),
+        ("-spatial", SelectionOptions { use_spatial_filter: false, ..SelectionOptions::all() }),
+        ("-temporal", SelectionOptions { use_temporal_filter: false, ..SelectionOptions::all() }),
+        ("-content", SelectionOptions { use_content_filter: false, ..SelectionOptions::all() }),
+        ("-label", SelectionOptions { use_label_filter: false, ..SelectionOptions::all() }),
     ];
 
     let mut out = String::new();

@@ -19,7 +19,7 @@
 
 pub mod experiments;
 
-use blazeit_core::{BlazeIt, BlazeItConfig};
+use blazeit_core::{BlazeItConfig, Catalog, VideoContext};
 use blazeit_videostore::DatasetPreset;
 
 /// How large to make each experiment.
@@ -56,20 +56,31 @@ impl ExperimentScale {
     }
 }
 
-/// Builds an engine for a preset at the given scale (three days generated, labeled set
-/// built offline, engine over the unseen test day).
-pub fn engine_for(preset: DatasetPreset, scale: ExperimentScale) -> BlazeIt {
-    BlazeIt::for_preset(preset, scale.frames_per_day).expect("engine construction")
+/// Builds a one-video catalog for a preset at the given scale (three days generated,
+/// labeled set built offline, test day registered). Query it through
+/// [`Catalog::session`]; reach the per-video caches through [`context_of`].
+pub fn catalog_for(preset: DatasetPreset, scale: ExperimentScale) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.register_preset(preset, scale.frames_per_day).expect("catalog registration");
+    catalog
 }
 
-/// Builds an engine with an explicit configuration.
-pub fn engine_with_config(
+/// Builds a one-video catalog with an explicit configuration.
+pub fn catalog_with_config(
     preset: DatasetPreset,
     scale: ExperimentScale,
     config: BlazeItConfig,
-) -> BlazeIt {
-    BlazeIt::for_preset_with_config(preset, scale.frames_per_day, config)
-        .expect("engine construction")
+) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog
+        .register_preset_with_config(preset, scale.frames_per_day, config)
+        .expect("catalog registration");
+    catalog
+}
+
+/// The registered context of a preset inside `catalog`.
+pub fn context_of(catalog: &Catalog, preset: DatasetPreset) -> &VideoContext {
+    catalog.context(preset.name()).expect("preset is registered in this catalog")
 }
 
 /// The five videos used for the aggregation experiments (Figure 4 / Table 4); the paper
@@ -97,11 +108,11 @@ mod tests {
     }
 
     #[test]
-    fn engine_for_builds() {
-        let engine = engine_for(
+    fn catalog_for_builds() {
+        let catalog = catalog_for(
             DatasetPreset::NightStreet,
             ExperimentScale { frames_per_day: 600, runs: 1 },
         );
-        assert_eq!(engine.video().len(), 600);
+        assert_eq!(context_of(&catalog, DatasetPreset::NightStreet).video().len(), 600);
     }
 }

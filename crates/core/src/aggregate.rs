@@ -18,13 +18,13 @@
 //! `Q(1 - δ/2) · σ̂_N < ε` holds, using the finite-sample (Bessel) corrected standard
 //! deviation of the estimator.
 
-use crate::engine::BlazeIt;
+use crate::context::VideoContext;
+use crate::plan::{PlanStrategy, QueryPlan, RewriteDecision};
 use crate::result::{AggregateMethod, QueryOutput};
 use crate::stats::{mean_and_variance, normal_critical_value};
 use crate::{baselines, BlazeItError, Result};
 use blazeit_detect::{count_class, ObjectDetector};
 use blazeit_frameql::query::{AggregateKind, QueryClass, QueryPlanInfo};
-use blazeit_frameql::Query;
 use blazeit_nn::specialized::SpecializedNN;
 use blazeit_videostore::ObjectClass;
 use rand::rngs::StdRng;
@@ -69,117 +69,132 @@ pub struct SamplingOutcome {
     pub control_coefficient: f64,
 }
 
-/// Executes an aggregate query according to Algorithm 1.
-pub fn execute(engine: &BlazeIt, _query: &Query, info: &QueryPlanInfo) -> Result<QueryOutput> {
+/// Executes an aggregate query following the strategy the planner resolved into
+/// `plan` (Algorithm 1 of the paper; see [`crate::plan::plan_query`]).
+pub fn execute(ctx: &VideoContext, info: &QueryPlanInfo, plan: &QueryPlan) -> Result<QueryOutput> {
     let QueryClass::Aggregate { kind } = &info.class else {
         return Err(BlazeItError::Internal("aggregate::execute called on non-aggregate".into()));
     };
-
-    // COUNT(DISTINCT trackid) has no sampling-based optimization in the paper; it
-    // requires entity resolution over every frame, i.e. the exact (naive) plan.
-    if let AggregateKind::CountDistinct(column) = kind {
-        if column != "trackid" {
-            return Err(BlazeItError::Unsupported(format!(
-                "COUNT(DISTINCT {column}) is not supported; only trackid"
-            )));
-        }
-        let class = info.single_class();
-        let (value, calls) = baselines::exact_distinct_count(engine, class)?;
-        return Ok(QueryOutput::Aggregate {
-            value,
-            standard_error: None,
-            detection_calls: calls,
-            method: AggregateMethod::Exact,
-        });
-    }
-
     let class = info.single_class();
-    let error = info.error_within;
-    let confidence = info.confidence.unwrap_or(0.95);
 
-    // No error tolerance: the user asked for the exact answer.
-    let Some(error) = error else {
-        let (fcount, calls) = baselines::naive_fcount(engine, class)?;
-        let value = finalize_kind(kind, fcount, engine);
-        return Ok(QueryOutput::Aggregate {
-            value,
-            standard_error: None,
-            detection_calls: calls,
-            method: AggregateMethod::Exact,
-        });
-    };
-
-    let opts = SamplingOptions::new(error, confidence, engine.config().sampling_seed);
-
-    // Algorithm 1: try a specialized NN when there is enough training data.
-    if let Some(class) = class {
-        let enough_data =
-            engine.labeled().has_training_examples(&[(class, 1)], MIN_TRAINING_EXAMPLES);
-        if enough_data {
-            let max_count = engine.default_max_count(class, 1);
-            let nn = engine.specialized_for(&[(class, max_count)])?;
-            // Algorithm 1's held-out error check runs on every aggregate query;
-            // reading from the cached held-out score index means only the first
-            // query per class set pays the (batched) inference for it.
-            let heldout_scores = engine.heldout_score_index(&nn)?;
-            let estimate = nn.estimate_fcount_error_from_scores(
-                &heldout_scores,
-                &engine.labeled().heldout().class_counts(class),
-                class,
-                engine.config().bootstrap_samples,
-                engine.config().sampling_seed,
-            )?;
-            if estimate.prob_error_within(error) >= confidence {
-                let value = rewrite_fcount(engine, &nn, class)?;
-                return Ok(QueryOutput::Aggregate {
-                    value: finalize_kind(kind, value, engine),
-                    standard_error: None,
-                    detection_calls: 0,
-                    method: AggregateMethod::QueryRewriting,
-                });
-            }
-            let outcome = control_variate_fcount(engine, &nn, class, opts)?;
-            return Ok(QueryOutput::Aggregate {
-                value: finalize_kind(kind, outcome.estimate, engine),
+    match &plan.strategy {
+        PlanStrategy::ExactDistinct => {
+            let (value, calls) = baselines::exact_distinct_count(ctx, class)?;
+            Ok(QueryOutput::Aggregate {
+                value,
+                standard_error: None,
+                detection_calls: calls,
+                method: AggregateMethod::Exact,
+            })
+        }
+        // No error tolerance: the user asked for the exact answer.
+        PlanStrategy::ExactScan => {
+            let (fcount, calls) = baselines::naive_fcount(ctx, class)?;
+            Ok(QueryOutput::Aggregate {
+                value: finalize_kind(kind, fcount, ctx),
+                standard_error: None,
+                detection_calls: calls,
+                method: AggregateMethod::Exact,
+            })
+        }
+        // Not enough training data (or no single class): plain adaptive sampling.
+        PlanStrategy::NaiveSampling => {
+            let outcome = naive_aqp_fcount(ctx, class, budgeted_sampling(plan)?)?;
+            Ok(QueryOutput::Aggregate {
+                value: finalize_kind(kind, outcome.estimate, ctx),
                 standard_error: Some(outcome.standard_error),
                 detection_calls: outcome.samples,
-                method: AggregateMethod::ControlVariates,
-            });
+                method: AggregateMethod::NaiveSampling,
+            })
         }
+        // Algorithm 1: specialized NN, then rewriting or control variates.
+        PlanStrategy::SpecializedAggregate { decision } => {
+            let class = class.ok_or_else(|| {
+                BlazeItError::Internal("specialized aggregate plan without a single class".into())
+            })?;
+            let opts = budgeted_sampling(plan)?;
+            let nn = ctx.specialized_for(&plan.heads)?;
+            let decision = match decision {
+                // The planner could not check the held-out error for free; do it now
+                // (reading from the cached held-out score index means only the first
+                // query per class set pays the batched inference for it).
+                RewriteDecision::AtExecution => {
+                    let heldout_scores = ctx.heldout_score_index(&nn)?;
+                    let estimate = nn.estimate_fcount_error_from_scores(
+                        &heldout_scores,
+                        &ctx.labeled().heldout().class_counts(class),
+                        class,
+                        ctx.config().bootstrap_samples,
+                        ctx.config().sampling_seed,
+                    )?;
+                    if estimate.prob_error_within(opts.error) >= opts.confidence {
+                        RewriteDecision::Rewrite
+                    } else {
+                        RewriteDecision::ControlVariates
+                    }
+                }
+                resolved => *resolved,
+            };
+            match decision {
+                RewriteDecision::Rewrite => {
+                    let value = rewrite_fcount(ctx, &nn, class)?;
+                    Ok(QueryOutput::Aggregate {
+                        value: finalize_kind(kind, value, ctx),
+                        standard_error: None,
+                        detection_calls: 0,
+                        method: AggregateMethod::QueryRewriting,
+                    })
+                }
+                _ => {
+                    let outcome = control_variate_fcount(ctx, &nn, class, opts)?;
+                    Ok(QueryOutput::Aggregate {
+                        value: finalize_kind(kind, outcome.estimate, ctx),
+                        standard_error: Some(outcome.standard_error),
+                        detection_calls: outcome.samples,
+                        method: AggregateMethod::ControlVariates,
+                    })
+                }
+            }
+        }
+        other => Err(BlazeItError::Internal(format!(
+            "aggregate::execute called with non-aggregate strategy {other:?}"
+        ))),
     }
+}
 
-    // Not enough training data (or no class restriction): plain adaptive sampling.
-    let outcome = naive_aqp_fcount(engine, class, opts)?;
-    Ok(QueryOutput::Aggregate {
-        value: finalize_kind(kind, outcome.estimate, engine),
-        standard_error: Some(outcome.standard_error),
-        detection_calls: outcome.samples,
-        method: AggregateMethod::NaiveSampling,
-    })
+/// The plan's sampling options with any detector-call budget folded into the cap.
+fn budgeted_sampling(plan: &QueryPlan) -> Result<SamplingOptions> {
+    let mut opts = plan.sampling.ok_or_else(|| {
+        BlazeItError::Internal("sampling aggregate plan carries no sampling options".into())
+    })?;
+    if let Some(budget) = plan.detection_budget {
+        opts.max_samples = Some(opts.max_samples.map_or(budget, |m| m.min(budget)));
+    }
+    Ok(opts)
 }
 
 /// Converts a frame-averaged count into the requested aggregate.
-fn finalize_kind(kind: &AggregateKind, fcount: f64, engine: &BlazeIt) -> f64 {
+fn finalize_kind(kind: &AggregateKind, fcount: f64, ctx: &VideoContext) -> f64 {
     match kind {
         AggregateKind::FrameAveragedCount => fcount,
-        AggregateKind::Count => fcount * engine.video().len() as f64,
+        AggregateKind::Count => fcount * ctx.video().len() as f64,
         AggregateKind::CountDistinct(_) => fcount,
     }
 }
 
 /// Answers an FCOUNT query directly from the specialized NN (query rewriting): the
 /// mean of the NN's expected count over every frame of the unseen video. No object
-/// detection is performed; the per-frame scores come from the engine's cached
+/// detection is performed; the per-frame scores come from the context's cached
 /// batched score index, so only the first query per class set pays inference.
 pub fn rewrite_fcount(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     nn: &Arc<SpecializedNN>,
     class: ObjectClass,
 ) -> Result<f64> {
     let head = nn
         .head_index(class)
         .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))?;
-    let scores = engine.score_index(nn)?;
+    let scores = ctx.score_index(nn)?;
     let mut total = 0.0f64;
     for frame in 0..scores.num_frames() {
         total += scores.expected_count(frame, head);
@@ -193,8 +208,8 @@ pub fn initial_sample_size(range_k: usize, error: f64) -> u64 {
     ((range_k.max(1) as f64) / error.max(1e-6)).ceil() as u64
 }
 
-fn detector_count(engine: &BlazeIt, frame: u64, class: Option<ObjectClass>) -> usize {
-    let detections = engine.detector().detect(engine.video(), frame);
+fn detector_count(ctx: &VideoContext, frame: u64, class: Option<ObjectClass>) -> usize {
+    let detections = ctx.detector().detect(ctx.video(), frame);
     match class {
         Some(c) => count_class(&detections, c),
         None => detections.len(),
@@ -204,11 +219,11 @@ fn detector_count(engine: &BlazeIt, frame: u64, class: Option<ObjectClass>) -> u
 /// Plain adaptive sampling (naive AQP): uniform random frames, detector counts, CLT
 /// stopping rule.
 pub fn naive_aqp_fcount(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     class: Option<ObjectClass>,
     opts: SamplingOptions,
 ) -> Result<SamplingOutcome> {
-    adaptive_sampling(engine, class, opts, None)
+    adaptive_sampling(ctx, class, opts, None)
 }
 
 /// Adaptive sampling with the specialized NN as a control variate.
@@ -220,49 +235,49 @@ pub fn naive_aqp_fcount(
 /// `m̂ = m̄ + c (t̄ - τ)` replaces the plain sample mean, shrinking the variance by the
 /// squared correlation.
 pub fn control_variate_fcount(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     nn: &Arc<SpecializedNN>,
     class: ObjectClass,
     opts: SamplingOptions,
 ) -> Result<SamplingOutcome> {
-    let t_all = specialized_scores(engine, nn, class)?;
-    control_variate_fcount_with_scores(engine, &t_all, class, opts)
+    let t_all = specialized_scores(ctx, nn, class)?;
+    control_variate_fcount_with_scores(ctx, &t_all, class, opts)
 }
 
 /// Computes the specialized NN's expected count for every frame of the unseen video
-/// (the control variate's values), reading from the engine's cached batched score
+/// (the control variate's values), reading from the context's cached batched score
 /// index. The first call per class set charges (batched) specialized-inference
 /// time; repeated calls are free.
 pub fn specialized_scores(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     nn: &Arc<SpecializedNN>,
     class: ObjectClass,
 ) -> Result<Vec<f64>> {
     let head = nn
         .head_index(class)
         .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))?;
-    let scores = engine.score_index(nn)?;
+    let scores = ctx.score_index(nn)?;
     Ok((0..scores.num_frames()).map(|frame| scores.expected_count(frame, head)).collect())
 }
 
 /// Control-variate sampling reusing precomputed per-frame specialized-NN scores (the
 /// "indexed" scenario, and what lets sweep harnesses score each video only once).
 pub fn control_variate_fcount_with_scores(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     t_all: &[f64],
     class: ObjectClass,
     opts: SamplingOptions,
 ) -> Result<SamplingOutcome> {
-    if t_all.len() != engine.video().len() as usize {
+    if t_all.len() != ctx.video().len() as usize {
         return Err(BlazeItError::Internal(format!(
             "control variate scores cover {} frames but the video has {}",
             t_all.len(),
-            engine.video().len()
+            ctx.video().len()
         )));
     }
     let (tau, var_t) = mean_and_variance(t_all);
     adaptive_sampling(
-        engine,
+        ctx,
         Some(class),
         opts,
         Some(ControlVariate { t_all: t_all.to_vec(), tau, var_t }),
@@ -276,7 +291,7 @@ struct ControlVariate {
 }
 
 fn adaptive_sampling(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     class: Option<ObjectClass>,
     opts: SamplingOptions,
     control: Option<ControlVariate>,
@@ -287,16 +302,18 @@ fn adaptive_sampling(
     if !(0.0..1.0).contains(&opts.confidence) {
         return Err(BlazeItError::Unsupported("confidence must be in (0, 1)".into()));
     }
-    let video = engine.video();
+    let video = ctx.video();
     let num_frames = video.len();
     let range_k = match class {
-        Some(c) => engine.default_max_count(c, 1) + 1,
-        None => engine.labeled().train().counts.iter().map(|cv| cv.total()).max().unwrap_or(1) + 1,
+        Some(c) => ctx.default_max_count(c, 1) + 1,
+        None => ctx.labeled().train().counts.iter().map(|cv| cv.total()).max().unwrap_or(1) + 1,
     };
     let z = normal_critical_value(opts.confidence);
-    let initial = initial_sample_size(range_k, opts.error).min(num_frames.max(1));
+    // An explicit max_samples (e.g. a detector-call budget from the plan) is a hard
+    // cap: it truncates even the initial K/eps draw.
+    let max_samples = opts.max_samples.unwrap_or(num_frames).max(1);
+    let initial = initial_sample_size(range_k, opts.error).min(num_frames.max(1)).min(max_samples);
     let batch = (initial / 10).max(25);
-    let max_samples = opts.max_samples.unwrap_or(num_frames).max(initial);
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut m_samples: Vec<f64> = Vec::new();
@@ -304,7 +321,7 @@ fn adaptive_sampling(
 
     let draw = |rng: &mut StdRng, m: &mut Vec<f64>, t: &mut Vec<f64>| {
         let frame = rng.gen_range(0..num_frames);
-        m.push(detector_count(engine, frame, class) as f64);
+        m.push(detector_count(ctx, frame, class) as f64);
         if let Some(cv) = &control {
             t.push(cv.t_all[frame as usize]);
         }
@@ -324,7 +341,10 @@ fn adaptive_sampling(
                 control_coefficient: coefficient,
             });
         }
-        for _ in 0..batch {
+        // The hard cap also truncates the final batch, never just the between-batch
+        // check — otherwise a round could overshoot the budget by up to batch - 1.
+        let room = max_samples - m_samples.len() as u64;
+        for _ in 0..batch.min(room) {
             draw(&mut rng, &mut m_samples, &mut t_samples);
         }
     }
@@ -383,6 +403,7 @@ fn sample_cov(xs: &[f64], ys: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::BlazeIt;
     use blazeit_videostore::DatasetPreset;
 
     fn engine() -> BlazeIt {

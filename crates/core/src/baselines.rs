@@ -12,7 +12,7 @@
 //! The functions here also provide *oracle* (uncharged) ground-truth computations used
 //! by harnesses and tests to measure accuracy without perturbing the cost accounting.
 
-use crate::engine::BlazeIt;
+use crate::context::VideoContext;
 use crate::relation::RelationBuilder;
 use crate::{BlazeItError, Result};
 use blazeit_detect::{
@@ -63,10 +63,10 @@ fn count_for(detections: &[Detection], class: Option<ObjectClass>) -> usize {
 
 /// Naive exact FCOUNT: object detection on every frame (in batches).
 /// Returns `(fcount, detector calls)`.
-pub fn naive_fcount(engine: &BlazeIt, class: Option<ObjectClass>) -> Result<(f64, u64)> {
-    let video = engine.video();
+pub fn naive_fcount(ctx: &VideoContext, class: Option<ObjectClass>) -> Result<(f64, u64)> {
+    let video = ctx.video();
     let mut total = 0usize;
-    scan_detections(engine.detector(), video, &all_frames(video), |_, detections| {
+    scan_detections(ctx.detector(), video, &all_frames(video), |_, detections| {
         total += count_for(detections, class);
     });
     Ok((total as f64 / video.len().max(1) as f64, video.len()))
@@ -76,27 +76,27 @@ pub fn naive_fcount(engine: &BlazeIt, class: Option<ObjectClass>) -> Result<(f64
 /// (in batches) only on frames that contain at least one object of the class (it must
 /// be, because NoScope cannot distinguish one object from several).
 /// Returns `(fcount, detector calls)`.
-pub fn noscope_fcount(engine: &BlazeIt, class: ObjectClass) -> Result<(f64, u64)> {
-    let video = engine.video();
+pub fn noscope_fcount(ctx: &VideoContext, class: ObjectClass) -> Result<(f64, u64)> {
+    let video = ctx.video();
     let occupied: Vec<FrameIndex> =
         (0..video.len()).filter(|&f| video.scene().count_at(f, class) > 0).collect();
     let mut total = 0usize;
-    scan_detections(engine.detector(), video, &occupied, |_, detections| {
+    scan_detections(ctx.detector(), video, &occupied, |_, detections| {
         total += count_class(detections, class);
     });
     Ok((total as f64 / video.len().max(1) as f64, occupied.len() as u64))
 }
 
 /// Ground-truth FCOUNT relative to the configured detector, computed *without charging
-/// the engine clock* (for accuracy evaluation only). Returns `(fcount, frames scanned)`.
-pub fn oracle_fcount(engine: &BlazeIt, class: Option<ObjectClass>) -> (f64, u64) {
+/// the shared clock* (for accuracy evaluation only). Returns `(fcount, frames scanned)`.
+pub fn oracle_fcount(ctx: &VideoContext, class: Option<ObjectClass>) -> (f64, u64) {
     let offline = SimClock::new();
     let detector = SimulatedDetector::new(
-        engine.config().detection_method,
-        engine.config().detection_threshold,
+        ctx.config().detection_method,
+        ctx.config().detection_threshold,
         offline,
     );
-    let video = engine.video();
+    let video = ctx.video();
     let mut total = 0usize;
     scan_detections(&detector, video, &all_frames(video), |_, detections| {
         total += count_for(detections, class);
@@ -105,12 +105,12 @@ pub fn oracle_fcount(engine: &BlazeIt, class: Option<ObjectClass>) -> (f64, u64)
 }
 
 /// Per-frame detector counts for the whole unseen video, computed without charging the
-/// engine clock. Used by harnesses to find ground-truth event frames.
-pub fn oracle_counts(engine: &BlazeIt, video: &Video) -> Vec<CountVector> {
+/// ctx clock. Used by harnesses to find ground-truth event frames.
+pub fn oracle_counts(ctx: &VideoContext, video: &Video) -> Vec<CountVector> {
     let offline = SimClock::new();
     let detector = SimulatedDetector::new(
-        engine.config().detection_method,
-        engine.config().detection_threshold,
+        ctx.config().detection_method,
+        ctx.config().detection_threshold,
         offline,
     );
     let mut counts = Vec::with_capacity(video.len() as usize);
@@ -122,11 +122,11 @@ pub fn oracle_counts(engine: &BlazeIt, video: &Video) -> Vec<CountVector> {
 
 /// Exact `COUNT(DISTINCT trackid)`: batched detection + sequential entity resolution
 /// over every frame. Returns `(distinct track count, detector calls)`.
-pub fn exact_distinct_count(engine: &BlazeIt, class: Option<ObjectClass>) -> Result<(f64, u64)> {
-    let video = engine.video();
-    let mut builder = RelationBuilder::new(engine.detector(), engine.config().tracker_iou, 1);
+pub fn exact_distinct_count(ctx: &VideoContext, class: Option<ObjectClass>) -> Result<(f64, u64)> {
+    let video = ctx.video();
+    let mut builder = RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, 1);
     let mut tracks: BTreeSet<u64> = BTreeSet::new();
-    scan_detections(engine.detector(), video, &all_frames(video), |frame, detections| {
+    scan_detections(ctx.detector(), video, &all_frames(video), |frame, detections| {
         for row in builder.rows_for_detections(video, frame, detections) {
             if class.map(|c| c == row.class).unwrap_or(true) {
                 tracks.insert(row.trackid);
@@ -150,7 +150,7 @@ pub fn respects_gap(accepted: &[FrameIndex], frame: FrameIndex, gap: u64) -> boo
 /// check depends on previously accepted frames, so batching detection ahead of
 /// the cursor would change the number of detector calls the baseline reports.
 pub fn naive_scrub(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     requirements: &[(ObjectClass, usize)],
     limit: u64,
     gap: u64,
@@ -158,7 +158,7 @@ pub fn naive_scrub(
     if requirements.is_empty() {
         return Err(BlazeItError::Unsupported("scrubbing requires class requirements".into()));
     }
-    let video = engine.video();
+    let video = ctx.video();
     let mut accepted = Vec::new();
     let mut calls = 0u64;
     for frame in 0..video.len() {
@@ -168,7 +168,7 @@ pub fn naive_scrub(
         if !respects_gap(&accepted, frame, gap) {
             continue;
         }
-        let detections = engine.detector().detect(video, frame);
+        let detections = ctx.detector().detect(video, frame);
         calls += 1;
         let counts = CountVector::from_detections(&detections);
         if counts.satisfies_all(requirements) {
@@ -181,7 +181,7 @@ pub fn naive_scrub(
 /// NoScope-oracle scrubbing: like [`naive_scrub`], but frames lacking binary presence of
 /// *any* required class are skipped for free.
 pub fn noscope_scrub(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     requirements: &[(ObjectClass, usize)],
     limit: u64,
     gap: u64,
@@ -189,7 +189,7 @@ pub fn noscope_scrub(
     if requirements.is_empty() {
         return Err(BlazeItError::Unsupported("scrubbing requires class requirements".into()));
     }
-    let video = engine.video();
+    let video = ctx.video();
     let mut accepted = Vec::new();
     let mut calls = 0u64;
     for frame in 0..video.len() {
@@ -205,7 +205,7 @@ pub fn noscope_scrub(
         if !present {
             continue;
         }
-        let detections = engine.detector().detect(video, frame);
+        let detections = ctx.detector().detect(video, frame);
         calls += 1;
         let counts = CountVector::from_detections(&detections);
         if counts.satisfies_all(requirements) {
@@ -218,13 +218,13 @@ pub fn noscope_scrub(
 /// Naive content-based selection: batched detection + sequential tracking on every
 /// frame, row predicates evaluated afterwards. Returns `(rows, detector calls)`.
 pub fn naive_selection_scan(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     class: Option<ObjectClass>,
 ) -> Result<(Vec<blazeit_frameql::FrameQlRow>, u64)> {
-    let video = engine.video();
-    let mut builder = RelationBuilder::new(engine.detector(), engine.config().tracker_iou, 1);
+    let video = ctx.video();
+    let mut builder = RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, 1);
     let mut rows = Vec::new();
-    scan_detections(engine.detector(), video, &all_frames(video), |frame, detections| {
+    scan_detections(ctx.detector(), video, &all_frames(video), |frame, detections| {
         for row in builder.rows_for_detections(video, frame, detections) {
             if class.map(|c| c == row.class).unwrap_or(true) {
                 rows.push(row);
@@ -237,15 +237,15 @@ pub fn naive_selection_scan(
 /// NoScope-oracle selection: batched detection + sequential tracking only on frames
 /// where the class is present (binary presence known for free).
 pub fn noscope_selection_scan(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     class: ObjectClass,
 ) -> Result<(Vec<blazeit_frameql::FrameQlRow>, u64)> {
-    let video = engine.video();
+    let video = ctx.video();
     let occupied: Vec<FrameIndex> =
         (0..video.len()).filter(|&f| video.scene().count_at(f, class) > 0).collect();
-    let mut builder = RelationBuilder::new(engine.detector(), engine.config().tracker_iou, 1);
+    let mut builder = RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, 1);
     let mut rows = Vec::new();
-    scan_detections(engine.detector(), video, &occupied, |frame, detections| {
+    scan_detections(ctx.detector(), video, &occupied, |frame, detections| {
         for row in builder.rows_for_detections(video, frame, detections) {
             if row.class == class {
                 rows.push(row);
@@ -258,6 +258,7 @@ pub fn noscope_selection_scan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::BlazeIt;
     use blazeit_videostore::DatasetPreset;
 
     fn engine() -> BlazeIt {

@@ -1,0 +1,228 @@
+//! The catalog: many registered videos behind one declarative query surface.
+//!
+//! BlazeIt's premise is a declarative interface over a *corpus* of video streams, not
+//! a single file. A [`Catalog`] owns one [`VideoContext`] per registered video — each
+//! with its own labeled set, detector configuration, and per-video caches of trained
+//! specialized networks and score indexes — plus the shared [`SimClock`] every
+//! expensive operation charges. FrameQL queries are routed to the right context by
+//! their `FROM` clause through a [`Session`](crate::session::Session); a query naming
+//! an unregistered video fails with [`BlazeItError::UnknownVideo`] listing what *is*
+//! registered.
+//!
+//! Video names are normalized (ASCII-lowercased, `_` → `-`) for routing, so
+//! `FROM night_street` and `FROM Night-Street` both reach the `night-street` stream.
+
+use crate::config::BlazeItConfig;
+use crate::context::VideoContext;
+use crate::labeled::LabeledSet;
+use crate::session::Session;
+use crate::{BlazeItError, Result};
+use blazeit_detect::SimClock;
+use blazeit_videostore::{DatasetPreset, Video, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
+use std::sync::Arc;
+
+/// Normalizes a video name for routing: ASCII-lowercase, underscores to hyphens.
+fn normalize(name: &str) -> String {
+    name.to_ascii_lowercase().replace('_', "-")
+}
+
+/// A catalog of registered videos sharing one simulated clock.
+pub struct Catalog {
+    clock: Arc<SimClock>,
+    contexts: Vec<VideoContext>,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog").field("videos", &self.video_names()).finish()
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    /// Creates an empty catalog with a fresh simulated clock.
+    pub fn new() -> Catalog {
+        Catalog { clock: SimClock::new(), contexts: Vec::new() }
+    }
+
+    /// Registers a video (the unseen test data) with a pre-built labeled set and
+    /// per-stream configuration, returning its context.
+    ///
+    /// Fails if a video with the same (normalized) name is already registered.
+    pub fn register(
+        &mut self,
+        video: Video,
+        labeled: Arc<LabeledSet>,
+        config: BlazeItConfig,
+    ) -> Result<&VideoContext> {
+        let key = normalize(video.name());
+        if self.contexts.iter().any(|c| normalize(c.video().name()) == key) {
+            return Err(BlazeItError::Unsupported(format!(
+                "video '{}' is already registered in this catalog",
+                video.name()
+            )));
+        }
+        let ctx = VideoContext::new(video, labeled, config, Arc::clone(&self.clock));
+        self.contexts.push(ctx);
+        Ok(self.contexts.last().expect("context was just pushed"))
+    }
+
+    /// Registers one of the Table 3 presets: generates its three days (train,
+    /// held-out, test) at `frames_per_day` frames each, builds the labeled set
+    /// offline, and registers the test day under the preset's name.
+    pub fn register_preset(
+        &mut self,
+        preset: DatasetPreset,
+        frames_per_day: u64,
+    ) -> Result<&VideoContext> {
+        let config = BlazeItConfig::for_preset(preset);
+        self.register_preset_with_config(preset, frames_per_day, config)
+    }
+
+    /// Like [`Catalog::register_preset`] but with an explicit configuration.
+    pub fn register_preset_with_config(
+        &mut self,
+        preset: DatasetPreset,
+        frames_per_day: u64,
+        config: BlazeItConfig,
+    ) -> Result<&VideoContext> {
+        let train = preset.generate_with_frames(DAY_TRAIN, frames_per_day)?;
+        let heldout = preset.generate_with_frames(DAY_HELDOUT, frames_per_day)?;
+        let test = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
+        let labeled = Arc::new(LabeledSet::build(train, heldout, &config)?);
+        self.register(test, labeled, config)
+    }
+
+    /// Looks up a registered video's context by (normalized) name.
+    pub fn context(&self, name: &str) -> Result<&VideoContext> {
+        let key = normalize(name);
+        self.contexts.iter().find(|c| normalize(c.video().name()) == key).ok_or_else(|| {
+            BlazeItError::UnknownVideo {
+                requested: name.to_string(),
+                available: self.video_names(),
+            }
+        })
+    }
+
+    /// Mutable context lookup (e.g. to register per-video UDFs).
+    pub fn context_mut(&mut self, name: &str) -> Result<&mut VideoContext> {
+        let key = normalize(name);
+        let available = self.video_names();
+        self.contexts
+            .iter_mut()
+            .find(|c| normalize(c.video().name()) == key)
+            .ok_or(BlazeItError::UnknownVideo { requested: name.to_string(), available })
+    }
+
+    /// The registered video names, in registration order.
+    pub fn video_names(&self) -> Vec<String> {
+        self.contexts.iter().map(|c| c.video().name().to_string()).collect()
+    }
+
+    /// All registered contexts, in registration order.
+    pub fn contexts(&self) -> impl Iterator<Item = &VideoContext> {
+        self.contexts.iter()
+    }
+
+    /// Number of registered videos.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Whether the catalog has no registered videos.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+
+    /// The shared simulated clock all registered videos charge.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Resets the shared clock (useful between experiments sharing one catalog).
+    pub fn reset_clock(&self) {
+        self.clock.reset();
+    }
+
+    /// Opens a query session over this catalog.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazeit_detect::ObjectDetector;
+    use blazeit_videostore::ObjectClass;
+
+    #[test]
+    fn register_and_lookup_with_normalization() {
+        let mut catalog = Catalog::new();
+        catalog.register_preset(DatasetPreset::NightStreet, 600).unwrap();
+        assert_eq!(catalog.len(), 1);
+        assert!(!catalog.is_empty());
+        // Underscore and case variants all route to the hyphenated stream.
+        for name in ["night-street", "night_street", "NIGHT_STREET"] {
+            assert_eq!(catalog.context(name).unwrap().video().name(), "night-street");
+        }
+    }
+
+    #[test]
+    fn unknown_video_error_lists_registered_names() {
+        let mut catalog = Catalog::new();
+        catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
+        catalog.register_preset(DatasetPreset::Amsterdam, 600).unwrap();
+        let err = catalog.context("rialto").unwrap_err();
+        match err {
+            BlazeItError::UnknownVideo { requested, available } => {
+                assert_eq!(requested, "rialto");
+                assert_eq!(available, vec!["taipei".to_string(), "amsterdam".to_string()]);
+            }
+            other => panic!("expected UnknownVideo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut catalog = Catalog::new();
+        catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
+        let err = catalog.register_preset(DatasetPreset::Taipei, 600);
+        assert!(matches!(err, Err(BlazeItError::Unsupported(_))));
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn contexts_share_the_catalog_clock() {
+        let mut catalog = Catalog::new();
+        catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
+        catalog.register_preset(DatasetPreset::Amsterdam, 600).unwrap();
+        assert_eq!(catalog.clock().total(), 0.0);
+        let ctx = catalog.context("taipei").unwrap();
+        ctx.detector().detect(ctx.video(), 0);
+        assert!(catalog.clock().total() > 0.0);
+        let before = catalog.clock().total();
+        let ctx2 = catalog.context("amsterdam").unwrap();
+        ctx2.detector().detect(ctx2.video(), 0);
+        assert!(catalog.clock().total() > before, "both contexts charge the shared clock");
+        catalog.reset_clock();
+        assert_eq!(catalog.clock().total(), 0.0);
+    }
+
+    #[test]
+    fn per_video_udfs_via_context_mut() {
+        let mut catalog = Catalog::new();
+        catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
+        catalog
+            .context_mut("taipei")
+            .unwrap()
+            .register_udf("always_seven", true, |_, _| blazeit_frameql::Value::Number(7.0));
+        assert!(catalog.context("taipei").unwrap().udfs().contains("always_seven"));
+        let _ = ObjectClass::Car;
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-video execution state: the video, its labeled set, and its caches.
+//!
+//! A [`VideoContext`] is one registered video of a [`Catalog`](crate::catalog::Catalog):
+//! the unseen test-day video, the labeled set (training + held-out days annotated
+//! offline), the detector configured for this stream, the UDF registry, and two caches
+//! keyed by the specialized networks' output heads:
+//!
+//! * `nn_cache` — trained specialized networks. Once a network has been trained for
+//!   some class set, later queries reuse it and pay only inference (the paper's
+//!   "BlazeIt (no train)" scenario).
+//! * `score_cache` — per-video [`ScoreMatrix`] indexes produced by the batched
+//!   scoring pipeline, keyed by video identity + head set + feature configuration.
+//!   The first query over a class set scores the whole video once
+//!   ([`SpecializedNN::score_video`]); every later query answers from the cached
+//!   index and pays *no* specialized inference at all — the paper's
+//!   "BlazeIt (indexed)" scenario made concrete.
+//!
+//! Both caches live on the context (not on any engine or session), so every query
+//! routed to this video — from any session over the owning catalog — shares them.
+
+use crate::config::BlazeItConfig;
+use crate::labeled::LabeledSet;
+use crate::{BlazeItError, Result};
+use blazeit_detect::{SimClock, SimulatedDetector};
+use blazeit_frameql::{builtin_udfs, UdfRegistry};
+use blazeit_nn::specialized::{SpecializedConfig, SpecializedHead, SpecializedNN};
+use blazeit_nn::ScoreMatrix;
+use blazeit_videostore::{ObjectClass, Video};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One registered video and everything cached for it.
+pub struct VideoContext {
+    video: Video,
+    labeled: Arc<LabeledSet>,
+    config: BlazeItConfig,
+    clock: Arc<SimClock>,
+    detector: SimulatedDetector,
+    udfs: UdfRegistry,
+    nn_cache: Mutex<HashMap<String, Arc<SpecializedNN>>>,
+    score_cache: Mutex<HashMap<String, Arc<ScoreMatrix>>>,
+}
+
+impl std::fmt::Debug for VideoContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VideoContext")
+            .field("video", &self.video.name())
+            .field("frames", &self.video.len())
+            .field("detection_method", &self.config.detection_method)
+            .finish()
+    }
+}
+
+impl VideoContext {
+    /// Creates a context over `video` (the unseen test data) with a pre-built labeled
+    /// set, charging all expensive work to `clock` (usually the owning catalog's).
+    pub fn new(
+        video: Video,
+        labeled: Arc<LabeledSet>,
+        config: BlazeItConfig,
+        clock: Arc<SimClock>,
+    ) -> VideoContext {
+        let detector = SimulatedDetector::new(
+            config.detection_method,
+            config.detection_threshold,
+            Arc::clone(&clock),
+        );
+        VideoContext {
+            video,
+            labeled,
+            config,
+            clock,
+            detector,
+            udfs: builtin_udfs(),
+            nn_cache: Mutex::new(HashMap::new()),
+            score_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The unseen (test) video queries run over.
+    pub fn video(&self) -> &Video {
+        &self.video
+    }
+
+    /// The labeled set.
+    pub fn labeled(&self) -> &Arc<LabeledSet> {
+        &self.labeled
+    }
+
+    /// The context configuration.
+    pub fn config(&self) -> &BlazeItConfig {
+        &self.config
+    }
+
+    /// The simulated clock all costs are charged to.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The configured object detector (charges the shared clock on every call).
+    pub fn detector(&self) -> &SimulatedDetector {
+        &self.detector
+    }
+
+    /// The UDF registry.
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// Registers (or replaces) a UDF available to queries on this video.
+    pub fn register_udf(
+        &mut self,
+        name: &str,
+        frame_liftable: bool,
+        func: impl Fn(
+                &blazeit_videostore::Frame,
+                &blazeit_videostore::BoundingBox,
+            ) -> blazeit_frameql::Value
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.udfs.register(name, frame_liftable, func);
+    }
+
+    /// The cache key for a set of `(class, max_count)` heads (order-insensitive).
+    fn head_key(heads: &[(ObjectClass, usize)]) -> String {
+        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
+        sorted.sort_by_key(|(c, _)| c.index());
+        sorted.iter().map(|(c, m)| format!("{}:{}", c.name(), m)).collect::<Vec<_>>().join("|")
+    }
+
+    /// The cache key for a score index: full video identity (name, day, seed,
+    /// length, frames scored) + the network's own architecture (heads, feature
+    /// config, hidden widths, init seed).
+    ///
+    /// The day/seed components distinguish the test-day index from the held-out
+    /// index even when both days are the same length and fully annotated; the
+    /// architecture components come from the *network being scored* (not the
+    /// context config), so an externally trained network with the same heads but
+    /// different features cannot collide with a context-trained one.
+    fn score_key(video: &Video, frames_scored: usize, config: &SpecializedConfig) -> String {
+        let heads: Vec<(ObjectClass, usize)> =
+            config.heads.iter().map(|h| (h.class, h.max_count)).collect();
+        format!(
+            "{}#day{}#vseed{}#{}#{}#{:?}#{:?}#nnseed{}#{}",
+            video.name(),
+            video.config().day,
+            video.config().seed,
+            video.len(),
+            frames_scored,
+            config.features,
+            config.hidden,
+            config.seed,
+            Self::head_key(&heads),
+        )
+    }
+
+    /// The specialized-network configuration this context trains for a sorted
+    /// head set (shared by [`VideoContext::specialized_for`] and the cache-key
+    /// derivations so they can never disagree).
+    fn context_spec_config(&self, sorted: &[(ObjectClass, usize)]) -> SpecializedConfig {
+        let spec_heads: Vec<SpecializedHead> = sorted
+            .iter()
+            .map(|&(class, max_count)| SpecializedHead { class, max_count: max_count.max(1) })
+            .collect();
+        let mut spec_config = SpecializedConfig::for_heads(spec_heads);
+        spec_config.features = self.config.features;
+        spec_config.hidden = self.config.specialized_hidden.clone();
+        spec_config.train = self.config.train;
+        spec_config.cost = self.config.cost;
+        spec_config.seed = self.config.sampling_seed ^ 0x5EC1_A112;
+        spec_config
+    }
+
+    /// Returns (training if necessary) a specialized network with one counting head per
+    /// requested `(class, max_count)` pair.
+    ///
+    /// Training is charged to the shared clock; cache hits are free (this is the
+    /// "indexed" / "no train" scenario of the paper).
+    pub fn specialized_for(&self, heads: &[(ObjectClass, usize)]) -> Result<Arc<SpecializedNN>> {
+        if heads.is_empty() {
+            return Err(BlazeItError::Internal(
+                "specialized_for requires at least one head".into(),
+            ));
+        }
+        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
+        sorted.sort_by_key(|(c, _)| c.index());
+        let key = Self::head_key(heads);
+
+        if let Some(nn) = self.nn_cache.lock().get(&key) {
+            return Ok(Arc::clone(nn));
+        }
+
+        let spec_config = self.context_spec_config(&sorted);
+        let train_day = self.labeled.train();
+        let (nn, _report) = SpecializedNN::train(
+            spec_config,
+            self.labeled.train_video(),
+            &train_day.frames,
+            &train_day.counts,
+            Arc::clone(&self.clock),
+        )?;
+        let nn = Arc::new(nn);
+        self.nn_cache.lock().insert(key, Arc::clone(&nn));
+        Ok(nn)
+    }
+
+    /// The default counting head size for `class`, chosen by the paper's rule: the
+    /// highest count appearing in at least `count_class_min_fraction` of the labeled
+    /// frames, and never below `at_least`.
+    pub fn default_max_count(&self, class: ObjectClass, at_least: usize) -> usize {
+        let counts = self.labeled.train().class_counts(class);
+        let head =
+            SpecializedHead::from_counts(class, counts, self.config.count_class_min_fraction);
+        head.max_count.max(at_least).max(1)
+    }
+
+    /// Whether a specialized network for these heads is already trained and cached.
+    pub fn has_cached_specialized(&self, heads: &[(ObjectClass, usize)]) -> bool {
+        self.nn_cache.lock().contains_key(&Self::head_key(heads))
+    }
+
+    /// The cached specialized network for these heads, if one exists (never trains;
+    /// never charges the clock — this is what free plan-time inspection uses).
+    pub fn cached_specialized(&self, heads: &[(ObjectClass, usize)]) -> Option<Arc<SpecializedNN>> {
+        self.nn_cache.lock().get(&Self::head_key(heads)).map(Arc::clone)
+    }
+
+    /// The per-video score index for `nn` over the unseen (test) video: every frame
+    /// scored by the batched pipeline, cached so repeated queries over the same
+    /// class set pay specialized inference only once (the paper's
+    /// "BlazeIt (indexed)" scenario).
+    ///
+    /// The first call charges the full-video inference cost to the shared clock;
+    /// later calls are free.
+    pub fn score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
+        let key = Self::score_key(&self.video, self.video.len() as usize, nn.config());
+        // The lock is held across the build so two concurrent first queries
+        // cannot both score the video (which would double-charge the clock).
+        let mut cache = self.score_cache.lock();
+        if let Some(scores) = cache.get(&key) {
+            return Ok(Arc::clone(scores));
+        }
+        let scores = Arc::new(nn.score_video(&self.video)?);
+        cache.insert(key, Arc::clone(&scores));
+        Ok(scores)
+    }
+
+    /// The score index for `nn` over the held-out day's annotated frames (row `i`
+    /// corresponds to `labeled().heldout().frames[i]`), cached like
+    /// [`VideoContext::score_index`]. Algorithm 1's error estimate and the selection
+    /// label-filter calibration both read from this index, so re-running a query
+    /// re-checks its plan without re-scoring the held-out day.
+    pub fn heldout_score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
+        let heldout = self.labeled.heldout();
+        let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn.config());
+        let mut cache = self.score_cache.lock();
+        if let Some(scores) = cache.get(&key) {
+            return Ok(Arc::clone(scores));
+        }
+        let scores = Arc::new(nn.score_batch(self.labeled.heldout_video(), &heldout.frames)?);
+        cache.insert(key, Arc::clone(&scores));
+        Ok(scores)
+    }
+
+    /// The cached held-out score index for `nn`, if already built (never scores;
+    /// never charges the clock).
+    pub fn cached_heldout_score_index(&self, nn: &Arc<SpecializedNN>) -> Option<Arc<ScoreMatrix>> {
+        let heldout = self.labeled.heldout();
+        let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn.config());
+        self.score_cache.lock().get(&key).map(Arc::clone)
+    }
+
+    /// Whether the unseen video's score index for these heads is already built.
+    pub fn has_cached_score_index(&self, heads: &[(ObjectClass, usize)]) -> bool {
+        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
+        sorted.sort_by_key(|(c, _)| c.index());
+        let config = self.context_spec_config(&sorted);
+        let key = Self::score_key(&self.video, self.video.len() as usize, &config);
+        self.score_cache.lock().contains_key(&key)
+    }
+}

@@ -1,55 +1,40 @@
-//! The BlazeIt engine: query entry point, optimizer dispatch, and shared resources.
+//! The single-video compatibility shim over the catalog API.
+//!
+//! Earlier revisions of this crate exposed [`BlazeIt`] as *the* engine: one video, one
+//! labeled set, queries in, results out. The query surface has since been redesigned
+//! around a [`Catalog`] of registered videos with an explicit planner / executor split
+//! ([`Session::prepare`](crate::session::Session::prepare) →
+//! [`PreparedQuery`](crate::session::PreparedQuery) → `.run()`); `BlazeIt` remains as
+//! a thin convenience wrapper for the common one-video case: a catalog holding a
+//! single registered video, with [`BlazeIt::query`] delegating to a session and every
+//! per-video accessor delegating (via [`std::ops::Deref`]) to the underlying
+//! [`VideoContext`].
+//!
+//! New code — anything that wants several videos, plan inspection, `EXPLAIN`, or plan
+//! overrides — should use [`Catalog`] directly.
 
-use crate::aggregate;
+use crate::catalog::Catalog;
 use crate::config::BlazeItConfig;
+use crate::context::VideoContext;
 use crate::labeled::LabeledSet;
-use crate::result::{QueryOutput, QueryResult};
-use crate::scrub;
-use crate::select;
-use crate::{BlazeItError, Result};
-use blazeit_detect::{SimClock, SimulatedDetector};
-use blazeit_frameql::query::{analyze, QueryClass, QueryPlanInfo};
-use blazeit_frameql::{builtin_udfs, parse_query, Query, UdfRegistry};
-use blazeit_nn::specialized::{SpecializedConfig, SpecializedHead, SpecializedNN};
-use blazeit_nn::ScoreMatrix;
-use blazeit_videostore::{DatasetPreset, ObjectClass, Video, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use crate::result::QueryResult;
+use crate::Result;
+use blazeit_videostore::{DatasetPreset, Video};
+use std::ops::Deref;
 use std::sync::Arc;
-use std::time::Instant;
 
-/// The BlazeIt query engine over one (unseen) video.
-///
-/// The engine holds the unseen test-day video, the labeled set (training + held-out
-/// days annotated offline), the configured detector, the UDF registry, and two caches
-/// keyed by the specialized networks' output heads:
-///
-/// * `nn_cache` — trained specialized networks. Once a network has been trained for
-///   some class set, later queries reuse it and pay only inference (the paper's
-///   "BlazeIt (no train)" scenario).
-/// * `score_cache` — per-video [`ScoreMatrix`] indexes produced by the batched
-///   scoring pipeline, keyed by video identity + head set + feature configuration.
-///   The first query over a class set scores the whole video once
-///   ([`SpecializedNN::score_video`]); every later query answers from the cached
-///   index and pays *no* specialized inference at all — the paper's
-///   "BlazeIt (indexed)" scenario made concrete.
+/// A one-video catalog: the backwards-compatible BlazeIt engine.
 pub struct BlazeIt {
-    video: Video,
-    labeled: Arc<LabeledSet>,
-    config: BlazeItConfig,
-    clock: Arc<SimClock>,
-    detector: SimulatedDetector,
-    udfs: UdfRegistry,
-    nn_cache: Mutex<HashMap<String, Arc<SpecializedNN>>>,
-    score_cache: Mutex<HashMap<String, Arc<ScoreMatrix>>>,
+    catalog: Catalog,
+    name: String,
 }
 
 impl std::fmt::Debug for BlazeIt {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlazeIt")
-            .field("video", &self.video.name())
-            .field("frames", &self.video.len())
-            .field("detection_method", &self.config.detection_method)
+            .field("video", &self.video().name())
+            .field("frames", &self.video().len())
+            .field("detection_method", &self.config().detection_method)
             .finish()
     }
 }
@@ -57,22 +42,10 @@ impl std::fmt::Debug for BlazeIt {
 impl BlazeIt {
     /// Creates an engine over `video` (the unseen test data) with a pre-built labeled set.
     pub fn new(video: Video, labeled: Arc<LabeledSet>, config: BlazeItConfig) -> BlazeIt {
-        let clock = SimClock::new();
-        let detector = SimulatedDetector::new(
-            config.detection_method,
-            config.detection_threshold,
-            Arc::clone(&clock),
-        );
-        BlazeIt {
-            video,
-            labeled,
-            config,
-            clock,
-            detector,
-            udfs: builtin_udfs(),
-            nn_cache: Mutex::new(HashMap::new()),
-            score_cache: Mutex::new(HashMap::new()),
-        }
+        let mut catalog = Catalog::new();
+        let name = video.name().to_string();
+        catalog.register(video, labeled, config).expect("a fresh catalog has no duplicates");
+        BlazeIt { catalog, name }
     }
 
     /// Convenience constructor: generates the three days of a Table 3 preset (train,
@@ -89,41 +62,23 @@ impl BlazeIt {
         frames_per_day: u64,
         config: BlazeItConfig,
     ) -> Result<BlazeIt> {
-        let train = preset.generate_with_frames(DAY_TRAIN, frames_per_day)?;
-        let heldout = preset.generate_with_frames(DAY_HELDOUT, frames_per_day)?;
-        let test = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
-        let labeled = Arc::new(LabeledSet::build(train, heldout, &config)?);
-        Ok(BlazeIt::new(test, labeled, config))
+        let mut catalog = Catalog::new();
+        let name = catalog
+            .register_preset_with_config(preset, frames_per_day, config)?
+            .video()
+            .name()
+            .to_string();
+        Ok(BlazeIt { catalog, name })
     }
 
-    /// The unseen (test) video queries run over.
-    pub fn video(&self) -> &Video {
-        &self.video
+    /// The underlying one-video catalog (for code migrating to the session API).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
     }
 
-    /// The labeled set.
-    pub fn labeled(&self) -> &Arc<LabeledSet> {
-        &self.labeled
-    }
-
-    /// The engine configuration.
-    pub fn config(&self) -> &BlazeItConfig {
-        &self.config
-    }
-
-    /// The simulated clock all costs are charged to.
-    pub fn clock(&self) -> &Arc<SimClock> {
-        &self.clock
-    }
-
-    /// The configured object detector (charges the engine clock on every call).
-    pub fn detector(&self) -> &SimulatedDetector {
-        &self.detector
-    }
-
-    /// The UDF registry.
-    pub fn udfs(&self) -> &UdfRegistry {
-        &self.udfs
+    /// Parses, plans and executes a FrameQL query (including `EXPLAIN`).
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.catalog.session().query(sql)
     }
 
     /// Registers (or replaces) a UDF available to queries on this engine.
@@ -139,198 +94,26 @@ impl BlazeIt {
             + Sync
             + 'static,
     ) {
-        self.udfs.register(name, frame_liftable, func);
+        let video = self.name.clone();
+        self.catalog
+            .context_mut(&video)
+            .expect("the engine's video is always registered")
+            .register_udf(name, frame_liftable, func);
     }
 
     /// Resets the simulated clock (useful between experiments sharing one engine).
     pub fn reset_clock(&self) {
-        self.clock.reset();
+        self.catalog.reset_clock();
     }
+}
 
-    /// Parses, optimizes and executes a FrameQL query.
-    pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        let started = Instant::now();
-        let cost_before = self.clock.breakdown();
+impl Deref for BlazeIt {
+    type Target = VideoContext;
 
-        let parsed = parse_query(sql)?;
-        self.check_video_name(&parsed)?;
-        let info = analyze(&parsed, &self.udfs)?;
-        let output = self.execute(&parsed, &info)?;
-
-        let cost = self.clock.breakdown().since(&cost_before);
-        Ok(QueryResult {
-            query: sql.to_string(),
-            output,
-            cost,
-            wall_secs: started.elapsed().as_secs_f64(),
-        })
-    }
-
-    /// Executes an already-analyzed query. Exposed for harnesses that need to toggle
-    /// plan options.
-    pub fn execute(&self, query: &Query, info: &QueryPlanInfo) -> Result<QueryOutput> {
-        match &info.class {
-            QueryClass::Aggregate { .. } => aggregate::execute(self, query, info),
-            QueryClass::Scrub => scrub::execute(self, query, info),
-            QueryClass::Select | QueryClass::Exhaustive => {
-                select::execute(self, query, info, &select::SelectionOptions::default())
-            }
-        }
-    }
-
-    fn check_video_name(&self, query: &Query) -> Result<()> {
-        let normalize = |s: &str| s.to_ascii_lowercase().replace('_', "-");
-        if normalize(&query.from) != normalize(self.video.name()) {
-            return Err(BlazeItError::WrongVideo {
-                requested: query.from.clone(),
-                available: self.video.name().to_string(),
-            });
-        }
-        Ok(())
-    }
-
-    /// The cache key for a set of `(class, max_count)` heads (order-insensitive).
-    fn head_key(heads: &[(ObjectClass, usize)]) -> String {
-        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
-        sorted.sort_by_key(|(c, _)| c.index());
-        sorted.iter().map(|(c, m)| format!("{}:{}", c.name(), m)).collect::<Vec<_>>().join("|")
-    }
-
-    /// The cache key for a score index: full video identity (name, day, seed,
-    /// length, frames scored) + the network's own architecture (heads, feature
-    /// config, hidden widths, init seed).
-    ///
-    /// The day/seed components distinguish the test-day index from the held-out
-    /// index even when both days are the same length and fully annotated; the
-    /// architecture components come from the *network being scored* (not the
-    /// engine config), so an externally trained network with the same heads but
-    /// different features cannot collide with an engine-trained one.
-    fn score_key(video: &Video, frames_scored: usize, config: &SpecializedConfig) -> String {
-        let heads: Vec<(ObjectClass, usize)> =
-            config.heads.iter().map(|h| (h.class, h.max_count)).collect();
-        format!(
-            "{}#day{}#vseed{}#{}#{}#{:?}#{:?}#nnseed{}#{}",
-            video.name(),
-            video.config().day,
-            video.config().seed,
-            video.len(),
-            frames_scored,
-            config.features,
-            config.hidden,
-            config.seed,
-            Self::head_key(&heads),
-        )
-    }
-
-    /// The specialized-network configuration this engine trains for a sorted
-    /// head set (shared by [`BlazeIt::specialized_for`] and the cache-key
-    /// derivations so they can never disagree).
-    fn engine_spec_config(&self, sorted: &[(ObjectClass, usize)]) -> SpecializedConfig {
-        let spec_heads: Vec<SpecializedHead> = sorted
-            .iter()
-            .map(|&(class, max_count)| SpecializedHead { class, max_count: max_count.max(1) })
-            .collect();
-        let mut spec_config = SpecializedConfig::for_heads(spec_heads);
-        spec_config.features = self.config.features;
-        spec_config.hidden = self.config.specialized_hidden.clone();
-        spec_config.train = self.config.train;
-        spec_config.cost = self.config.cost;
-        spec_config.seed = self.config.sampling_seed ^ 0x5EC1_A112;
-        spec_config
-    }
-
-    /// Returns (training if necessary) a specialized network with one counting head per
-    /// requested `(class, max_count)` pair.
-    ///
-    /// Training is charged to the engine clock; cache hits are free (this is the
-    /// "indexed" / "no train" scenario of the paper).
-    pub fn specialized_for(&self, heads: &[(ObjectClass, usize)]) -> Result<Arc<SpecializedNN>> {
-        if heads.is_empty() {
-            return Err(BlazeItError::Internal(
-                "specialized_for requires at least one head".into(),
-            ));
-        }
-        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
-        sorted.sort_by_key(|(c, _)| c.index());
-        let key = Self::head_key(heads);
-
-        if let Some(nn) = self.nn_cache.lock().get(&key) {
-            return Ok(Arc::clone(nn));
-        }
-
-        let spec_config = self.engine_spec_config(&sorted);
-        let train_day = self.labeled.train();
-        let (nn, _report) = SpecializedNN::train(
-            spec_config,
-            self.labeled.train_video(),
-            &train_day.frames,
-            &train_day.counts,
-            Arc::clone(&self.clock),
-        )?;
-        let nn = Arc::new(nn);
-        self.nn_cache.lock().insert(key, Arc::clone(&nn));
-        Ok(nn)
-    }
-
-    /// The default counting head size for `class`, chosen by the paper's rule: the
-    /// highest count appearing in at least `count_class_min_fraction` of the labeled
-    /// frames, and never below `at_least`.
-    pub fn default_max_count(&self, class: ObjectClass, at_least: usize) -> usize {
-        let counts = self.labeled.train().class_counts(class);
-        let head =
-            SpecializedHead::from_counts(class, counts, self.config.count_class_min_fraction);
-        head.max_count.max(at_least).max(1)
-    }
-
-    /// Whether a specialized network for these heads is already trained and cached.
-    pub fn has_cached_specialized(&self, heads: &[(ObjectClass, usize)]) -> bool {
-        self.nn_cache.lock().contains_key(&Self::head_key(heads))
-    }
-
-    /// The per-video score index for `nn` over the unseen (test) video: every frame
-    /// scored by the batched pipeline, cached so repeated queries over the same
-    /// class set pay specialized inference only once (the paper's
-    /// "BlazeIt (indexed)" scenario).
-    ///
-    /// The first call charges the full-video inference cost to the engine clock;
-    /// later calls are free.
-    pub fn score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
-        let key = Self::score_key(&self.video, self.video.len() as usize, nn.config());
-        // The lock is held across the build so two concurrent first queries
-        // cannot both score the video (which would double-charge the clock).
-        let mut cache = self.score_cache.lock();
-        if let Some(scores) = cache.get(&key) {
-            return Ok(Arc::clone(scores));
-        }
-        let scores = Arc::new(nn.score_video(&self.video)?);
-        cache.insert(key, Arc::clone(&scores));
-        Ok(scores)
-    }
-
-    /// The score index for `nn` over the held-out day's annotated frames (row `i`
-    /// corresponds to `labeled().heldout().frames[i]`), cached like
-    /// [`BlazeIt::score_index`]. Algorithm 1's error estimate and the selection
-    /// label-filter calibration both read from this index, so re-running a query
-    /// re-checks its plan without re-scoring the held-out day.
-    pub fn heldout_score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
-        let heldout = self.labeled.heldout();
-        let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn.config());
-        let mut cache = self.score_cache.lock();
-        if let Some(scores) = cache.get(&key) {
-            return Ok(Arc::clone(scores));
-        }
-        let scores = Arc::new(nn.score_batch(self.labeled.heldout_video(), &heldout.frames)?);
-        cache.insert(key, Arc::clone(&scores));
-        Ok(scores)
-    }
-
-    /// Whether the unseen video's score index for these heads is already built.
-    pub fn has_cached_score_index(&self, heads: &[(ObjectClass, usize)]) -> bool {
-        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
-        sorted.sort_by_key(|(c, _)| c.index());
-        let config = self.engine_spec_config(&sorted);
-        let key = Self::score_key(&self.video, self.video.len() as usize, &config);
-        self.score_cache.lock().contains_key(&key)
+    fn deref(&self) -> &VideoContext {
+        // The shim's catalog holds exactly one video, so deref skips name
+        // normalization (accessors are called in per-frame loops).
+        self.catalog.contexts().next().expect("the engine's video is always registered")
     }
 }
 
@@ -338,6 +121,9 @@ impl BlazeIt {
 mod tests {
     use super::*;
     use crate::result::QueryOutput;
+    use crate::BlazeItError;
+    use blazeit_videostore::ObjectClass;
+    use std::sync::Arc;
 
     fn engine() -> BlazeIt {
         BlazeIt::for_preset(DatasetPreset::Taipei, 1_500).unwrap()
@@ -348,15 +134,22 @@ mod tests {
         let e = engine();
         assert_eq!(e.video().name(), "taipei");
         assert_eq!(e.video().len(), 1_500);
-        assert!(e.labeled().train().len() > 0);
+        assert!(!e.labeled().train().is_empty());
         assert_eq!(e.clock().total(), 0.0);
+        assert_eq!(e.catalog().video_names(), vec!["taipei".to_string()]);
     }
 
     #[test]
-    fn wrong_video_name_is_rejected() {
+    fn unknown_video_name_is_rejected_with_catalog_listing() {
         let e = engine();
         let err = e.query("SELECT FCOUNT(*) FROM rialto WHERE class = 'boat' ERROR WITHIN 0.1");
-        assert!(matches!(err, Err(BlazeItError::WrongVideo { .. })));
+        match err {
+            Err(BlazeItError::UnknownVideo { requested, available }) => {
+                assert_eq!(requested, "rialto");
+                assert_eq!(available, vec!["taipei".to_string()]);
+            }
+            other => panic!("expected UnknownVideo, got {other:?}"),
+        }
     }
 
     #[test]
@@ -495,5 +288,15 @@ mod tests {
         assert!(e.clock().total() > 0.0);
         e.reset_clock();
         assert_eq!(e.clock().total(), 0.0);
+    }
+
+    #[test]
+    fn explain_through_the_shim_is_free() {
+        let e = engine();
+        let result = e
+            .query("EXPLAIN SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1")
+            .unwrap();
+        assert!(result.output.explain_plan().is_some());
+        assert_eq!(e.clock().total(), 0.0, "EXPLAIN must not charge the simulated clock");
     }
 }

@@ -148,7 +148,7 @@ mod tests {
         let set = labeled(900);
         // labeled_stride = 3, heldout_stride = 7 by default.
         assert_eq!(set.train().len(), 300);
-        assert_eq!(set.heldout().len(), (900 + 6) / 7);
+        assert_eq!(set.heldout().len(), 900_usize.div_ceil(7));
         assert_eq!(set.train().frames[1], 3);
         assert_eq!(set.heldout().frames[1], 7);
         assert!(!set.train().is_empty());

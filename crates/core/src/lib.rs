@@ -2,9 +2,15 @@
 //!
 //! The BlazeIt query optimizer and execution engine (the paper's primary contribution).
 //!
-//! [`BlazeIt`](engine::BlazeIt) accepts FrameQL queries over a video, classifies them
-//! with the rule-based optimizer, and executes them with the cheapest plan that meets
-//! the requested accuracy:
+//! The public query surface is a [`Catalog`](catalog::Catalog) of registered videos
+//! (each a [`VideoContext`](context::VideoContext) with its own labeled set and
+//! per-video caches). A [`Session`](session::Session) routes FrameQL queries by their
+//! `FROM` clause, classifies them with the rule-based optimizer, and plans them into
+//! an inspectable [`QueryPlan`](plan::QueryPlan) —
+//! [`Session::prepare`](session::Session::prepare) returns a
+//! [`PreparedQuery`](session::PreparedQuery) whose plan can be overridden before
+//! `.run()`, and `EXPLAIN <query>` renders the plan without charging the simulated
+//! clock. Execution picks the cheapest strategy that meets the requested accuracy:
 //!
 //! * **Aggregation** ([`aggregate`]) — adaptive sampling with a CLT stopping rule
 //!   (Section 6.1), query rewriting with specialized NNs when their held-out error is
@@ -25,21 +31,29 @@
 
 pub mod aggregate;
 pub mod baselines;
+pub mod catalog;
 pub mod config;
+pub mod context;
 pub mod engine;
 pub mod labeled;
 pub mod metrics;
+pub mod plan;
 pub mod relation;
 pub mod result;
 pub mod scrub;
 pub mod select;
+pub mod session;
 pub mod stats;
 
+pub use catalog::Catalog;
 pub use config::BlazeItConfig;
+pub use context::VideoContext;
 pub use engine::BlazeIt;
 pub use labeled::LabeledSet;
 pub use metrics::RuntimeReport;
+pub use plan::{PlanStrategy, QueryPlan, RewriteDecision};
 pub use result::{AggregateMethod, QueryOutput, QueryResult};
+pub use session::{PreparedQuery, Session};
 
 use blazeit_frameql::FrameQlError;
 use blazeit_nn::NnError;
@@ -54,12 +68,12 @@ pub enum BlazeItError {
     Video(VideoError),
     /// Error from the NN substrate.
     Nn(NnError),
-    /// The query references a video other than the one the engine was built over.
-    WrongVideo {
+    /// The query references a video that is not registered in the catalog.
+    UnknownVideo {
         /// The video named in the query.
         requested: String,
-        /// The video the engine holds.
-        available: String,
+        /// The videos the catalog has registered, in registration order.
+        available: Vec<String>,
     },
     /// The query is valid FrameQL but not executable by this engine.
     Unsupported(String),
@@ -73,8 +87,16 @@ impl std::fmt::Display for BlazeItError {
             BlazeItError::FrameQl(e) => write!(f, "FrameQL error: {e}"),
             BlazeItError::Video(e) => write!(f, "video error: {e}"),
             BlazeItError::Nn(e) => write!(f, "model error: {e}"),
-            BlazeItError::WrongVideo { requested, available } => {
-                write!(f, "query references video '{requested}' but engine holds '{available}'")
+            BlazeItError::UnknownVideo { requested, available } => {
+                if available.is_empty() {
+                    write!(f, "query references video '{requested}' but the catalog is empty")
+                } else {
+                    write!(
+                        f,
+                        "query references unknown video '{requested}' (registered: {})",
+                        available.join(", ")
+                    )
+                }
             }
             BlazeItError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             BlazeItError::Internal(msg) => write!(f, "internal error: {msg}"),

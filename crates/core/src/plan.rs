@@ -1,0 +1,307 @@
+//! Explicit query plans: what the rule-based optimizer chose, as an inspectable value.
+//!
+//! [`plan_query`] turns an analyzed query into a [`QueryPlan`] *without charging the
+//! simulated clock*: it reads only the labeled set's statistics and the context's
+//! caches. The plan records the chosen strategy, the specialized heads that will be
+//! trained (or reused), the sampling / scrub / selection knobs, and whether the
+//! per-video caches are already warm. Callers inspect and override the plan through
+//! [`PreparedQuery`](crate::session::PreparedQuery) before running it, and
+//! `EXPLAIN <query>` renders it via the [`std::fmt::Display`] impl.
+//!
+//! One decision cannot always be made for free: Algorithm 1's rewrite-vs-control-
+//! variates choice needs the specialized network's held-out error, which requires
+//! training. When the network and its held-out score index are already cached the
+//! planner resolves the decision immediately (the bootstrap over cached scores is
+//! pure computation); otherwise the plan honestly reports
+//! [`RewriteDecision::AtExecution`].
+
+use crate::aggregate::{SamplingOptions, MIN_TRAINING_EXAMPLES};
+use crate::baselines::requirement_pairs;
+use crate::context::VideoContext;
+use crate::scrub::{ScrubOptions, MIN_SCRUB_EXAMPLES};
+use crate::select::{SelectionOptions, MIN_LABEL_FILTER_EXAMPLES};
+use crate::{BlazeItError, Result};
+use blazeit_frameql::query::{AggregateKind, QueryClass, QueryPlanInfo};
+use blazeit_videostore::ObjectClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How an aggregate's rewrite-vs-control-variates choice (Algorithm 1) stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewriteDecision {
+    /// The cached held-out error estimate meets the tolerance: answer from the
+    /// specialized network alone.
+    Rewrite,
+    /// The cached held-out error estimate misses the tolerance: sample with the
+    /// specialized network as a control variate.
+    ControlVariates,
+    /// The specialized network (or its held-out scores) is not cached yet; the
+    /// held-out check runs — and is charged — at execution time.
+    AtExecution,
+}
+
+/// The execution strategy the optimizer chose for a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanStrategy {
+    /// Exact aggregate: object detection on every frame (no error tolerance given).
+    ExactScan,
+    /// Exact `COUNT(DISTINCT trackid)`: detection + entity resolution on every frame.
+    ExactDistinct,
+    /// Plain adaptive sampling (no specialized network trainable for this query).
+    NaiveSampling,
+    /// Algorithm 1: specialized network, then query rewriting or control variates.
+    SpecializedAggregate {
+        /// The rewrite decision, resolved at plan time when the caches allow it.
+        decision: RewriteDecision,
+    },
+    /// Scrubbing fallback: sequential scan (no training examples of the event).
+    ScrubScan,
+    /// Scrubbing: rank all frames by specialized-NN confidence, verify best-first.
+    ScrubRanked,
+    /// Content-based selection (or exhaustive scan) through the filter pipeline.
+    Selection,
+}
+
+/// The resolved, overridable plan for one prepared query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPlan {
+    /// The registered video the query routes to.
+    pub video: String,
+    /// The query classification driving the strategy choice.
+    pub class: QueryClass,
+    /// The chosen execution strategy.
+    pub strategy: PlanStrategy,
+    /// Specialized-network heads `(class, max_count)` the plan trains or reuses.
+    pub heads: Vec<(ObjectClass, usize)>,
+    /// Adaptive-sampling budget (aggregates with an error tolerance).
+    pub sampling: Option<SamplingOptions>,
+    /// Scrubbing limit / gap.
+    pub scrub: Option<ScrubOptions>,
+    /// Which inferred filters a selection plan may use.
+    pub selection: SelectionOptions,
+    /// Hard cap on detector invocations (set via
+    /// [`PreparedQuery::with_budget`](crate::session::PreparedQuery::with_budget)).
+    pub detection_budget: Option<u64>,
+    /// Whether the specialized network for `heads` is already trained and cached.
+    pub specialized_cached: bool,
+    /// Whether the unseen video's score index for `heads` is already built.
+    pub score_index_cached: bool,
+}
+
+/// Plans an analyzed query against a video context.
+///
+/// Free of side effects: nothing is trained, nothing is scored, and nothing is
+/// charged to the simulated clock — this is what makes `EXPLAIN` free.
+pub fn plan_query(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<QueryPlan> {
+    let mut plan = QueryPlan {
+        video: ctx.video().name().to_string(),
+        class: info.class.clone(),
+        strategy: PlanStrategy::ExactScan,
+        heads: Vec::new(),
+        sampling: None,
+        scrub: None,
+        selection: SelectionOptions::all(),
+        detection_budget: None,
+        specialized_cached: false,
+        score_index_cached: false,
+    };
+
+    match &info.class {
+        QueryClass::Aggregate { kind } => {
+            if let AggregateKind::CountDistinct(column) = kind {
+                if column != "trackid" {
+                    return Err(BlazeItError::Unsupported(format!(
+                        "COUNT(DISTINCT {column}) is not supported; only trackid"
+                    )));
+                }
+                plan.strategy = PlanStrategy::ExactDistinct;
+                return Ok(plan);
+            }
+            let Some(error) = info.error_within else {
+                plan.strategy = PlanStrategy::ExactScan;
+                return Ok(plan);
+            };
+            let confidence = info.confidence.unwrap_or(0.95);
+            plan.sampling =
+                Some(SamplingOptions::new(error, confidence, ctx.config().sampling_seed));
+            if let Some(class) = info.single_class() {
+                let enough_data =
+                    ctx.labeled().has_training_examples(&[(class, 1)], MIN_TRAINING_EXAMPLES);
+                if enough_data {
+                    let heads = vec![(class, ctx.default_max_count(class, 1))];
+                    plan.specialized_cached = ctx.has_cached_specialized(&heads);
+                    plan.score_index_cached = ctx.has_cached_score_index(&heads);
+                    let decision = resolve_rewrite_decision(ctx, &heads, class, error, confidence);
+                    plan.heads = heads;
+                    plan.strategy = PlanStrategy::SpecializedAggregate { decision };
+                    return Ok(plan);
+                }
+            }
+            plan.strategy = PlanStrategy::NaiveSampling;
+            Ok(plan)
+        }
+        QueryClass::Scrub => {
+            let requirements = requirement_pairs(&info.requirements);
+            if requirements.is_empty() {
+                return Err(BlazeItError::Unsupported(
+                    "scrubbing queries must constrain at least one object class".into(),
+                ));
+            }
+            plan.scrub =
+                Some(ScrubOptions { limit: info.limit.unwrap_or(10), gap: info.gap.unwrap_or(0) });
+            if ctx.labeled().has_training_examples(&requirements, MIN_SCRUB_EXAMPLES) {
+                let heads: Vec<(ObjectClass, usize)> = requirements
+                    .iter()
+                    .map(|&(class, min_count)| (class, ctx.default_max_count(class, min_count)))
+                    .collect();
+                plan.specialized_cached = ctx.has_cached_specialized(&heads);
+                plan.score_index_cached = ctx.has_cached_score_index(&heads);
+                plan.heads = heads;
+                plan.strategy = PlanStrategy::ScrubRanked;
+            } else {
+                plan.strategy = PlanStrategy::ScrubScan;
+            }
+            Ok(plan)
+        }
+        QueryClass::Select | QueryClass::Exhaustive => {
+            plan.strategy = PlanStrategy::Selection;
+            // The label filter's head choice, recorded for inspection when the class
+            // has enough labeled data for calibration (mirrors the selection
+            // executor's own eligibility rule).
+            if let Some(class) = info.single_class() {
+                if ctx.labeled().has_training_examples(&[(class, 1)], MIN_LABEL_FILTER_EXAMPLES) {
+                    let heads = vec![(class, ctx.default_max_count(class, 1))];
+                    plan.specialized_cached = ctx.has_cached_specialized(&heads);
+                    plan.score_index_cached = ctx.has_cached_score_index(&heads);
+                    plan.heads = heads;
+                }
+            }
+            Ok(plan)
+        }
+    }
+}
+
+/// Resolves Algorithm 1's rewrite decision from cached state only (free), or reports
+/// that it must wait for execution.
+fn resolve_rewrite_decision(
+    ctx: &VideoContext,
+    heads: &[(ObjectClass, usize)],
+    class: ObjectClass,
+    error: f64,
+    confidence: f64,
+) -> RewriteDecision {
+    let Some(nn) = ctx.cached_specialized(heads) else {
+        return RewriteDecision::AtExecution;
+    };
+    let Some(scores) = ctx.cached_heldout_score_index(&nn) else {
+        return RewriteDecision::AtExecution;
+    };
+    let Ok(estimate) = nn.estimate_fcount_error_from_scores(
+        &scores,
+        &ctx.labeled().heldout().class_counts(class),
+        class,
+        ctx.config().bootstrap_samples,
+        ctx.config().sampling_seed,
+    ) else {
+        return RewriteDecision::AtExecution;
+    };
+    if estimate.prob_error_within(error) >= confidence {
+        RewriteDecision::Rewrite
+    } else {
+        RewriteDecision::ControlVariates
+    }
+}
+
+impl QueryPlan {
+    fn class_label(&self) -> String {
+        match &self.class {
+            QueryClass::Aggregate { kind } => match kind {
+                AggregateKind::FrameAveragedCount => "aggregate (FCOUNT)".to_string(),
+                AggregateKind::Count => "aggregate (COUNT)".to_string(),
+                AggregateKind::CountDistinct(col) => format!("aggregate (COUNT DISTINCT {col})"),
+            },
+            QueryClass::Scrub => "scrub (cardinality-limited)".to_string(),
+            QueryClass::Select => "content-based selection".to_string(),
+            QueryClass::Exhaustive => "exhaustive scan".to_string(),
+        }
+    }
+
+    fn strategy_label(&self) -> String {
+        match &self.strategy {
+            PlanStrategy::ExactScan => "exact scan (detector on every frame)".to_string(),
+            PlanStrategy::ExactDistinct => {
+                "exact distinct count (detector + entity resolution on every frame)".to_string()
+            }
+            PlanStrategy::NaiveSampling => {
+                "naive adaptive sampling (no specialized NN)".to_string()
+            }
+            PlanStrategy::SpecializedAggregate { decision } => match decision {
+                RewriteDecision::Rewrite => {
+                    "query rewriting (cached held-out error within tolerance)".to_string()
+                }
+                RewriteDecision::ControlVariates => {
+                    "control-variate sampling (cached held-out error exceeds tolerance)".to_string()
+                }
+                RewriteDecision::AtExecution => {
+                    "specialized NN; rewrite vs control variates decided at execution \
+                     (train + held-out error check)"
+                        .to_string()
+                }
+            },
+            PlanStrategy::ScrubScan => {
+                "sequential scan (no training examples of the event)".to_string()
+            }
+            PlanStrategy::ScrubRanked => {
+                "rank frames by specialized-NN confidence, verify best-first".to_string()
+            }
+            PlanStrategy::Selection => "filtered scan feeding the object detector".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "QUERY PLAN for '{}'", self.video)?;
+        writeln!(f, "  class:    {}", self.class_label())?;
+        writeln!(f, "  strategy: {}", self.strategy_label())?;
+        if !self.heads.is_empty() {
+            let heads: Vec<String> =
+                self.heads.iter().map(|(c, m)| format!("{}<={m}", c.name())).collect();
+            writeln!(f, "  heads:    {}", heads.join(", "))?;
+        }
+        if let Some(s) = &self.sampling {
+            writeln!(
+                f,
+                "  sampling: error within {} at {:.0}% confidence (seed {})",
+                s.error,
+                s.confidence * 100.0,
+                s.seed
+            )?;
+        }
+        if let Some(s) = &self.scrub {
+            writeln!(f, "  scrub:    limit {} gap {}", s.limit, s.gap)?;
+        }
+        if matches!(self.strategy, PlanStrategy::Selection) {
+            let onoff = |b: bool| if b { "on" } else { "off" };
+            writeln!(
+                f,
+                "  filters:  label={} content={} temporal={} spatial={}",
+                onoff(self.selection.use_label_filter),
+                onoff(self.selection.use_content_filter),
+                onoff(self.selection.use_temporal_filter),
+                onoff(self.selection.use_spatial_filter),
+            )?;
+        }
+        match self.detection_budget {
+            Some(budget) => writeln!(f, "  budget:   at most {budget} detector calls")?,
+            None => writeln!(f, "  budget:   unlimited detector calls")?,
+        }
+        let warmth = |b: bool| if b { "warm" } else { "cold" };
+        write!(
+            f,
+            "  caches:   specialized={} score-index={}",
+            warmth(self.specialized_cached),
+            warmth(self.score_index_cached)
+        )
+    }
+}

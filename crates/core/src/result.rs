@@ -1,5 +1,6 @@
 //! Query results and execution reports.
 
+use crate::plan::QueryPlan;
 use blazeit_detect::clock::CostBreakdown;
 use blazeit_frameql::FrameQlRow;
 use blazeit_videostore::FrameIndex;
@@ -46,6 +47,12 @@ pub enum QueryOutput {
         /// Number of frames on which object detection was invoked.
         detection_calls: u64,
     },
+    /// The rendered plan of an `EXPLAIN <query>` statement (nothing was executed and
+    /// nothing was charged to the simulated clock).
+    Explain {
+        /// The plan the optimizer chose; render it with `plan.to_string()`.
+        plan: QueryPlan,
+    },
 }
 
 impl QueryOutput {
@@ -73,12 +80,21 @@ impl QueryOutput {
         }
     }
 
+    /// The chosen plan, if this is an `EXPLAIN` result.
+    pub fn explain_plan(&self) -> Option<&QueryPlan> {
+        match self {
+            QueryOutput::Explain { plan } => Some(plan),
+            _ => None,
+        }
+    }
+
     /// Number of detector invocations used to produce the result.
     pub fn detection_calls(&self) -> u64 {
         match self {
             QueryOutput::Aggregate { detection_calls, .. }
             | QueryOutput::Frames { detection_calls, .. }
             | QueryOutput::Rows { detection_calls, .. } => *detection_calls,
+            QueryOutput::Explain { .. } => 0,
         }
     }
 }

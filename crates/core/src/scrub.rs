@@ -11,12 +11,12 @@
 //! contains no false positives (the paper reports only runtime for these queries).
 
 use crate::baselines::{requirement_pairs, respects_gap};
-use crate::engine::BlazeIt;
+use crate::context::VideoContext;
+use crate::plan::{PlanStrategy, QueryPlan};
 use crate::result::QueryOutput;
 use crate::{baselines, BlazeItError, Result};
 use blazeit_detect::{CountVector, ObjectDetector};
 use blazeit_frameql::query::QueryPlanInfo;
-use blazeit_frameql::Query;
 use blazeit_nn::specialized::SpecializedNN;
 use blazeit_videostore::{FrameIndex, ObjectClass};
 use serde::{Deserialize, Serialize};
@@ -48,27 +48,35 @@ pub struct ScrubOutcome {
     pub frames_scored: u64,
 }
 
-/// Executes a scrubbing query.
-pub fn execute(engine: &BlazeIt, _query: &Query, info: &QueryPlanInfo) -> Result<QueryOutput> {
+/// Executes a scrubbing query following the strategy the planner resolved into `plan`.
+pub fn execute(ctx: &VideoContext, info: &QueryPlanInfo, plan: &QueryPlan) -> Result<QueryOutput> {
     let requirements = requirement_pairs(&info.requirements);
-    if requirements.is_empty() {
-        return Err(BlazeItError::Unsupported(
-            "scrubbing queries must constrain at least one object class".into(),
-        ));
-    }
-    let opts = ScrubOptions { limit: info.limit.unwrap_or(10), gap: info.gap.unwrap_or(0) };
+    let opts = plan
+        .scrub
+        .ok_or_else(|| BlazeItError::Internal("scrub plan carries no scrub options".into()))?;
 
-    // Section 7.1: with no training examples of the event, fall back to scanning with
-    // the binary-presence style filter (our NoScope-oracle analogue would be cheating
-    // here, so we use the naive scan as the conservative fallback).
-    if !engine.labeled().has_training_examples(&requirements, MIN_SCRUB_EXAMPLES) {
-        let (frames, calls) = baselines::naive_scrub(engine, &requirements, opts.limit, opts.gap)?;
-        return Ok(QueryOutput::Frames { frames, detection_calls: calls });
+    match &plan.strategy {
+        // Section 7.1: with no training examples of the event, fall back to scanning
+        // (our NoScope-oracle analogue would be cheating here, so the naive scan is
+        // the conservative fallback).
+        PlanStrategy::ScrubScan => {
+            let (frames, calls) = baselines::naive_scrub(ctx, &requirements, opts.limit, opts.gap)?;
+            Ok(QueryOutput::Frames { frames, detection_calls: calls })
+        }
+        PlanStrategy::ScrubRanked => {
+            let nn = ctx.specialized_for(&plan.heads)?;
+            let ranked = score_frames(ctx, &nn, &requirements)?;
+            let outcome =
+                verify_ranked_with_budget(ctx, &ranked, &requirements, opts, plan.detection_budget);
+            Ok(QueryOutput::Frames {
+                frames: outcome.frames,
+                detection_calls: outcome.detection_calls,
+            })
+        }
+        other => Err(BlazeItError::Internal(format!(
+            "scrub::execute called with non-scrub strategy {other:?}"
+        ))),
     }
-
-    let nn = specialized_for_requirements(engine, &requirements)?;
-    let outcome = blazeit_scrub(engine, &nn, &requirements, opts)?;
-    Ok(QueryOutput::Frames { frames: outcome.frames, detection_calls: outcome.detection_calls })
 }
 
 /// Trains (or fetches from cache) the multi-head counting NN for a set of requirements.
@@ -77,26 +85,26 @@ pub fn execute(engine: &BlazeIt, _query: &Query, info: &QueryPlanInfo) -> Result
 /// class separately; head sizes are the larger of the query's threshold and the
 /// "highest count in ≥1% of frames" rule.
 pub fn specialized_for_requirements(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     requirements: &[(ObjectClass, usize)],
 ) -> Result<Arc<SpecializedNN>> {
     let heads: Vec<(ObjectClass, usize)> = requirements
         .iter()
-        .map(|&(class, min_count)| (class, engine.default_max_count(class, min_count)))
+        .map(|&(class, min_count)| (class, ctx.default_max_count(class, min_count)))
         .collect();
-    engine.specialized_for(&heads)
+    ctx.specialized_for(&heads)
 }
 
 /// Scores every frame of the unseen video with the specialized NN's confidence that it
 /// satisfies the requirements, returning `(frame, confidence)` pairs sorted by
 /// descending confidence.
 ///
-/// The per-frame scores come from the engine's cached batched score index (the
+/// The per-frame scores come from the context's cached batched score index (the
 /// "index" the paper's BlazeIt (indexed) variant assumes already exists): the first
 /// query per class set builds it with [`SpecializedNN::score_video`] and charges the
-/// inference cost to the engine clock; repeated queries rank from the cache for free.
+/// inference cost to the shared clock; repeated queries rank from the cache for free.
 pub fn score_frames(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     nn: &Arc<SpecializedNN>,
     requirements: &[(ObjectClass, usize)],
 ) -> Result<Vec<(FrameIndex, f64)>> {
@@ -108,7 +116,7 @@ pub fn score_frames(
                 .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))
         })
         .collect::<Result<_>>()?;
-    let scores = engine.score_index(nn)?;
+    let scores = ctx.score_index(nn)?;
     let mut scored: Vec<(FrameIndex, f64)> = (0..scores.num_frames())
         .map(|frame| {
             (frame as FrameIndex, scores.requirement_confidence(frame, &head_requirements))
@@ -120,29 +128,85 @@ pub fn score_frames(
     Ok(scored)
 }
 
+/// How many candidate frames the verification loop hands to
+/// [`ObjectDetector::detect_batch`] at a time. Small enough that the early-exit
+/// (`LIMIT`) semantics keep a tight leash on wasted work, large enough to amortize
+/// per-call bookkeeping.
+const VERIFY_PREFETCH: usize = 16;
+
 /// Verifies candidate frames (already ranked by confidence) with the detector until
 /// `limit` satisfying frames are found, respecting `gap`.
 pub fn verify_ranked(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     ranked: &[(FrameIndex, f64)],
     requirements: &[(ObjectClass, usize)],
     opts: ScrubOptions,
 ) -> ScrubOutcome {
-    let video = engine.video();
+    verify_ranked_with_budget(ctx, ranked, requirements, opts, None)
+}
+
+/// Like [`verify_ranked`], with an optional hard cap on detector invocations (the
+/// plan's detection budget).
+///
+/// Detection runs through a small pipelined prefetch window over
+/// [`ObjectDetector::detect_batch`], constructed so the verified frames, their order,
+/// and the number of charged detector calls are *identical* to the frame-by-frame
+/// loop: a window only ever contains frames the serial loop was guaranteed to reach —
+/// each window frame respects the gap against every already-accepted frame *and*
+/// against every earlier frame in the same window (so no in-window acceptance can
+/// retroactively disqualify it), and the window never exceeds the remaining limit (so
+/// the early exit cannot fire mid-window).
+pub fn verify_ranked_with_budget(
+    ctx: &VideoContext,
+    ranked: &[(FrameIndex, f64)],
+    requirements: &[(ObjectClass, usize)],
+    opts: ScrubOptions,
+    budget: Option<u64>,
+) -> ScrubOutcome {
+    let video = ctx.video();
     let mut accepted: Vec<FrameIndex> = Vec::new();
     let mut calls = 0u64;
-    for &(frame, _confidence) in ranked {
-        if accepted.len() as u64 >= opts.limit {
+    let mut cursor = 0usize;
+    let mut window: Vec<FrameIndex> = Vec::with_capacity(VERIFY_PREFETCH);
+
+    while cursor < ranked.len() && (accepted.len() as u64) < opts.limit {
+        let remaining_limit = (opts.limit - accepted.len() as u64) as usize;
+        let remaining_budget = match budget {
+            Some(b) if b <= calls => break,
+            Some(b) => (b - calls) as usize,
+            None => usize::MAX,
+        };
+        let cap = VERIFY_PREFETCH.min(remaining_limit).min(remaining_budget);
+
+        window.clear();
+        while cursor < ranked.len() && window.len() < cap {
+            let frame = ranked[cursor].0;
+            if !respects_gap(&accepted, frame, opts.gap) {
+                // The serial loop skips this frame for free, and would still skip it
+                // after any in-window acceptance (the accepted set only grows).
+                cursor += 1;
+                continue;
+            }
+            if !respects_gap(&window, frame, opts.gap) {
+                // Whether the serial loop detects this frame depends on the outcome
+                // of an earlier in-window candidate; stop the window here and
+                // re-examine it once those outcomes are known.
+                break;
+            }
+            window.push(frame);
+            cursor += 1;
+        }
+        if window.is_empty() {
             break;
         }
-        if !respects_gap(&accepted, frame, opts.gap) {
-            continue;
-        }
-        let detections = engine.detector().detect(video, frame);
-        calls += 1;
-        let counts = CountVector::from_detections(&detections);
-        if counts.satisfies_all(requirements) {
-            accepted.push(frame);
+
+        let batch = ctx.detector().detect_batch(video, &window);
+        calls += window.len() as u64;
+        for (&frame, detections) in window.iter().zip(&batch) {
+            let counts = CountVector::from_detections(detections);
+            if counts.satisfies_all(requirements) {
+                accepted.push(frame);
+            }
         }
     }
     ScrubOutcome { frames: accepted, detection_calls: calls, frames_scored: ranked.len() as u64 }
@@ -151,18 +215,19 @@ pub fn verify_ranked(
 /// The full BlazeIt scrubbing plan: score every frame with the specialized NN, then
 /// verify in descending-confidence order.
 pub fn blazeit_scrub(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     nn: &Arc<SpecializedNN>,
     requirements: &[(ObjectClass, usize)],
     opts: ScrubOptions,
 ) -> Result<ScrubOutcome> {
-    let ranked = score_frames(engine, nn, requirements)?;
-    Ok(verify_ranked(engine, &ranked, requirements, opts))
+    let ranked = score_frames(ctx, nn, requirements)?;
+    Ok(verify_ranked(ctx, &ranked, requirements, opts))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::BlazeIt;
     use crate::result::QueryOutput;
     use blazeit_videostore::DatasetPreset;
 
@@ -266,6 +331,92 @@ mod tests {
             }
             other => panic!("unexpected output {other:?}"),
         }
+    }
+
+    /// The frame-by-frame loop the prefetch window must be indistinguishable from.
+    fn verify_ranked_serial_reference(
+        ctx: &VideoContext,
+        ranked: &[(FrameIndex, f64)],
+        requirements: &[(ObjectClass, usize)],
+        opts: ScrubOptions,
+    ) -> ScrubOutcome {
+        let video = ctx.video();
+        let mut accepted: Vec<FrameIndex> = Vec::new();
+        let mut calls = 0u64;
+        for &(frame, _confidence) in ranked {
+            if accepted.len() as u64 >= opts.limit {
+                break;
+            }
+            if !respects_gap(&accepted, frame, opts.gap) {
+                continue;
+            }
+            let detections = ctx.detector().detect(video, frame);
+            calls += 1;
+            let counts = CountVector::from_detections(&detections);
+            if counts.satisfies_all(requirements) {
+                accepted.push(frame);
+            }
+        }
+        ScrubOutcome {
+            frames: accepted,
+            detection_calls: calls,
+            frames_scored: ranked.len() as u64,
+        }
+    }
+
+    #[test]
+    fn batched_verification_matches_serial_loop_exactly() {
+        // Two identical engines (deterministic substrate): one verifies through the
+        // pipelined detect_batch window, the other through the frame-by-frame
+        // reference. Returned frames, order, call counts, and charged detection
+        // seconds must all agree — across gap/limit combinations that exercise
+        // window truncation, pairwise-gap breaks, and early exit.
+        let batched_engine = engine();
+        let serial_engine = engine();
+        for (min_count, limit, gap) in
+            [(1usize, 5u64, 0u64), (2, 5, 10), (2, 10, 300), (3, 3, 30), (1, 40, 900)]
+        {
+            let reqs = [(ObjectClass::Car, min_count)];
+            let opts = ScrubOptions { limit, gap };
+            let nn_b = specialized_for_requirements(&batched_engine, &reqs).unwrap();
+            let ranked_b = score_frames(&batched_engine, &nn_b, &reqs).unwrap();
+            let nn_s = specialized_for_requirements(&serial_engine, &reqs).unwrap();
+            let ranked_s = score_frames(&serial_engine, &nn_s, &reqs).unwrap();
+            assert_eq!(ranked_b, ranked_s, "identical engines must rank identically");
+
+            let before_b = batched_engine.clock().breakdown().detection;
+            let batched = verify_ranked(&batched_engine, &ranked_b, &reqs, opts);
+            let charged_b = batched_engine.clock().breakdown().detection - before_b;
+
+            let before_s = serial_engine.clock().breakdown().detection;
+            let serial = verify_ranked_serial_reference(&serial_engine, &ranked_s, &reqs, opts);
+            let charged_s = serial_engine.clock().breakdown().detection - before_s;
+
+            assert_eq!(batched.frames, serial.frames, "limit={limit} gap={gap}");
+            assert_eq!(batched.detection_calls, serial.detection_calls, "limit={limit} gap={gap}");
+            assert!(
+                (charged_b - charged_s).abs() < 1e-9,
+                "charged detection time diverged: {charged_b} vs {charged_s}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_verification_stops_at_the_cap() {
+        let e = engine();
+        let reqs = [(ObjectClass::Car, 3usize)];
+        let nn = specialized_for_requirements(&e, &reqs).unwrap();
+        let ranked = score_frames(&e, &nn, &reqs).unwrap();
+        let opts = ScrubOptions { limit: 50, gap: 0 };
+        let unbudgeted = verify_ranked(&e, &ranked, &reqs, opts);
+        let capped = verify_ranked_with_budget(&e, &ranked, &reqs, opts, Some(7));
+        assert!(capped.detection_calls <= 7);
+        assert!(capped.detection_calls <= unbudgeted.detection_calls);
+        // The budgeted run is a prefix of the unbudgeted one.
+        assert_eq!(
+            capped.frames[..],
+            unbudgeted.frames[..capped.frames.len().min(unbudgeted.frames.len())]
+        );
     }
 
     #[test]

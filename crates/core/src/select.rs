@@ -21,7 +21,8 @@
 //! object detector. Because every returned row is detector-verified, the plan can only
 //! introduce false negatives, whose rate the experiments measure against the naive scan.
 
-use crate::engine::BlazeIt;
+use crate::context::VideoContext;
+use crate::plan::QueryPlan;
 use crate::relation::RelationBuilder;
 use crate::result::QueryOutput;
 use crate::{BlazeItError, Result};
@@ -35,6 +36,11 @@ use blazeit_videostore::{BoundingBox, FrameIndex};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Minimum number of positive labeled frames required before the label-based filter
+/// is calibrated for a selection query (shared with the planner so `EXPLAIN` reports
+/// exactly the filters execution will use).
+pub const MIN_LABEL_FILTER_EXAMPLES: usize = 20;
 
 /// Which filter classes the plan is allowed to use (all enabled by default; the factor
 /// analysis / lesion study of Figure 11 toggles them individually).
@@ -52,6 +58,14 @@ pub struct SelectionOptions {
 
 impl Default for SelectionOptions {
     fn default() -> Self {
+        SelectionOptions::all()
+    }
+}
+
+impl SelectionOptions {
+    /// Every inferred filter enabled: the full BlazeIt selection plan (what the
+    /// planner puts in a fresh [`QueryPlan`]).
+    pub fn all() -> SelectionOptions {
         SelectionOptions {
             use_label_filter: true,
             use_content_filter: true,
@@ -59,9 +73,7 @@ impl Default for SelectionOptions {
             use_spatial_filter: true,
         }
     }
-}
 
-impl SelectionOptions {
     /// No filters at all: the naive plan expressed through the same executor.
     pub fn none() -> SelectionOptions {
         SelectionOptions {
@@ -94,7 +106,7 @@ pub struct FilterPlan {
     pub content_filters: Vec<ContentFilter>,
     /// Label filter: the unseen video's batched score index, the head to read,
     /// and the no-false-negative presence threshold. Scoring happened when the
-    /// index was built (cached on the engine), so applying the filter during the
+    /// index was built (cached on the context), so applying the filter during the
     /// scan is a lookup, not an inference.
     pub label_filter: Option<(Arc<ScoreMatrix>, usize, f64)>,
     /// Minimum number of *scanned* frames a track must appear in (derived from the
@@ -146,12 +158,11 @@ impl SelectionOutcome {
 /// Tracker-assigned `trackid`s are only unique within one scan, so comparing result
 /// sets across plans (e.g. measuring BlazeIt's false-negative rate against the naive
 /// plan, Figure 10) must go through the ground truth instead.
-pub fn ground_truth_tracks(engine: &BlazeIt, rows: &[FrameQlRow]) -> Vec<u64> {
+pub fn ground_truth_tracks(ctx: &VideoContext, rows: &[FrameQlRow]) -> Vec<u64> {
     let mut ids: Vec<u64> = rows
         .iter()
         .filter_map(|row| {
-            engine
-                .video()
+            ctx.video()
                 .scene()
                 .visible_at(row.frame)
                 .iter()
@@ -166,32 +177,33 @@ pub fn ground_truth_tracks(engine: &BlazeIt, rows: &[FrameQlRow]) -> Vec<u64> {
     ids
 }
 
-/// Executes a selection (or exhaustive) query with the given filter options.
+/// Executes a selection (or exhaustive) query with the filter options resolved into
+/// (or overridden on) its plan.
 pub fn execute(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     query: &Query,
     info: &QueryPlanInfo,
-    options: &SelectionOptions,
+    plan: &QueryPlan,
 ) -> Result<QueryOutput> {
-    let outcome = execute_with_options(engine, query, info, options)?;
+    let outcome = execute_with_options(ctx, query, info, &plan.selection)?;
     Ok(QueryOutput::Rows { rows: outcome.rows, detection_calls: outcome.detection_calls })
 }
 
 /// Executes a selection query and returns the full outcome (used by the Figure 10/11
 /// harnesses, which need per-stage statistics).
 pub fn execute_with_options(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     query: &Query,
     info: &QueryPlanInfo,
     options: &SelectionOptions,
 ) -> Result<SelectionOutcome> {
-    let plan = plan_filters(engine, info, options)?;
-    run_selection(engine, query, info, &plan)
+    let plan = plan_filters(ctx, info, options)?;
+    run_selection(ctx, query, info, &plan)
 }
 
 /// Infers the filter plan from the query structure, the labeled set, and the options.
 pub fn plan_filters(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     info: &QueryPlanInfo,
     options: &SelectionOptions,
 ) -> Result<FilterPlan> {
@@ -210,18 +222,15 @@ pub fn plan_filters(
     };
 
     // --- Spatial filter ---------------------------------------------------------------
-    let region = if options.use_spatial_filter { spatial_region(engine, info) } else { None };
+    let region = if options.use_spatial_filter { spatial_region(ctx, info) } else { None };
 
     // --- Content filters ---------------------------------------------------------------
-    let content_filters = if options.use_content_filter {
-        calibrate_content_filters(engine, info)?
-    } else {
-        Vec::new()
-    };
+    let content_filters =
+        if options.use_content_filter { calibrate_content_filters(ctx, info)? } else { Vec::new() };
 
     // --- Label filter ------------------------------------------------------------------
     let label_filter =
-        if options.use_label_filter { calibrate_label_filter(engine, info)? } else { None };
+        if options.use_label_filter { calibrate_label_filter(ctx, info)? } else { None };
 
     Ok(FilterPlan { stride, region, content_filters, label_filter, min_track_appearances })
 }
@@ -231,8 +240,8 @@ pub fn plan_filters(
 /// Explicit mask constraints in the query win; otherwise the region is inferred from
 /// where the target class appears in the labeled training data (with 5% padding). The
 /// region is only used when it is meaningfully smaller than the full frame.
-fn spatial_region(engine: &BlazeIt, info: &QueryPlanInfo) -> Option<BoundingBox> {
-    let (width, height) = engine.video().resolution();
+fn spatial_region(ctx: &VideoContext, info: &QueryPlanInfo) -> Option<BoundingBox> {
+    let (width, height) = ctx.video().resolution();
     if !info.spatial_constraints.is_empty() {
         let mut xmin = 0.0f32;
         let mut ymin = 0.0f32;
@@ -257,7 +266,7 @@ fn spatial_region(engine: &BlazeIt, info: &QueryPlanInfo) -> Option<BoundingBox>
 
     // Infer from the labeled data: the union of the target class's boxes, padded.
     let class = info.single_class()?;
-    let train = engine.labeled().train();
+    let train = ctx.labeled().train();
     let mut xmin = f32::INFINITY;
     let mut ymin = f32::INFINITY;
     let mut xmax = f32::NEG_INFINITY;
@@ -291,7 +300,10 @@ fn spatial_region(engine: &BlazeIt, info: &QueryPlanInfo) -> Option<BoundingBox>
 
 /// Calibrates frame-level thresholds for liftable content predicates on the held-out
 /// day, with no false negatives on that day (Section 8.1).
-fn calibrate_content_filters(engine: &BlazeIt, info: &QueryPlanInfo) -> Result<Vec<ContentFilter>> {
+fn calibrate_content_filters(
+    ctx: &VideoContext,
+    info: &QueryPlanInfo,
+) -> Result<Vec<ContentFilter>> {
     let liftable: Vec<&ContentPredicate> = info
         .content_predicates
         .iter()
@@ -301,8 +313,8 @@ fn calibrate_content_filters(engine: &BlazeIt, info: &QueryPlanInfo) -> Result<V
         return Ok(Vec::new());
     }
 
-    let heldout = engine.labeled().heldout();
-    let heldout_video = engine.labeled().heldout_video();
+    let heldout = ctx.labeled().heldout();
+    let heldout_video = ctx.labeled().heldout_video();
     let (width, height) = heldout_video.resolution();
     let full = BoundingBox::new(0.0, 0.0, width, height);
     let target_class = info.single_class();
@@ -313,17 +325,15 @@ fn calibrate_content_filters(engine: &BlazeIt, info: &QueryPlanInfo) -> Result<V
         let mut all_values: Vec<f64> = Vec::new();
         for (idx, &frame) in heldout.frames.iter().enumerate() {
             let pixels = heldout_video.frame(frame)?;
-            engine.clock().charge(CostCategory::Decode, engine.config().cost.decode_cost());
-            engine.clock().charge(CostCategory::Filter, engine.config().cost.filter_cost());
+            ctx.clock().charge(CostCategory::Decode, ctx.config().cost.decode_cost());
+            ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
             let frame_value =
-                engine.udfs().call(&predicate.udf, &pixels, &full)?.as_number().ok_or_else(
-                    || {
-                        BlazeItError::Unsupported(format!(
-                            "UDF '{}' does not return a continuous value",
-                            predicate.udf
-                        ))
-                    },
-                )?;
+                ctx.udfs().call(&predicate.udf, &pixels, &full)?.as_number().ok_or_else(|| {
+                    BlazeItError::Unsupported(format!(
+                        "UDF '{}' does not return a continuous value",
+                        predicate.udf
+                    ))
+                })?;
             all_values.push(frame_value);
 
             // Does this held-out frame contain a qualifying object (right class, and
@@ -334,7 +344,7 @@ fn calibrate_content_filters(engine: &BlazeIt, info: &QueryPlanInfo) -> Result<V
                         return false;
                     }
                 }
-                let object_value = engine
+                let object_value = ctx
                     .udfs()
                     .call(&predicate.udf, &pixels, &d.bbox)
                     .ok()
@@ -375,42 +385,41 @@ fn calibrate_content_filters(engine: &BlazeIt, info: &QueryPlanInfo) -> Result<V
 /// class, returning the unseen video's score index plus the calibrated threshold.
 ///
 /// Both score matrices involved (held-out day for calibration, test day for the
-/// filter itself) come from the engine's batched score-index cache, so repeated
+/// filter itself) come from the context's batched score-index cache, so repeated
 /// selection queries over the same class neither retrain nor rescore anything.
 fn calibrate_label_filter(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     info: &QueryPlanInfo,
 ) -> Result<Option<(Arc<ScoreMatrix>, usize, f64)>> {
     let Some(class) = info.single_class() else { return Ok(None) };
-    if !engine.labeled().has_training_examples(&[(class, 1)], 20) {
+    if !ctx.labeled().has_training_examples(&[(class, 1)], MIN_LABEL_FILTER_EXAMPLES) {
         return Ok(None);
     }
-    let nn = engine.specialized_for(&[(class, engine.default_max_count(class, 1))])?;
-    let heldout_scores = engine.heldout_score_index(&nn)?;
+    let nn = ctx.specialized_for(&[(class, ctx.default_max_count(class, 1))])?;
+    let heldout_scores = ctx.heldout_score_index(&nn)?;
     let threshold = nn.presence_threshold_from_scores(
         &heldout_scores,
-        &engine.labeled().heldout().class_counts(class),
+        &ctx.labeled().heldout().class_counts(class),
         class,
     )?;
     let head = nn
         .head_index(class)
         .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))?;
-    let scores = engine.score_index(&nn)?;
+    let scores = ctx.score_index(&nn)?;
     Ok(Some((scores, head, threshold)))
 }
 
 /// Runs the selection scan with a resolved filter plan.
 pub fn run_selection(
-    engine: &BlazeIt,
+    ctx: &VideoContext,
     query: &Query,
     info: &QueryPlanInfo,
     plan: &FilterPlan,
 ) -> Result<SelectionOutcome> {
-    let video = engine.video();
+    let video = ctx.video();
     let (width, height) = video.resolution();
     let full = BoundingBox::new(0.0, 0.0, width, height);
-    let mut builder =
-        RelationBuilder::new(engine.detector(), engine.config().tracker_iou, plan.stride);
+    let mut builder = RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, plan.stride);
 
     let mut rows: Vec<FrameQlRow> = Vec::new();
     let mut track_appearances: HashMap<u64, u64> = HashMap::new();
@@ -427,11 +436,11 @@ pub fn run_selection(
         let mut decoded = None;
         if !plan.content_filters.is_empty() {
             let pixels = video.frame(frame)?;
-            engine.clock().charge(CostCategory::Decode, engine.config().cost.decode_cost());
+            ctx.clock().charge(CostCategory::Decode, ctx.config().cost.decode_cost());
             let mut passes = true;
             for filter in &plan.content_filters {
-                engine.clock().charge(CostCategory::Filter, engine.config().cost.filter_cost());
-                let value = engine
+                ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
+                let value = ctx
                     .udfs()
                     .call(&filter.udf, &pixels, &full)?
                     .as_number()
@@ -469,15 +478,15 @@ pub fn run_selection(
             Some(p) => p,
             None => {
                 let p = video.frame(frame)?;
-                engine.clock().charge(CostCategory::Decode, engine.config().cost.decode_cost());
+                ctx.clock().charge(CostCategory::Decode, ctx.config().cost.decode_cost());
                 p
             }
         };
         for row in frame_rows {
             let keep = match &query.where_clause {
                 Some(predicate) => {
-                    engine.clock().charge(CostCategory::Filter, engine.config().cost.filter_cost());
-                    evaluate_row(predicate, &row, Some(&pixels), engine.udfs())?.truthy()
+                    ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
+                    evaluate_row(predicate, &row, Some(&pixels), ctx.udfs())?.truthy()
                 }
                 None => true,
             };
@@ -528,6 +537,7 @@ pub fn red_bus_query(video: &str, redness: f64, min_area: f64, min_frames: u64) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::BlazeIt;
     use blazeit_frameql::parse_query;
     use blazeit_frameql::query::analyze;
     use blazeit_videostore::{DatasetPreset, ObjectClass};
@@ -549,7 +559,7 @@ mod tests {
     fn plan_includes_all_filter_classes_for_red_bus_query() {
         let e = engine();
         let (_q, info) = red_bus_info(&e);
-        let plan = plan_filters(&e, &info, &SelectionOptions::default()).unwrap();
+        let plan = plan_filters(&e, &info, &SelectionOptions::all()).unwrap();
         // Temporal: HAVING COUNT(*) > 15 → stride (16-1)/2 = 7.
         assert_eq!(plan.stride, 7);
         assert!(plan.min_track_appearances >= 2);
@@ -580,7 +590,7 @@ mod tests {
     fn filtered_plan_uses_fewer_detector_calls_than_unfiltered() {
         let e = engine();
         let (q, info) = red_bus_info(&e);
-        let filtered = execute_with_options(&e, &q, &info, &SelectionOptions::default()).unwrap();
+        let filtered = execute_with_options(&e, &q, &info, &SelectionOptions::all()).unwrap();
         let unfiltered = execute_with_options(&e, &q, &info, &SelectionOptions::none()).unwrap();
         assert!(
             filtered.detection_calls < unfiltered.detection_calls,
@@ -596,7 +606,7 @@ mod tests {
     fn returned_rows_satisfy_the_predicate() {
         let e = engine();
         let (q, info) = red_bus_info(&e);
-        let outcome = execute_with_options(&e, &q, &info, &SelectionOptions::default()).unwrap();
+        let outcome = execute_with_options(&e, &q, &info, &SelectionOptions::all()).unwrap();
         for row in &outcome.rows {
             assert_eq!(row.class, ObjectClass::Bus);
             assert!(row.mask.area() > 20_000.0);
@@ -607,7 +617,7 @@ mod tests {
     fn false_negative_rate_against_naive_is_bounded() {
         let e = engine();
         let (q, info) = red_bus_info(&e);
-        let blazeit = execute_with_options(&e, &q, &info, &SelectionOptions::default()).unwrap();
+        let blazeit = execute_with_options(&e, &q, &info, &SelectionOptions::all()).unwrap();
         // Naive plan (stride 1, no learned filters) acts as the reference result set.
         // Result sets are compared through ground-truth track identity, because the
         // tracker assigns fresh ids on every scan.
@@ -647,7 +657,7 @@ mod tests {
             "SELECT * FROM taipei WHERE class = 'car' AND xmax(mask) < 720 AND ymin(mask) >= 100";
         let q = parse_query(sql).unwrap();
         let info = analyze(&q, e.udfs()).unwrap();
-        let plan = plan_filters(&e, &info, &SelectionOptions::default()).unwrap();
+        let plan = plan_filters(&e, &info, &SelectionOptions::all()).unwrap();
         let region = plan.region.expect("explicit constraints must yield a region");
         assert!(region.xmax <= 720.0);
         assert!(region.ymin >= 100.0);

@@ -1,0 +1,153 @@
+//! Sessions and prepared queries: the planner / executor split.
+//!
+//! A [`Session`] is a lightweight query handle over a [`Catalog`].
+//! [`Session::prepare`] parses a FrameQL string, routes it to the registered video
+//! named in its `FROM` clause, analyzes it, and plans it — all without charging the
+//! simulated clock — returning a [`PreparedQuery`] whose [`QueryPlan`] the caller can
+//! inspect ([`PreparedQuery::plan`]), render ([`PreparedQuery::explain`]), and
+//! override ([`PreparedQuery::with_options`], [`PreparedQuery::with_budget`]) before
+//! paying for execution with [`PreparedQuery::run`].
+//!
+//! `EXPLAIN <query>` flows through the same path: the prepared query is marked
+//! explain-only and [`PreparedQuery::run`] returns the rendered plan as
+//! [`QueryOutput::Explain`] with zero simulated cost.
+
+use crate::aggregate;
+use crate::catalog::Catalog;
+use crate::context::VideoContext;
+use crate::plan::{plan_query, QueryPlan};
+use crate::result::{QueryOutput, QueryResult};
+use crate::scrub;
+use crate::select::{self, SelectionOptions};
+use crate::Result;
+use blazeit_frameql::query::{analyze, QueryClass, QueryPlanInfo};
+use blazeit_frameql::{parse_query, Query};
+use std::time::Instant;
+
+/// A query session over a catalog of registered videos.
+#[derive(Debug, Clone, Copy)]
+pub struct Session<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(catalog: &'a Catalog) -> Session<'a> {
+        Session { catalog }
+    }
+
+    /// The catalog this session queries.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// Parses, routes, analyzes and plans a FrameQL query without executing it (and
+    /// without charging the simulated clock).
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery<'a>> {
+        let parsed = parse_query(sql)?;
+        let ctx = self.catalog.context(&parsed.from)?;
+        let info = analyze(&parsed, ctx.udfs())?;
+        let plan = plan_query(ctx, &info)?;
+        Ok(PreparedQuery { ctx, sql: sql.to_string(), query: parsed, info, plan })
+    }
+
+    /// Convenience: prepare and immediately run a query with its default plan.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.prepare(sql)?.run()
+    }
+}
+
+/// A planned query, ready to inspect, override, and run.
+#[derive(Debug)]
+pub struct PreparedQuery<'a> {
+    ctx: &'a VideoContext,
+    sql: String,
+    query: Query,
+    info: QueryPlanInfo,
+    plan: QueryPlan,
+}
+
+impl<'a> PreparedQuery<'a> {
+    /// The video context the query was routed to.
+    pub fn context(&self) -> &'a VideoContext {
+        self.ctx
+    }
+
+    /// The parsed query AST.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The analyzed plan information (classification, requirements, constraints).
+    pub fn info(&self) -> &QueryPlanInfo {
+        &self.info
+    }
+
+    /// The resolved plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Mutable access to the plan — the full override hatch for harnesses.
+    pub fn plan_mut(&mut self) -> &mut QueryPlan {
+        &mut self.plan
+    }
+
+    /// Whether this statement was an `EXPLAIN` (runs free, returns the plan).
+    pub fn is_explain(&self) -> bool {
+        self.query.explain
+    }
+
+    /// Replaces the selection filter options (which inferred filters a selection
+    /// plan may use). No effect on aggregate / scrubbing strategies.
+    pub fn with_options(mut self, options: SelectionOptions) -> PreparedQuery<'a> {
+        self.plan.selection = options;
+        self
+    }
+
+    /// Caps the number of object-detector invocations the plan may spend.
+    ///
+    /// The cap binds adaptive sampling (aggregates) and ranked verification
+    /// (scrubbing); exact scans and selection scans are not truncated, since cutting
+    /// them off would silently change the result's meaning. The executors fold the
+    /// budget into their own knobs at run time, so later `plan_mut` edits compose.
+    pub fn with_budget(mut self, max_detection_calls: u64) -> PreparedQuery<'a> {
+        self.plan.detection_budget = Some(max_detection_calls);
+        self
+    }
+
+    /// The rendered plan, exactly what `EXPLAIN <query>` returns.
+    pub fn explain(&self) -> String {
+        self.plan.to_string()
+    }
+
+    /// Executes the plan (or, for `EXPLAIN`, returns the rendered plan for free).
+    pub fn run(&self) -> Result<QueryResult> {
+        let started = Instant::now();
+        let clock = self.ctx.clock();
+        let cost_before = clock.breakdown();
+
+        let output = if self.query.explain {
+            QueryOutput::Explain { plan: self.plan.clone() }
+        } else {
+            self.execute()?
+        };
+
+        let cost = clock.breakdown().since(&cost_before);
+        Ok(QueryResult {
+            query: self.sql.clone(),
+            output,
+            cost,
+            wall_secs: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    fn execute(&self) -> Result<QueryOutput> {
+        match &self.info.class {
+            QueryClass::Aggregate { .. } => aggregate::execute(self.ctx, &self.info, &self.plan),
+            QueryClass::Scrub => scrub::execute(self.ctx, &self.info, &self.plan),
+            QueryClass::Select | QueryClass::Exhaustive => {
+                select::execute(self.ctx, &self.query, &self.info, &self.plan)
+            }
+        }
+    }
+}

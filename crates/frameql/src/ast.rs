@@ -152,6 +152,9 @@ pub struct AccuracyConstraints {
 /// A parsed FrameQL query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Query {
+    /// Whether the query was prefixed with `EXPLAIN`: the engine renders the chosen
+    /// plan instead of executing it (and charges nothing to the simulated clock).
+    pub explain: bool,
     /// The `SELECT` list.
     pub select: Vec<SelectItem>,
     /// The video (relation) name in `FROM`.
@@ -233,6 +236,7 @@ mod tests {
     #[test]
     fn select_helpers() {
         let q = Query {
+            explain: false,
             select: vec![SelectItem::Star],
             from: "taipei".into(),
             where_clause: None,

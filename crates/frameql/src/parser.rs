@@ -3,6 +3,7 @@
 //! The grammar (informally):
 //!
 //! ```text
+//! statement  := [EXPLAIN] query
 //! query      := SELECT select_list FROM ident
 //!               [WHERE expr] [GROUP BY ident (, ident)*] [HAVING expr]
 //!               [constraint]* [LIMIT number [GAP number]] [constraint]* [;]
@@ -112,6 +113,7 @@ impl Parser {
     }
 
     fn parse_query(&mut self) -> Result<Query> {
+        let explain = self.accept_keyword("EXPLAIN");
         self.expect_keyword("SELECT")?;
         let select = self.parse_select_list()?;
         self.expect_keyword("FROM")?;
@@ -187,7 +189,7 @@ impl Parser {
             }
         }
 
-        Ok(Query { select, from, where_clause, group_by, having, limit, gap, accuracy })
+        Ok(Query { explain, select, from, where_clause, group_by, having, limit, gap, accuracy })
     }
 
     /// Confidence is written either as a percentage (`95%`) or a fraction (`0.95`);
@@ -444,6 +446,22 @@ mod tests {
     fn parse_hyphenated_video_name_and_semicolon() {
         let q = parse_query("SELECT FCOUNT(*) FROM night-street WHERE class = 'car';").unwrap();
         assert_eq!(q.from, "night-street");
+    }
+
+    #[test]
+    fn parse_explain_prefix() {
+        let q = parse_query(
+            "EXPLAIN SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1",
+        )
+        .unwrap();
+        assert!(q.explain);
+        assert_eq!(q.select, vec![SelectItem::FCount]);
+        assert_eq!(q.from, "taipei");
+        let plain = parse_query("SELECT * FROM taipei").unwrap();
+        assert!(!plain.explain);
+        // EXPLAIN must be followed by a full query.
+        assert!(parse_query("EXPLAIN").is_err());
+        assert!(parse_query("EXPLAIN EXPLAIN SELECT * FROM taipei").is_err());
     }
 
     #[test]

@@ -1,14 +1,159 @@
 //! Data-parallel helpers for the batched scoring pipeline.
 //!
-//! The build environment has no `rayon`, so this module provides the one
-//! primitive batched featurization needs: splitting a flat output buffer into
-//! contiguous chunks and filling them from scoped worker threads. On a
-//! single-core host (or for small inputs) the work runs inline with zero
-//! threading overhead.
+//! The build environment has no `rayon`, so this module provides the one primitive
+//! batched featurization needs: splitting a flat output buffer into contiguous chunks
+//! and filling them from worker threads. Workers live in a process-wide persistent
+//! pool (spawned once, on first use) instead of being re-spawned per `score_batch`
+//! call; the contiguous-chunk strategy is unchanged. On a single-core host (or for
+//! small inputs) the work runs inline with zero threading overhead.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A unit of work shipped to the pool. The `'static` bound is produced by an unsafe
+/// lifetime extension in [`run_scoped`], which is sound because the submitting call
+/// blocks until every one of its jobs has finished.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide worker pool: `available_parallelism() - 1` detached workers
+/// pulling jobs off one shared channel (the submitting thread works too, so the
+/// total concurrency matches the core count).
+struct WorkerPool {
+    sender: Mutex<Sender<Job>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let workers = threads.saturating_sub(1);
+            let (sender, receiver) = channel::<Job>();
+            let receiver = std::sync::Arc::new(Mutex::new(receiver));
+            for i in 0..workers {
+                let receiver = std::sync::Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("blazeit-score-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawning a pool worker");
+            }
+            WorkerPool { sender: Mutex::new(sender), workers }
+        })
+    }
+
+    fn submit(&self, job: Job) {
+        self.sender
+            .lock()
+            .expect("pool sender lock")
+            .send(job)
+            .expect("pool workers never hang up");
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while dequeuing, never while running a job.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // Channel closed: process is shutting down.
+        }
+    }
+}
+
+/// Counts outstanding jobs of one `run_scoped` call and wakes the submitter when the
+/// last one finishes (normally or by panic).
+struct Latch {
+    state: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch { state: Mutex::new(count), done: Condvar::new() }
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = self.state.lock().expect("latch lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.state.lock().expect("latch lock");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch wait");
+        }
+    }
+}
+
+/// Runs `tasks` on the persistent pool (all but the first, which runs on the calling
+/// thread) and blocks until every task has completed. Panics from workers are
+/// captured and re-raised on the caller.
+///
+/// # Safety
+///
+/// Task closures may borrow caller-local data: they are lifetime-extended to
+/// `'static` before entering the pool, which is sound because this function does not
+/// return until the latch confirms every task has run to completion (panicking tasks
+/// included), so no closure can outlive the borrows it captured.
+fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    let pool = WorkerPool::global();
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let latch = Latch::new(tasks.len());
+
+    let mut tasks = tasks.into_iter();
+    let first = tasks.next().expect("tasks is non-empty");
+    for task in tasks {
+        let latch_ref = &latch;
+        let panic_ref = &panic_slot;
+        let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                let mut slot = match panic_ref.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                slot.get_or_insert(payload);
+            }
+            latch_ref.complete_one();
+        });
+        // SAFETY: see the function-level safety comment — the latch wait below keeps
+        // every borrow captured by `wrapped` alive until the job has finished.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(wrapped) };
+        pool.submit(job);
+    }
+
+    // The caller is a worker too: run the first task inline.
+    let inline_result = catch_unwind(AssertUnwindSafe(first));
+    latch.complete_one();
+    latch.wait();
+
+    if let Err(payload) = inline_result {
+        resume_unwind(payload);
+    }
+    let payload = match panic_slot.lock() {
+        Ok(mut guard) => guard.take(),
+        Err(poisoned) => poisoned.into_inner().take(),
+    };
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
 
 /// Splits `data` into at most `available_parallelism()` contiguous chunks whose
-/// lengths are multiples of `align` and runs `f(start_offset, chunk)` for each,
-/// in parallel when more than one core is available.
+/// lengths are multiples of `align` and runs `f(start_offset, chunk)` for each, on
+/// the persistent worker pool when more than one core is available.
 ///
 /// `align` is the row width of the flattened 2-D buffer, so chunk boundaries
 /// always fall between rows. The first error (by chunk order) is returned;
@@ -19,9 +164,9 @@ where
     E: Send,
     F: Fn(usize, &mut [T]) -> Result<(), E> + Sync,
 {
-    assert!(align > 0 && data.len() % align == 0, "buffer is not row-aligned");
+    assert!(align > 0 && data.len().is_multiple_of(align), "buffer is not row-aligned");
     let rows = data.len() / align;
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = WorkerPool::global().workers + 1;
     let rows_per_chunk = rows.div_ceil(threads.max(1)).max(1);
     let chunk_len = rows_per_chunk * align;
 
@@ -35,24 +180,36 @@ where
         return Ok(());
     }
 
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut handles = Vec::new();
-        let mut start = 0usize;
-        for chunk in data.chunks_mut(chunk_len) {
-            let offset = start;
-            start += chunk.len();
-            handles.push(scope.spawn(move || f(offset, chunk)));
+    let f = &f;
+    let num_chunks = rows.div_ceil(rows_per_chunk);
+    let results: Vec<Mutex<Option<Result<(), E>>>> =
+        (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(num_chunks);
+    let mut start = 0usize;
+    for (chunk, slot) in data.chunks_mut(chunk_len).zip(&results) {
+        let offset = start;
+        start += chunk.len();
+        tasks.push(Box::new(move || {
+            let outcome = f(offset, chunk);
+            let mut guard = match slot.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard = Some(outcome);
+        }));
+    }
+    run_scoped(tasks);
+
+    for slot in &results {
+        let outcome = match slot.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        if let Some(Err(e)) = outcome {
+            return Err(e);
         }
-        let mut result = Ok(());
-        for handle in handles {
-            let outcome = handle.join().expect("parallel featurization worker panicked");
-            if result.is_ok() {
-                result = outcome;
-            }
-        }
-        result
-    })
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -86,5 +243,60 @@ mod tests {
         let mut data: Vec<u8> = Vec::new();
         par_fill_chunks(&mut data, 4, |_, _| -> Result<(), ()> { panic!("should not run") })
             .unwrap();
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_calls() {
+        // Large enough rows to engage the pool path on multi-core hosts; repeated
+        // calls must neither deadlock nor leak (workers are persistent).
+        for round in 0..50u32 {
+            let rows = 512usize;
+            let mut data = vec![0u64; rows * 4];
+            par_fill_chunks(&mut data, 4, |start, chunk| -> Result<(), ()> {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (start + i) as u64 + u64::from(round);
+                }
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(data[0], u64::from(round));
+            assert_eq!(*data.last().unwrap(), (rows * 4 - 1) as u64 + u64::from(round));
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut data = vec![0u32; 64 * 8];
+                    par_fill_chunks(&mut data, 8, |start, chunk| -> Result<(), ()> {
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v = (start + i) as u32;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                    assert_eq!(data[511], 511);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        // The first chunk (start == 0) exists on every host, whether it runs inline,
+        // on the caller-as-worker path, or in a single serial chunk — so the panic
+        // must always surface (and never hang the latch).
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut data = vec![0u8; 1024 * 2];
+            let _ = par_fill_chunks(&mut data, 2, |start, _| -> Result<(), ()> {
+                if start == 0 {
+                    panic!("worker exploded");
+                }
+                Ok(())
+            });
+        }));
+        assert!(outcome.is_err());
     }
 }

@@ -289,7 +289,7 @@ mod tests {
     fn object_region_takes_object_color() {
         let r = renderer();
         let obj = car_at(400.0, Color::RED);
-        let frame = r.render(5, &[obj.clone()]);
+        let frame = r.render(5, std::slice::from_ref(&obj));
         let redness_in_box = frame.redness_in(&obj.bbox);
         let redness_elsewhere = frame.redness_in(&BoundingBox::new(900.0, 0.0, 1280.0, 200.0));
         assert!(redness_in_box > 60.0, "redness in box was {redness_in_box}");

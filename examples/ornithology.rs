@@ -3,7 +3,8 @@
 //! pulls out the red birds as a proxy for species.
 //!
 //! This example shows how to run BlazeIt over a *custom* video (not one of the Table 3
-//! presets) by generating the three days yourself and building the labeled set.
+//! presets) by generating the three days yourself, building the labeled set, and
+//! registering the stream in a catalog.
 //!
 //! Run with `cargo run --release --example ornithology`.
 
@@ -23,10 +24,12 @@ fn main() {
 
     let config = BlazeItConfig::default();
     let labeled = Arc::new(LabeledSet::build(train, heldout, &config).expect("labeled set"));
-    let engine = BlazeIt::new(test, labeled, config);
+    let mut catalog = Catalog::new();
+    catalog.register(test, labeled, config).expect("register custom video");
+    let session = catalog.session();
 
     // How busy is the feeder overall?
-    let overall = engine
+    let overall = session
         .query("SELECT FCOUNT(*) FROM bird-feeder WHERE class = 'bird' ERROR WITHIN 0.1 AT CONFIDENCE 95%")
         .expect("overall count");
     println!(
@@ -38,7 +41,7 @@ fn main() {
     // Left vs right side of the feeder: spatial predicates over the mask.
     for (side, predicate) in [("left", "xmax(mask) < 640"), ("right", "xmin(mask) >= 640")] {
         let sql = format!("SELECT * FROM bird-feeder WHERE class = 'bird' AND {predicate}");
-        let result = engine.query(&sql).expect("side query");
+        let result = session.query(&sql).expect("side query");
         if let QueryOutput::Rows { rows, detection_calls } = &result.output {
             let tracks: std::collections::BTreeSet<u64> = rows.iter().map(|r| r.trackid).collect();
             println!(
@@ -51,7 +54,7 @@ fn main() {
     }
 
     // Red birds as a species proxy (content-based selection).
-    let red = engine
+    let red = session
         .query("SELECT * FROM bird-feeder WHERE class = 'bird' AND redness(content) >= 10")
         .expect("red birds");
     if let QueryOutput::Rows { rows, .. } = &red.output {

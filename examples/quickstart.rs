@@ -1,4 +1,5 @@
-//! Quickstart: build an engine over a synthetic stream and run one of each query class.
+//! Quickstart: register streams in a catalog, EXPLAIN a query, then run one of each
+//! query class through a session.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -10,10 +11,21 @@ fn main() {
     // labeled set, and queries run over the unseen test day.
     let frames_per_day = 6_000;
     println!("generating taipei ({frames_per_day} frames per day) and building the labeled set...");
-    let engine = BlazeIt::for_preset(DatasetPreset::Taipei, frames_per_day).expect("engine");
+    let mut catalog = Catalog::new();
+    catalog.register_preset(DatasetPreset::Taipei, frames_per_day).expect("register");
+    let session = catalog.session();
+
+    // 0. EXPLAIN: the optimizer's plan, rendered without charging the simulated clock.
+    let explain = session
+        .query(
+            "EXPLAIN SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
+        )
+        .expect("explain");
+    println!("\n{}", explain.output.explain_plan().expect("explain output"));
+    println!("(EXPLAIN charged {:.1} simulated seconds)", explain.cost.total());
 
     // 1. An aggregate with an error bound: how many cars are in a frame on average?
-    let aggregate = engine
+    let aggregate = session
         .query(
             "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
         )
@@ -28,7 +40,7 @@ fn main() {
     }
 
     // 2. A scrubbing query: find 5 frames with at least one bus and one car, 10 s apart.
-    let scrub = engine
+    let scrub = session
         .query(
             "SELECT timestamp FROM taipei GROUP BY timestamp \
              HAVING SUM(class='bus')>=1 AND SUM(class='car')>=1 LIMIT 5 GAP 300",
@@ -44,14 +56,16 @@ fn main() {
         );
     }
 
-    // 3. A content-based selection: every red bus on screen for at least half a second.
-    let select = engine
-        .query(
+    // 3. A content-based selection, prepared first so the plan can be inspected (and
+    //    overridden with `with_options` / `with_budget`) before paying for execution.
+    let prepared = session
+        .prepare(
             "SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 10 \
              AND area(mask) > 20000 GROUP BY trackid HAVING COUNT(*) > 15",
         )
-        .expect("selection query");
-    println!("\n[selection] {}", select.query);
+        .expect("prepare selection");
+    println!("\n[selection] plan before running:\n{}", prepared.explain());
+    let select = prepared.run().expect("selection query");
     if let QueryOutput::Rows { rows, detection_calls } = &select.output {
         let tracks: std::collections::BTreeSet<u64> = rows.iter().map(|r| r.trackid).collect();
         println!(
@@ -63,5 +77,5 @@ fn main() {
         );
     }
 
-    println!("\ntotal simulated GPU time charged this session: {:.1} s", engine.clock().total());
+    println!("\ntotal simulated GPU time charged this session: {:.1} s", catalog.clock().total());
 }

@@ -9,12 +9,14 @@ use blazeit::core::scrub::{blazeit_scrub, specialized_for_requirements, ScrubOpt
 use blazeit::prelude::*;
 
 fn main() {
-    let engine = BlazeIt::for_preset(DatasetPreset::Amsterdam, 12_000).expect("engine");
+    let mut catalog = Catalog::new();
+    catalog.register_preset(DatasetPreset::Amsterdam, 12_000).expect("register");
+    let engine = catalog.context("amsterdam").expect("registered");
     let class = ObjectClass::Car;
 
     // Pick a genuinely rare event on this stream: the highest simultaneous car count
     // that still has at least 15 occurrences on the test day (the paper's Table 6 rule).
-    let counts = baselines::oracle_counts(&engine, engine.video());
+    let counts = baselines::oracle_counts(engine, engine.video());
     let max = counts.iter().map(|c| c.get(class)).max().unwrap_or(1);
     let threshold = (1..=max)
         .rev()
@@ -31,13 +33,13 @@ fn main() {
 
     // Naive sequential scan.
     let (naive_frames, naive_calls) =
-        baselines::naive_scrub(&engine, &requirements, opts.limit, opts.gap).expect("naive");
+        baselines::naive_scrub(engine, &requirements, opts.limit, opts.gap).expect("naive");
     // NoScope oracle: skips frames with no car at all, for free.
     let (_, noscope_calls) =
-        baselines::noscope_scrub(&engine, &requirements, opts.limit, opts.gap).expect("noscope");
+        baselines::noscope_scrub(engine, &requirements, opts.limit, opts.gap).expect("noscope");
     // BlazeIt: importance ordering by specialized-NN confidence.
-    let nn = specialized_for_requirements(&engine, &requirements).expect("specialized NN");
-    let outcome = blazeit_scrub(&engine, &nn, &requirements, opts).expect("blazeit");
+    let nn = specialized_for_requirements(engine, &requirements).expect("specialized NN");
+    let outcome = blazeit_scrub(engine, &nn, &requirements, opts).expect("blazeit");
 
     println!("\n{:<20} {:>16} {:>12}", "method", "detector calls", "found");
     println!("{:<20} {:>16} {:>12}", "naive scan", naive_calls, naive_frames.len());

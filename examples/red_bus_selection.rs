@@ -1,49 +1,56 @@
 //! Content-based selection (Figure 3c of the paper): find every red tour bus that is on
-//! screen for at least half a second, and show which inferred filters made it cheap.
+//! screen for at least half a second, and show which inferred filters made it cheap —
+//! using the prepare → inspect → override → run API.
 //!
 //! Run with `cargo run --release --example red_bus_selection`.
 
-use blazeit::core::select::{execute_with_options, plan_filters, red_bus_query, SelectionOptions};
-use blazeit::frameql::query::analyze;
+use blazeit::core::select::{ground_truth_tracks, red_bus_query};
 use blazeit::prelude::*;
 
 fn main() {
-    let engine = BlazeIt::for_preset(DatasetPreset::Taipei, 9_000).expect("engine");
+    let mut catalog = Catalog::new();
+    catalog.register_preset(DatasetPreset::Taipei, 9_000).expect("register");
+    let session = catalog.session();
     let sql = red_bus_query("taipei", 10.0, 20_000.0, 15);
     println!("query: {sql}\n");
 
-    let query = parse_query(&sql).expect("parse");
-    let info = analyze(&query, engine.udfs()).expect("analyze");
+    // EXPLAIN shows the optimizer's plan before anything is paid for.
+    let prepared = session.prepare(&sql).expect("prepare");
+    println!("{}\n", prepared.explain());
 
-    // Show the filter plan BlazeIt infers from the query and the labeled set.
-    let plan = plan_filters(&engine, &info, &SelectionOptions::default()).expect("plan");
-    println!("inferred filter plan: {plan:#?}\n");
+    // Run with all inferred filters (the default plan)...
+    let before = catalog.clock().breakdown();
+    let filtered = prepared.run().expect("filtered plan");
+    let filtered_cost = catalog.clock().breakdown().since(&before);
 
-    // Run with all filters, then with none (the naive plan), and compare.
-    let before = engine.clock().breakdown();
-    let filtered = execute_with_options(&engine, &query, &info, &SelectionOptions::default())
-        .expect("filtered plan");
-    let filtered_cost = engine.clock().breakdown().since(&before);
-
-    let before = engine.clock().breakdown();
-    let naive = execute_with_options(&engine, &query, &info, &SelectionOptions::none())
+    // ...then override the plan to disable every filter: the naive scan through the
+    // very same executor.
+    let before = catalog.clock().breakdown();
+    let naive = session
+        .prepare(&sql)
+        .expect("prepare")
+        .with_options(SelectionOptions::none())
+        .run()
         .expect("naive plan");
-    let naive_cost = engine.clock().breakdown().since(&before);
+    let naive_cost = catalog.clock().breakdown().since(&before);
 
-    let naive_tracks = naive.track_ids();
-    let filtered_tracks = filtered.track_ids();
+    // Tracker ids are scan-local, so result sets are compared through the scene's
+    // ground-truth track identities.
+    let ctx = catalog.context("taipei").expect("registered");
+    let naive_tracks = ground_truth_tracks(ctx, naive.output.rows().unwrap_or(&[]));
+    let filtered_tracks = ground_truth_tracks(ctx, filtered.output.rows().unwrap_or(&[]));
     let found = naive_tracks.iter().filter(|t| filtered_tracks.contains(t)).count();
 
     println!(
         "BlazeIt:  {:>8.1} simulated s, {:>6} detector calls, {} red-bus tracks",
         filtered_cost.total() - filtered_cost.decode,
-        filtered.detection_calls,
+        filtered.output.detection_calls(),
         filtered_tracks.len()
     );
     println!(
         "naive:    {:>8.1} simulated s, {:>6} detector calls, {} red-bus tracks",
         naive_cost.total() - naive_cost.decode,
-        naive.detection_calls,
+        naive.output.detection_calls(),
         naive_tracks.len()
     );
     let speedup = (naive_cost.total() - naive_cost.decode)

@@ -13,19 +13,22 @@ use blazeit::prelude::*;
 
 fn main() {
     let frames_per_day = 9_000; // five simulated minutes per day at 30 fps
-    let engine = BlazeIt::for_preset(DatasetPreset::Taipei, frames_per_day).expect("engine");
+    let mut catalog = Catalog::new();
+    catalog.register_preset(DatasetPreset::Taipei, frames_per_day).expect("register");
+    let session = catalog.session();
+    let engine = catalog.context("taipei").expect("registered");
     let class = ObjectClass::Car;
 
     println!("== traffic metering: average cars per frame ==");
     // Naive baseline: detector on every frame.
     let before = engine.clock().breakdown();
-    let (naive_value, naive_calls) = baselines::naive_fcount(&engine, Some(class)).expect("naive");
+    let (naive_value, naive_calls) = baselines::naive_fcount(engine, Some(class)).expect("naive");
     let naive_cost = engine.clock().breakdown().since(&before);
     let naive = RuntimeReport::from_cost("naive", naive_cost, naive_calls);
 
     // NoScope oracle: detector only on frames that contain a car at all.
     let before = engine.clock().breakdown();
-    let (_, ns_calls) = baselines::noscope_fcount(&engine, class).expect("noscope");
+    let (_, ns_calls) = baselines::noscope_fcount(engine, class).expect("noscope");
     let noscope = RuntimeReport::from_cost(
         "noscope (oracle)",
         engine.clock().breakdown().since(&before),
@@ -33,7 +36,7 @@ fn main() {
     );
 
     // BlazeIt: Algorithm 1 picks query rewriting or control variates.
-    let result = engine
+    let result = session
         .query(
             "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%",
         )
@@ -47,7 +50,7 @@ fn main() {
     println!("{}", format_speedup_table(&[naive, noscope, blazeit]));
 
     println!("== transit interaction: frames with >= 1 bus and >= 2 cars ==");
-    let scrub = engine
+    let scrub = session
         .query(
             "SELECT timestamp FROM taipei GROUP BY timestamp \
              HAVING SUM(class='bus')>=1 AND SUM(class='car')>=2 LIMIT 10 GAP 300",

@@ -19,13 +19,25 @@
 //! ```no_run
 //! use blazeit::prelude::*;
 //!
-//! // Build an engine over the "taipei" stream (generates 3 synthetic days and labels
-//! // the first two offline, exactly the paper's setup).
-//! let engine = BlazeIt::for_preset(DatasetPreset::Taipei, 18_000).unwrap();
+//! // Register two of the Table 3 streams in one catalog (each gets 3 synthetic days;
+//! // the first two are labeled offline, exactly the paper's setup).
+//! let mut catalog = Catalog::new();
+//! catalog.register_preset(DatasetPreset::Taipei, 18_000).unwrap();
+//! catalog.register_preset(DatasetPreset::Amsterdam, 18_000).unwrap();
 //!
-//! // Ask for the average number of cars per frame, within 0.1 at 95% confidence.
-//! let result = engine
-//!     .query("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%")
+//! // Queries route by their FROM clause; EXPLAIN renders the chosen plan for free.
+//! let session = catalog.session();
+//! let plan = session
+//!     .query("EXPLAIN SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1")
+//!     .unwrap();
+//! println!("{}", plan.output.explain_plan().unwrap());
+//!
+//! // Prepare → inspect / override → run.
+//! let result = session
+//!     .prepare("SELECT FCOUNT(*) FROM amsterdam WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%")
+//!     .unwrap()
+//!     .with_budget(5_000)
+//!     .run()
 //!     .unwrap();
 //! println!("{:?} in {:.1} simulated GPU-seconds", result.output, result.runtime_secs());
 //! ```
@@ -44,8 +56,9 @@ pub mod prelude {
     pub use blazeit_core::scrub::ScrubOptions;
     pub use blazeit_core::select::SelectionOptions;
     pub use blazeit_core::{
-        baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, LabeledSet, QueryOutput,
-        QueryResult,
+        baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, Catalog, LabeledSet,
+        PlanStrategy, PreparedQuery, QueryOutput, QueryPlan, QueryResult, RewriteDecision, Session,
+        VideoContext,
     };
     pub use blazeit_detect::{DetectionMethod, ObjectDetector, SimClock, SimulatedDetector};
     pub use blazeit_frameql::{parse_query, Query, Value};
