@@ -1,0 +1,105 @@
+//! Cold-load vs warm-load comparison for the durable index store.
+//!
+//! The "cold" pass opens a fresh store, registers a preset, and runs the first
+//! FCOUNT query — paying specialized-NN training and full-video scoring, and
+//! persisting both artifacts as write-behind. The "warm" pass opens a *new*
+//! catalog over the now-populated store and repeats the query: everything loads
+//! from disk, so the simulated clock records **zero** specialized-inference and
+//! training seconds (asserted here, since a comparison against a silently
+//! retraining catalog would be meaningless). Wall-clock times for both passes
+//! and the simulated-cost breakdown land in `BENCH_index.json` at the workspace
+//! root.
+
+use blazeit_core::Catalog;
+use blazeit_videostore::DatasetPreset;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const QUERY: &str =
+    "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.2 AT CONFIDENCE 95%";
+
+fn bench_frames() -> u64 {
+    std::env::var("BLAZEIT_BENCH_FRAMES").ok().and_then(|v| v.parse().ok()).unwrap_or(4_000)
+}
+
+fn scratch_store_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blazeit-bench-index-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_catalog(dir: &PathBuf, frames: u64) -> Catalog {
+    let mut catalog = Catalog::with_index_store(dir).expect("open index store");
+    catalog.register_preset(DatasetPreset::Taipei, frames).expect("register taipei");
+    catalog
+}
+
+fn bench_index_store(c: &mut Criterion) {
+    let frames = bench_frames();
+    let dir = scratch_store_dir();
+
+    // Cold: train + score + persist (registration excluded from the timing —
+    // generating the synthetic days is not index work).
+    let catalog = store_catalog(&dir, frames);
+    let started = Instant::now();
+    let cold_value = catalog.session().query(QUERY).unwrap().output.aggregate_value().unwrap();
+    let cold_secs = started.elapsed().as_secs_f64();
+    let cold_sim = catalog.clock().breakdown();
+    drop(catalog);
+
+    // Warm: a fresh catalog over the populated store answers from disk.
+    let catalog = store_catalog(&dir, frames);
+    let started = Instant::now();
+    let warm_value = catalog.session().query(QUERY).unwrap().output.aggregate_value().unwrap();
+    let warm_secs = started.elapsed().as_secs_f64();
+    let warm_sim = catalog.clock().breakdown();
+    assert_eq!(cold_value, warm_value, "warm load must reproduce the cold answer exactly");
+    assert_eq!(warm_sim.specialized, 0.0, "warm load must charge zero specialized inference");
+    assert_eq!(warm_sim.training, 0.0, "warm load must charge zero training");
+
+    let speedup = cold_secs / warm_secs.max(1e-12);
+    println!("index_cold_query  {frames} frames in {cold_secs:.3} s (train + score + persist)");
+    println!(
+        "index_warm_query  {frames} frames in {warm_secs:.3} s ({speedup:.1}x, loads from disk)"
+    );
+
+    let report = format!(
+        "{{\n  \"dataset\": \"taipei\",\n  \"frames\": {frames},\n  \
+         \"cold_secs\": {cold_secs:.6},\n  \"warm_secs\": {warm_secs:.6},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"cold_sim_training_secs\": {:.6},\n  \"cold_sim_specialized_secs\": {:.6},\n  \
+         \"warm_sim_training_secs\": {:.6},\n  \"warm_sim_specialized_secs\": {:.6}\n}}\n",
+        cold_sim.training, cold_sim.specialized, warm_sim.training, warm_sim.specialized,
+    );
+    let out_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_index.json");
+    std::fs::write(&out_path, report).expect("write BENCH_index.json");
+    println!("wrote {}", out_path.display());
+
+    // Steady-state cost of one disk load (decode + checksum of the whole-video
+    // score matrix), for the criterion report.
+    let store = catalog.index_store().expect("catalog has a store").clone();
+    let ctx = catalog.context("taipei").unwrap();
+    let heads = vec![(
+        blazeit_videostore::ObjectClass::Car,
+        ctx.default_max_count(blazeit_videostore::ObjectClass::Car, 1),
+    )];
+    let nn = ctx.specialized_for(&heads).unwrap();
+    let scores = ctx.score_index(&nn).unwrap();
+    store.store_scores("bench", "bench-key", &scores).unwrap();
+    c.bench_function("index_store_load_scores", |b| {
+        b.iter(|| black_box(store.load_scores("bench", "bench-key").unwrap().unwrap()))
+    });
+    c.bench_function("index_store_load_network", |b| {
+        let ctx = catalog.context("taipei").unwrap();
+        store.store_network("bench", "bench-nn", &nn).unwrap();
+        b.iter(|| black_box(store.load_network("bench", "bench-nn", ctx.clock()).unwrap().unwrap()))
+    });
+
+    drop(catalog);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_index_store);
+criterion_main!(benches);

@@ -16,13 +16,16 @@ use crate::config::BlazeItConfig;
 use crate::context::VideoContext;
 use crate::labeled::LabeledSet;
 use crate::session::Session;
+use crate::store::IndexStore;
 use crate::{BlazeItError, Result};
 use blazeit_detect::SimClock;
 use blazeit_videostore::{DatasetPreset, Video, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Normalizes a video name for routing: ASCII-lowercase, underscores to hyphens.
-fn normalize(name: &str) -> String {
+/// (Also the per-video directory name inside an [`IndexStore`].)
+pub(crate) fn normalize(name: &str) -> String {
     name.to_ascii_lowercase().replace('_', "-")
 }
 
@@ -30,6 +33,7 @@ fn normalize(name: &str) -> String {
 pub struct Catalog {
     clock: Arc<SimClock>,
     contexts: Vec<VideoContext>,
+    store: Option<Arc<IndexStore>>,
 }
 
 impl std::fmt::Debug for Catalog {
@@ -47,7 +51,26 @@ impl Default for Catalog {
 impl Catalog {
     /// Creates an empty catalog with a fresh simulated clock.
     pub fn new() -> Catalog {
-        Catalog { clock: SimClock::new(), contexts: Vec::new() }
+        Catalog { clock: SimClock::new(), contexts: Vec::new(), store: None }
+    }
+
+    /// Creates an empty catalog whose per-video caches are backed by a durable
+    /// [`IndexStore`] rooted at `path` (created if absent).
+    ///
+    /// Every video registered afterwards joins the read-through / write-behind
+    /// hierarchy: trained specialized networks and score indexes are persisted as
+    /// they are built, and a fresh catalog opened over the same path later
+    /// answers repeat queries from disk with **zero** specialized-inference or
+    /// training cost charged to the simulated clock — the paper's
+    /// "BlazeIt (indexed)" scenario made durable.
+    pub fn with_index_store(path: impl AsRef<Path>) -> Result<Catalog> {
+        let store = IndexStore::open(path)?;
+        Ok(Catalog { clock: SimClock::new(), contexts: Vec::new(), store: Some(Arc::new(store)) })
+    }
+
+    /// The durable index store behind this catalog's caches, if any.
+    pub fn index_store(&self) -> Option<&Arc<IndexStore>> {
+        self.store.as_ref()
     }
 
     /// Registers a video (the unseen test data) with a pre-built labeled set and
@@ -67,7 +90,13 @@ impl Catalog {
                 video.name()
             )));
         }
-        let ctx = VideoContext::new(video, labeled, config, Arc::clone(&self.clock));
+        let ctx = VideoContext::with_store(
+            video,
+            labeled,
+            config,
+            Arc::clone(&self.clock),
+            self.store.clone(),
+        );
         self.contexts.push(ctx);
         Ok(self.contexts.last().expect("context was just pushed"))
     }

@@ -17,9 +17,19 @@
 //!
 //! Both caches live on the context (not on any engine or session), so every query
 //! routed to this video — from any session over the owning catalog — shares them.
+//!
+//! When the owning catalog was opened with
+//! [`Catalog::with_index_store`](crate::catalog::Catalog::with_index_store), both
+//! caches become the memory tier of a read-through / write-behind hierarchy over
+//! the durable [`IndexStore`]: a miss consults the disk store before training or
+//! scoring (a warm load charges *nothing* to the simulated clock), and every
+//! freshly trained network or built index is written behind to disk. Invalid
+//! artifacts (truncated, corrupted, version-bumped) never fail a query: the
+//! context falls back to recomputing and overwrites the bad file.
 
 use crate::config::BlazeItConfig;
 use crate::labeled::LabeledSet;
+use crate::store::IndexStore;
 use crate::{BlazeItError, Result};
 use blazeit_detect::{SimClock, SimulatedDetector};
 use blazeit_frameql::{builtin_udfs, UdfRegistry};
@@ -27,8 +37,39 @@ use blazeit_nn::specialized::{SpecializedConfig, SpecializedHead, SpecializedNN}
 use blazeit_nn::ScoreMatrix;
 use blazeit_videostore::{ObjectClass, Video};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// How warm a per-video cache is for a given head set — what `EXPLAIN` surfaces
+/// as the cost the plan will actually pay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheWarmth {
+    /// Not cached anywhere: execution trains / scores (and charges the clock).
+    Cold,
+    /// Persisted in the catalog's index store but not yet in memory: execution
+    /// loads it from disk, charging **zero** simulated inference or training.
+    Disk,
+    /// Already in the in-memory cache: execution reuses it directly.
+    Memory,
+}
+
+impl CacheWarmth {
+    /// The label `EXPLAIN` renders (`cold` / `disk-warm` / `warm`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheWarmth::Cold => "cold",
+            CacheWarmth::Disk => "disk-warm",
+            CacheWarmth::Memory => "warm",
+        }
+    }
+
+    /// Whether execution can reuse the artifact without training / scoring
+    /// (memory- or disk-warm).
+    pub fn is_warm(&self) -> bool {
+        !matches!(self, CacheWarmth::Cold)
+    }
+}
 
 /// One registered video and everything cached for it.
 pub struct VideoContext {
@@ -40,6 +81,9 @@ pub struct VideoContext {
     udfs: UdfRegistry,
     nn_cache: Mutex<HashMap<String, Arc<SpecializedNN>>>,
     score_cache: Mutex<HashMap<String, Arc<ScoreMatrix>>>,
+    /// The durable tier behind the two caches, plus this video's directory name
+    /// inside it (its normalized stream name).
+    store: Option<(Arc<IndexStore>, String)>,
 }
 
 impl std::fmt::Debug for VideoContext {
@@ -61,11 +105,28 @@ impl VideoContext {
         config: BlazeItConfig,
         clock: Arc<SimClock>,
     ) -> VideoContext {
+        Self::with_store(video, labeled, config, clock, None)
+    }
+
+    /// Like [`VideoContext::new`], additionally wiring the caches into a durable
+    /// [`IndexStore`] (what [`Catalog::with_index_store`](crate::catalog::Catalog::with_index_store)
+    /// passes for every registered video).
+    pub fn with_store(
+        video: Video,
+        labeled: Arc<LabeledSet>,
+        config: BlazeItConfig,
+        clock: Arc<SimClock>,
+        store: Option<Arc<IndexStore>>,
+    ) -> VideoContext {
         let detector = SimulatedDetector::new(
             config.detection_method,
             config.detection_threshold,
             Arc::clone(&clock),
         );
+        let store = store.map(|s| {
+            let dir = crate::catalog::normalize(video.name());
+            (s, dir)
+        });
         VideoContext {
             video,
             labeled,
@@ -75,7 +136,13 @@ impl VideoContext {
             udfs: builtin_udfs(),
             nn_cache: Mutex::new(HashMap::new()),
             score_cache: Mutex::new(HashMap::new()),
+            store,
         }
+    }
+
+    /// The durable index store behind this context's caches, if any.
+    pub fn index_store(&self) -> Option<&Arc<IndexStore>> {
+        self.store.as_ref().map(|(s, _)| s)
     }
 
     /// The unseen (test) video queries run over.
@@ -124,27 +191,56 @@ impl VideoContext {
         self.udfs.register(name, frame_liftable, func);
     }
 
-    /// The cache key for a set of `(class, max_count)` heads (order-insensitive).
-    fn head_key(heads: &[(ObjectClass, usize)]) -> String {
-        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
+    /// Normalizes a requested head set into the form every cache key and trained
+    /// configuration derives from: sorted by class, `max_count` clamped to at
+    /// least 1 (a softmax head needs `0..=1` at minimum).
+    ///
+    /// Clamping *before* keying is what keeps the caches coherent: a
+    /// `(class, 0)` request trains exactly the network a `(class, 1)` request
+    /// trains, so both must hit the same cache entry. (Keying on the caller's
+    /// raw value used to cache under `"class:0"` while the equivalent
+    /// `(class, 1)` request missed, re-trained, and double-charged the clock.)
+    fn normalized_heads(heads: &[(ObjectClass, usize)]) -> Vec<(ObjectClass, usize)> {
+        let mut sorted: Vec<(ObjectClass, usize)> =
+            heads.iter().map(|&(c, m)| (c, m.max(1))).collect();
         sorted.sort_by_key(|(c, _)| c.index());
-        sorted.iter().map(|(c, m)| format!("{}:{}", c.name(), m)).collect::<Vec<_>>().join("|")
+        sorted
+    }
+
+    /// The cache key for a set of `(class, max_count)` heads. Order-insensitive
+    /// and clamp-insensitive: the key is always derived from
+    /// [`VideoContext::normalized_heads`], so every head-set formulation that
+    /// trains the same network keys the same entry.
+    fn head_key(heads: &[(ObjectClass, usize)]) -> String {
+        Self::normalized_heads(heads)
+            .iter()
+            .map(|(c, m)| format!("{}:{}", c.name(), m))
+            .collect::<Vec<_>>()
+            .join("|")
     }
 
     /// The cache key for a score index: full video identity (name, day, seed,
-    /// length, frames scored) + the network's own architecture (heads, feature
-    /// config, hidden widths, init seed).
+    /// length, frames scored) + the network's full configuration (heads, feature
+    /// config, hidden widths, init seed, training settings, cost profile) + a
+    /// content fingerprint of the network's trained weights.
     ///
     /// The day/seed components distinguish the test-day index from the held-out
     /// index even when both days are the same length and fully annotated; the
-    /// architecture components come from the *network being scored* (not the
-    /// context config), so an externally trained network with the same heads but
-    /// different features cannot collide with a context-trained one.
-    fn score_key(video: &Video, frames_scored: usize, config: &SpecializedConfig) -> String {
+    /// configuration components come from the *network being scored* (not the
+    /// context config). The weights fingerprint is the load-bearing part for
+    /// sharing: a score matrix is a pure function of (video, weights), so two
+    /// networks with identical configurations but different weights — trained on
+    /// different labels, e.g. under a different detector threshold or labeled
+    /// stride, or supplied externally — can never serve each other's scores,
+    /// in memory or through the durable store. (Every key string is also stored
+    /// *inside* its artifact and verified on load, so anything the key
+    /// distinguishes the store provably cannot confuse.)
+    fn score_key(video: &Video, frames_scored: usize, nn: &SpecializedNN) -> String {
+        let config = nn.config();
         let heads: Vec<(ObjectClass, usize)> =
             config.heads.iter().map(|h| (h.class, h.max_count)).collect();
         format!(
-            "{}#day{}#vseed{}#{}#{}#{:?}#{:?}#nnseed{}#{}",
+            "{}#day{}#vseed{}#{}#{}#{:?}#{:?}#nnseed{}#{:?}#{:?}#wfp{:016x}#{}",
             video.name(),
             video.config().day,
             video.config().seed,
@@ -153,7 +249,42 @@ impl VideoContext {
             config.features,
             config.hidden,
             config.seed,
+            config.train,
+            config.cost,
+            nn.weights_fingerprint(),
             Self::head_key(&heads),
+        )
+    }
+
+    /// The durable-store key for a trained specialized network: the labeled
+    /// training data's identity (training-day video, number of labeled frames,
+    /// the detector that produced the labels) + the full specialized
+    /// configuration (via [`VideoContext::score_key`] over the training day).
+    ///
+    /// The in-memory `nn_cache` keys by head set alone because a context's
+    /// configuration and labeled set are fixed for its lifetime; the disk store
+    /// is shared across catalog instances with arbitrary configurations, so its
+    /// key must pin everything the trained weights depend on — otherwise a
+    /// config or dataset change would silently serve a stale network forever.
+    fn nn_store_key(&self, normalized: &[(ObjectClass, usize)]) -> String {
+        let config = self.context_spec_config(normalized);
+        let train_video = self.labeled.train_video();
+        format!(
+            "nn#{}#day{}#vseed{}#{}#{}#{:?}#{:?}#nnseed{}#{:?}#{:?}#det{:?}#thr{}#lstride{}#{}",
+            train_video.name(),
+            train_video.config().day,
+            train_video.config().seed,
+            train_video.len(),
+            self.labeled.train().frames.len(),
+            config.features,
+            config.hidden,
+            config.seed,
+            config.train,
+            config.cost,
+            self.config.detection_method,
+            self.config.detection_threshold,
+            self.config.labeled_stride,
+            Self::head_key(normalized),
         )
     }
 
@@ -177,23 +308,23 @@ impl VideoContext {
     /// Returns (training if necessary) a specialized network with one counting head per
     /// requested `(class, max_count)` pair.
     ///
-    /// Training is charged to the shared clock; cache hits are free (this is the
-    /// "indexed" / "no train" scenario of the paper).
+    /// Lookup is read-through: in-memory cache, then the durable index store
+    /// (a disk-warm load charges *nothing* to the shared clock), then training
+    /// (charged). Freshly trained networks are written behind to the store, so
+    /// they survive this catalog. An invalid stored artifact falls back to
+    /// retraining and is overwritten.
     pub fn specialized_for(&self, heads: &[(ObjectClass, usize)]) -> Result<Arc<SpecializedNN>> {
         if heads.is_empty() {
             return Err(BlazeItError::Internal(
                 "specialized_for requires at least one head".into(),
             ));
         }
-        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
-        sorted.sort_by_key(|(c, _)| c.index());
-        let key = Self::head_key(heads);
-
-        if let Some(nn) = self.nn_cache.lock().get(&key) {
-            return Ok(Arc::clone(nn));
+        let normalized = Self::normalized_heads(heads);
+        if let Some(nn) = self.lookup_specialized(&normalized) {
+            return Ok(nn);
         }
 
-        let spec_config = self.context_spec_config(&sorted);
+        let spec_config = self.context_spec_config(&normalized);
         let train_day = self.labeled.train();
         let (nn, _report) = SpecializedNN::train(
             spec_config,
@@ -203,8 +334,34 @@ impl VideoContext {
             Arc::clone(&self.clock),
         )?;
         let nn = Arc::new(nn);
-        self.nn_cache.lock().insert(key, Arc::clone(&nn));
+        if let Some((store, dir)) = &self.store {
+            // Write-behind; a full disk degrades to in-memory-only caching
+            // rather than failing the query.
+            let _ = store.store_network(dir, &self.nn_store_key(&normalized), &nn);
+        }
+        self.nn_cache.lock().insert(Self::head_key(&normalized), Arc::clone(&nn));
         Ok(nn)
+    }
+
+    /// The trained network for an already-normalized head set, without training:
+    /// memory cache first, then the durable store (the disk tier keys by the
+    /// full training identity, see [`VideoContext::nn_store_key`]; a successful
+    /// load is promoted into the memory cache and charges nothing). An invalid
+    /// stored artifact reads as a miss — callers recompute and the write-behind
+    /// replaces the bad file.
+    fn lookup_specialized(
+        &self,
+        normalized: &[(ObjectClass, usize)],
+    ) -> Option<Arc<SpecializedNN>> {
+        let key = Self::head_key(normalized);
+        if let Some(nn) = self.nn_cache.lock().get(&key) {
+            return Some(Arc::clone(nn));
+        }
+        let (store, dir) = self.store.as_ref()?;
+        let nn = store.load_network(dir, &self.nn_store_key(normalized), &self.clock).ok()??;
+        let nn = Arc::new(nn);
+        self.nn_cache.lock().insert(key, Arc::clone(&nn));
+        Some(nn)
     }
 
     /// The default counting head size for `class`, chosen by the paper's rule: the
@@ -217,15 +374,19 @@ impl VideoContext {
         head.max_count.max(at_least).max(1)
     }
 
-    /// Whether a specialized network for these heads is already trained and cached.
+    /// Whether a specialized network for these heads is already trained and
+    /// available without retraining (in memory or persisted in the index store).
     pub fn has_cached_specialized(&self, heads: &[(ObjectClass, usize)]) -> bool {
-        self.nn_cache.lock().contains_key(&Self::head_key(heads))
+        self.specialized_warmth(heads).is_warm()
     }
 
-    /// The cached specialized network for these heads, if one exists (never trains;
-    /// never charges the clock — this is what free plan-time inspection uses).
+    /// The cached specialized network for these heads, if one is available
+    /// without training: in memory, or loaded (free of simulated cost) from the
+    /// durable store. Never trains; never charges the clock — this is what free
+    /// plan-time inspection uses, and it agrees with
+    /// [`VideoContext::has_cached_specialized`] by construction.
     pub fn cached_specialized(&self, heads: &[(ObjectClass, usize)]) -> Option<Arc<SpecializedNN>> {
-        self.nn_cache.lock().get(&Self::head_key(heads)).map(Arc::clone)
+        self.lookup_specialized(&Self::normalized_heads(heads))
     }
 
     /// The per-video score index for `nn` over the unseen (test) video: every frame
@@ -236,16 +397,37 @@ impl VideoContext {
     /// The first call charges the full-video inference cost to the shared clock;
     /// later calls are free.
     pub fn score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
-        let key = Self::score_key(&self.video, self.video.len() as usize, nn.config());
+        let key = Self::score_key(&self.video, self.video.len() as usize, nn);
         // The lock is held across the build so two concurrent first queries
         // cannot both score the video (which would double-charge the clock).
         let mut cache = self.score_cache.lock();
         if let Some(scores) = cache.get(&key) {
             return Ok(Arc::clone(scores));
         }
+        if let Some(scores) = self.load_stored_scores(&key) {
+            cache.insert(key, Arc::clone(&scores));
+            return Ok(scores);
+        }
         let scores = Arc::new(nn.score_video(&self.video)?);
+        self.store_scores_behind(&key, &scores);
         cache.insert(key, Arc::clone(&scores));
         Ok(scores)
+    }
+
+    /// Disk tier of the score-cache read-through: loads a stored matrix for
+    /// `key`, charging nothing. Invalid artifacts read as a miss (the caller
+    /// recomputes and the write-behind replaces the bad file).
+    fn load_stored_scores(&self, key: &str) -> Option<Arc<ScoreMatrix>> {
+        let (store, dir) = self.store.as_ref()?;
+        store.load_scores(dir, key).ok().flatten().map(Arc::new)
+    }
+
+    /// Write-behind half of the score-cache hierarchy; a failed write degrades
+    /// to in-memory-only caching rather than failing the query.
+    fn store_scores_behind(&self, key: &str, scores: &ScoreMatrix) {
+        if let Some((store, dir)) = &self.store {
+            let _ = store.store_scores(dir, key, scores);
+        }
     }
 
     /// The score index for `nn` over the held-out day's annotated frames (row `i`
@@ -255,30 +437,79 @@ impl VideoContext {
     /// re-checks its plan without re-scoring the held-out day.
     pub fn heldout_score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
         let heldout = self.labeled.heldout();
-        let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn.config());
+        let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn);
         let mut cache = self.score_cache.lock();
         if let Some(scores) = cache.get(&key) {
             return Ok(Arc::clone(scores));
         }
+        if let Some(scores) = self.load_stored_scores(&key) {
+            cache.insert(key, Arc::clone(&scores));
+            return Ok(scores);
+        }
         let scores = Arc::new(nn.score_batch(self.labeled.heldout_video(), &heldout.frames)?);
+        self.store_scores_behind(&key, &scores);
         cache.insert(key, Arc::clone(&scores));
         Ok(scores)
     }
 
-    /// The cached held-out score index for `nn`, if already built (never scores;
-    /// never charges the clock).
+    /// The cached held-out score index for `nn`, if already built: in memory, or
+    /// loaded (and promoted to memory) from the durable store. Never scores;
+    /// never charges the clock — this is what lets the planner resolve
+    /// Algorithm 1's rewrite decision for free on a disk-warm catalog, not just
+    /// a memory-warm one.
     pub fn cached_heldout_score_index(&self, nn: &Arc<SpecializedNN>) -> Option<Arc<ScoreMatrix>> {
         let heldout = self.labeled.heldout();
-        let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn.config());
-        self.score_cache.lock().get(&key).map(Arc::clone)
+        let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn);
+        let mut cache = self.score_cache.lock();
+        if let Some(scores) = cache.get(&key) {
+            return Some(Arc::clone(scores));
+        }
+        let scores = self.load_stored_scores(&key)?;
+        cache.insert(key, Arc::clone(&scores));
+        Some(scores)
     }
 
-    /// Whether the unseen video's score index for these heads is already built.
+    /// Whether the unseen video's score index for these heads is already built
+    /// (in memory or persisted in the index store).
     pub fn has_cached_score_index(&self, heads: &[(ObjectClass, usize)]) -> bool {
-        let mut sorted: Vec<(ObjectClass, usize)> = heads.to_vec();
-        sorted.sort_by_key(|(c, _)| c.index());
-        let config = self.context_spec_config(&sorted);
-        let key = Self::score_key(&self.video, self.video.len() as usize, &config);
-        self.score_cache.lock().contains_key(&key)
+        self.score_index_warmth(heads).is_warm()
+    }
+
+    /// The cache state of the specialized network for these heads: in memory,
+    /// persisted on disk (a free load away), or cold. File presence is checked
+    /// without decoding, so this is safe for free plan-time inspection.
+    pub fn specialized_warmth(&self, heads: &[(ObjectClass, usize)]) -> CacheWarmth {
+        let normalized = Self::normalized_heads(heads);
+        if self.nn_cache.lock().contains_key(&Self::head_key(&normalized)) {
+            return CacheWarmth::Memory;
+        }
+        match &self.store {
+            Some((store, dir)) if store.has_network(dir, &self.nn_store_key(&normalized)) => {
+                CacheWarmth::Disk
+            }
+            _ => CacheWarmth::Cold,
+        }
+    }
+
+    /// The cache state of the unseen video's score index for these heads.
+    ///
+    /// Score keys pin the exact network weights, so this needs the network: the
+    /// memory cache is probed first, then the durable store (a disk-warm
+    /// network is loaded — free of simulated cost — and promoted to memory, so
+    /// a later `EXPLAIN` may truthfully report it as `warm`). Without a network
+    /// anywhere there can be no score index either: `Cold`.
+    pub fn score_index_warmth(&self, heads: &[(ObjectClass, usize)]) -> CacheWarmth {
+        let normalized = Self::normalized_heads(heads);
+        let Some(nn) = self.lookup_specialized(&normalized) else {
+            return CacheWarmth::Cold;
+        };
+        let key = Self::score_key(&self.video, self.video.len() as usize, &nn);
+        if self.score_cache.lock().contains_key(&key) {
+            return CacheWarmth::Memory;
+        }
+        match &self.store {
+            Some((store, dir)) if store.has_scores(dir, &key) => CacheWarmth::Disk,
+            _ => CacheWarmth::Cold,
+        }
     }
 }

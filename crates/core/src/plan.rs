@@ -17,7 +17,7 @@
 
 use crate::aggregate::{SamplingOptions, MIN_TRAINING_EXAMPLES};
 use crate::baselines::requirement_pairs;
-use crate::context::VideoContext;
+use crate::context::{CacheWarmth, VideoContext};
 use crate::scrub::{ScrubOptions, MIN_SCRUB_EXAMPLES};
 use crate::select::{SelectionOptions, MIN_LABEL_FILTER_EXAMPLES};
 use crate::{BlazeItError, Result};
@@ -82,10 +82,14 @@ pub struct QueryPlan {
     /// Hard cap on detector invocations (set via
     /// [`PreparedQuery::with_budget`](crate::session::PreparedQuery::with_budget)).
     pub detection_budget: Option<u64>,
-    /// Whether the specialized network for `heads` is already trained and cached.
-    pub specialized_cached: bool,
-    /// Whether the unseen video's score index for `heads` is already built.
-    pub score_index_cached: bool,
+    /// How warm the trained-network cache is for `heads`: in memory, persisted
+    /// in the catalog's index store (a free disk load away), or cold (training
+    /// will be charged).
+    pub specialized_cache: CacheWarmth,
+    /// How warm the unseen video's score-index cache is for `heads` (same three
+    /// states; disk-warm and memory-warm both execute with zero specialized
+    /// inference charged).
+    pub score_index_cache: CacheWarmth,
 }
 
 /// Plans an analyzed query against a video context.
@@ -102,8 +106,8 @@ pub fn plan_query(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<QueryPlan>
         scrub: None,
         selection: SelectionOptions::all(),
         detection_budget: None,
-        specialized_cached: false,
-        score_index_cached: false,
+        specialized_cache: CacheWarmth::Cold,
+        score_index_cache: CacheWarmth::Cold,
     };
 
     match &info.class {
@@ -129,8 +133,8 @@ pub fn plan_query(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<QueryPlan>
                     ctx.labeled().has_training_examples(&[(class, 1)], MIN_TRAINING_EXAMPLES);
                 if enough_data {
                     let heads = vec![(class, ctx.default_max_count(class, 1))];
-                    plan.specialized_cached = ctx.has_cached_specialized(&heads);
-                    plan.score_index_cached = ctx.has_cached_score_index(&heads);
+                    plan.specialized_cache = ctx.specialized_warmth(&heads);
+                    plan.score_index_cache = ctx.score_index_warmth(&heads);
                     let decision = resolve_rewrite_decision(ctx, &heads, class, error, confidence);
                     plan.heads = heads;
                     plan.strategy = PlanStrategy::SpecializedAggregate { decision };
@@ -154,8 +158,8 @@ pub fn plan_query(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<QueryPlan>
                     .iter()
                     .map(|&(class, min_count)| (class, ctx.default_max_count(class, min_count)))
                     .collect();
-                plan.specialized_cached = ctx.has_cached_specialized(&heads);
-                plan.score_index_cached = ctx.has_cached_score_index(&heads);
+                plan.specialized_cache = ctx.specialized_warmth(&heads);
+                plan.score_index_cache = ctx.score_index_warmth(&heads);
                 plan.heads = heads;
                 plan.strategy = PlanStrategy::ScrubRanked;
             } else {
@@ -171,8 +175,8 @@ pub fn plan_query(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<QueryPlan>
             if let Some(class) = info.single_class() {
                 if ctx.labeled().has_training_examples(&[(class, 1)], MIN_LABEL_FILTER_EXAMPLES) {
                     let heads = vec![(class, ctx.default_max_count(class, 1))];
-                    plan.specialized_cached = ctx.has_cached_specialized(&heads);
-                    plan.score_index_cached = ctx.has_cached_score_index(&heads);
+                    plan.specialized_cache = ctx.specialized_warmth(&heads);
+                    plan.score_index_cache = ctx.score_index_warmth(&heads);
                     plan.heads = heads;
                 }
             }
@@ -296,12 +300,11 @@ impl fmt::Display for QueryPlan {
             Some(budget) => writeln!(f, "  budget:   at most {budget} detector calls")?,
             None => writeln!(f, "  budget:   unlimited detector calls")?,
         }
-        let warmth = |b: bool| if b { "warm" } else { "cold" };
         write!(
             f,
             "  caches:   specialized={} score-index={}",
-            warmth(self.specialized_cached),
-            warmth(self.score_index_cached)
+            self.specialized_cache.label(),
+            self.score_index_cache.label()
         )
     }
 }

@@ -32,7 +32,7 @@ use blazeit_frameql::expr::evaluate_row;
 use blazeit_frameql::query::{ContentPredicate, MaskAccessor, QueryPlanInfo};
 use blazeit_frameql::{FrameQlRow, Query};
 use blazeit_nn::ScoreMatrix;
-use blazeit_videostore::{BoundingBox, FrameIndex};
+use blazeit_videostore::{BoundingBox, Frame, FrameIndex};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -409,7 +409,22 @@ fn calibrate_label_filter(
     Ok(Some((scores, head, threshold)))
 }
 
+/// How many filter-surviving frames the selection scan hands to
+/// [`SimulatedDetector::detect_batch_in_region`](blazeit_detect::SimulatedDetector::detect_batch_in_region)
+/// at a time (the same pipelined prefetch idea as the scrub verification loop).
+const DETECT_PREFETCH: usize = 16;
+
 /// Runs the selection scan with a resolved filter plan.
+///
+/// Detection runs through a pipelined prefetch window: the cheap filters
+/// (content, label) are evaluated frame by frame exactly as before — they decide
+/// for free which frames reach the detector and can short-circuit per frame —
+/// and the surviving frames are detected in batches of [`DETECT_PREFETCH`]
+/// through one region-aware `detect_batch` call each. Filter outcomes never
+/// depend on detection outcomes, so the returned rows, every per-stage count,
+/// and every charged cost total are identical to the frame-by-frame loop; only
+/// the per-call bookkeeping is amortized. Entity resolution (the tracker) still
+/// sees frames strictly in scan order.
 pub fn run_selection(
     ctx: &VideoContext,
     query: &Query,
@@ -427,6 +442,60 @@ pub fn run_selection(
     let mut frames_considered = 0u64;
     let mut frames_after_content = 0u64;
     let mut frames_after_label = 0u64;
+
+    // Frames that passed every filter and await batched detection, carrying
+    // the content filter's decoded buffer (already charged) when there is one,
+    // so row evaluation reuses it exactly as the serial loop did.
+    let mut window: Vec<(FrameIndex, Option<Frame>)> = Vec::with_capacity(DETECT_PREFETCH);
+
+    let flush = |window: &mut Vec<(FrameIndex, Option<Frame>)>,
+                 builder: &mut RelationBuilder<'_>,
+                 rows: &mut Vec<FrameQlRow>,
+                 track_appearances: &mut HashMap<u64, u64>,
+                 detection_calls: &mut u64|
+     -> Result<()> {
+        if window.is_empty() {
+            return Ok(());
+        }
+        let frames: Vec<FrameIndex> = window.iter().map(|&(f, _)| f).collect();
+        let batch = ctx.detector().detect_batch_in_region(video, &frames, plan.region.as_ref());
+        *detection_calls += frames.len() as u64;
+        for ((frame, decoded), detections) in window.drain(..).zip(&batch) {
+            let frame_rows = builder.rows_for_detections(video, frame, detections);
+
+            // Row-level predicate evaluation, including content UDFs over the
+            // actual masks; reuse the content filter's decode when it happened.
+            let pixels = match decoded {
+                Some(p) => p,
+                None => {
+                    let p = video.frame(frame)?;
+                    ctx.clock().charge(CostCategory::Decode, ctx.config().cost.decode_cost());
+                    p
+                }
+            };
+            for row in frame_rows {
+                let keep = match &query.where_clause {
+                    Some(predicate) => {
+                        ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
+                        evaluate_row(predicate, &row, Some(&pixels), ctx.udfs())?.truthy()
+                    }
+                    None => true,
+                };
+                if !keep {
+                    continue;
+                }
+                // Respect class requirements even when they came from HAVING clauses.
+                if !info.requirements.is_empty()
+                    && !info.requirements.iter().any(|r| r.class == row.class)
+                {
+                    continue;
+                }
+                *track_appearances.entry(row.trackid).or_insert(0) += 1;
+                rows.push(row);
+            }
+        }
+        Ok(())
+    };
 
     let mut frame: FrameIndex = 0;
     while frame < video.len() {
@@ -450,11 +519,11 @@ pub fn run_selection(
                     break;
                 }
             }
-            decoded = Some(pixels);
             if !passes {
                 frame += plan.stride;
                 continue;
             }
+            decoded = Some(pixels);
         }
         frames_after_content += 1;
 
@@ -469,42 +538,20 @@ pub fn run_selection(
         }
         frames_after_label += 1;
 
-        // Object detection (restricted to the region of interest when present).
-        let frame_rows = builder.rows_for_frame(video, frame, plan.region.as_ref());
-        detection_calls += 1;
-
-        // Row-level predicate evaluation, including content UDFs over the actual masks.
-        let pixels = match decoded {
-            Some(p) => p,
-            None => {
-                let p = video.frame(frame)?;
-                ctx.clock().charge(CostCategory::Decode, ctx.config().cost.decode_cost());
-                p
-            }
-        };
-        for row in frame_rows {
-            let keep = match &query.where_clause {
-                Some(predicate) => {
-                    ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
-                    evaluate_row(predicate, &row, Some(&pixels), ctx.udfs())?.truthy()
-                }
-                None => true,
-            };
-            if !keep {
-                continue;
-            }
-            // Respect class requirements even when they came from HAVING clauses.
-            if !info.requirements.is_empty()
-                && !info.requirements.iter().any(|r| r.class == row.class)
-            {
-                continue;
-            }
-            *track_appearances.entry(row.trackid).or_insert(0) += 1;
-            rows.push(row);
+        window.push((frame, decoded));
+        if window.len() >= DETECT_PREFETCH {
+            flush(
+                &mut window,
+                &mut builder,
+                &mut rows,
+                &mut track_appearances,
+                &mut detection_calls,
+            )?;
         }
 
         frame += plan.stride;
     }
+    flush(&mut window, &mut builder, &mut rows, &mut track_appearances, &mut detection_calls)?;
 
     // Track-duration (noise-reduction) constraint: keep only tracks seen often enough.
     if plan.min_track_appearances > 1 {
@@ -648,6 +695,155 @@ mod tests {
             other => panic!("unexpected output {other:?}"),
         }
         assert!(result.runtime_secs() > 0.0);
+    }
+
+    /// The frame-by-frame scan the prefetch window must be indistinguishable from
+    /// (the pre-batching implementation, kept verbatim as the reference).
+    fn run_selection_serial_reference(
+        ctx: &VideoContext,
+        query: &Query,
+        info: &QueryPlanInfo,
+        plan: &FilterPlan,
+    ) -> Result<SelectionOutcome> {
+        let video = ctx.video();
+        let (width, height) = video.resolution();
+        let full = BoundingBox::new(0.0, 0.0, width, height);
+        let mut builder =
+            RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, plan.stride);
+
+        let mut rows: Vec<FrameQlRow> = Vec::new();
+        let mut track_appearances: HashMap<u64, u64> = HashMap::new();
+        let mut detection_calls = 0u64;
+        let mut frames_considered = 0u64;
+        let mut frames_after_content = 0u64;
+        let mut frames_after_label = 0u64;
+
+        let mut frame: FrameIndex = 0;
+        while frame < video.len() {
+            frames_considered += 1;
+            let mut decoded = None;
+            if !plan.content_filters.is_empty() {
+                let pixels = video.frame(frame)?;
+                ctx.clock().charge(CostCategory::Decode, ctx.config().cost.decode_cost());
+                let mut passes = true;
+                for filter in &plan.content_filters {
+                    ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
+                    let value = ctx
+                        .udfs()
+                        .call(&filter.udf, &pixels, &full)?
+                        .as_number()
+                        .unwrap_or(f64::NEG_INFINITY);
+                    if value < filter.frame_threshold {
+                        passes = false;
+                        break;
+                    }
+                }
+                decoded = Some(pixels);
+                if !passes {
+                    frame += plan.stride;
+                    continue;
+                }
+            }
+            frames_after_content += 1;
+
+            if let Some((scores, head, threshold)) = &plan.label_filter {
+                let p = scores.tail_probability(frame as usize, *head, 1);
+                if p < *threshold {
+                    frame += plan.stride;
+                    continue;
+                }
+            }
+            frames_after_label += 1;
+
+            let frame_rows = builder.rows_for_frame(video, frame, plan.region.as_ref());
+            detection_calls += 1;
+
+            let pixels = match decoded {
+                Some(p) => p,
+                None => {
+                    let p = video.frame(frame)?;
+                    ctx.clock().charge(CostCategory::Decode, ctx.config().cost.decode_cost());
+                    p
+                }
+            };
+            for row in frame_rows {
+                let keep = match &query.where_clause {
+                    Some(predicate) => {
+                        ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
+                        evaluate_row(predicate, &row, Some(&pixels), ctx.udfs())?.truthy()
+                    }
+                    None => true,
+                };
+                if !keep {
+                    continue;
+                }
+                if !info.requirements.is_empty()
+                    && !info.requirements.iter().any(|r| r.class == row.class)
+                {
+                    continue;
+                }
+                *track_appearances.entry(row.trackid).or_insert(0) += 1;
+                rows.push(row);
+            }
+            frame += plan.stride;
+        }
+
+        if plan.min_track_appearances > 1 {
+            let qualifying: std::collections::HashSet<u64> = track_appearances
+                .iter()
+                .filter(|(_, &count)| count >= plan.min_track_appearances)
+                .map(|(&id, _)| id)
+                .collect();
+            rows.retain(|r| qualifying.contains(&r.trackid));
+        }
+
+        Ok(SelectionOutcome {
+            rows,
+            detection_calls,
+            frames_considered,
+            frames_after_content,
+            frames_after_label,
+        })
+    }
+
+    #[test]
+    fn batched_selection_scan_matches_serial_loop_exactly() {
+        // Two identical engines (deterministic substrate): one scans through the
+        // pipelined detect_batch prefetch window, the other through the
+        // frame-by-frame reference. Returned rows, per-stage counts, and every
+        // charged cost category must agree — with all filters on (sparse,
+        // ragged windows) and all filters off (every window full).
+        let batched_engine = engine();
+        let serial_engine = engine();
+        for options in [SelectionOptions::all(), SelectionOptions::none()] {
+            let (q_b, info_b) = red_bus_info(&batched_engine);
+            let plan_b = plan_filters(&batched_engine, &info_b, &options).unwrap();
+            let (q_s, info_s) = red_bus_info(&serial_engine);
+            let plan_s = plan_filters(&serial_engine, &info_s, &options).unwrap();
+
+            let before_b = batched_engine.clock().breakdown();
+            let batched = run_selection(&batched_engine, &q_b, &info_b, &plan_b).unwrap();
+            let charged_b = batched_engine.clock().breakdown().since(&before_b);
+
+            let before_s = serial_engine.clock().breakdown();
+            let serial =
+                run_selection_serial_reference(&serial_engine, &q_s, &info_s, &plan_s).unwrap();
+            let charged_s = serial_engine.clock().breakdown().since(&before_s);
+
+            assert_eq!(batched.rows, serial.rows);
+            assert_eq!(batched.detection_calls, serial.detection_calls);
+            assert_eq!(batched.frames_considered, serial.frames_considered);
+            assert_eq!(batched.frames_after_content, serial.frames_after_content);
+            assert_eq!(batched.frames_after_label, serial.frames_after_label);
+            assert!(
+                (charged_b.detection - charged_s.detection).abs() < 1e-9,
+                "detection seconds diverged: {} vs {}",
+                charged_b.detection,
+                charged_s.detection
+            );
+            assert!((charged_b.decode - charged_s.decode).abs() < 1e-9);
+            assert!((charged_b.filter - charged_s.filter).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! The durable on-disk index store: score matrices and trained specialized
+//! networks that survive the [`Catalog`](crate::catalog::Catalog).
+//!
+//! The paper's "BlazeIt (indexed)" scenario assumes the specialized-NN score index
+//! already exists when a query arrives — which only makes sense if indexes outlive
+//! the process that built them (Focus builds its whole low-latency story on an
+//! ingest-time index consulted at query time; NoScope's amortization argument
+//! needs the cascade's work to be reusable). An [`IndexStore`] makes the catalog's
+//! per-video caches durable: [`Catalog::with_index_store`](crate::catalog::Catalog::with_index_store)
+//! wires every registered [`VideoContext`](crate::context::VideoContext) into a
+//! read-through / write-behind hierarchy — memory cache → disk store → train/score
+//! — so a fresh catalog over a populated store answers repeat queries with **zero**
+//! specialized inference or training charged to the simulated clock.
+//!
+//! ## Directory layout
+//!
+//! One directory per registered video (its normalized name), two artifact classes
+//! inside, filenames derived from the FNV-1a hash of fully-identifying keys (the
+//! full key string is stored — and verified — inside each file, so a hash
+//! collision or renamed file is rejected, never silently served):
+//!
+//! ```text
+//! <root>/
+//!   <video-name>/
+//!     nn/<fnv1a(key)>.bzn       trained networks; key = training-data identity
+//!                               (training video, labeled-set size, detector) +
+//!                               the full specialized configuration
+//!     scores/<fnv1a(key)>.bzs   score matrices; key = scored-video identity +
+//!                               configuration + a fingerprint of the network
+//!                               weights that produced them
+//! ```
+//!
+//! Because the keys pin everything an artifact depends on, catalogs opened over
+//! one store path with *different* `BlazeItConfig`s plan cold and recompute
+//! instead of serving each other's artifacts.
+//!
+//! Files use the versioned, checksummed envelope of [`blazeit_nn::persist`];
+//! truncated, corrupted, or version-bumped files fail to load with a typed
+//! [`StoreError`] (never a panic), and the context's read-through path falls back
+//! to recomputing — then overwrites the bad file with a fresh artifact.
+
+use crate::BlazeItError;
+use blazeit_detect::SimClock;
+use blazeit_nn::persist::{self, PersistError};
+use blazeit_nn::specialized::SpecializedNN;
+use blazeit_nn::ScoreMatrix;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A typed index-store failure: I/O around an artifact file, or the artifact
+/// itself failing to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The store directory or an artifact file could not be read or written.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// An artifact file exists but is invalid: truncated, corrupted,
+    /// version-mismatched, or stored under a different identity key.
+    Invalid {
+        /// The artifact file.
+        path: PathBuf,
+        /// The typed decoding failure.
+        source: PersistError,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "index store I/O error at {}: {message}", path.display())
+            }
+            StoreError::Invalid { path, source } => {
+                write!(f, "invalid index artifact {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<StoreError> for BlazeItError {
+    fn from(e: StoreError) -> Self {
+        BlazeItError::Store(e)
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io { path: path.to_path_buf(), message: e.to_string() }
+}
+
+/// Convenience result alias for store operations.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+/// A durable store of score indexes and trained specialized networks, shared by
+/// every video of a catalog.
+#[derive(Debug)]
+pub struct IndexStore {
+    root: PathBuf,
+}
+
+impl IndexStore {
+    /// Opens (creating if necessary) an index store rooted at `path`.
+    pub fn open(path: impl AsRef<Path>) -> StoreResult<IndexStore> {
+        let root = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        Ok(IndexStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// This video's directory inside the store: the (normalized) name when it is
+    /// already a safe single path component, otherwise a sanitized form with a
+    /// disambiguating hash. Video names are caller-controlled strings, so they
+    /// must never be able to traverse outside the store root (`"../shared"`) or
+    /// nest into another video's namespace (`"a/b"`).
+    fn video_dir(&self, video: &str) -> PathBuf {
+        let cleaned: String = video
+            .chars()
+            .map(
+                |c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' },
+            )
+            .collect();
+        // A changed, empty, or dot-leading name (".", "..", hidden files) gets
+        // the raw name's hash appended so distinct raw names stay distinct.
+        let dir = if cleaned != video || cleaned.is_empty() || cleaned.starts_with('.') {
+            format!(
+                "{}-{:08x}",
+                cleaned.trim_start_matches('.'),
+                persist::fnv1a(video.as_bytes()) as u32
+            )
+        } else {
+            cleaned
+        };
+        self.root.join(dir)
+    }
+
+    /// The artifact path for a trained network stored under `key` for `video`.
+    /// Exposed so tests and tooling can inspect (or corrupt) specific files.
+    pub fn network_path(&self, video: &str, key: &str) -> PathBuf {
+        self.video_dir(video)
+            .join("nn")
+            .join(format!("{:016x}.bzn", persist::fnv1a(key.as_bytes())))
+    }
+
+    /// The artifact path for a score matrix stored under `key` for `video`.
+    pub fn scores_path(&self, video: &str, key: &str) -> PathBuf {
+        self.video_dir(video)
+            .join("scores")
+            .join(format!("{:016x}.bzs", persist::fnv1a(key.as_bytes())))
+    }
+
+    /// Whether a trained network is stored under `key` for `video` (a cheap file
+    /// presence check: used by plan warmth, so it must not decode anything).
+    pub fn has_network(&self, video: &str, key: &str) -> bool {
+        self.network_path(video, key).is_file()
+    }
+
+    /// Whether a score matrix is stored under `key` for `video`.
+    pub fn has_scores(&self, video: &str, key: &str) -> bool {
+        self.scores_path(video, key).is_file()
+    }
+
+    /// Loads the trained network stored under `key` for `video`, binding it to
+    /// `clock`; `Ok(None)` when no artifact exists, a typed [`StoreError`] when
+    /// one exists but cannot be decoded. Charges nothing to the simulated clock.
+    pub fn load_network(
+        &self,
+        video: &str,
+        key: &str,
+        clock: &Arc<SimClock>,
+    ) -> StoreResult<Option<SpecializedNN>> {
+        let path = self.network_path(video, key);
+        let Some(bytes) = read_if_exists(&path)? else { return Ok(None) };
+        persist::decode_specialized_nn(&bytes, key, Arc::clone(clock))
+            .map(Some)
+            .map_err(|source| StoreError::Invalid { path, source })
+    }
+
+    /// Loads the score matrix stored under `key` for `video` (`Ok(None)` when
+    /// absent, typed error when invalid). The result is bit-identical to the
+    /// matrix that was stored. Charges nothing to the simulated clock.
+    pub fn load_scores(&self, video: &str, key: &str) -> StoreResult<Option<ScoreMatrix>> {
+        let path = self.scores_path(video, key);
+        let Some(bytes) = read_if_exists(&path)? else { return Ok(None) };
+        persist::decode_score_matrix(&bytes, key)
+            .map(Some)
+            .map_err(|source| StoreError::Invalid { path, source })
+    }
+
+    /// Stores (or replaces) a trained network under `key` for `video`.
+    pub fn store_network(&self, video: &str, key: &str, nn: &SpecializedNN) -> StoreResult<()> {
+        write_atomically(&self.network_path(video, key), &persist::encode_specialized_nn(nn, key))
+    }
+
+    /// Stores (or replaces) a score matrix under `key` for `video`.
+    pub fn store_scores(&self, video: &str, key: &str, scores: &ScoreMatrix) -> StoreResult<()> {
+        write_atomically(&self.scores_path(video, key), &persist::encode_score_matrix(scores, key))
+    }
+}
+
+fn read_if_exists(path: &Path) -> StoreResult<Option<Vec<u8>>> {
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(io_err(path, e)),
+    }
+}
+
+/// Writes via a uniquely-named temp file + rename so a crash mid-write leaves
+/// either the old artifact or none — never a torn file that would read as
+/// corrupt forever. The temp name carries the process id and a per-process
+/// counter, so concurrent writers of the same artifact (two catalogs sharing
+/// one store path) cannot interleave on one temp file; last rename wins with a
+/// complete file either way.
+fn write_atomically(path: &Path, bytes: &[u8]) -> StoreResult<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    let dir = path.parent().ok_or_else(|| StoreError::Io {
+        path: path.to_path_buf(),
+        message: "artifact path has no parent directory".into(),
+    })?;
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}

@@ -194,6 +194,33 @@ impl SimulatedDetector {
         self.detect_uncharged(video, frame, region)
     }
 
+    /// Runs detection on a batch of frames restricted to an optional region of
+    /// interest — the region-aware sibling of [`ObjectDetector::detect_batch`].
+    ///
+    /// Results and total simulated cost are identical to calling
+    /// [`SimulatedDetector::detect_in_region`] per frame: the clock is charged
+    /// once for the whole batch (same region cost fraction), then each frame's
+    /// detections are generated deterministically. This is what lets the
+    /// selection executor's filtered scan pipeline its detector calls through a
+    /// prefetch window without changing what any query pays.
+    pub fn detect_batch_in_region(
+        &self,
+        video: &Video,
+        frames: &[FrameIndex],
+        region: Option<&BoundingBox>,
+    ) -> Vec<Vec<Detection>> {
+        let (width, height) = video.resolution();
+        let frac = detection_cost_fraction(width, height, region);
+        self.clock.charge(
+            CostCategory::Detection,
+            frames.len() as f64
+                * self.method.cost_per_frame_secs()
+                * self.resolution_cost_scale(video)
+                * frac,
+        );
+        frames.iter().map(|&frame| self.detect_uncharged(video, frame, region)).collect()
+    }
+
     /// Generates one frame's detections without touching the clock (the caller
     /// has already charged for it, possibly as part of a batch).
     fn detect_uncharged(
@@ -240,13 +267,7 @@ impl ObjectDetector for SimulatedDetector {
     fn detect_batch(&self, video: &Video, frames: &[FrameIndex]) -> Vec<Vec<Detection>> {
         // One clock charge for the whole batch (identical total to per-frame
         // charging) and one resolution/cost lookup, then per-frame generation.
-        self.clock.charge(
-            CostCategory::Detection,
-            frames.len() as f64
-                * self.method.cost_per_frame_secs()
-                * self.resolution_cost_scale(video),
-        );
-        frames.iter().map(|&frame| self.detect_uncharged(video, frame, None)).collect()
+        self.detect_batch_in_region(video, frames, None)
     }
 
     fn cost_per_frame(&self, video: &Video) -> f64 {

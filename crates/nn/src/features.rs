@@ -279,6 +279,26 @@ impl Standardizer {
         Standardizer { means: means.into_iter().map(|m| m as f32).collect(), inv_stds }
     }
 
+    /// Reassembles a standardizer from its statistics (the persistence path).
+    pub fn from_parts(means: Vec<f32>, inv_stds: Vec<f32>) -> crate::Result<Standardizer> {
+        if means.len() != inv_stds.len() {
+            return Err(crate::NnError::ShapeMismatch {
+                context: format!("{} means vs {} inverse stds", means.len(), inv_stds.len()),
+            });
+        }
+        Ok(Standardizer { means, inv_stds })
+    }
+
+    /// The per-dimension means subtracted before scaling.
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// The per-dimension inverse standard deviations (0 for constant features).
+    pub fn inv_stds(&self) -> &[f32] {
+        &self.inv_stds
+    }
+
     /// The feature dimensionality this standardizer was fit on.
     pub fn dim(&self) -> usize {
         self.means.len()

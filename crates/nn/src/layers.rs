@@ -41,6 +41,23 @@ impl Dense {
         }
     }
 
+    /// Reassembles a layer from its parameters (the persistence path). The shapes
+    /// must agree: `bias` is a `1 x output_dim` row matching `weights`' columns.
+    pub fn from_parts(weights: Matrix, bias: Matrix, relu: bool) -> Result<Dense> {
+        if bias.rows() != 1 || bias.cols() != weights.cols() {
+            return Err(crate::NnError::ShapeMismatch {
+                context: format!(
+                    "dense bias {}x{} does not match weights {}x{}",
+                    bias.rows(),
+                    bias.cols(),
+                    weights.rows(),
+                    weights.cols()
+                ),
+            });
+        }
+        Ok(Dense { weights, bias, relu, cached_input: None, cached_pre_activation: None })
+    }
+
     /// Input dimensionality.
     pub fn input_dim(&self) -> usize {
         self.weights.rows()

@@ -23,6 +23,9 @@
 //!   per-video score index.
 //! * [`parallel`] — scoped-thread chunk parallelism for batched featurization
 //!   (rayon is unavailable in this build environment).
+//! * [`persist`] — the versioned, checksummed binary format for durable index
+//!   artifacts: score matrices and trained specialized networks, decoded
+//!   bit-identically and rejected (typed errors, no panics) when corrupt.
 //! * [`specialized`] — the [`SpecializedNN`](specialized::SpecializedNN) abstraction:
 //!   count / multi-class / binary heads, batched scoring
 //!   ([`score_batch`](specialized::SpecializedNN::score_batch) /
@@ -44,6 +47,7 @@ pub mod loss;
 pub mod network;
 pub mod optimizer;
 pub mod parallel;
+pub mod persist;
 pub mod score;
 pub mod specialized;
 pub mod tensor;
@@ -51,6 +55,7 @@ pub mod train;
 
 pub use features::{FeatureConfig, FrameFeaturizer};
 pub use network::{ForwardScratch, Network, NetworkConfig};
+pub use persist::PersistError;
 pub use score::ScoreMatrix;
 pub use specialized::{SpecializedConfig, SpecializedHead, SpecializedNN, TrainingReport};
 pub use tensor::Matrix;

@@ -83,9 +83,52 @@ impl Network {
         Ok(Network { config, layers, optimizer_state: Vec::new() })
     }
 
+    /// Reassembles a network from a configuration and its layers (the persistence
+    /// path). Layer shapes must match the architecture `config` describes.
+    pub fn from_parts(config: NetworkConfig, layers: Vec<Dense>) -> Result<Network> {
+        config.validate()?;
+        let mut dims = vec![config.input_dim];
+        dims.extend(&config.hidden);
+        dims.push(config.output_dim());
+        if layers.len() != dims.len() - 1 {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "{} layers for an architecture of {}",
+                    layers.len(),
+                    dims.len() - 1
+                ),
+            });
+        }
+        for (i, layer) in layers.iter().enumerate() {
+            let is_last = i == dims.len() - 2;
+            if layer.input_dim() != dims[i] || layer.output_dim() != dims[i + 1] {
+                return Err(NnError::ShapeMismatch {
+                    context: format!(
+                        "layer {i} is {}x{}, architecture wants {}x{}",
+                        layer.input_dim(),
+                        layer.output_dim(),
+                        dims[i],
+                        dims[i + 1]
+                    ),
+                });
+            }
+            if layer.relu == is_last {
+                return Err(NnError::ShapeMismatch {
+                    context: format!("layer {i} has relu={}, architecture disagrees", layer.relu),
+                });
+            }
+        }
+        Ok(Network { config, layers, optimizer_state: Vec::new() })
+    }
+
     /// The network's configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
+    }
+
+    /// The layers, input to output (read-only; the persistence path serializes them).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
     }
 
     /// Total number of trainable parameters.

@@ -39,6 +39,36 @@ impl ScoreMatrix {
         ScoreMatrix { frames, heads, offsets, stride, probs: vec![0.0; frames * stride] }
     }
 
+    /// Reassembles a score matrix from its frame count, head sizes, and flat
+    /// probability buffer (the persistence path); `probs` must hold exactly
+    /// `frames * stride` values.
+    pub fn from_raw(
+        frames: usize,
+        heads: Vec<usize>,
+        probs: Vec<f32>,
+    ) -> crate::Result<ScoreMatrix> {
+        // Validate (with overflow-safe arithmetic) BEFORE building the matrix:
+        // this is the persistence decode path, where a corrupt artifact could
+        // otherwise declare dimensions whose zero-fill allocates terabytes.
+        let mut offsets = Vec::with_capacity(heads.len());
+        let mut stride = 0usize;
+        for &size in &heads {
+            offsets.push(stride);
+            stride = stride.checked_add(size).ok_or_else(|| crate::NnError::ShapeMismatch {
+                context: "head sizes overflow the row stride".into(),
+            })?;
+        }
+        if frames.checked_mul(stride) != Some(probs.len()) {
+            return Err(crate::NnError::ShapeMismatch {
+                context: format!(
+                    "score buffer of {} values for {frames} frames x stride {stride}",
+                    probs.len(),
+                ),
+            });
+        }
+        Ok(ScoreMatrix { frames, heads, offsets, stride, probs })
+    }
+
     /// Number of scored frames.
     pub fn num_frames(&self) -> usize {
         self.frames

@@ -119,7 +119,7 @@ impl SpecializedConfig {
         }
     }
 
-    fn network_config(&self) -> NetworkConfig {
+    pub(crate) fn network_config(&self) -> NetworkConfig {
         NetworkConfig {
             input_dim: self.features.dim(),
             hidden: self.hidden.clone(),
@@ -177,6 +177,9 @@ pub struct SpecializedNN {
     standardizer: Standardizer,
     network: Network,
     clock: Arc<SimClock>,
+    /// Content fingerprint of (config, standardizer, weights), computed once at
+    /// construction — see [`SpecializedNN::weights_fingerprint`].
+    fingerprint: u64,
 }
 
 impl SpecializedNN {
@@ -244,7 +247,9 @@ impl SpecializedNN {
         let x_matrix = crate::tensor::Matrix::from_rows(&xs)?;
         let train_accuracy = network.accuracy(&x_matrix, &ys)?;
 
-        let nn = SpecializedNN { config, featurizer, standardizer, network, clock };
+        let mut nn =
+            SpecializedNN { config, featurizer, standardizer, network, clock, fingerprint: 0 };
+        nn.fingerprint = crate::persist::specialized_nn_fingerprint(&nn);
         let report = TrainingReport {
             num_examples: frames.len(),
             training_cost_secs: training_cost,
@@ -252,6 +257,61 @@ impl SpecializedNN {
             train_accuracy,
         };
         Ok((nn, report))
+    }
+
+    /// Reassembles a trained network from its parts, binding it to `clock` (the
+    /// persistence path: weights and statistics come off disk, the clock is the
+    /// deserializing catalog's). The standardizer and network must match the
+    /// architecture `config` describes.
+    pub fn from_parts(
+        config: SpecializedConfig,
+        standardizer: Standardizer,
+        network: Network,
+        clock: Arc<SimClock>,
+    ) -> Result<SpecializedNN> {
+        if config.heads.is_empty() {
+            return Err(NnError::InvalidConfig("at least one head required".into()));
+        }
+        if standardizer.dim() != config.features.dim() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "standardizer dim {} vs feature dim {}",
+                    standardizer.dim(),
+                    config.features.dim()
+                ),
+            });
+        }
+        if *network.config() != config.network_config() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "network config {:?} does not match specialized config's architecture {:?}",
+                    network.config(),
+                    config.network_config()
+                ),
+            });
+        }
+        let featurizer = FrameFeaturizer::new(config.features);
+        let mut nn =
+            SpecializedNN { config, featurizer, standardizer, network, clock, fingerprint: 0 };
+        nn.fingerprint = crate::persist::specialized_nn_fingerprint(&nn);
+        Ok(nn)
+    }
+
+    /// A stable content fingerprint of this network — the FNV-1a hash of its
+    /// full serialized form (configuration, standardizer statistics, every
+    /// layer's weights), computed once at construction. Two networks share a
+    /// fingerprint iff they are bit-identical, which is what lets score-index
+    /// cache keys pin *which weights* produced the scores.
+    pub fn weights_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    pub(crate) fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    pub(crate) fn network(&self) -> &Network {
+        &self.network
     }
 
     /// The configuration used to build this network.

@@ -56,9 +56,9 @@ pub mod prelude {
     pub use blazeit_core::scrub::ScrubOptions;
     pub use blazeit_core::select::SelectionOptions;
     pub use blazeit_core::{
-        baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, Catalog, LabeledSet,
-        PlanStrategy, PreparedQuery, QueryOutput, QueryPlan, QueryResult, RewriteDecision, Session,
-        VideoContext,
+        baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, CacheWarmth, Catalog,
+        IndexStore, LabeledSet, PlanStrategy, PreparedQuery, QueryOutput, QueryPlan, QueryResult,
+        RewriteDecision, Session, StoreError, VideoContext,
     };
     pub use blazeit_detect::{DetectionMethod, ObjectDetector, SimClock, SimulatedDetector};
     pub use blazeit_frameql::{parse_query, Query, Value};

@@ -85,7 +85,7 @@ fn explain_decision_resolves_once_caches_are_warm() {
         cold.plan().strategy,
         PlanStrategy::SpecializedAggregate { decision: RewriteDecision::AtExecution }
     );
-    assert!(!cold.plan().specialized_cached);
+    assert_eq!(cold.plan().specialized_cache, CacheWarmth::Cold);
 
     // Run the real query once (trains the NN, scores the held-out day).
     session.query(sql).unwrap();
@@ -100,7 +100,7 @@ fn explain_decision_resolves_once_caches_are_warm() {
         }
         other => panic!("unexpected strategy {other:?}"),
     }
-    assert!(warm.plan().specialized_cached);
+    assert_eq!(warm.plan().specialized_cache, CacheWarmth::Memory);
     assert!(warm.run().unwrap().output.explain_plan().is_some());
     assert_eq!(catalog.clock().total(), charged, "planning and EXPLAIN stay free");
 }
