@@ -19,7 +19,7 @@
 //! deviation of the estimator.
 
 use crate::context::VideoContext;
-use crate::plan::{PlanStrategy, QueryPlan, RewriteDecision};
+use crate::plan::{PlanStrategy, RewriteDecision, VideoPlan};
 use crate::result::{AggregateMethod, QueryOutput};
 use crate::stats::{mean_and_variance, normal_critical_value};
 use crate::{baselines, BlazeItError, Result};
@@ -69,9 +69,10 @@ pub struct SamplingOutcome {
     pub control_coefficient: f64,
 }
 
-/// Executes an aggregate query following the strategy the planner resolved into
-/// `plan` (Algorithm 1 of the paper; see [`crate::plan::plan_query`]).
-pub fn execute(ctx: &VideoContext, info: &QueryPlanInfo, plan: &QueryPlan) -> Result<QueryOutput> {
+/// Executes an aggregate query against one video, following the strategy the planner
+/// resolved into its sub-plan (Algorithm 1 of the paper; see
+/// [`crate::plan::plan_video`]).
+pub fn execute(ctx: &VideoContext, info: &QueryPlanInfo, plan: &VideoPlan) -> Result<QueryOutput> {
     let QueryClass::Aggregate { kind } = &info.class else {
         return Err(BlazeItError::Internal("aggregate::execute called on non-aggregate".into()));
     };
@@ -162,8 +163,8 @@ pub fn execute(ctx: &VideoContext, info: &QueryPlanInfo, plan: &QueryPlan) -> Re
     }
 }
 
-/// The plan's sampling options with any detector-call budget folded into the cap.
-fn budgeted_sampling(plan: &QueryPlan) -> Result<SamplingOptions> {
+/// The sub-plan's sampling options with any detector-call budget folded into the cap.
+fn budgeted_sampling(plan: &VideoPlan) -> Result<SamplingOptions> {
     let mut opts = plan.sampling.ok_or_else(|| {
         BlazeItError::Internal("sampling aggregate plan carries no sampling options".into())
     })?;

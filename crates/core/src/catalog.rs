@@ -5,7 +5,7 @@
 //! with its own labeled set, detector configuration, and per-video caches of trained
 //! specialized networks and score indexes — plus the shared [`SimClock`] every
 //! expensive operation charges. FrameQL queries are routed to the right context by
-//! their `FROM` clause through a [`Session`](crate::session::Session); a query naming
+//! their `FROM` clause through a [`Session`]; a query naming
 //! an unregistered video fails with [`BlazeItError::UnknownVideo`] listing what *is*
 //! registered.
 //!
@@ -27,6 +27,39 @@ use std::sync::Arc;
 /// (Also the per-video directory name inside an [`IndexStore`].)
 pub(crate) fn normalize(name: &str) -> String {
     name.to_ascii_lowercase().replace('_', "-")
+}
+
+/// Levenshtein edit distance between two (normalized) names, used to suggest the
+/// closest registered video when a `FROM` clause misses.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<u8> = a.bytes().collect();
+    let b: Vec<u8> = b.bytes().collect();
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = previous[j] + usize::from(ca != cb);
+            current[j + 1] = substitution.min(previous[j + 1] + 1).min(current[j] + 1);
+        }
+        std::mem::swap(&mut previous, &mut current);
+    }
+    previous[b.len()]
+}
+
+/// The registered name most plausibly meant by `requested`: minimum edit distance
+/// over normalized names, ties broken by registration order, and only offered when
+/// the distance is small relative to the name — at most a third of the longer
+/// name's length, so short names never produce coincidental "did you mean"
+/// suggestions (a 2-edit distance between two 2-character names is not a typo).
+fn nearest_name(requested: &str, available: &[String]) -> Option<String> {
+    let requested = normalize(requested);
+    let best = available
+        .iter()
+        .map(|name| (edit_distance(&requested, &normalize(name)), name))
+        .min_by_key(|&(distance, _)| distance)?;
+    let (distance, name) = best;
+    (distance * 3 <= requested.len().max(name.len())).then(|| name.clone())
 }
 
 /// A catalog of registered videos sharing one simulated clock.
@@ -128,24 +161,30 @@ impl Catalog {
     }
 
     /// Looks up a registered video's context by (normalized) name.
+    ///
+    /// A miss fails with [`BlazeItError::UnknownVideo`] listing every registered
+    /// stream, suggesting the nearest registered name (by edit distance) when the
+    /// request looks like a typo, and reminding that `FROM *` spans the catalog.
     pub fn context(&self, name: &str) -> Result<&VideoContext> {
         let key = normalize(name);
-        self.contexts.iter().find(|c| normalize(c.video().name()) == key).ok_or_else(|| {
-            BlazeItError::UnknownVideo {
-                requested: name.to_string(),
-                available: self.video_names(),
-            }
-        })
+        self.contexts
+            .iter()
+            .find(|c| normalize(c.video().name()) == key)
+            .ok_or_else(|| self.unknown_video(name))
     }
 
     /// Mutable context lookup (e.g. to register per-video UDFs).
     pub fn context_mut(&mut self, name: &str) -> Result<&mut VideoContext> {
         let key = normalize(name);
+        let err = self.unknown_video(name);
+        self.contexts.iter_mut().find(|c| normalize(c.video().name()) == key).ok_or(err)
+    }
+
+    /// The routing error for an unregistered name, with the nearest-name hint.
+    fn unknown_video(&self, name: &str) -> BlazeItError {
         let available = self.video_names();
-        self.contexts
-            .iter_mut()
-            .find(|c| normalize(c.video().name()) == key)
-            .ok_or(BlazeItError::UnknownVideo { requested: name.to_string(), available })
+        let hint = nearest_name(name, &available);
+        BlazeItError::UnknownVideo { requested: name.to_string(), available, hint }
     }
 
     /// The registered video names, in registration order.
@@ -209,12 +248,37 @@ mod tests {
         catalog.register_preset(DatasetPreset::Amsterdam, 600).unwrap();
         let err = catalog.context("rialto").unwrap_err();
         match err {
-            BlazeItError::UnknownVideo { requested, available } => {
+            BlazeItError::UnknownVideo { requested, available, hint } => {
                 assert_eq!(requested, "rialto");
                 assert_eq!(available, vec!["taipei".to_string(), "amsterdam".to_string()]);
+                // "rialto" is not a plausible typo of either registered name.
+                assert_eq!(hint, None);
             }
             other => panic!("expected UnknownVideo, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn unknown_video_error_suggests_the_nearest_name() {
+        let mut catalog = Catalog::new();
+        catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
+        catalog.register_preset(DatasetPreset::Amsterdam, 600).unwrap();
+        let err = catalog.context("amstredam").unwrap_err();
+        match &err {
+            BlazeItError::UnknownVideo { hint, .. } => {
+                assert_eq!(hint.as_deref(), Some("amsterdam"));
+            }
+            other => panic!("expected UnknownVideo, got {other:?}"),
+        }
+        // Short names never produce coincidental suggestions: every registered name
+        // is 2 edits from "zz", which is not a plausible typo of anything here.
+        match catalog.context("zz").unwrap_err() {
+            BlazeItError::UnknownVideo { hint, .. } => assert_eq!(hint, None),
+            other => panic!("expected UnknownVideo, got {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("did you mean 'amsterdam'?"), "{rendered}");
+        assert!(rendered.contains("FROM * queries every registered video"), "{rendered}");
     }
 
     #[test]

@@ -144,7 +144,7 @@ mod tests {
         let e = engine();
         let err = e.query("SELECT FCOUNT(*) FROM rialto WHERE class = 'boat' ERROR WITHIN 0.1");
         match err {
-            Err(BlazeItError::UnknownVideo { requested, available }) => {
+            Err(BlazeItError::UnknownVideo { requested, available, .. }) => {
                 assert_eq!(requested, "rialto");
                 assert_eq!(available, vec!["taipei".to_string()]);
             }

@@ -2,13 +2,13 @@
 //!
 //! The BlazeIt query optimizer and execution engine (the paper's primary contribution).
 //!
-//! The public query surface is a [`Catalog`](catalog::Catalog) of registered videos
-//! (each a [`VideoContext`](context::VideoContext) with its own labeled set and
-//! per-video caches). A [`Session`](session::Session) routes FrameQL queries by their
+//! The public query surface is a [`Catalog`] of registered videos
+//! (each a [`VideoContext`] with its own labeled set and
+//! per-video caches). A [`Session`] routes FrameQL queries by their
 //! `FROM` clause, classifies them with the rule-based optimizer, and plans them into
-//! an inspectable [`QueryPlan`](plan::QueryPlan) —
+//! an inspectable [`QueryPlan`] —
 //! [`Session::prepare`](session::Session::prepare) returns a
-//! [`PreparedQuery`](session::PreparedQuery) whose plan can be overridden before
+//! [`PreparedQuery`] whose plan can be overridden before
 //! `.run()`, and `EXPLAIN <query>` renders the plan without charging the simulated
 //! clock. Execution picks the cheapest strategy that meets the requested accuracy:
 //!
@@ -27,6 +27,11 @@
 //!   (read-through / write-behind under the per-video caches), so the
 //!   "BlazeIt (indexed)" scenario survives across catalog instances with zero
 //!   specialized-inference cost on warm loads.
+//! * **Cross-video queries** — `FROM a, b, c` and `FROM *` fan a query out over
+//!   many registered videos: per-video sub-queries run in parallel and results
+//!   merge honestly (summed estimates with composed confidence intervals, one
+//!   global scrubbing `LIMIT` with early cancellation, source-tagged selection
+//!   rows); see [`plan::MergeSemantics`].
 //!
 //! All expensive work charges the shared [`SimClock`](blazeit_detect::SimClock), so
 //! end-to-end runtimes are deterministic and comparable across plans.
@@ -57,8 +62,10 @@ pub use context::{CacheWarmth, VideoContext};
 pub use engine::BlazeIt;
 pub use labeled::LabeledSet;
 pub use metrics::RuntimeReport;
-pub use plan::{PlanStrategy, QueryPlan, RewriteDecision};
-pub use result::{AggregateMethod, QueryOutput, QueryResult};
+pub use plan::{MergeSemantics, PlanStrategy, QueryPlan, RewriteDecision, VideoPlan};
+pub use result::{
+    AggregateMethod, QueryOutput, QueryResult, SourcedFrame, SourcedRow, VideoAggregate,
+};
 pub use session::{PreparedQuery, Session};
 pub use store::{IndexStore, StoreError};
 
@@ -81,6 +88,9 @@ pub enum BlazeItError {
         requested: String,
         /// The videos the catalog has registered, in registration order.
         available: Vec<String>,
+        /// The registered name closest to the request (by edit distance over
+        /// normalized names), when one is plausibly a typo.
+        hint: Option<String>,
     },
     /// The durable index store failed (I/O, or an invalid artifact file).
     Store(store::StoreError),
@@ -96,7 +106,7 @@ impl std::fmt::Display for BlazeItError {
             BlazeItError::FrameQl(e) => write!(f, "FrameQL error: {e}"),
             BlazeItError::Video(e) => write!(f, "video error: {e}"),
             BlazeItError::Nn(e) => write!(f, "model error: {e}"),
-            BlazeItError::UnknownVideo { requested, available } => {
+            BlazeItError::UnknownVideo { requested, available, hint } => {
                 if available.is_empty() {
                     write!(f, "query references video '{requested}' but the catalog is empty")
                 } else {
@@ -104,7 +114,11 @@ impl std::fmt::Display for BlazeItError {
                         f,
                         "query references unknown video '{requested}' (registered: {})",
                         available.join(", ")
-                    )
+                    )?;
+                    if let Some(hint) = hint {
+                        write!(f, "; did you mean '{hint}'?")?;
+                    }
+                    write!(f, " — FROM * queries every registered video")
                 }
             }
             BlazeItError::Store(e) => write!(f, "index store error: {e}"),

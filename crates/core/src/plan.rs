@@ -1,18 +1,24 @@
 //! Explicit query plans: what the rule-based optimizer chose, as an inspectable value.
 //!
-//! [`plan_query`] turns an analyzed query into a [`QueryPlan`] *without charging the
-//! simulated clock*: it reads only the labeled set's statistics and the context's
-//! caches. The plan records the chosen strategy, the specialized heads that will be
-//! trained (or reused), the sampling / scrub / selection knobs, and whether the
-//! per-video caches are already warm. Callers inspect and override the plan through
-//! [`PreparedQuery`](crate::session::PreparedQuery) before running it, and
-//! `EXPLAIN <query>` renders it via the [`std::fmt::Display`] impl.
+//! A [`QueryPlan`] is the catalog-level plan for one prepared query: the query's
+//! classification, the [`MergeSemantics`] describing how per-video results combine
+//! into one answer, and one [`VideoPlan`] *sub-plan per video* the `FROM` clause
+//! spans. The common single-video query has exactly one sub-plan (reachable through
+//! [`QueryPlan::only`]); a `FROM a, b, c` or `FROM *` query fans out into one
+//! sub-plan per registered video, each with its own strategy, specialized heads, and
+//! cache warmth — which is exactly what `EXPLAIN` renders, so a mixed catalog shows
+//! per-video `cold` / `disk-warm` / `warm` states side by side.
+//!
+//! [`plan_query`] builds the plan *without charging the simulated clock*: it reads
+//! only the labeled sets' statistics and the contexts' caches. Callers inspect and
+//! override the plan through [`PreparedQuery`](crate::session::PreparedQuery) before
+//! running it, and `EXPLAIN <query>` renders it via the [`std::fmt::Display`] impl.
 //!
 //! One decision cannot always be made for free: Algorithm 1's rewrite-vs-control-
 //! variates choice needs the specialized network's held-out error, which requires
 //! training. When the network and its held-out score index are already cached the
 //! planner resolves the decision immediately (the bootstrap over cached scores is
-//! pure computation); otherwise the plan honestly reports
+//! pure computation); otherwise the sub-plan honestly reports
 //! [`RewriteDecision::AtExecution`].
 
 use crate::aggregate::{SamplingOptions, MIN_TRAINING_EXAMPLES};
@@ -40,7 +46,7 @@ pub enum RewriteDecision {
     AtExecution,
 }
 
-/// The execution strategy the optimizer chose for a query.
+/// The execution strategy the optimizer chose for one video of a query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PlanStrategy {
     /// Exact aggregate: object detection on every frame (no error tolerance given).
@@ -62,25 +68,65 @@ pub enum PlanStrategy {
     Selection,
 }
 
-/// The resolved, overridable plan for one prepared query.
+/// How the per-video sub-results of a multi-video query combine into one answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeSemantics {
+    /// The query spans one video: its sub-result *is* the answer.
+    SingleVideo,
+    /// Aggregates: per-video estimates are summed into a catalog-wide total, and
+    /// their standard errors compose as the root-sum-square (the videos' samplers
+    /// are independent), so the combined confidence interval is never wider than
+    /// the sum of the per-video intervals.
+    SumEstimates,
+    /// Scrubbing: per-video candidate rankings are interleaved by descending
+    /// confidence against one *global* `LIMIT`; once it is satisfied, no video is
+    /// charged another detector call (early cancellation).
+    GlobalLimit,
+    /// Selection: per-video rows are concatenated in `FROM`-clause order, each
+    /// tagged with its source video.
+    ConcatRows,
+}
+
+impl MergeSemantics {
+    /// The label `EXPLAIN` renders for the merge step.
+    fn label(&self) -> &'static str {
+        match self {
+            MergeSemantics::SingleVideo => "single video (no merge)",
+            MergeSemantics::SumEstimates => {
+                "sum per-video estimates (composed confidence interval)"
+            }
+            MergeSemantics::GlobalLimit => {
+                "interleave per-video rankings against one global LIMIT \
+                 (early cancellation once satisfied)"
+            }
+            MergeSemantics::ConcatRows => "concatenate rows tagged with their source video",
+        }
+    }
+}
+
+/// The resolved, overridable sub-plan for one video of a prepared query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QueryPlan {
-    /// The registered video the query routes to.
+pub struct VideoPlan {
+    /// The registered video this sub-plan executes against.
     pub video: String,
-    /// The query classification driving the strategy choice.
-    pub class: QueryClass,
     /// The chosen execution strategy.
     pub strategy: PlanStrategy,
-    /// Specialized-network heads `(class, max_count)` the plan trains or reuses.
+    /// Specialized-network heads `(class, max_count)` the sub-plan trains or reuses.
     pub heads: Vec<(ObjectClass, usize)>,
     /// Adaptive-sampling budget (aggregates with an error tolerance).
     pub sampling: Option<SamplingOptions>,
-    /// Scrubbing limit / gap.
+    /// Scrubbing limit / gap. For a fan-out plan the limit is *global*: execution
+    /// requires every sub-plan to carry identical scrub options (and rejects
+    /// divergent `plan_mut` overrides with a clear error, rather than silently
+    /// honoring one sub-plan's values).
     pub scrub: Option<ScrubOptions>,
-    /// Which inferred filters a selection plan may use.
+    /// Which inferred filters a selection sub-plan may use.
     pub selection: SelectionOptions,
     /// Hard cap on detector invocations (set via
     /// [`PreparedQuery::with_budget`](crate::session::PreparedQuery::with_budget)).
+    /// Caps this video's sampler / scan. A fan-out scrub applies it as one
+    /// *global* verification cap and therefore requires every sub-plan to carry
+    /// the same value (divergent overrides are rejected at run time).
     pub detection_budget: Option<u64>,
     /// How warm the trained-network cache is for `heads`: in memory, persisted
     /// in the catalog's index store (a free disk load away), or cold (training
@@ -92,14 +138,94 @@ pub struct QueryPlan {
     pub score_index_cache: CacheWarmth,
 }
 
-/// Plans an analyzed query against a video context.
+/// The resolved, overridable plan for one prepared query: one sub-plan per video the
+/// `FROM` clause spans, plus the semantics merging their results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPlan {
+    /// The query classification driving the strategy choice.
+    pub class: QueryClass,
+    /// How per-video sub-results combine into the final answer.
+    pub merge: MergeSemantics,
+    /// One sub-plan per video, in `FROM`-clause order (registration order for
+    /// `FROM *`). Always non-empty.
+    pub subplans: Vec<VideoPlan>,
+}
+
+impl QueryPlan {
+    /// The single sub-plan of a single-video query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fans out over more than one video — use
+    /// [`QueryPlan::subplans`] (or iterate) for multi-video plans.
+    pub fn only(&self) -> &VideoPlan {
+        assert_eq!(
+            self.subplans.len(),
+            1,
+            "QueryPlan::only on a plan spanning {} videos",
+            self.subplans.len()
+        );
+        &self.subplans[0]
+    }
+
+    /// Mutable access to the single sub-plan of a single-video query (same panic
+    /// rule as [`QueryPlan::only`]).
+    pub fn only_mut(&mut self) -> &mut VideoPlan {
+        assert_eq!(
+            self.subplans.len(),
+            1,
+            "QueryPlan::only_mut on a plan spanning {} videos",
+            self.subplans.len()
+        );
+        &mut self.subplans[0]
+    }
+
+    /// Whether the plan fans out with catalog merge semantics (`FROM *` or a
+    /// `FROM` list of two or more videos). A fan-out plan produces the `Catalog*`
+    /// output shapes even when it happens to span a single registered video.
+    pub fn is_fan_out(&self) -> bool {
+        !matches!(self.merge, MergeSemantics::SingleVideo)
+    }
+}
+
+/// Plans an analyzed query against every video context it spans, in order.
+///
+/// Each element of `targets` pairs a registered video's context with the query's
+/// analysis against that video's UDF registry. `fan_out` says whether the query's
+/// `FROM` clause is catalog-shaped (`FROM *`, or a list of two or more videos):
+/// fan-out plans keep the catalog merge semantics — and the `Catalog*` output
+/// shapes — even when the catalog happens to hold a single video, so `FROM *`
+/// always returns the same result structure regardless of registration count.
 ///
 /// Free of side effects: nothing is trained, nothing is scored, and nothing is
 /// charged to the simulated clock — this is what makes `EXPLAIN` free.
-pub fn plan_query(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<QueryPlan> {
-    let mut plan = QueryPlan {
+pub fn plan_query(targets: &[(&VideoContext, &QueryPlanInfo)], fan_out: bool) -> Result<QueryPlan> {
+    let Some((_, first_info)) = targets.first() else {
+        return Err(BlazeItError::Internal("plan_query requires at least one video".into()));
+    };
+    let class = first_info.class.clone();
+    let merge = if !fan_out && targets.len() == 1 {
+        MergeSemantics::SingleVideo
+    } else {
+        match &class {
+            QueryClass::Aggregate { .. } => MergeSemantics::SumEstimates,
+            QueryClass::Scrub => MergeSemantics::GlobalLimit,
+            QueryClass::Select | QueryClass::Exhaustive => MergeSemantics::ConcatRows,
+        }
+    };
+    let subplans = targets
+        .iter()
+        .map(|(ctx, info)| plan_video(ctx, info))
+        .collect::<Result<Vec<VideoPlan>>>()?;
+    Ok(QueryPlan { class, merge, subplans })
+}
+
+/// Plans an analyzed query against one video context (one sub-plan of the fan-out).
+///
+/// Free of side effects and simulated cost, like [`plan_query`].
+pub fn plan_video(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<VideoPlan> {
+    let mut plan = VideoPlan {
         video: ctx.video().name().to_string(),
-        class: info.class.clone(),
         strategy: PlanStrategy::ExactScan,
         heads: Vec::new(),
         sampling: None,
@@ -229,7 +355,9 @@ impl QueryPlan {
             QueryClass::Exhaustive => "exhaustive scan".to_string(),
         }
     }
+}
 
+impl VideoPlan {
     fn strategy_label(&self) -> String {
         match &self.strategy {
             PlanStrategy::ExactScan => "exact scan (detector on every frame)".to_string(),
@@ -261,12 +389,10 @@ impl QueryPlan {
             PlanStrategy::Selection => "filtered scan feeding the object detector".to_string(),
         }
     }
-}
 
-impl fmt::Display for QueryPlan {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "QUERY PLAN for '{}'", self.video)?;
-        writeln!(f, "  class:    {}", self.class_label())?;
+    /// Renders the per-video lines of this sub-plan (everything below the
+    /// class / merge header).
+    fn fmt_body(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "  strategy: {}", self.strategy_label())?;
         if !self.heads.is_empty() {
             let heads: Vec<String> =
@@ -306,5 +432,28 @@ impl fmt::Display for QueryPlan {
             self.specialized_cache.label(),
             self.score_index_cache.label()
         )
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_fan_out() {
+            let sub = &self.subplans[0];
+            writeln!(f, "QUERY PLAN for '{}'", sub.video)?;
+            writeln!(f, "  class:    {}", self.class_label())?;
+            return sub.fmt_body(f);
+        }
+        let plural = if self.subplans.len() == 1 { "video" } else { "videos" };
+        writeln!(f, "QUERY PLAN over {} {plural}", self.subplans.len())?;
+        writeln!(f, "  class:    {}", self.class_label())?;
+        writeln!(f, "  merge:    {}", self.merge.label())?;
+        for (i, sub) in self.subplans.iter().enumerate() {
+            writeln!(f, "SUB-PLAN for '{}'", sub.video)?;
+            sub.fmt_body(f)?;
+            if i + 1 < self.subplans.len() {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
     }
 }

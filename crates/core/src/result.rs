@@ -19,6 +19,41 @@ pub enum AggregateMethod {
     Exact,
 }
 
+/// One video's contribution to a catalog-wide aggregate
+/// ([`QueryOutput::CatalogAggregate`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoAggregate {
+    /// The source video's registered name.
+    pub video: String,
+    /// This video's estimated (or exact) value.
+    pub value: f64,
+    /// Standard error of this video's estimate, when sampled.
+    pub standard_error: Option<f64>,
+    /// Detector invocations charged by this video's sub-query.
+    pub detection_calls: u64,
+    /// How this video's estimate was produced.
+    pub method: AggregateMethod,
+}
+
+/// A frame tagged with the registered video it came from (multi-video scrubbing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourcedFrame {
+    /// The source video's registered name.
+    pub video: String,
+    /// The matching frame index within that video.
+    pub frame: FrameIndex,
+}
+
+/// A relation row tagged with the registered video it came from (multi-video
+/// selection).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourcedRow {
+    /// The source video's registered name.
+    pub video: String,
+    /// The matching row of that video's FrameQL relation.
+    pub row: FrameQlRow,
+}
+
 /// The payload of a query result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QueryOutput {
@@ -47,6 +82,36 @@ pub enum QueryOutput {
         /// Number of frames on which object detection was invoked.
         detection_calls: u64,
     },
+    /// A catalog-wide aggregate from a multi-video (`FROM a, b` / `FROM *`) query:
+    /// the sum of per-video estimates with a composed confidence interval.
+    CatalogAggregate {
+        /// The catalog-wide total: the sum of the per-video estimates.
+        value: f64,
+        /// Composed standard error: the root-sum-square of the per-video standard
+        /// errors (the videos' samplers are independent). `None` when every
+        /// sub-query was exact.
+        standard_error: Option<f64>,
+        /// Total detector invocations across every video.
+        detection_calls: u64,
+        /// The per-video estimates the total was composed from, in `FROM` order.
+        per_video: Vec<VideoAggregate>,
+    },
+    /// Frames matching a multi-video scrubbing query, tagged with their source
+    /// video, in global verification (descending-confidence) order.
+    CatalogFrames {
+        /// Matching `(video, frame)` pairs (verified by the full detector).
+        frames: Vec<SourcedFrame>,
+        /// Total detector invocations across every video.
+        detection_calls: u64,
+    },
+    /// Rows matching a multi-video selection query, tagged with their source video
+    /// and concatenated in `FROM`-clause order.
+    CatalogRows {
+        /// Matching rows, each tagged with the video it came from.
+        rows: Vec<SourcedRow>,
+        /// Total detector invocations across every video.
+        detection_calls: u64,
+    },
     /// The rendered plan of an `EXPLAIN <query>` statement (nothing was executed and
     /// nothing was charged to the simulated clock).
     Explain {
@@ -56,15 +121,35 @@ pub enum QueryOutput {
 }
 
 impl QueryOutput {
-    /// The aggregate value, if this is an aggregate result.
+    /// The aggregate value — per-video for [`QueryOutput::Aggregate`], the
+    /// catalog-wide total for [`QueryOutput::CatalogAggregate`].
     pub fn aggregate_value(&self) -> Option<f64> {
         match self {
-            QueryOutput::Aggregate { value, .. } => Some(*value),
+            QueryOutput::Aggregate { value, .. } | QueryOutput::CatalogAggregate { value, .. } => {
+                Some(*value)
+            }
             _ => None,
         }
     }
 
-    /// The matched frames, if this is a scrubbing result.
+    /// The standard error of the (possibly composed) aggregate estimate.
+    pub fn aggregate_standard_error(&self) -> Option<f64> {
+        match self {
+            QueryOutput::Aggregate { standard_error, .. }
+            | QueryOutput::CatalogAggregate { standard_error, .. } => *standard_error,
+            _ => None,
+        }
+    }
+
+    /// The per-video estimates behind a catalog-wide aggregate.
+    pub fn per_video_aggregates(&self) -> Option<&[VideoAggregate]> {
+        match self {
+            QueryOutput::CatalogAggregate { per_video, .. } => Some(per_video),
+            _ => None,
+        }
+    }
+
+    /// The matched frames, if this is a single-video scrubbing result.
     pub fn frames(&self) -> Option<&[FrameIndex]> {
         match self {
             QueryOutput::Frames { frames, .. } => Some(frames),
@@ -72,10 +157,26 @@ impl QueryOutput {
         }
     }
 
-    /// The matched rows, if this is a selection result.
+    /// The matched `(video, frame)` pairs, if this is a multi-video scrubbing result.
+    pub fn sourced_frames(&self) -> Option<&[SourcedFrame]> {
+        match self {
+            QueryOutput::CatalogFrames { frames, .. } => Some(frames),
+            _ => None,
+        }
+    }
+
+    /// The matched rows, if this is a single-video selection result.
     pub fn rows(&self) -> Option<&[FrameQlRow]> {
         match self {
             QueryOutput::Rows { rows, .. } => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// The matched source-tagged rows, if this is a multi-video selection result.
+    pub fn sourced_rows(&self) -> Option<&[SourcedRow]> {
+        match self {
+            QueryOutput::CatalogRows { rows, .. } => Some(rows),
             _ => None,
         }
     }
@@ -93,7 +194,10 @@ impl QueryOutput {
         match self {
             QueryOutput::Aggregate { detection_calls, .. }
             | QueryOutput::Frames { detection_calls, .. }
-            | QueryOutput::Rows { detection_calls, .. } => *detection_calls,
+            | QueryOutput::Rows { detection_calls, .. }
+            | QueryOutput::CatalogAggregate { detection_calls, .. }
+            | QueryOutput::CatalogFrames { detection_calls, .. }
+            | QueryOutput::CatalogRows { detection_calls, .. } => *detection_calls,
             QueryOutput::Explain { .. } => 0,
         }
     }

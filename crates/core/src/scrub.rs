@@ -12,8 +12,8 @@
 
 use crate::baselines::{requirement_pairs, respects_gap};
 use crate::context::VideoContext;
-use crate::plan::{PlanStrategy, QueryPlan};
-use crate::result::QueryOutput;
+use crate::plan::{PlanStrategy, VideoPlan};
+use crate::result::{QueryOutput, SourcedFrame};
 use crate::{baselines, BlazeItError, Result};
 use blazeit_detect::{CountVector, ObjectDetector};
 use blazeit_frameql::query::QueryPlanInfo;
@@ -48,8 +48,9 @@ pub struct ScrubOutcome {
     pub frames_scored: u64,
 }
 
-/// Executes a scrubbing query following the strategy the planner resolved into `plan`.
-pub fn execute(ctx: &VideoContext, info: &QueryPlanInfo, plan: &QueryPlan) -> Result<QueryOutput> {
+/// Executes a scrubbing query against one video, following the strategy the planner
+/// resolved into its sub-plan.
+pub fn execute(ctx: &VideoContext, info: &QueryPlanInfo, plan: &VideoPlan) -> Result<QueryOutput> {
     let requirements = requirement_pairs(&info.requirements);
     let opts = plan
         .scrub
@@ -163,13 +164,49 @@ pub fn verify_ranked_with_budget(
     opts: ScrubOptions,
     budget: Option<u64>,
 ) -> ScrubOutcome {
-    let video = ctx.video();
-    let mut accepted: Vec<FrameIndex> = Vec::new();
+    let videos = [VerifyVideo { ctx, requirements }];
+    let order: Vec<(usize, FrameIndex)> = ranked.iter().map(|&(frame, _)| (0, frame)).collect();
+    let (accepted, calls) = verify_windowed(&videos, &order, opts, budget);
+    ScrubOutcome {
+        frames: accepted.into_iter().map(|(_, frame)| frame).collect(),
+        detection_calls: calls,
+        frames_scored: ranked.len() as u64,
+    }
+}
+
+/// One video's inputs to the shared windowed verification loop.
+struct VerifyVideo<'a> {
+    ctx: &'a VideoContext,
+    requirements: &'a [(ObjectClass, usize)],
+}
+
+/// The windowed verification loop shared by single-video ranked verification and the
+/// multi-video global-limit merge: walks `order` (a `(video index, frame)` visit
+/// sequence), verifying through per-video [`ObjectDetector::detect_batch`] prefetch
+/// windows until `opts.limit` frames are accepted or `budget` detector calls are
+/// spent. Returns the accepted `(video index, frame)` pairs in acceptance order and
+/// the number of charged calls.
+///
+/// The window rules make the outcome *identical* to a frame-by-frame walk of
+/// `order`: a window only ever contains consecutive candidates of one video, each
+/// respecting the gap against that video's already-accepted frames **and** against
+/// every earlier frame in the same window (so no in-window acceptance can
+/// retroactively disqualify it), and the window never exceeds the remaining limit or
+/// budget (so the early exit cannot fire mid-window). `GAP` binds within a video
+/// only; frames of different videos are never temporally related.
+fn verify_windowed(
+    videos: &[VerifyVideo<'_>],
+    order: &[(usize, FrameIndex)],
+    opts: ScrubOptions,
+    budget: Option<u64>,
+) -> (Vec<(usize, FrameIndex)>, u64) {
+    let mut accepted: Vec<(usize, FrameIndex)> = Vec::new();
+    let mut accepted_per_video: Vec<Vec<FrameIndex>> = videos.iter().map(|_| Vec::new()).collect();
     let mut calls = 0u64;
     let mut cursor = 0usize;
     let mut window: Vec<FrameIndex> = Vec::with_capacity(VERIFY_PREFETCH);
 
-    while cursor < ranked.len() && (accepted.len() as u64) < opts.limit {
+    while cursor < order.len() && (accepted.len() as u64) < opts.limit {
         let remaining_limit = (opts.limit - accepted.len() as u64) as usize;
         let remaining_budget = match budget {
             Some(b) if b <= calls => break,
@@ -177,11 +214,13 @@ pub fn verify_ranked_with_budget(
             None => usize::MAX,
         };
         let cap = VERIFY_PREFETCH.min(remaining_limit).min(remaining_budget);
+        let video_idx = order[cursor].0;
+        let video = &videos[video_idx];
 
         window.clear();
-        while cursor < ranked.len() && window.len() < cap {
-            let frame = ranked[cursor].0;
-            if !respects_gap(&accepted, frame, opts.gap) {
+        while cursor < order.len() && window.len() < cap && order[cursor].0 == video_idx {
+            let frame = order[cursor].1;
+            if !respects_gap(&accepted_per_video[video_idx], frame, opts.gap) {
                 // The serial loop skips this frame for free, and would still skip it
                 // after any in-window acceptance (the accepted set only grows).
                 cursor += 1;
@@ -197,19 +236,111 @@ pub fn verify_ranked_with_budget(
             cursor += 1;
         }
         if window.is_empty() {
-            break;
+            // Everything up to the next video boundary was gap-skipped for free;
+            // re-enter the loop so the next candidate starts a fresh window.
+            continue;
         }
 
-        let batch = ctx.detector().detect_batch(video, &window);
+        let batch = video.ctx.detector().detect_batch(video.ctx.video(), &window);
         calls += window.len() as u64;
         for (&frame, detections) in window.iter().zip(&batch) {
             let counts = CountVector::from_detections(detections);
-            if counts.satisfies_all(requirements) {
-                accepted.push(frame);
+            if counts.satisfies_all(video.requirements) {
+                accepted.push((video_idx, frame));
+                accepted_per_video[video_idx].push(frame);
             }
         }
     }
-    ScrubOutcome { frames: accepted, detection_calls: calls, frames_scored: ranked.len() as u64 }
+    (accepted, calls)
+}
+
+/// One video's candidate ranking inside a multi-video scrub: the frames to verify,
+/// in the order the per-video strategy would visit them, with the confidence the
+/// global interleave sorts by.
+struct VideoCandidates<'a> {
+    ctx: &'a VideoContext,
+    requirements: Vec<(ObjectClass, usize)>,
+    /// `(frame, confidence)` in per-video visit order. Ranked sub-plans carry real
+    /// NN confidences in `[0, 1]`; scan-fallback sub-plans carry `-1.0` for every
+    /// frame, so the global interleave only reaches them after every ranked
+    /// candidate of every video — scanning stays the last resort catalog-wide.
+    candidates: Vec<(FrameIndex, f64)>,
+}
+
+/// Executes a scrubbing query across many videos against one **global** `LIMIT`.
+///
+/// Phase 1 (parallel): each video builds its candidate ranking — training (or
+/// loading) its specialized network and scoring its frames concurrently with the
+/// other videos on the persistent worker pool. Phase 2 (deterministic): the
+/// per-video rankings are interleaved by descending confidence and verified in that
+/// global order, charging the detector through per-video prefetch windows, until the
+/// global limit is satisfied — at which point *no* video is charged another call
+/// (early cancellation), no matter how many candidates it still had queued. `GAP`
+/// constrains frames within a video; frames of different videos are never
+/// temporally related.
+///
+/// An optional `budget` caps total detector invocations across all videos.
+pub fn execute_catalog<'a>(
+    targets: &[(&'a VideoContext, &'a QueryPlanInfo, &'a VideoPlan)],
+    opts: ScrubOptions,
+    budget: Option<u64>,
+) -> Result<QueryOutput> {
+    // Phase 1: per-video candidate rankings, in parallel across contexts.
+    let tasks: Vec<Box<dyn FnOnce() -> Result<VideoCandidates<'a>> + Send + 'a>> = targets
+        .iter()
+        .map(|&(ctx, info, plan)| {
+            let task: Box<dyn FnOnce() -> Result<VideoCandidates<'a>> + Send + 'a> =
+                Box::new(move || {
+                    let requirements = requirement_pairs(&info.requirements);
+                    let candidates = match &plan.strategy {
+                        PlanStrategy::ScrubRanked => {
+                            let nn = ctx.specialized_for(&plan.heads)?;
+                            score_frames(ctx, &nn, &requirements)?
+                        }
+                        PlanStrategy::ScrubScan => {
+                            (0..ctx.video().len()).map(|frame| (frame, -1.0f64)).collect()
+                        }
+                        other => {
+                            return Err(BlazeItError::Internal(format!(
+                                "scrub::execute_catalog with non-scrub strategy {other:?}"
+                            )))
+                        }
+                    };
+                    Ok(VideoCandidates { ctx, requirements, candidates })
+                });
+            task
+        })
+        .collect();
+    let per_video: Vec<VideoCandidates<'_>> =
+        blazeit_nn::parallel::par_run(tasks).into_iter().collect::<Result<_>>()?;
+
+    // Global interleave: (confidence desc, video index asc, per-video rank asc).
+    // Sorting by (confidence, video, frame) preserves each video's own visit order
+    // because rankings are already confidence-descending with frame-ascending ties.
+    let mut merged: Vec<(usize, FrameIndex, f64)> = Vec::new();
+    for (video_idx, vc) in per_video.iter().enumerate() {
+        merged.extend(vc.candidates.iter().map(|&(frame, conf)| (video_idx, frame, conf)));
+    }
+    merged.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+
+    // Phase 2: verify in global order through the shared windowed loop (the same
+    // code path single-video ranked verification uses, so the gap / limit / budget
+    // window rules cannot diverge between the two).
+    let videos: Vec<VerifyVideo<'_>> = per_video
+        .iter()
+        .map(|vc| VerifyVideo { ctx: vc.ctx, requirements: &vc.requirements })
+        .collect();
+    let order: Vec<(usize, FrameIndex)> =
+        merged.iter().map(|&(video_idx, frame, _)| (video_idx, frame)).collect();
+    let (accepted, calls) = verify_windowed(&videos, &order, opts, budget);
+    let frames = accepted
+        .into_iter()
+        .map(|(video_idx, frame)| SourcedFrame {
+            video: per_video[video_idx].ctx.video().name().to_string(),
+            frame,
+        })
+        .collect();
+    Ok(QueryOutput::CatalogFrames { frames, detection_calls: calls })
 }
 
 /// The full BlazeIt scrubbing plan: score every frame with the specialized NN, then

@@ -22,7 +22,7 @@
 //! introduce false negatives, whose rate the experiments measure against the naive scan.
 
 use crate::context::VideoContext;
-use crate::plan::QueryPlan;
+use crate::plan::VideoPlan;
 use crate::relation::RelationBuilder;
 use crate::result::QueryOutput;
 use crate::{BlazeItError, Result};
@@ -64,7 +64,7 @@ impl Default for SelectionOptions {
 
 impl SelectionOptions {
     /// Every inferred filter enabled: the full BlazeIt selection plan (what the
-    /// planner puts in a fresh [`QueryPlan`]).
+    /// planner puts in a fresh [`VideoPlan`]).
     pub fn all() -> SelectionOptions {
         SelectionOptions {
             use_label_filter: true,
@@ -177,13 +177,13 @@ pub fn ground_truth_tracks(ctx: &VideoContext, rows: &[FrameQlRow]) -> Vec<u64> 
     ids
 }
 
-/// Executes a selection (or exhaustive) query with the filter options resolved into
-/// (or overridden on) its plan.
+/// Executes a selection (or exhaustive) query against one video, with the filter
+/// options resolved into (or overridden on) its sub-plan.
 pub fn execute(
     ctx: &VideoContext,
     query: &Query,
     info: &QueryPlanInfo,
-    plan: &QueryPlan,
+    plan: &VideoPlan,
 ) -> Result<QueryOutput> {
     let outcome = execute_with_options(ctx, query, info, &plan.selection)?;
     Ok(QueryOutput::Rows { rows: outcome.rows, detection_calls: outcome.detection_calls })
@@ -419,7 +419,7 @@ const DETECT_PREFETCH: usize = 16;
 /// Detection runs through a pipelined prefetch window: the cheap filters
 /// (content, label) are evaluated frame by frame exactly as before — they decide
 /// for free which frames reach the detector and can short-circuit per frame —
-/// and the surviving frames are detected in batches of [`DETECT_PREFETCH`]
+/// and the surviving frames are detected in batches of `DETECT_PREFETCH`
 /// through one region-aware `detect_batch` call each. Filter outcomes never
 /// depend on detection outcomes, so the returned rows, every per-stage count,
 /// and every charged cost total are identical to the frame-by-frame loop; only

@@ -1,12 +1,23 @@
 //! Sessions and prepared queries: the planner / executor split.
 //!
 //! A [`Session`] is a lightweight query handle over a [`Catalog`].
-//! [`Session::prepare`] parses a FrameQL string, routes it to the registered video
-//! named in its `FROM` clause, analyzes it, and plans it — all without charging the
-//! simulated clock — returning a [`PreparedQuery`] whose [`QueryPlan`] the caller can
-//! inspect ([`PreparedQuery::plan`]), render ([`PreparedQuery::explain`]), and
-//! override ([`PreparedQuery::with_options`], [`PreparedQuery::with_budget`]) before
-//! paying for execution with [`PreparedQuery::run`].
+//! [`Session::prepare`] parses a FrameQL string, routes it to the registered video(s)
+//! named in its `FROM` clause — one video, an explicit `FROM a, b, c` list, or
+//! `FROM *` for the whole catalog — analyzes it per video, and plans it, all without
+//! charging the simulated clock. The returned [`PreparedQuery`] holds a [`QueryPlan`]
+//! with one sub-plan per video that the caller can inspect
+//! ([`PreparedQuery::plan`]), render ([`PreparedQuery::explain`]), and override
+//! ([`PreparedQuery::with_options`], [`PreparedQuery::with_budget`]) before paying
+//! for execution with [`PreparedQuery::run`].
+//!
+//! Multi-video queries execute their per-video sub-queries **in parallel** across
+//! [`VideoContext`]s (on the persistent worker pool of
+//! [`blazeit_nn::parallel`]) and merge results with statistically honest semantics:
+//! aggregates sum per-video estimates and compose their confidence intervals
+//! (root-sum-square of independent standard errors), scrubbing interleaves
+//! per-video rankings against one global `LIMIT` with early cancellation, and
+//! selection concatenates rows tagged with their source video (see
+//! [`MergeSemantics`](crate::plan::MergeSemantics)).
 //!
 //! `EXPLAIN <query>` flows through the same path: the prepared query is marked
 //! explain-only and [`PreparedQuery::run`] returns the rendered plan as
@@ -16,10 +27,11 @@ use crate::aggregate;
 use crate::catalog::Catalog;
 use crate::context::VideoContext;
 use crate::plan::{plan_query, QueryPlan};
-use crate::result::{QueryOutput, QueryResult};
+use crate::result::{QueryOutput, QueryResult, SourcedRow, VideoAggregate};
 use crate::scrub;
 use crate::select::{self, SelectionOptions};
-use crate::Result;
+use crate::{BlazeItError, Result};
+use blazeit_frameql::ast::FromClause;
 use blazeit_frameql::query::{analyze, QueryClass, QueryPlanInfo};
 use blazeit_frameql::{parse_query, Query};
 use std::time::Instant;
@@ -28,6 +40,14 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy)]
 pub struct Session<'a> {
     catalog: &'a Catalog,
+}
+
+/// One video a prepared query spans: its context plus the query's analysis against
+/// that video's UDF registry.
+#[derive(Debug)]
+struct QueryTarget<'a> {
+    ctx: &'a VideoContext,
+    info: QueryPlanInfo,
 }
 
 impl<'a> Session<'a> {
@@ -42,12 +62,52 @@ impl<'a> Session<'a> {
 
     /// Parses, routes, analyzes and plans a FrameQL query without executing it (and
     /// without charging the simulated clock).
+    ///
+    /// The `FROM` clause decides the fan-out: a single name routes to that video, a
+    /// list routes to each named video in query order, and `*` routes to every
+    /// registered video in registration order. Unknown names fail with
+    /// [`BlazeItError::UnknownVideo`] (including a nearest-name suggestion).
     pub fn prepare(&self, sql: &str) -> Result<PreparedQuery<'a>> {
         let parsed = parse_query(sql)?;
-        let ctx = self.catalog.context(&parsed.from)?;
-        let info = analyze(&parsed, ctx.udfs())?;
-        let plan = plan_query(ctx, &info)?;
-        Ok(PreparedQuery { ctx, sql: sql.to_string(), query: parsed, info, plan })
+        let contexts: Vec<&'a VideoContext> = match &parsed.from {
+            FromClause::All => {
+                if self.catalog.is_empty() {
+                    return Err(BlazeItError::Unsupported(
+                        "FROM * spans every registered video, but the catalog is empty; \
+                         register a video first"
+                            .into(),
+                    ));
+                }
+                self.catalog.contexts().collect()
+            }
+            FromClause::Videos(names) => {
+                let mut contexts: Vec<&'a VideoContext> = Vec::with_capacity(names.len());
+                for name in names {
+                    let ctx = self.catalog.context(name)?;
+                    // The parser rejects duplicates it can see; this guards ASTs
+                    // built programmatically (two spellings of one stream).
+                    if contexts.iter().any(|c| std::ptr::eq(*c, ctx)) {
+                        return Err(BlazeItError::Unsupported(format!(
+                            "video '{name}' appears more than once in the FROM list"
+                        )));
+                    }
+                    contexts.push(ctx);
+                }
+                contexts
+            }
+        };
+        let targets: Vec<QueryTarget<'a>> = contexts
+            .into_iter()
+            .map(|ctx| Ok(QueryTarget { ctx, info: analyze(&parsed, ctx.udfs())? }))
+            .collect::<Result<_>>()?;
+        let pairs: Vec<(&VideoContext, &QueryPlanInfo)> =
+            targets.iter().map(|t| (t.ctx, &t.info)).collect();
+        // `FROM *` keeps catalog (fan-out) semantics even over a one-video catalog,
+        // so the query's result shape never depends on how many videos happen to be
+        // registered.
+        let fan_out = parsed.from.is_all() || targets.len() > 1;
+        let plan = plan_query(&pairs, fan_out)?;
+        Ok(PreparedQuery { targets, sql: sql.to_string(), query: parsed, plan })
     }
 
     /// Convenience: prepare and immediately run a query with its default plan.
@@ -59,17 +119,22 @@ impl<'a> Session<'a> {
 /// A planned query, ready to inspect, override, and run.
 #[derive(Debug)]
 pub struct PreparedQuery<'a> {
-    ctx: &'a VideoContext,
+    targets: Vec<QueryTarget<'a>>,
     sql: String,
     query: Query,
-    info: QueryPlanInfo,
     plan: QueryPlan,
 }
 
 impl<'a> PreparedQuery<'a> {
-    /// The video context the query was routed to.
+    /// The first (for single-video queries: the only) video context the query was
+    /// routed to. Multi-video queries span every context in [`PreparedQuery::contexts`].
     pub fn context(&self) -> &'a VideoContext {
-        self.ctx
+        self.targets[0].ctx
+    }
+
+    /// Every video context the query spans, in `FROM`-clause order.
+    pub fn contexts(&self) -> impl Iterator<Item = &'a VideoContext> + '_ {
+        self.targets.iter().map(|t| t.ctx)
     }
 
     /// The parsed query AST.
@@ -77,12 +142,14 @@ impl<'a> PreparedQuery<'a> {
         &self.query
     }
 
-    /// The analyzed plan information (classification, requirements, constraints).
+    /// The analyzed plan information (classification, requirements, constraints)
+    /// for the first video. Analysis differs between videos only through their UDF
+    /// registries; the classification is identical across the fan-out.
     pub fn info(&self) -> &QueryPlanInfo {
-        &self.info
+        &self.targets[0].info
     }
 
-    /// The resolved plan.
+    /// The resolved plan: one sub-plan per video plus the merge semantics.
     pub fn plan(&self) -> &QueryPlan {
         &self.plan
     }
@@ -98,9 +165,12 @@ impl<'a> PreparedQuery<'a> {
     }
 
     /// Replaces the selection filter options (which inferred filters a selection
-    /// plan may use). No effect on aggregate / scrubbing strategies.
+    /// plan may use) on **every** sub-plan. No effect on aggregate / scrubbing
+    /// strategies.
     pub fn with_options(mut self, options: SelectionOptions) -> PreparedQuery<'a> {
-        self.plan.selection = options;
+        for sub in &mut self.plan.subplans {
+            sub.selection = options;
+        }
         self
     }
 
@@ -108,10 +178,15 @@ impl<'a> PreparedQuery<'a> {
     ///
     /// The cap binds adaptive sampling (aggregates) and ranked verification
     /// (scrubbing); exact scans and selection scans are not truncated, since cutting
-    /// them off would silently change the result's meaning. The executors fold the
-    /// budget into their own knobs at run time, so later `plan_mut` edits compose.
+    /// them off would silently change the result's meaning. For a multi-video
+    /// aggregate the cap applies per video (each sampler is independent); for a
+    /// multi-video scrub it caps the *global* verification loop, matching the
+    /// global `LIMIT`. The executors fold the budget into their own knobs at run
+    /// time, so later `plan_mut` edits compose.
     pub fn with_budget(mut self, max_detection_calls: u64) -> PreparedQuery<'a> {
-        self.plan.detection_budget = Some(max_detection_calls);
+        for sub in &mut self.plan.subplans {
+            sub.detection_budget = Some(max_detection_calls);
+        }
         self
     }
 
@@ -123,7 +198,7 @@ impl<'a> PreparedQuery<'a> {
     /// Executes the plan (or, for `EXPLAIN`, returns the rendered plan for free).
     pub fn run(&self) -> Result<QueryResult> {
         let started = Instant::now();
-        let clock = self.ctx.clock();
+        let clock = self.targets[0].ctx.clock();
         let cost_before = clock.breakdown();
 
         let output = if self.query.explain {
@@ -142,12 +217,139 @@ impl<'a> PreparedQuery<'a> {
     }
 
     fn execute(&self) -> Result<QueryOutput> {
-        match &self.info.class {
-            QueryClass::Aggregate { .. } => aggregate::execute(self.ctx, &self.info, &self.plan),
-            QueryClass::Scrub => scrub::execute(self.ctx, &self.info, &self.plan),
-            QueryClass::Select | QueryClass::Exhaustive => {
-                select::execute(self.ctx, &self.query, &self.info, &self.plan)
+        if !self.plan.is_fan_out() {
+            let target = &self.targets[0];
+            let sub = &self.plan.subplans[0];
+            return match &target.info.class {
+                QueryClass::Aggregate { .. } => aggregate::execute(target.ctx, &target.info, sub),
+                QueryClass::Scrub => scrub::execute(target.ctx, &target.info, sub),
+                QueryClass::Select | QueryClass::Exhaustive => {
+                    select::execute(target.ctx, &self.query, &target.info, sub)
+                }
+            };
+        }
+        match &self.targets[0].info.class {
+            QueryClass::Aggregate { .. } => self.execute_catalog_aggregate(),
+            QueryClass::Scrub => self.execute_catalog_scrub(),
+            QueryClass::Select | QueryClass::Exhaustive => self.execute_catalog_selection(),
+        }
+    }
+
+    /// Runs one closure per video concurrently on the persistent worker pool,
+    /// returning results in `FROM`-clause order. Each video's sub-query is
+    /// deterministic in isolation (its own seeds, caches, and frames), so the
+    /// fan-out's results are independent of scheduling.
+    fn fan_out<T: Send>(
+        &self,
+        per_video: impl Fn(usize) -> Result<T> + Send + Sync,
+    ) -> Vec<Result<T>> {
+        let per_video = &per_video;
+        let tasks: Vec<Box<dyn FnOnce() -> Result<T> + Send + '_>> = (0..self.targets.len())
+            .map(|idx| {
+                let task: Box<dyn FnOnce() -> Result<T> + Send + '_> =
+                    Box::new(move || per_video(idx));
+                task
+            })
+            .collect();
+        blazeit_nn::parallel::par_run(tasks)
+    }
+
+    /// Multi-video aggregate: per-video estimates in parallel, then the catalog-wide
+    /// sum with a composed (root-sum-square) standard error. Summing is statistically
+    /// honest because each video's estimator is unbiased for its own total and the
+    /// samplers draw independently; independence also makes the composed interval
+    /// never wider than the sum of the per-video intervals.
+    fn execute_catalog_aggregate(&self) -> Result<QueryOutput> {
+        let outputs = self.fan_out(|idx| {
+            let target = &self.targets[idx];
+            aggregate::execute(target.ctx, &target.info, &self.plan.subplans[idx])
+        });
+        let mut per_video = Vec::with_capacity(outputs.len());
+        for (target, output) in self.targets.iter().zip(outputs) {
+            match output? {
+                QueryOutput::Aggregate { value, standard_error, detection_calls, method } => {
+                    per_video.push(VideoAggregate {
+                        video: target.ctx.video().name().to_string(),
+                        value,
+                        standard_error,
+                        detection_calls,
+                        method,
+                    });
+                }
+                other => {
+                    return Err(BlazeItError::Internal(format!(
+                        "aggregate sub-query returned non-aggregate output {other:?}"
+                    )))
+                }
             }
         }
+        let value = per_video.iter().map(|v| v.value).sum();
+        let detection_calls = per_video.iter().map(|v| v.detection_calls).sum();
+        let sum_of_squares: f64 =
+            per_video.iter().filter_map(|v| v.standard_error).map(|se| se * se).sum();
+        let standard_error = if per_video.iter().any(|v| v.standard_error.is_some()) {
+            Some(sum_of_squares.sqrt())
+        } else {
+            None
+        };
+        Ok(QueryOutput::CatalogAggregate { value, standard_error, detection_calls, per_video })
+    }
+
+    /// Multi-video scrub: parallel per-video candidate rankings, then one global
+    /// `LIMIT` over the confidence-interleaved candidates (see
+    /// [`scrub::execute_catalog`]).
+    fn execute_catalog_scrub(&self) -> Result<QueryOutput> {
+        let triples: Vec<(&VideoContext, &QueryPlanInfo, &crate::plan::VideoPlan)> = self
+            .targets
+            .iter()
+            .zip(&self.plan.subplans)
+            .map(|(t, sub)| (t.ctx, &t.info, sub))
+            .collect();
+        let opts = self.plan.subplans[0].scrub.ok_or_else(|| {
+            BlazeItError::Internal("catalog scrub plan carries no scrub options".into())
+        })?;
+        let budget = self.plan.subplans[0].detection_budget;
+        // The limit, gap, and budget are global to the interleaved verification, so
+        // a per-sub-plan override that diverges cannot be honored — reject it
+        // loudly instead of silently running with one sub-plan's values.
+        for sub in &self.plan.subplans[1..] {
+            if sub.scrub != Some(opts) || sub.detection_budget != budget {
+                return Err(BlazeItError::Unsupported(format!(
+                    "a multi-video scrub runs one global LIMIT/GAP and detector \
+                     budget, but sub-plan '{}' diverges from '{}'; set identical \
+                     scrub options and budget on every sub-plan",
+                    sub.video, self.plan.subplans[0].video
+                )));
+            }
+        }
+        scrub::execute_catalog(&triples, opts, budget)
+    }
+
+    /// Multi-video selection: per-video filtered scans in parallel, rows
+    /// concatenated in `FROM`-clause order and tagged with their source video.
+    fn execute_catalog_selection(&self) -> Result<QueryOutput> {
+        let outputs = self.fan_out(|idx| {
+            let target = &self.targets[idx];
+            select::execute(target.ctx, &self.query, &target.info, &self.plan.subplans[idx])
+        });
+        let mut all_rows: Vec<SourcedRow> = Vec::new();
+        let mut detection_calls = 0u64;
+        for (target, output) in self.targets.iter().zip(outputs) {
+            match output? {
+                QueryOutput::Rows { rows, detection_calls: calls } => {
+                    let video = target.ctx.video().name().to_string();
+                    all_rows.extend(
+                        rows.into_iter().map(|row| SourcedRow { video: video.clone(), row }),
+                    );
+                    detection_calls += calls;
+                }
+                other => {
+                    return Err(BlazeItError::Internal(format!(
+                        "selection sub-query returned non-row output {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(QueryOutput::CatalogRows { rows: all_rows, detection_calls })
     }
 }

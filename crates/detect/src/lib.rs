@@ -8,17 +8,17 @@
 //! as rarely as possible. This crate provides:
 //!
 //! * [`Detection`] / [`ObjectDetector`] — the detector interface and its output type.
-//! * [`SimulatedDetector`](simulated::SimulatedDetector) — a detector that observes the
+//! * [`SimulatedDetector`] — a detector that observes the
 //!   synthetic scene's ground truth through a configurable noise model (misses, spurious
 //!   boxes, localization jitter, confidence scores) and charges simulated GPU time per
 //!   call.
-//! * [`DetectionMethod`](methods::DetectionMethod) — the registry of detector "models"
+//! * [`DetectionMethod`] — the registry of detector "models"
 //!   with the throughput / accuracy trade-offs the paper quotes (Mask R-CNN at 3 fps,
 //!   FGFA at ~2 fps, YOLOv2 at 80 fps).
-//! * [`SimClock`](clock::SimClock) — the simulated-time cost model every BlazeIt
+//! * [`SimClock`] — the simulated-time cost model every BlazeIt
 //!   component charges; end-to-end "runtimes" in the experiment harnesses are read off
 //!   this clock, mirroring how the paper extrapolates runtime from detector-call counts.
-//! * [`IouTracker`](tracker::IouTracker) — the motion-IoU entity-resolution method
+//! * [`IouTracker`] — the motion-IoU entity-resolution method
 //!   (Section 9) that assigns `trackid`s to detections across consecutive frames.
 
 #![warn(missing_docs)]

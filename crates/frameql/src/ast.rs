@@ -136,6 +136,59 @@ impl Expr {
     }
 }
 
+/// The `FROM` clause of a query: which registered videos the query spans.
+///
+/// BlazeIt's deployments are many-camera installations, so FrameQL lets one query
+/// address several streams at once:
+///
+/// * `FROM taipei` — one video (the common case).
+/// * `FROM taipei, amsterdam` — an explicit list; results are merged across them.
+/// * `FROM *` — every video registered in the catalog at prepare time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FromClause {
+    /// Explicitly named videos, in query order (always at least one).
+    Videos(Vec<String>),
+    /// `FROM *`: every registered video.
+    All,
+}
+
+impl FromClause {
+    /// A `FROM` clause naming exactly one video.
+    pub fn single(name: impl Into<String>) -> FromClause {
+        FromClause::Videos(vec![name.into()])
+    }
+
+    /// The video name, when the clause names exactly one.
+    pub fn as_single(&self) -> Option<&str> {
+        match self {
+            FromClause::Videos(names) if names.len() == 1 => Some(&names[0]),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `FROM *` (every registered video).
+    pub fn is_all(&self) -> bool {
+        matches!(self, FromClause::All)
+    }
+
+    /// The explicitly named videos (empty for `FROM *`).
+    pub fn names(&self) -> &[String] {
+        match self {
+            FromClause::Videos(names) => names,
+            FromClause::All => &[],
+        }
+    }
+}
+
+impl fmt::Display for FromClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromClause::Videos(names) => f.write_str(&names.join(", ")),
+            FromClause::All => f.write_str("*"),
+        }
+    }
+}
+
 /// Error / accuracy constraints attached to a query (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct AccuracyConstraints {
@@ -157,8 +210,8 @@ pub struct Query {
     pub explain: bool,
     /// The `SELECT` list.
     pub select: Vec<SelectItem>,
-    /// The video (relation) name in `FROM`.
-    pub from: String,
+    /// The videos (relations) the query spans.
+    pub from: FromClause,
     /// The `WHERE` predicate, if any.
     pub where_clause: Option<Expr>,
     /// `GROUP BY` columns.
@@ -238,7 +291,7 @@ mod tests {
         let q = Query {
             explain: false,
             select: vec![SelectItem::Star],
-            from: "taipei".into(),
+            from: FromClause::single("taipei"),
             where_clause: None,
             group_by: vec![],
             having: None,
@@ -251,6 +304,25 @@ mod tests {
         let q2 = Query { select: vec![SelectItem::FCount], ..q };
         assert!(q2.has_aggregate_select());
         assert!(!q2.is_select_star());
+    }
+
+    #[test]
+    fn from_clause_helpers() {
+        let one = FromClause::single("taipei");
+        assert_eq!(one.as_single(), Some("taipei"));
+        assert!(!one.is_all());
+        assert_eq!(one.names(), ["taipei".to_string()]);
+        assert_eq!(one.to_string(), "taipei");
+
+        let many = FromClause::Videos(vec!["a".into(), "b".into()]);
+        assert_eq!(many.as_single(), None);
+        assert_eq!(many.to_string(), "a, b");
+
+        let all = FromClause::All;
+        assert!(all.is_all());
+        assert_eq!(all.as_single(), None);
+        assert!(all.names().is_empty());
+        assert_eq!(all.to_string(), "*");
     }
 
     #[test]

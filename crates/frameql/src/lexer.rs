@@ -50,6 +50,14 @@ impl Token {
 
 /// Lexes a FrameQL query string into tokens.
 pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Ok(tokenize_spanned(input)?.into_iter().map(|(token, _)| token).collect())
+}
+
+/// Lexes a FrameQL query string into `(token, byte position)` pairs.
+///
+/// The position is the byte offset of the token's first character in `input`; the
+/// parser uses it to render caret-annotated error messages.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<(Token, usize)>> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0usize;
@@ -61,36 +69,36 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '*' => {
-                tokens.push(Token::Star);
+                tokens.push((Token::Star, i));
                 i += 1;
             }
             '(' => {
-                tokens.push(Token::LParen);
+                tokens.push((Token::LParen, i));
                 i += 1;
             }
             ')' => {
-                tokens.push(Token::RParen);
+                tokens.push((Token::RParen, i));
                 i += 1;
             }
             ',' => {
-                tokens.push(Token::Comma);
+                tokens.push((Token::Comma, i));
                 i += 1;
             }
             '%' => {
-                tokens.push(Token::Percent);
+                tokens.push((Token::Percent, i));
                 i += 1;
             }
             ';' => {
-                tokens.push(Token::Semicolon);
+                tokens.push((Token::Semicolon, i));
                 i += 1;
             }
             '=' => {
-                tokens.push(Token::Eq);
+                tokens.push((Token::Eq, i));
                 i += 1;
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
-                    tokens.push(Token::NotEq);
+                    tokens.push((Token::NotEq, i));
                     i += 2;
                 } else {
                     return Err(FrameQlError::LexError {
@@ -101,22 +109,22 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
-                    tokens.push(Token::LtEq);
+                    tokens.push((Token::LtEq, i));
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] as char == '>' {
-                    tokens.push(Token::NotEq);
+                    tokens.push((Token::NotEq, i));
                     i += 2;
                 } else {
-                    tokens.push(Token::Lt);
+                    tokens.push((Token::Lt, i));
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
-                    tokens.push(Token::GtEq);
+                    tokens.push((Token::GtEq, i));
                     i += 2;
                 } else {
-                    tokens.push(Token::Gt);
+                    tokens.push((Token::Gt, i));
                     i += 1;
                 }
             }
@@ -132,7 +140,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         message: "unterminated string literal".into(),
                     });
                 }
-                tokens.push(Token::StringLit(input[start..j].to_string()));
+                tokens.push((Token::StringLit(input[start..j].to_string()), i));
                 i = j + 1;
             }
             c if c.is_ascii_digit() || c == '.' => {
@@ -161,7 +169,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     position: start,
                     message: format!("invalid number literal '{text}'"),
                 })?;
-                tokens.push(Token::Number(value));
+                tokens.push((Token::Number(value), start));
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -175,7 +183,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                tokens.push(Token::Ident(input[start..j].to_string()));
+                tokens.push((Token::Ident(input[start..j].to_string()), start));
                 i = j;
             }
             other => {
@@ -257,6 +265,23 @@ mod tests {
         assert!(matches!(tokenize("a ! b"), Err(FrameQlError::LexError { .. })));
         assert!(matches!(tokenize("a = #"), Err(FrameQlError::LexError { .. })));
         assert!(matches!(tokenize("x = 1.2.3"), Err(FrameQlError::LexError { .. })));
+    }
+
+    #[test]
+    fn spanned_tokens_record_byte_positions() {
+        let spanned = tokenize_spanned("SELECT *  FROM night-street").unwrap();
+        assert_eq!(
+            spanned,
+            vec![
+                (Token::Ident("SELECT".into()), 0),
+                (Token::Star, 7),
+                (Token::Ident("FROM".into()), 10),
+                (Token::Ident("night-street".into()), 15),
+            ]
+        );
+        // The unspanned view is exactly the spanned one with positions dropped.
+        let plain = tokenize("SELECT *  FROM night-street").unwrap();
+        assert_eq!(plain, spanned.into_iter().map(|(t, _)| t).collect::<Vec<_>>());
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //!
 //! ```text
 //! statement  := [EXPLAIN] query
-//! query      := SELECT select_list FROM ident
+//! query      := SELECT select_list FROM from_clause
 //!               [WHERE expr] [GROUP BY ident (, ident)*] [HAVING expr]
 //!               [constraint]* [LIMIT number [GAP number]] [constraint]* [;]
+//! from_clause:= '*' | ident (',' ident)*
 //! select_list:= '*' | item (',' item)*
 //! item       := FCOUNT '(' '*' ')' | COUNT '(' (DISTINCT ident | '*') ')'
 //!             | SUM '(' expr ')' | AVG '(' expr ')' | ident
@@ -19,27 +20,46 @@
 //! primary    := number | string | '(' expr ')' | ident '(' args ')' | ident | '*'
 //! ```
 
-use crate::ast::{AccuracyConstraints, BinaryOp, Expr, Query, SelectItem};
-use crate::lexer::{tokenize, Token};
+use crate::ast::{AccuracyConstraints, BinaryOp, Expr, FromClause, Query, SelectItem};
+use crate::lexer::{tokenize_spanned, Token};
 use crate::{FrameQlError, Result};
+
+/// Keywords that may follow the `FROM` clause; seeing one where a video name is
+/// expected means the video list itself is malformed, which gets a caret-annotated
+/// error instead of being swallowed as a (nonsensical) video name.
+const CLAUSE_KEYWORDS: [&str; 12] = [
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "LIMIT",
+    "GAP",
+    "ERROR",
+    "AT",
+    "CONFIDENCE",
+    "FPR",
+    "FNR",
+    "SELECT",
+];
 
 /// Parses a FrameQL query string.
 pub fn parse_query(input: &str) -> Result<Query> {
-    let tokens = tokenize(input)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let tokens = tokenize_spanned(input)?;
+    let mut parser = Parser { input, tokens, pos: 0 };
     let query = parser.parse_query()?;
     parser.expect_end()?;
     Ok(query)
 }
 
-struct Parser {
-    tokens: Vec<Token>,
+struct Parser<'s> {
+    input: &'s str,
+    tokens: Vec<(Token, usize)>,
     pos: usize,
 }
 
-impl Parser {
+impl Parser<'_> {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(token, _)| token)
     }
 
     fn peek_keyword(&self) -> Option<String> {
@@ -47,7 +67,7 @@ impl Parser {
     }
 
     fn advance(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|(token, _)| token.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -56,6 +76,24 @@ impl Parser {
 
     fn error<T>(&self, message: impl Into<String>) -> Result<T> {
         Err(FrameQlError::ParseError { message: message.into() })
+    }
+
+    /// The byte position of the current token (or end of input when exhausted).
+    fn current_position(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.input.len(), |&(_, position)| position)
+    }
+
+    /// An error pointing a caret at the current token:
+    ///
+    /// ```text
+    /// parse error: expected a video name in the FROM list
+    ///   SELECT FCOUNT(*) FROM a, , b
+    ///                            ^
+    /// ```
+    fn error_here<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(FrameQlError::ParseError {
+            message: caret_message(self.input, self.current_position(), &message.into()),
+        })
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
@@ -117,7 +155,7 @@ impl Parser {
         self.expect_keyword("SELECT")?;
         let select = self.parse_select_list()?;
         self.expect_keyword("FROM")?;
-        let from = self.expect_ident("video name")?;
+        let from = self.parse_from_clause()?;
 
         let mut where_clause = None;
         let mut group_by = Vec::new();
@@ -190,6 +228,69 @@ impl Parser {
         }
 
         Ok(Query { explain, select, from, where_clause, group_by, having, limit, gap, accuracy })
+    }
+
+    /// Parses the `FROM` clause: `*` (every registered video) or a comma-separated
+    /// list of video names. Malformed lists — a missing name after a comma, a clause
+    /// keyword where a name belongs, `*` mixed with names, or the same video twice —
+    /// are rejected with a caret pointing at the offending position.
+    fn parse_from_clause(&mut self) -> Result<FromClause> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(Token::Comma)) {
+                return self.error_here(
+                    "FROM * already spans every registered video and cannot be combined \
+                     with named videos",
+                );
+            }
+            return Ok(FromClause::All);
+        }
+        let mut names: Vec<String> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Ident(name)) => {
+                    let upper = name.to_ascii_uppercase();
+                    if CLAUSE_KEYWORDS.contains(&upper.as_str()) {
+                        let place = if names.is_empty() {
+                            "after FROM"
+                        } else {
+                            "after ',' in the FROM list"
+                        };
+                        return self.error_here(format!(
+                            "expected a video name {place}, found keyword {upper}"
+                        ));
+                    }
+                    // Video names route case-insensitively with '_' ≡ '-' (see the
+                    // catalog), so the same normalization defines a duplicate here.
+                    let key = name.to_ascii_lowercase().replace('_', "-");
+                    if names.iter().any(|n| n.to_ascii_lowercase().replace('_', "-") == key) {
+                        return self.error_here(format!("duplicate video '{name}' in FROM list"));
+                    }
+                    names.push(name.clone());
+                    self.pos += 1;
+                }
+                Some(Token::Star) => {
+                    return self.error_here(
+                        "FROM * spans every registered video and cannot be combined with \
+                         named videos",
+                    );
+                }
+                _ => {
+                    let what = if names.is_empty() {
+                        "expected a video name (or * for every registered video) after FROM"
+                    } else {
+                        "expected a video name after ',' in the FROM list"
+                    };
+                    return self.error_here(what);
+                }
+            }
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(FromClause::Videos(names))
     }
 
     /// Confidence is written either as a percentage (`95%`) or a fraction (`0.95`);
@@ -344,6 +445,18 @@ impl Parser {
     }
 }
 
+/// Renders `message` followed by the offending line of `input` with a `^` caret under
+/// byte position `position` (clamped to the end of input, so "unexpected end of query"
+/// errors point just past the last character).
+fn caret_message(input: &str, position: usize, message: &str) -> String {
+    let position = position.min(input.len());
+    let line_start = input[..position].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = input[position..].find('\n').map_or(input.len(), |i| position + i);
+    let line = &input[line_start..line_end];
+    let caret_column = position - line_start;
+    format!("{message}\n  {line}\n  {:caret_column$}^", "")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,7 +470,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.select, vec![SelectItem::FCount]);
-        assert_eq!(q.from, "taipei");
+        assert_eq!(q.from.as_single(), Some("taipei"));
         assert!(q.where_clause.is_some());
         assert_eq!(q.accuracy.error_within, Some(0.1));
         assert!((q.accuracy.confidence.unwrap() - 0.95).abs() < 1e-9);
@@ -445,7 +558,7 @@ mod tests {
     #[test]
     fn parse_hyphenated_video_name_and_semicolon() {
         let q = parse_query("SELECT FCOUNT(*) FROM night-street WHERE class = 'car';").unwrap();
-        assert_eq!(q.from, "night-street");
+        assert_eq!(q.from.as_single(), Some("night-street"));
     }
 
     #[test]
@@ -456,12 +569,78 @@ mod tests {
         .unwrap();
         assert!(q.explain);
         assert_eq!(q.select, vec![SelectItem::FCount]);
-        assert_eq!(q.from, "taipei");
+        assert_eq!(q.from.as_single(), Some("taipei"));
         let plain = parse_query("SELECT * FROM taipei").unwrap();
         assert!(!plain.explain);
         // EXPLAIN must be followed by a full query.
         assert!(parse_query("EXPLAIN").is_err());
         assert!(parse_query("EXPLAIN EXPLAIN SELECT * FROM taipei").is_err());
+    }
+
+    #[test]
+    fn parse_multi_video_from_list() {
+        let q = parse_query(
+            "SELECT FCOUNT(*) FROM taipei, amsterdam, night-street WHERE class = 'car' \
+             ERROR WITHIN 0.1",
+        )
+        .unwrap();
+        assert_eq!(
+            q.from,
+            FromClause::Videos(vec![
+                "taipei".to_string(),
+                "amsterdam".to_string(),
+                "night-street".to_string()
+            ])
+        );
+        assert_eq!(q.from.as_single(), None);
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn parse_from_star_spans_the_catalog() {
+        let q =
+            parse_query("SELECT FCOUNT(*) FROM * WHERE class = 'car' ERROR WITHIN 0.1").unwrap();
+        assert!(q.from.is_all());
+        // Every other clause still parses after the star.
+        let scrub = parse_query(
+            "SELECT timestamp FROM * GROUP BY timestamp HAVING SUM(class='car')>=1 \
+             LIMIT 5 GAP 30",
+        )
+        .unwrap();
+        assert!(scrub.from.is_all());
+        assert_eq!(scrub.limit, Some(5));
+    }
+
+    #[test]
+    fn malformed_from_lists_point_a_caret_at_the_problem() {
+        // Missing name after a comma: the caret lands on the second comma.
+        let sql = "SELECT FCOUNT(*) FROM a, , b";
+        let err = parse_query(sql).unwrap_err();
+        let FrameQlError::ParseError { message } = &err else {
+            panic!("expected ParseError, got {err:?}")
+        };
+        assert!(message.contains("expected a video name after ','"), "{message}");
+        let caret_line = message.lines().last().unwrap();
+        assert_eq!(caret_line.find('^'), Some(2 + sql.find(", ,").unwrap() + 2), "{message}");
+
+        // Trailing comma at end of input: caret just past the last character.
+        let err = parse_query("SELECT * FROM taipei,").unwrap_err();
+        let FrameQlError::ParseError { message } = &err else { panic!("{err:?}") };
+        assert!(message.lines().last().unwrap().ends_with('^'), "{message}");
+
+        // A clause keyword where a name belongs.
+        let err = parse_query("SELECT * FROM taipei, WHERE class = 'car'").unwrap_err();
+        let FrameQlError::ParseError { message } = &err else { panic!("{err:?}") };
+        assert!(message.contains("found keyword WHERE"), "{message}");
+
+        // Star mixed into a named list (both orders).
+        assert!(parse_query("SELECT * FROM *, taipei").is_err());
+        assert!(parse_query("SELECT * FROM taipei, *").is_err());
+
+        // Duplicate videos (modulo routing normalization: case and '_' ≡ '-').
+        let err = parse_query("SELECT * FROM night-street, Night_Street").unwrap_err();
+        let FrameQlError::ParseError { message } = &err else { panic!("{err:?}") };
+        assert!(message.contains("duplicate video"), "{message}");
     }
 
     #[test]

@@ -18,15 +18,16 @@
 //! * [`train`] — a mini-batch training loop.
 //! * [`features`] — frame featurization (downsampled pixels + channel statistics),
 //!   standing in for the 65x65 CNN input.
-//! * [`score`] — the flat [`ScoreMatrix`](score::ScoreMatrix) holding per-frame,
+//! * [`score`] — the flat [`ScoreMatrix`] holding per-frame,
 //!   per-head probabilities: the output of batched scoring and the reusable
 //!   per-video score index.
-//! * [`parallel`] — scoped-thread chunk parallelism for batched featurization
+//! * [`parallel`] — the persistent worker pool: chunk parallelism for batched
+//!   featurization and scoped task fan-out for cross-video query execution
 //!   (rayon is unavailable in this build environment).
 //! * [`persist`] — the versioned, checksummed binary format for durable index
 //!   artifacts: score matrices and trained specialized networks, decoded
 //!   bit-identically and rejected (typed errors, no panics) when corrupt.
-//! * [`specialized`] — the [`SpecializedNN`](specialized::SpecializedNN) abstraction:
+//! * [`specialized`] — the [`SpecializedNN`] abstraction:
 //!   count / multi-class / binary heads, batched scoring
 //!   ([`score_batch`](specialized::SpecializedNN::score_batch) /
 //!   [`score_video`](specialized::SpecializedNN::score_video)), bootstrap error

@@ -147,9 +147,9 @@ impl Network {
     /// Unlike [`Network::logits`], no matrix is allocated once `scratch` has
     /// warmed up: activations ping-pong between the two scratch buffers, and the
     /// returned reference points at whichever holds the final layer's output.
-    /// This is the inner loop of [`SpecializedNN::score_batch`]
-    /// (crate::specialized::SpecializedNN::score_batch) and produces bit-identical
-    /// logits to the row-at-a-time path.
+    /// This is the inner loop of
+    /// [`SpecializedNN::score_batch`](crate::specialized::SpecializedNN::score_batch)
+    /// and produces bit-identical logits to the row-at-a-time path.
     pub fn logits_batch<'s>(
         &self,
         input: &Matrix,

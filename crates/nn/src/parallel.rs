@@ -1,15 +1,29 @@
-//! Data-parallel helpers for the batched scoring pipeline.
+//! Data-parallel helpers built on one process-wide persistent worker pool.
 //!
-//! The build environment has no `rayon`, so this module provides the one primitive
-//! batched featurization needs: splitting a flat output buffer into contiguous chunks
-//! and filling them from worker threads. Workers live in a process-wide persistent
-//! pool (spawned once, on first use) instead of being re-spawned per `score_batch`
-//! call; the contiguous-chunk strategy is unchanged. On a single-core host (or for
-//! small inputs) the work runs inline with zero threading overhead.
+//! The build environment has no `rayon`, so this module provides the two primitives
+//! the engine needs:
+//!
+//! * [`par_fill_chunks`] — split a flat output buffer into contiguous chunks and fill
+//!   them from worker threads (what batched featurization uses).
+//! * [`par_run`] — run a set of heterogeneous scoped tasks to completion and collect
+//!   their results in submission order (what the catalog's cross-video query fan-out
+//!   uses to execute per-video sub-queries concurrently).
+//!
+//! Workers live in a process-wide persistent pool (spawned once, on first use)
+//! instead of being re-spawned per call. On a single-core host (or for small inputs)
+//! the work runs inline with zero threading overhead.
+//!
+//! **Nesting is safe.** A task running on the pool may itself call back into
+//! [`par_fill_chunks`] or [`par_run`] (a fanned-out sub-query scores its video through
+//! the same pool). Blocking a worker on a latch while its sub-jobs sit in the shared
+//! queue would deadlock once every worker waits, so latch waits are *cooperative*: a
+//! waiting submitter steals queued jobs — anyone's — and runs them until its own jobs
+//! have all finished.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// A unit of work shipped to the pool. The `'static` bound is produced by an unsafe
 /// lifetime extension in [`run_scoped`], which is sound because the submitting call
@@ -21,6 +35,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// total concurrency matches the core count).
 struct WorkerPool {
     sender: Mutex<Sender<Job>>,
+    receiver: Arc<Mutex<Receiver<Job>>>,
     workers: usize,
 }
 
@@ -31,15 +46,15 @@ impl WorkerPool {
             let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
             let workers = threads.saturating_sub(1);
             let (sender, receiver) = channel::<Job>();
-            let receiver = std::sync::Arc::new(Mutex::new(receiver));
+            let receiver = Arc::new(Mutex::new(receiver));
             for i in 0..workers {
-                let receiver = std::sync::Arc::clone(&receiver);
+                let receiver = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("blazeit-score-{i}"))
                     .spawn(move || worker_loop(&receiver))
                     .expect("spawning a pool worker");
             }
-            WorkerPool { sender: Mutex::new(sender), workers }
+            WorkerPool { sender: Mutex::new(sender), receiver, workers }
         })
     }
 
@@ -49,6 +64,11 @@ impl WorkerPool {
             .expect("pool sender lock")
             .send(job)
             .expect("pool workers never hang up");
+    }
+
+    /// Dequeues one pending job without blocking (used by cooperative latch waits).
+    fn try_steal(&self) -> Option<Job> {
+        self.receiver.try_lock().ok()?.try_recv().ok()
     }
 }
 
@@ -86,10 +106,31 @@ impl Latch {
         }
     }
 
-    fn wait(&self) {
-        let mut remaining = self.state.lock().expect("latch lock");
-        while *remaining > 0 {
-            remaining = self.done.wait(remaining).expect("latch wait");
+    fn is_done(&self) -> bool {
+        *self.state.lock().expect("latch lock") == 0
+    }
+
+    /// Waits for every counted job, *cooperatively*: while the latch is open, queued
+    /// pool jobs (this call's or anyone else's) are stolen and run on the waiting
+    /// thread. This is what makes nested pool use deadlock-free — a pool worker
+    /// blocked here still drains the shared queue, so the sub-jobs it (or a sibling)
+    /// submitted always make progress even when every dedicated worker is occupied.
+    fn wait_cooperatively(&self, pool: &WorkerPool) {
+        loop {
+            if self.is_done() {
+                return;
+            }
+            if let Some(job) = pool.try_steal() {
+                job();
+                continue;
+            }
+            // Nothing to steal right now: block briefly on the condvar. The timeout
+            // re-checks the queue, since job submission does not signal this latch.
+            let remaining = self.state.lock().expect("latch lock");
+            if *remaining == 0 {
+                return;
+            }
+            let _ = self.done.wait_timeout(remaining, Duration::from_micros(200));
         }
     }
 }
@@ -137,7 +178,7 @@ fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     // The caller is a worker too: run the first task inline.
     let inline_result = catch_unwind(AssertUnwindSafe(first));
     latch.complete_one();
-    latch.wait();
+    latch.wait_cooperatively(pool);
 
     if let Err(payload) = inline_result {
         resume_unwind(payload);
@@ -149,6 +190,51 @@ fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
+}
+
+/// Runs every task to completion — concurrently on the persistent worker pool when
+/// more than one core is available, inline otherwise — and returns their results in
+/// submission order.
+///
+/// This is the fan-out primitive for heterogeneous scoped work (e.g. executing one
+/// sub-query per video of a multi-video FrameQL query): tasks may borrow from the
+/// caller's stack, the call blocks until all of them have finished, and a panicking
+/// task re-raises its payload on the caller after the others complete. Tasks may
+/// themselves use the pool ([`par_fill_chunks`] or a nested `par_run`); waiting
+/// submitters steal queued jobs, so nesting cannot deadlock.
+pub fn par_run<'scope, T: Send + 'scope>(
+    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'scope>>,
+) -> Vec<T> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let slots: Vec<Mutex<Option<T>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let wrapped: Vec<Box<dyn FnOnce() + Send + '_>> = tasks
+        .into_iter()
+        .zip(&slots)
+        .map(|(task, slot)| {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let value = task();
+                let mut guard = match slot.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *guard = Some(value);
+            });
+            job
+        })
+        .collect();
+    run_scoped(wrapped);
+    slots
+        .into_iter()
+        .map(|slot| {
+            let mut guard = match slot.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.take().expect("run_scoped ran every task to completion")
+        })
+        .collect()
 }
 
 /// Splits `data` into at most `available_parallelism()` contiguous chunks whose
@@ -281,6 +367,72 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn par_run_returns_results_in_submission_order() {
+        let inputs: Vec<u64> = (0..23).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = inputs
+            .iter()
+            .map(|&i| {
+                let task: Box<dyn FnOnce() -> u64 + Send + '_> = Box::new(move || i * i);
+                task
+            })
+            .collect();
+        let results = par_run(tasks);
+        let expected: Vec<u64> = inputs.iter().map(|&i| i * i).collect();
+        assert_eq!(results, expected);
+        assert!(par_run::<u8>(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn par_run_tasks_may_borrow_caller_state() {
+        let words = ["alpha".to_string(), "beta".to_string(), "gamma".to_string()];
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = words
+            .iter()
+            .map(|w| {
+                let task: Box<dyn FnOnce() -> usize + Send + '_> = Box::new(move || w.len());
+                task
+            })
+            .collect();
+        assert_eq!(par_run(tasks), vec![5, 4, 5]);
+    }
+
+    #[test]
+    fn nested_pool_use_does_not_deadlock() {
+        // Each outer task occupies the pool AND fans out again through it — both via
+        // par_fill_chunks and a nested par_run. With naive (non-cooperative) latch
+        // waits this configuration deadlocks as soon as outer tasks outnumber the
+        // workers; the cooperative wait steals the queued inner jobs instead.
+        let outer: Vec<Box<dyn FnOnce() -> u64 + Send + 'static>> = (0..16)
+            .map(|round| {
+                let task: Box<dyn FnOnce() -> u64 + Send + 'static> = Box::new(move || {
+                    let mut data = vec![0u64; 256 * 4];
+                    par_fill_chunks(&mut data, 4, |start, chunk| -> Result<(), ()> {
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v = (start + i) as u64 + round;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                    let data_ref = &data;
+                    let inner: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = (0..4)
+                        .map(|k| {
+                            let t: Box<dyn FnOnce() -> u64 + Send + '_> =
+                                Box::new(move || data_ref[k] + 1);
+                            t
+                        })
+                        .collect();
+                    par_run(inner).into_iter().sum()
+                });
+                task
+            })
+            .collect();
+        let sums = par_run(outer);
+        for (round, sum) in sums.iter().enumerate() {
+            // data[k] = k + round for k in 0..4, +1 each: sum = (0+1+2+3) + 4*round + 4.
+            assert_eq!(*sum, 6 + 4 * round as u64 + 4);
+        }
     }
 
     #[test]

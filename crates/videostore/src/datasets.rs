@@ -33,7 +33,7 @@ pub fn occupancy_to_mean_concurrent(occupancy: f64) -> f64 {
     -(1.0 - occ).ln()
 }
 
-/// One of the six named dataset presets from Table 3 (plus [`DatasetPreset::Custom`]).
+/// One of the six named dataset presets from Table 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DatasetPreset {
     /// Taipei intersection: cars (64.4% occupancy) and buses (11.9%), 720p/30.

@@ -24,7 +24,7 @@
 //! * **Statistics** ([`stats`]) that recompute the Table 3 columns from a generated
 //!   video.
 //!
-//! Everything is deterministic given a seed: the same [`VideoConfig`](video::VideoConfig)
+//! Everything is deterministic given a seed: the same [`VideoConfig`]
 //! and seed always produce the same tracks, frames and pixels.
 
 #![warn(missing_docs)]

@@ -57,8 +57,9 @@ pub mod prelude {
     pub use blazeit_core::select::SelectionOptions;
     pub use blazeit_core::{
         baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, CacheWarmth, Catalog,
-        IndexStore, LabeledSet, PlanStrategy, PreparedQuery, QueryOutput, QueryPlan, QueryResult,
-        RewriteDecision, Session, StoreError, VideoContext,
+        IndexStore, LabeledSet, MergeSemantics, PlanStrategy, PreparedQuery, QueryOutput,
+        QueryPlan, QueryResult, RewriteDecision, Session, SourcedFrame, SourcedRow, StoreError,
+        VideoAggregate, VideoContext, VideoPlan,
     };
     pub use blazeit_detect::{DetectionMethod, ObjectDetector, SimClock, SimulatedDetector};
     pub use blazeit_frameql::{parse_query, Query, Value};

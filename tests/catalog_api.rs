@@ -82,10 +82,10 @@ fn explain_decision_resolves_once_caches_are_warm() {
     // Cold caches: the rewrite decision honestly defers to execution.
     let cold = session.prepare(&format!("EXPLAIN {sql}")).unwrap();
     assert_eq!(
-        cold.plan().strategy,
+        cold.plan().only().strategy,
         PlanStrategy::SpecializedAggregate { decision: RewriteDecision::AtExecution }
     );
-    assert_eq!(cold.plan().specialized_cache, CacheWarmth::Cold);
+    assert_eq!(cold.plan().only().specialized_cache, CacheWarmth::Cold);
 
     // Run the real query once (trains the NN, scores the held-out day).
     session.query(sql).unwrap();
@@ -94,13 +94,13 @@ fn explain_decision_resolves_once_caches_are_warm() {
 
     // Warm caches: the plan resolves the decision — still for free.
     let warm = session.prepare(&format!("EXPLAIN {sql}")).unwrap();
-    match &warm.plan().strategy {
+    match &warm.plan().only().strategy {
         PlanStrategy::SpecializedAggregate { decision } => {
             assert_ne!(*decision, RewriteDecision::AtExecution, "warm caches must decide");
         }
         other => panic!("unexpected strategy {other:?}"),
     }
-    assert_eq!(warm.plan().specialized_cache, CacheWarmth::Memory);
+    assert_eq!(warm.plan().only().specialized_cache, CacheWarmth::Memory);
     assert!(warm.run().unwrap().output.explain_plan().is_some());
     assert_eq!(catalog.clock().total(), charged, "planning and EXPLAIN stay free");
 }
@@ -151,7 +151,7 @@ fn one_catalog_serves_multiple_videos_with_isolated_score_indexes() {
 
     // Routing errors list the whole catalog.
     match session.query("SELECT FCOUNT(*) FROM amsterdam WHERE class = 'car'") {
-        Err(BlazeItError::UnknownVideo { requested, available }) => {
+        Err(BlazeItError::UnknownVideo { requested, available, .. }) => {
             assert_eq!(requested, "amsterdam");
             assert_eq!(available, vec!["taipei".to_string(), "rialto".to_string()]);
         }
@@ -171,11 +171,11 @@ fn with_options_actually_changes_selection_execution() {
                AND area(mask) > 20000 GROUP BY trackid HAVING COUNT(*) > 15";
 
     let prepared = session.prepare(sql).unwrap();
-    assert_eq!(prepared.plan().selection, SelectionOptions::all());
+    assert_eq!(prepared.plan().only().selection, SelectionOptions::all());
     let filtered = prepared.run().unwrap();
 
     let overridden = session.prepare(sql).unwrap().with_options(SelectionOptions::none());
-    assert_eq!(overridden.plan().selection, SelectionOptions::none());
+    assert_eq!(overridden.plan().only().selection, SelectionOptions::none());
     let naive = overridden.run().unwrap();
 
     assert!(
@@ -198,12 +198,12 @@ fn with_budget_caps_sampling_detector_calls() {
         "SELECT FCOUNT(*) FROM taipei WHERE class = 'bird' ERROR WITHIN 0.01 AT CONFIDENCE 95%";
 
     let unbudgeted = session.prepare(sql).unwrap();
-    assert_eq!(unbudgeted.plan().strategy, PlanStrategy::NaiveSampling);
-    assert_eq!(unbudgeted.plan().detection_budget, None);
+    assert_eq!(unbudgeted.plan().only().strategy, PlanStrategy::NaiveSampling);
+    assert_eq!(unbudgeted.plan().only().detection_budget, None);
     let free_run = unbudgeted.run().unwrap();
 
     let budgeted = session.prepare(sql).unwrap().with_budget(40);
-    assert_eq!(budgeted.plan().detection_budget, Some(40));
+    assert_eq!(budgeted.plan().only().detection_budget, Some(40));
     let capped_run = budgeted.run().unwrap();
 
     assert!(free_run.output.detection_calls() > 40);

@@ -99,7 +99,7 @@ fn fresh_catalog_over_populated_store_pays_zero_specialized_cost() {
     // Disk-warm inputs are a free load away, so the planner resolves Algorithm
     // 1's rewrite decision at plan time — just as it does memory-warm.
     let prepared = catalog2.session().prepare(FCOUNT_SQL).unwrap();
-    match &prepared.plan().strategy {
+    match &prepared.plan().only().strategy {
         PlanStrategy::SpecializedAggregate { decision } => {
             assert_ne!(
                 *decision,

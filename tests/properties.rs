@@ -61,7 +61,7 @@ proptest! {
             "SELECT FCOUNT(*) FROM taipei WHERE class = '{class}' ERROR WITHIN {error} AT CONFIDENCE {conf}%"
         );
         let q = parse_query(&sql).unwrap();
-        prop_assert_eq!(q.from, "taipei");
+        prop_assert_eq!(q.from.as_single(), Some("taipei"));
         prop_assert!((q.accuracy.error_within.unwrap() - error).abs() < 1e-9);
         prop_assert!((q.accuracy.confidence.unwrap() - conf / 100.0).abs() < 1e-9);
     }
