@@ -46,7 +46,7 @@ fn bench_detection_and_nn(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 31) % 2_000;
-            black_box(engine.detector().detect(engine.video(), i))
+            black_box(engine.detector().detect(&engine.video(), i))
         })
     });
     let nn = engine
@@ -56,7 +56,7 @@ fn bench_detection_and_nn(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 31) % 2_000;
-            black_box(nn.score_frame(engine.video(), i).unwrap())
+            black_box(nn.score_frame(&engine.video(), i).unwrap())
         })
     });
 }
@@ -98,6 +98,7 @@ fn bench_inference_pipeline(c: &mut Criterion) {
     let frames_per_day = inference_bench_frames();
     let engine = BlazeIt::for_preset(DatasetPreset::Taipei, frames_per_day).unwrap();
     let video = engine.video();
+    let video = &*video;
     let nn = engine
         .specialized_for(&[(ObjectClass::Car, engine.default_max_count(ObjectClass::Car, 1))])
         .unwrap();

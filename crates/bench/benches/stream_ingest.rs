@@ -1,0 +1,172 @@
+//! Incremental streaming ingestion vs cold re-scoring.
+//!
+//! For each stream length, the stream is ingested in 8 appends. Three costs are
+//! compared:
+//!
+//! * **incremental** — what the streaming subsystem actually does: score the
+//!   initial prefix once, then score only the newly appended frames at each
+//!   ingest (the cached index grows in place).
+//! * **cold once** — scoring the full-length video in one batched pass (the
+//!   lower bound any indexer pays at least once).
+//! * **naive re-score** — what a system without incremental indexes would do:
+//!   re-score the whole grown prefix from scratch at every append (the cost the
+//!   streaming subsystem eliminates; grows quadratically in the append count).
+//!
+//! Wall-clock and simulated specialized-inference seconds for every mode land
+//! in `BENCH_stream.json` at the workspace root. The incremental path also
+//! asserts its index is bit-identical to the cold pass — a benchmark comparing
+//! diverging outputs would be meaningless.
+
+use blazeit_core::stream::DriftConfig;
+use blazeit_core::Catalog;
+use blazeit_videostore::{DatasetPreset, ObjectClass};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+const APPENDS: u64 = 8;
+
+fn bench_sizes() -> Vec<u64> {
+    match std::env::var("BLAZEIT_BENCH_STREAM_FRAMES") {
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        Err(_) => vec![1_000, 4_000, 16_000],
+    }
+}
+
+struct Row {
+    frames: u64,
+    incremental_secs: f64,
+    cold_once_secs: f64,
+    naive_rescore_secs: f64,
+    incremental_sim_secs: f64,
+    naive_sim_secs: f64,
+}
+
+fn measure(frames: u64) -> Row {
+    let preset = DatasetPreset::Taipei;
+    let chunk = frames / APPENDS;
+    let heads = |ctx: &blazeit_core::VideoContext| {
+        vec![(ObjectClass::Car, ctx.default_max_count(ObjectClass::Car, 1))]
+    };
+
+    // Incremental: initial chunk scored at subscribe time, then 7 appends of
+    // `chunk` frames each — every frame is scored exactly once.
+    let mut catalog = Catalog::new();
+    catalog
+        .register_stream_preset(preset, frames, chunk, DriftConfig::disabled())
+        .expect("register stream");
+    let ctx = catalog.context(preset.name()).unwrap();
+    let nn = ctx.specialized_for(&heads(ctx)).unwrap();
+    let stream = catalog.stream(preset.name()).unwrap();
+    let sim_before = catalog.clock().breakdown().specialized;
+    let started = Instant::now();
+    let _ = ctx.score_index(&nn).unwrap();
+    while !stream.is_exhausted() {
+        stream.advance(chunk).unwrap();
+    }
+    let incremental_secs = started.elapsed().as_secs_f64();
+    let incremental_sim_secs = catalog.clock().breakdown().specialized - sim_before;
+    let incremental_index = ctx.score_index(&nn).unwrap();
+
+    // Cold once: one batched pass over the full-length video with the same
+    // (deterministically identical) network.
+    let mut cold = Catalog::new();
+    cold.register_preset(preset, frames).expect("register cold");
+    let cold_ctx = cold.context(preset.name()).unwrap();
+    let cold_nn = cold_ctx.specialized_for(&heads(cold_ctx)).unwrap();
+    assert_eq!(nn.weights_fingerprint(), cold_nn.weights_fingerprint());
+    let started = Instant::now();
+    let cold_index = cold_ctx.score_index(&cold_nn).unwrap();
+    let cold_once_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        incremental_index.probs(),
+        cold_index.probs(),
+        "incremental index must be bit-identical to the cold pass"
+    );
+
+    // Naive re-score: the whole grown prefix from scratch at every append
+    // boundary (what repeated cold queries over a growing video would pay).
+    let capacity = cold_ctx.video();
+    let sim_before = cold.clock().breakdown().specialized;
+    let started = Instant::now();
+    for boundary in 1..=APPENDS {
+        let prefix = capacity.prefix(boundary * chunk).unwrap();
+        black_box(cold_nn.score_video(&prefix).unwrap());
+    }
+    let naive_rescore_secs = started.elapsed().as_secs_f64();
+    let naive_sim_secs = cold.clock().breakdown().specialized - sim_before;
+
+    Row {
+        frames,
+        incremental_secs,
+        cold_once_secs,
+        naive_rescore_secs,
+        incremental_sim_secs,
+        naive_sim_secs,
+    }
+}
+
+fn bench_stream_ingest(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for frames in bench_sizes() {
+        let row = measure(frames);
+        println!(
+            "stream_ingest {frames:>6} frames: incremental {:.3}s | cold-once {:.3}s | \
+             naive re-score {:.3}s ({:.1}x saved; sim {:.1}s vs {:.1}s)",
+            row.incremental_secs,
+            row.cold_once_secs,
+            row.naive_rescore_secs,
+            row.naive_rescore_secs / row.incremental_secs.max(1e-9),
+            row.incremental_sim_secs,
+            row.naive_sim_secs,
+        );
+        rows.push(row);
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\n    \"dataset\": \"taipei\",\n    \"frames\": {},\n    \
+                 \"appends\": {APPENDS},\n    \"incremental_secs\": {:.6},\n    \
+                 \"cold_once_secs\": {:.6},\n    \"naive_rescore_secs\": {:.6},\n    \
+                 \"speedup_vs_naive\": {:.2},\n    \
+                 \"incremental_sim_specialized_secs\": {:.6},\n    \
+                 \"naive_sim_specialized_secs\": {:.6}\n  }}",
+                r.frames,
+                r.incremental_secs,
+                r.cold_once_secs,
+                r.naive_rescore_secs,
+                r.naive_rescore_secs / r.incremental_secs.max(1e-9),
+                r.incremental_sim_secs,
+                r.naive_sim_secs,
+            )
+        })
+        .collect();
+    let report = format!("[\n{}\n]\n", entries.join(",\n"));
+    let out_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_stream.json");
+    std::fs::write(&out_path, report).expect("write BENCH_stream.json");
+    println!("wrote {}", out_path.display());
+
+    // Steady-state cost of one append on a warm stream, for the criterion
+    // report: 256 fresh frames scored and appended per iteration.
+    let mut catalog = Catalog::new();
+    catalog
+        .register_stream_preset(DatasetPreset::Taipei, 120_000, 256, DriftConfig::disabled())
+        .expect("register steady-state stream");
+    let ctx = catalog.context("taipei").unwrap();
+    let nn = ctx
+        .specialized_for(&[(ObjectClass::Car, ctx.default_max_count(ObjectClass::Car, 1))])
+        .unwrap();
+    let _ = ctx.score_index(&nn).unwrap();
+    let stream = catalog.stream("taipei").unwrap();
+    c.bench_function("stream_append_256_frames", |b| {
+        b.iter(|| {
+            assert!(!stream.is_exhausted(), "raise the steady-state capacity");
+            black_box(stream.advance(256).unwrap());
+        })
+    });
+}
+
+criterion_group!(benches, bench_stream_ingest);
+criterion_main!(benches);

@@ -49,7 +49,7 @@ fn main() {
         let mut preds = Vec::new();
         let mut truths = Vec::new();
         for f in (0..engine.video().len()).step_by(17) {
-            preds.push(nn.expected_count(engine.video(), f, class).unwrap());
+            preds.push(nn.expected_count(&engine.video(), f, class).unwrap());
             truths.push(engine.video().ground_truth_count(f, class).unwrap() as f64);
         }
         let pstd = std(&preds);

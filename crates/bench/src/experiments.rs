@@ -327,7 +327,7 @@ pub fn table6_specs(scale: ExperimentScale) -> Vec<ScrubQuerySpec> {
             let catalog = catalog_for(preset, scale);
             let engine = context_of(&catalog, preset);
             let class = preset.primary_class();
-            let counts = baselines::oracle_counts(engine, engine.video());
+            let counts = baselines::oracle_counts(engine, &engine.video());
             let max = counts.iter().map(|c| c.get(class)).max().unwrap_or(0);
             let instances_of =
                 |n: usize| counts.iter().filter(|c| c.get(class) >= n).count() as u64;
@@ -429,7 +429,7 @@ pub fn fig7(scale: ExperimentScale) -> String {
         "{:>7} {:>14} {:>16} {:>14} {:>10}",
         "N cars", "naive samples", "noscope samples", "blazeit", "instances"
     );
-    let counts = baselines::oracle_counts(engine, engine.video());
+    let counts = baselines::oracle_counts(engine, &engine.video());
     for n in 1..=6usize {
         let requirements = [(ObjectClass::Car, n)];
         let instances = counts.iter().filter(|c| c.get(ObjectClass::Car) >= n).count();
@@ -455,7 +455,7 @@ pub fn multiclass_requirements(
     ctx: &VideoContext,
     min_instances: usize,
 ) -> (Vec<(ObjectClass, usize)>, u64) {
-    let counts = baselines::oracle_counts(ctx, ctx.video());
+    let counts = baselines::oracle_counts(ctx, &ctx.video());
     let instances_of = |n: usize| {
         counts
             .iter()

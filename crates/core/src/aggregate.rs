@@ -210,7 +210,7 @@ pub fn initial_sample_size(range_k: usize, error: f64) -> u64 {
 }
 
 fn detector_count(ctx: &VideoContext, frame: u64, class: Option<ObjectClass>) -> usize {
-    let detections = ctx.detector().detect(ctx.video(), frame);
+    let detections = ctx.detector().detect(&ctx.video(), frame);
     match class {
         Some(c) => count_class(&detections, c),
         None => detections.len(),

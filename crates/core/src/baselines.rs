@@ -65,6 +65,7 @@ fn count_for(detections: &[Detection], class: Option<ObjectClass>) -> usize {
 /// Returns `(fcount, detector calls)`.
 pub fn naive_fcount(ctx: &VideoContext, class: Option<ObjectClass>) -> Result<(f64, u64)> {
     let video = ctx.video();
+    let video = &*video;
     let mut total = 0usize;
     scan_detections(ctx.detector(), video, &all_frames(video), |_, detections| {
         total += count_for(detections, class);
@@ -78,6 +79,7 @@ pub fn naive_fcount(ctx: &VideoContext, class: Option<ObjectClass>) -> Result<(f
 /// Returns `(fcount, detector calls)`.
 pub fn noscope_fcount(ctx: &VideoContext, class: ObjectClass) -> Result<(f64, u64)> {
     let video = ctx.video();
+    let video = &*video;
     let occupied: Vec<FrameIndex> =
         (0..video.len()).filter(|&f| video.scene().count_at(f, class) > 0).collect();
     let mut total = 0usize;
@@ -97,6 +99,7 @@ pub fn oracle_fcount(ctx: &VideoContext, class: Option<ObjectClass>) -> (f64, u6
         offline,
     );
     let video = ctx.video();
+    let video = &*video;
     let mut total = 0usize;
     scan_detections(&detector, video, &all_frames(video), |_, detections| {
         total += count_for(detections, class);
@@ -124,6 +127,7 @@ pub fn oracle_counts(ctx: &VideoContext, video: &Video) -> Vec<CountVector> {
 /// over every frame. Returns `(distinct track count, detector calls)`.
 pub fn exact_distinct_count(ctx: &VideoContext, class: Option<ObjectClass>) -> Result<(f64, u64)> {
     let video = ctx.video();
+    let video = &*video;
     let mut builder = RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, 1);
     let mut tracks: BTreeSet<u64> = BTreeSet::new();
     scan_detections(ctx.detector(), video, &all_frames(video), |frame, detections| {
@@ -159,6 +163,7 @@ pub fn naive_scrub(
         return Err(BlazeItError::Unsupported("scrubbing requires class requirements".into()));
     }
     let video = ctx.video();
+    let video = &*video;
     let mut accepted = Vec::new();
     let mut calls = 0u64;
     for frame in 0..video.len() {
@@ -190,6 +195,7 @@ pub fn noscope_scrub(
         return Err(BlazeItError::Unsupported("scrubbing requires class requirements".into()));
     }
     let video = ctx.video();
+    let video = &*video;
     let mut accepted = Vec::new();
     let mut calls = 0u64;
     for frame in 0..video.len() {
@@ -222,6 +228,7 @@ pub fn naive_selection_scan(
     class: Option<ObjectClass>,
 ) -> Result<(Vec<blazeit_frameql::FrameQlRow>, u64)> {
     let video = ctx.video();
+    let video = &*video;
     let mut builder = RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, 1);
     let mut rows = Vec::new();
     scan_detections(ctx.detector(), video, &all_frames(video), |frame, detections| {
@@ -241,6 +248,7 @@ pub fn noscope_selection_scan(
     class: ObjectClass,
 ) -> Result<(Vec<blazeit_frameql::FrameQlRow>, u64)> {
     let video = ctx.video();
+    let video = &*video;
     let occupied: Vec<FrameIndex> =
         (0..video.len()).filter(|&f| video.scene().count_at(f, class) > 0).collect();
     let mut builder = RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, 1);
@@ -273,7 +281,7 @@ mod tests {
         assert_eq!(calls, 1_200);
         assert!(fcount > 0.0);
         let charged = e.clock().breakdown().detection - before;
-        let per_frame = e.detector().cost_per_frame(e.video());
+        let per_frame = e.detector().cost_per_frame(&e.video());
         assert!((charged - 1_200.0 * per_frame).abs() < 1e-6);
     }
 

@@ -17,6 +17,7 @@ use crate::context::VideoContext;
 use crate::labeled::LabeledSet;
 use crate::session::Session;
 use crate::store::IndexStore;
+use crate::stream::{DriftConfig, StreamState};
 use crate::{BlazeItError, Result};
 use blazeit_detect::SimClock;
 use blazeit_videostore::{DatasetPreset, Video, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
@@ -101,6 +102,18 @@ impl Catalog {
         Ok(Catalog { clock: SimClock::new(), contexts: Vec::new(), store: Some(Arc::new(store)) })
     }
 
+    /// Like [`Catalog::with_index_store`], with a size budget: the store keeps
+    /// its total artifact bytes at or below `max_bytes` by evicting the
+    /// least-recently-used artifacts (usage tracked in a small on-disk
+    /// manifest, not filesystem mtimes). Storing an artifact that cannot fit
+    /// even after evicting everything else fails with
+    /// [`StoreError::BudgetExceeded`](crate::store::StoreError::BudgetExceeded);
+    /// the catalog's write-behind degrades to in-memory caching in that case.
+    pub fn with_index_store_budget(path: impl AsRef<Path>, max_bytes: u64) -> Result<Catalog> {
+        let store = IndexStore::open_with_budget(path, max_bytes)?;
+        Ok(Catalog { clock: SimClock::new(), contexts: Vec::new(), store: Some(Arc::new(store)) })
+    }
+
     /// The durable index store behind this catalog's caches, if any.
     pub fn index_store(&self) -> Option<&Arc<IndexStore>> {
         self.store.as_ref()
@@ -153,11 +166,123 @@ impl Catalog {
         frames_per_day: u64,
         config: BlazeItConfig,
     ) -> Result<&VideoContext> {
+        let test = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
+        let labeled = self.build_or_load_labeled(preset, frames_per_day, &config)?;
+        self.register(test, labeled, config)
+    }
+
+    /// Builds the labeled set for a preset — or, when this catalog has an
+    /// index store that already holds the annotations for the same labeling
+    /// identity (videos, detector, strides), loads them instead of re-running
+    /// the offline detector pass ([`LabeledSet::annotation_cost_secs`] is zero
+    /// for a loaded set). Freshly built annotations are written behind.
+    fn build_or_load_labeled(
+        &self,
+        preset: DatasetPreset,
+        frames_per_day: u64,
+        config: &BlazeItConfig,
+    ) -> Result<Arc<LabeledSet>> {
         let train = preset.generate_with_frames(DAY_TRAIN, frames_per_day)?;
         let heldout = preset.generate_with_frames(DAY_HELDOUT, frames_per_day)?;
-        let test = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
-        let labeled = Arc::new(LabeledSet::build(train, heldout, &config)?);
-        self.register(test, labeled, config)
+        let key = Self::labeled_store_key(&train, &heldout, config);
+        let dir = normalize(preset.name());
+        if let Some(store) = &self.store {
+            if let Ok(Some((train_day, heldout_day))) = store.load_labeled(&dir, &key) {
+                if let Ok(set) = LabeledSet::from_parts(train, heldout, train_day, heldout_day) {
+                    return Ok(Arc::new(set));
+                }
+                // An inconsistent artifact falls through to a rebuild, which
+                // overwrites it below (same healing rule as every other
+                // artifact class).
+                let train = preset.generate_with_frames(DAY_TRAIN, frames_per_day)?;
+                let heldout = preset.generate_with_frames(DAY_HELDOUT, frames_per_day)?;
+                let set = LabeledSet::build(train, heldout, config)?;
+                let _ = store.store_labeled(&dir, &key, set.train(), set.heldout());
+                return Ok(Arc::new(set));
+            }
+        }
+        let set = LabeledSet::build(train, heldout, config)?;
+        if let Some(store) = &self.store {
+            // Write-behind; a full disk degrades to building on every open.
+            let _ = store.store_labeled(&dir, &key, set.train(), set.heldout());
+        }
+        Ok(Arc::new(set))
+    }
+
+    /// The durable-store key for a labeled set: everything the annotations
+    /// depend on — both videos' full identity and the labeling detector and
+    /// strides. (Specialized-NN configuration is deliberately absent: the
+    /// annotations are detector outputs, shared by every model trained on
+    /// them.)
+    fn labeled_store_key(train: &Video, heldout: &Video, config: &BlazeItConfig) -> String {
+        format!(
+            "labeled#{}#days{}-{}#vseed{}#{}x2#det{:?}#thr{}#strides{}-{}",
+            train.name(),
+            train.config().day,
+            heldout.config().day,
+            train.config().seed,
+            train.len(),
+            config.detection_method,
+            config.detection_threshold,
+            config.labeled_stride,
+            config.heldout_stride,
+        )
+    }
+
+    /// Registers a **live stream**: `capacity` is the full day the stream will
+    /// eventually deliver (generated deterministically up front, as the
+    /// synthetic stand-in for a camera feed), of which only the first
+    /// `initial_frames` are ingested at registration. Frames arrive through
+    /// [`Catalog::stream`] / [`StreamSource::advance`](crate::stream::StreamSource::advance);
+    /// every cached score index is extended incrementally as they do, and
+    /// `drift` configures the background refresh monitor.
+    ///
+    /// Queries (and [`Session::subscribe`](crate::session::Session::subscribe))
+    /// see exactly the ingested prefix.
+    pub fn register_stream(
+        &mut self,
+        capacity: Video,
+        labeled: Arc<LabeledSet>,
+        config: BlazeItConfig,
+        initial_frames: u64,
+        drift: DriftConfig,
+    ) -> Result<&VideoContext> {
+        let key = normalize(capacity.name());
+        if self.contexts.iter().any(|c| normalize(c.video().name()) == key) {
+            return Err(BlazeItError::Unsupported(format!(
+                "video '{}' is already registered in this catalog",
+                capacity.name()
+            )));
+        }
+        let capacity = Arc::new(capacity);
+        let initial = capacity.prefix(initial_frames.max(1).min(capacity.len()))?;
+        let ctx = VideoContext::with_parts(
+            initial,
+            labeled,
+            config,
+            Arc::clone(&self.clock),
+            self.store.clone(),
+            Some(StreamState::new(capacity, drift)),
+        );
+        self.contexts.push(ctx);
+        Ok(self.contexts.last().expect("context was just pushed"))
+    }
+
+    /// Registers one of the Table 3 presets as a live stream: the labeled days
+    /// are built (or loaded from the index store) as usual, the test day of
+    /// `frames_per_day` frames becomes the stream's capacity, and ingestion
+    /// starts at `initial_frames`.
+    pub fn register_stream_preset(
+        &mut self,
+        preset: DatasetPreset,
+        frames_per_day: u64,
+        initial_frames: u64,
+        drift: DriftConfig,
+    ) -> Result<&VideoContext> {
+        let config = BlazeItConfig::for_preset(preset);
+        let capacity = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
+        let labeled = self.build_or_load_labeled(preset, frames_per_day, &config)?;
+        self.register_stream(capacity, labeled, config, initial_frames, drift)
     }
 
     /// Looks up a registered video's context by (normalized) name.
@@ -297,11 +422,11 @@ mod tests {
         catalog.register_preset(DatasetPreset::Amsterdam, 600).unwrap();
         assert_eq!(catalog.clock().total(), 0.0);
         let ctx = catalog.context("taipei").unwrap();
-        ctx.detector().detect(ctx.video(), 0);
+        ctx.detector().detect(&ctx.video(), 0);
         assert!(catalog.clock().total() > 0.0);
         let before = catalog.clock().total();
         let ctx2 = catalog.context("amsterdam").unwrap();
-        ctx2.detector().detect(ctx2.video(), 0);
+        ctx2.detector().detect(&ctx2.video(), 0);
         assert!(catalog.clock().total() > before, "both contexts charge the shared clock");
         catalog.reset_clock();
         assert_eq!(catalog.clock().total(), 0.0);

@@ -30,6 +30,7 @@
 use crate::config::BlazeItConfig;
 use crate::labeled::LabeledSet;
 use crate::store::IndexStore;
+use crate::stream::StreamState;
 use crate::{BlazeItError, Result};
 use blazeit_detect::{SimClock, SimulatedDetector};
 use blazeit_frameql::{builtin_udfs, UdfRegistry};
@@ -71,27 +72,66 @@ impl CacheWarmth {
     }
 }
 
+/// One entry of the live (test-day) score-index cache: the scores, the exact
+/// network that produced them, and the model generation they belong to.
+///
+/// Holding the network alongside its scores is what makes both streaming
+/// ingestion and atomic model swaps possible: appending frames needs the
+/// producing network to score the new rows, and a subscribed query snapshotting
+/// `(nn, scores, generation)` under one lock acquisition is guaranteed to
+/// answer from exactly one model generation.
+pub(crate) struct LiveIndex {
+    /// The network whose weights produced `scores`.
+    pub(crate) nn: Arc<SpecializedNN>,
+    /// Per-frame scores covering exactly the context's current video length.
+    pub(crate) scores: Arc<ScoreMatrix>,
+    /// Model generation: 0 for the labeled-set-trained network, incremented by
+    /// every drift-triggered refresh swap.
+    pub(crate) generation: u64,
+}
+
 /// One registered video and everything cached for it.
+///
+/// # Lock order
+///
+/// Streaming makes several fields interior-mutable. Code acquiring more than
+/// one of these locks must follow the order *drift monitor → `live_index` →
+/// `nn_cache` → `video`* (the `heldout_cache` is an independent leaf). Ingestion
+/// holds `live_index` across the video swap, so any reader that takes
+/// `live_index` first observes a consistent `(video, index)` pair.
 pub struct VideoContext {
-    video: Video,
+    /// The current video — for a streaming context, the ingested prefix of the
+    /// full generated day; swapped atomically as frames arrive.
+    pub(crate) video: Mutex<Arc<Video>>,
     labeled: Arc<LabeledSet>,
     config: BlazeItConfig,
     clock: Arc<SimClock>,
     detector: SimulatedDetector,
     udfs: UdfRegistry,
-    nn_cache: Mutex<HashMap<String, Arc<SpecializedNN>>>,
-    score_cache: Mutex<HashMap<String, Arc<ScoreMatrix>>>,
-    /// The durable tier behind the two caches, plus this video's directory name
+    /// Trained specialized networks by normalized head key (the *current*
+    /// generation; drift refreshes replace entries in place).
+    pub(crate) nn_cache: Mutex<HashMap<String, Arc<SpecializedNN>>>,
+    /// Live test-day score indexes by normalized head key; see [`LiveIndex`].
+    pub(crate) live_index: Mutex<HashMap<String, LiveIndex>>,
+    /// Held-out-day score indexes by full score key (the held-out day never
+    /// grows, so these need no streaming machinery).
+    heldout_cache: Mutex<HashMap<String, Arc<ScoreMatrix>>>,
+    /// The durable tier behind the caches, plus this video's directory name
     /// inside it (its normalized stream name).
-    store: Option<(Arc<IndexStore>, String)>,
+    pub(crate) store: Option<(Arc<IndexStore>, String)>,
+    /// Streaming state (full-day capacity video + drift monitor); `None` for
+    /// ordinary, fixed-length registrations.
+    pub(crate) stream: Option<StreamState>,
 }
 
 impl std::fmt::Debug for VideoContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let video = self.video();
         f.debug_struct("VideoContext")
-            .field("video", &self.video.name())
-            .field("frames", &self.video.len())
+            .field("video", &video.name())
+            .field("frames", &video.len())
             .field("detection_method", &self.config.detection_method)
+            .field("stream", &self.stream.is_some())
             .finish()
     }
 }
@@ -118,6 +158,21 @@ impl VideoContext {
         clock: Arc<SimClock>,
         store: Option<Arc<IndexStore>>,
     ) -> VideoContext {
+        Self::with_parts(video, labeled, config, clock, store, None)
+    }
+
+    /// The full constructor: like [`VideoContext::with_store`], optionally with
+    /// streaming state (what
+    /// [`Catalog::register_stream`](crate::catalog::Catalog::register_stream)
+    /// passes).
+    pub(crate) fn with_parts(
+        video: Video,
+        labeled: Arc<LabeledSet>,
+        config: BlazeItConfig,
+        clock: Arc<SimClock>,
+        store: Option<Arc<IndexStore>>,
+        stream: Option<StreamState>,
+    ) -> VideoContext {
         let detector = SimulatedDetector::new(
             config.detection_method,
             config.detection_threshold,
@@ -128,15 +183,17 @@ impl VideoContext {
             (s, dir)
         });
         VideoContext {
-            video,
+            video: Mutex::new(Arc::new(video)),
             labeled,
             config,
             clock,
             detector,
             udfs: builtin_udfs(),
             nn_cache: Mutex::new(HashMap::new()),
-            score_cache: Mutex::new(HashMap::new()),
+            live_index: Mutex::new(HashMap::new()),
+            heldout_cache: Mutex::new(HashMap::new()),
             store,
+            stream,
         }
     }
 
@@ -145,9 +202,20 @@ impl VideoContext {
         self.store.as_ref().map(|(s, _)| s)
     }
 
-    /// The unseen (test) video queries run over.
-    pub fn video(&self) -> &Video {
-        &self.video
+    /// The unseen (test) video queries run over — a cheap atomic snapshot.
+    ///
+    /// For a streaming context this is the currently ingested prefix; it is
+    /// swapped (never mutated) as frames arrive, so an executor that takes one
+    /// snapshot works over one consistent set of frames for its whole run even
+    /// while ingestion continues.
+    pub fn video(&self) -> Arc<Video> {
+        Arc::clone(&self.video.lock())
+    }
+
+    /// Whether this context is a live stream (registered through
+    /// [`Catalog::register_stream`](crate::catalog::Catalog::register_stream)).
+    pub fn is_stream(&self) -> bool {
+        self.stream.is_some()
     }
 
     /// The labeled set.
@@ -200,7 +268,7 @@ impl VideoContext {
     /// trains, so both must hit the same cache entry. (Keying on the caller's
     /// raw value used to cache under `"class:0"` while the equivalent
     /// `(class, 1)` request missed, re-trained, and double-charged the clock.)
-    fn normalized_heads(heads: &[(ObjectClass, usize)]) -> Vec<(ObjectClass, usize)> {
+    pub(crate) fn normalized_heads(heads: &[(ObjectClass, usize)]) -> Vec<(ObjectClass, usize)> {
         let mut sorted: Vec<(ObjectClass, usize)> =
             heads.iter().map(|&(c, m)| (c, m.max(1))).collect();
         sorted.sort_by_key(|(c, _)| c.index());
@@ -211,7 +279,7 @@ impl VideoContext {
     /// and clamp-insensitive: the key is always derived from
     /// [`VideoContext::normalized_heads`], so every head-set formulation that
     /// trains the same network keys the same entry.
-    fn head_key(heads: &[(ObjectClass, usize)]) -> String {
+    pub(crate) fn head_key(heads: &[(ObjectClass, usize)]) -> String {
         Self::normalized_heads(heads)
             .iter()
             .map(|(c, m)| format!("{}:{}", c.name(), m))
@@ -235,7 +303,7 @@ impl VideoContext {
     /// in memory or through the durable store. (Every key string is also stored
     /// *inside* its artifact and verified on load, so anything the key
     /// distinguishes the store provably cannot confuse.)
-    fn score_key(video: &Video, frames_scored: usize, nn: &SpecializedNN) -> String {
+    pub(crate) fn score_key(video: &Video, frames_scored: usize, nn: &SpecializedNN) -> String {
         let config = nn.config();
         let heads: Vec<(ObjectClass, usize)> =
             config.heads.iter().map(|h| (h.class, h.max_count)).collect();
@@ -291,7 +359,7 @@ impl VideoContext {
     /// The specialized-network configuration this context trains for a sorted
     /// head set (shared by [`VideoContext::specialized_for`] and the cache-key
     /// derivations so they can never disagree).
-    fn context_spec_config(&self, sorted: &[(ObjectClass, usize)]) -> SpecializedConfig {
+    pub(crate) fn context_spec_config(&self, sorted: &[(ObjectClass, usize)]) -> SpecializedConfig {
         let spec_heads: Vec<SpecializedHead> = sorted
             .iter()
             .map(|&(class, max_count)| SpecializedHead { class, max_count: max_count.max(1) })
@@ -397,34 +465,60 @@ impl VideoContext {
     /// The first call charges the full-video inference cost to the shared clock;
     /// later calls are free.
     pub fn score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
-        let key = Self::score_key(&self.video, self.video.len() as usize, nn);
+        let heads: Vec<(ObjectClass, usize)> =
+            nn.heads().iter().map(|h| (h.class, h.max_count)).collect();
+        let key = Self::head_key(&heads);
         // The lock is held across the build so two concurrent first queries
         // cannot both score the video (which would double-charge the clock).
-        let mut cache = self.score_cache.lock();
-        if let Some(scores) = cache.get(&key) {
-            return Ok(Arc::clone(scores));
+        // It also pins the (video, index) pair: ingestion swaps the video only
+        // while holding this lock, so the snapshot below is consistent.
+        let mut cache = self.live_index.lock();
+        let video = self.video();
+        if let Some(entry) = cache.get(&key) {
+            if entry.nn.weights_fingerprint() == nn.weights_fingerprint()
+                && entry.scores.num_frames() as u64 == video.len()
+            {
+                return Ok(Arc::clone(&entry.scores));
+            }
         }
-        if let Some(scores) = self.load_stored_scores(&key) {
-            cache.insert(key, Arc::clone(&scores));
-            return Ok(scores);
+        let skey = Self::score_key(&video, video.len() as usize, nn);
+        let scores = if let Some(scores) = self.load_stored_scores(&skey) {
+            scores
+        } else {
+            let scores = Arc::new(nn.score_video(&video)?);
+            self.store_scores_behind(&skey, &scores);
+            scores
+        };
+        // Only the *current* generation's network may own the live entry: a
+        // caller still holding a pre-refresh network (its query started before
+        // a drift swap) gets its scores computed above but must not clobber the
+        // swapped-in index.
+        let is_current = self
+            .nn_cache
+            .lock()
+            .get(&key)
+            .is_none_or(|current| current.weights_fingerprint() == nn.weights_fingerprint());
+        if is_current {
+            let generation = cache.get(&key).map_or(0, |e| e.generation);
+            cache.insert(
+                key,
+                LiveIndex { nn: Arc::clone(nn), scores: Arc::clone(&scores), generation },
+            );
         }
-        let scores = Arc::new(nn.score_video(&self.video)?);
-        self.store_scores_behind(&key, &scores);
-        cache.insert(key, Arc::clone(&scores));
         Ok(scores)
     }
 
     /// Disk tier of the score-cache read-through: loads a stored matrix for
     /// `key`, charging nothing. Invalid artifacts read as a miss (the caller
     /// recomputes and the write-behind replaces the bad file).
-    fn load_stored_scores(&self, key: &str) -> Option<Arc<ScoreMatrix>> {
+    pub(crate) fn load_stored_scores(&self, key: &str) -> Option<Arc<ScoreMatrix>> {
         let (store, dir) = self.store.as_ref()?;
         store.load_scores(dir, key).ok().flatten().map(Arc::new)
     }
 
     /// Write-behind half of the score-cache hierarchy; a failed write degrades
     /// to in-memory-only caching rather than failing the query.
-    fn store_scores_behind(&self, key: &str, scores: &ScoreMatrix) {
+    pub(crate) fn store_scores_behind(&self, key: &str, scores: &ScoreMatrix) {
         if let Some((store, dir)) = &self.store {
             let _ = store.store_scores(dir, key, scores);
         }
@@ -438,7 +532,7 @@ impl VideoContext {
     pub fn heldout_score_index(&self, nn: &Arc<SpecializedNN>) -> Result<Arc<ScoreMatrix>> {
         let heldout = self.labeled.heldout();
         let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn);
-        let mut cache = self.score_cache.lock();
+        let mut cache = self.heldout_cache.lock();
         if let Some(scores) = cache.get(&key) {
             return Ok(Arc::clone(scores));
         }
@@ -460,7 +554,7 @@ impl VideoContext {
     pub fn cached_heldout_score_index(&self, nn: &Arc<SpecializedNN>) -> Option<Arc<ScoreMatrix>> {
         let heldout = self.labeled.heldout();
         let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn);
-        let mut cache = self.score_cache.lock();
+        let mut cache = self.heldout_cache.lock();
         if let Some(scores) = cache.get(&key) {
             return Some(Arc::clone(scores));
         }
@@ -503,10 +597,16 @@ impl VideoContext {
         let Some(nn) = self.lookup_specialized(&normalized) else {
             return CacheWarmth::Cold;
         };
-        let key = Self::score_key(&self.video, self.video.len() as usize, &nn);
-        if self.score_cache.lock().contains_key(&key) {
-            return CacheWarmth::Memory;
+        let cache = self.live_index.lock();
+        let video = self.video();
+        if let Some(entry) = cache.get(&Self::head_key(&normalized)) {
+            if entry.nn.weights_fingerprint() == nn.weights_fingerprint()
+                && entry.scores.num_frames() as u64 == video.len()
+            {
+                return CacheWarmth::Memory;
+            }
         }
+        let key = Self::score_key(&video, video.len() as usize, &nn);
         match &self.store {
             Some((store, dir)) if store.has_scores(dir, &key) => CacheWarmth::Disk,
             _ => CacheWarmth::Cold,

@@ -12,6 +12,7 @@ use crate::{BlazeItConfig, Result};
 use blazeit_detect::{CountVector, Detection, ObjectDetector, SimClock, SimulatedDetector};
 use blazeit_videostore::{FrameIndex, ObjectClass, Video};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Detector annotations for one day of video at a fixed frame stride.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +75,7 @@ pub struct LabeledSet {
     heldout_video: Video,
     train: AnnotatedDay,
     heldout: AnnotatedDay,
+    annotation_cost_secs: f64,
 }
 
 impl LabeledSet {
@@ -81,7 +83,9 @@ impl LabeledSet {
     /// held-out days at the configured strides.
     ///
     /// The detector cost of this step is deliberately charged to a throwaway clock
-    /// (offline annotation, as in the paper's evaluation methodology).
+    /// (offline annotation, as in the paper's evaluation methodology); what it
+    /// *would* have cost is recorded in [`LabeledSet::annotation_cost_secs`],
+    /// so the index store can prove a loaded set skipped the work entirely.
     pub fn build(
         train_video: Video,
         heldout_video: Video,
@@ -91,11 +95,61 @@ impl LabeledSet {
         let detector = SimulatedDetector::new(
             config.detection_method,
             config.detection_threshold,
-            offline_clock,
+            Arc::clone(&offline_clock),
         );
         let train = AnnotatedDay::annotate(&train_video, &detector, config.labeled_stride);
         let heldout = AnnotatedDay::annotate(&heldout_video, &detector, config.heldout_stride);
-        Ok(LabeledSet { train_video, heldout_video, train, heldout })
+        let annotation_cost_secs = offline_clock.total();
+        Ok(LabeledSet { train_video, heldout_video, train, heldout, annotation_cost_secs })
+    }
+
+    /// Reassembles a labeled set from persisted annotations (the index-store
+    /// load path): no detector runs, so [`LabeledSet::annotation_cost_secs`]
+    /// is zero. The per-frame counts of each day must be consistent with its
+    /// detections, and the frames must lie inside their videos.
+    pub fn from_parts(
+        train_video: Video,
+        heldout_video: Video,
+        train: AnnotatedDay,
+        heldout: AnnotatedDay,
+    ) -> Result<LabeledSet> {
+        for (day, video, what) in
+            [(&train, &train_video, "training"), (&heldout, &heldout_video, "held-out")]
+        {
+            if day.frames.len() != day.detections.len() || day.frames.len() != day.counts.len() {
+                return Err(crate::BlazeItError::Internal(format!(
+                    "inconsistent {what} annotations: {} frames, {} detection lists, {} counts",
+                    day.frames.len(),
+                    day.detections.len(),
+                    day.counts.len()
+                )));
+            }
+            if day.frames.iter().any(|&f| f >= video.len()) {
+                return Err(crate::BlazeItError::Internal(format!(
+                    "{what} annotations reference frames beyond the {}-frame video",
+                    video.len()
+                )));
+            }
+            if day
+                .detections
+                .iter()
+                .zip(&day.counts)
+                .any(|(dets, counts)| CountVector::from_detections(dets) != *counts)
+            {
+                return Err(crate::BlazeItError::Internal(format!(
+                    "{what} annotation counts disagree with their detections"
+                )));
+            }
+        }
+        Ok(LabeledSet { train_video, heldout_video, train, heldout, annotation_cost_secs: 0.0 })
+    }
+
+    /// The simulated detector seconds the offline annotation pass performed
+    /// when this set was built — zero when the set was loaded from a durable
+    /// store instead of re-annotated. (This cost is never charged to a query
+    /// clock either way; it measures the offline work itself.)
+    pub fn annotation_cost_secs(&self) -> f64 {
+        self.annotation_cost_secs
     }
 
     /// The training-day video.
@@ -152,6 +206,55 @@ mod tests {
         assert_eq!(set.train().frames[1], 3);
         assert_eq!(set.heldout().frames[1], 7);
         assert!(!set.train().is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_records_zero_annotation_cost() {
+        let built = labeled(600);
+        assert!(built.annotation_cost_secs() > 0.0, "building runs the offline detector");
+        let preset = DatasetPreset::Taipei;
+        let train = preset.generate_with_frames(DAY_TRAIN, 600).unwrap();
+        let heldout = preset.generate_with_frames(DAY_HELDOUT, 600).unwrap();
+        let loaded =
+            LabeledSet::from_parts(train, heldout, built.train().clone(), built.heldout().clone())
+                .unwrap();
+        assert_eq!(loaded.train(), built.train());
+        assert_eq!(loaded.heldout(), built.heldout());
+        assert_eq!(loaded.annotation_cost_secs(), 0.0, "loading must not re-annotate");
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_annotations() {
+        let built = labeled(600);
+        let preset = DatasetPreset::Taipei;
+        let mk = || {
+            (
+                preset.generate_with_frames(DAY_TRAIN, 600).unwrap(),
+                preset.generate_with_frames(DAY_HELDOUT, 600).unwrap(),
+            )
+        };
+        // A frame index beyond the video.
+        let mut bad = built.train().clone();
+        bad.frames[0] = 10_000;
+        let (t, h) = mk();
+        assert!(LabeledSet::from_parts(t, h, bad, built.heldout().clone()).is_err());
+        // Counts that disagree with their detections.
+        let mut bad = built.train().clone();
+        if let Some(first) = bad.counts.first_mut() {
+            *first = CountVector::default();
+            bad.detections[0] = vec![Detection::new(
+                ObjectClass::Car,
+                blazeit_videostore::BoundingBox::new(0.0, 0.0, 10.0, 10.0),
+                0.9,
+            )];
+        }
+        let (t, h) = mk();
+        assert!(LabeledSet::from_parts(t, h, bad, built.heldout().clone()).is_err());
+        // Mismatched vector lengths.
+        let mut bad = built.train().clone();
+        bad.frames.pop();
+        let (t, h) = mk();
+        assert!(LabeledSet::from_parts(t, h, bad, built.heldout().clone()).is_err());
     }
 
     #[test]

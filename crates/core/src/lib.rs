@@ -32,6 +32,14 @@
 //!   merge honestly (summed estimates with composed confidence intervals, one
 //!   global scrubbing `LIMIT` with early cancellation, source-tagged selection
 //!   rows); see [`plan::MergeSemantics`].
+//! * **Streaming ingestion and continuous queries** ([`stream`]) —
+//!   [`Catalog::register_stream`](catalog::Catalog::register_stream) turns a
+//!   registration into a live feed: ingestion extends cached score indexes
+//!   incrementally (bit-identical to a cold re-score, charging only the new
+//!   frames), a drift monitor schedules background retrains that swap the
+//!   specialized network atomically, and
+//!   [`Session::subscribe`](session::Session::subscribe) yields per-tick
+//!   aggregate updates with honest confidence intervals.
 //!
 //! All expensive work charges the shared [`SimClock`](blazeit_detect::SimClock), so
 //! end-to-end runtimes are deterministic and comparable across plans.
@@ -55,6 +63,7 @@ pub mod select;
 pub mod session;
 pub mod stats;
 pub mod store;
+pub mod stream;
 
 pub use catalog::Catalog;
 pub use config::BlazeItConfig;
@@ -68,6 +77,10 @@ pub use result::{
 };
 pub use session::{PreparedQuery, Session};
 pub use store::{IndexStore, StoreError};
+pub use stream::{
+    DriftConfig, IngestReport, RefreshReport, RefreshState, StreamSource, StreamStatus,
+    StreamUpdate, Subscription,
+};
 
 use blazeit_frameql::FrameQlError;
 use blazeit_nn::NnError;

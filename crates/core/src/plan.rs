@@ -26,6 +26,7 @@ use crate::baselines::requirement_pairs;
 use crate::context::{CacheWarmth, VideoContext};
 use crate::scrub::{ScrubOptions, MIN_SCRUB_EXAMPLES};
 use crate::select::{SelectionOptions, MIN_LABEL_FILTER_EXAMPLES};
+use crate::stream::StreamStatus;
 use crate::{BlazeItError, Result};
 use blazeit_frameql::query::{AggregateKind, QueryClass, QueryPlanInfo};
 use blazeit_videostore::ObjectClass;
@@ -60,6 +61,10 @@ pub enum PlanStrategy {
         /// The rewrite decision, resolved at plan time when the caches allow it.
         decision: RewriteDecision,
     },
+    /// A continuous aggregate (`WINDOW` / `EVERY` clauses): executed tick by
+    /// tick through `Session::subscribe` over the stream's incremental score
+    /// index, never as a one-shot query.
+    ContinuousAggregate,
     /// Scrubbing fallback: sequential scan (no training examples of the event).
     ScrubScan,
     /// Scrubbing: rank all frames by specialized-NN confidence, verify best-first.
@@ -136,6 +141,10 @@ pub struct VideoPlan {
     /// states; disk-warm and memory-warm both execute with zero specialized
     /// inference charged).
     pub score_index_cache: CacheWarmth,
+    /// The stream state for this video (frames ingested, index freshness and
+    /// model generation, drift score, refresh state), rendered by `EXPLAIN`.
+    /// `None` for ordinary fixed-length registrations.
+    pub stream: Option<StreamStatus>,
 }
 
 /// The resolved, overridable plan for one prepared query: one sub-plan per video the
@@ -224,6 +233,14 @@ pub fn plan_query(targets: &[(&VideoContext, &QueryPlanInfo)], fan_out: bool) ->
 ///
 /// Free of side effects and simulated cost, like [`plan_query`].
 pub fn plan_video(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<VideoPlan> {
+    let mut plan = plan_video_strategy(ctx, info)?;
+    // For a streaming context, surface the live state for the chosen heads —
+    // this is the free plan-time read `EXPLAIN` renders.
+    plan.stream = ctx.stream_status(&plan.heads);
+    Ok(plan)
+}
+
+fn plan_video_strategy(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<VideoPlan> {
     let mut plan = VideoPlan {
         video: ctx.video().name().to_string(),
         strategy: PlanStrategy::ExactScan,
@@ -234,6 +251,7 @@ pub fn plan_video(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<VideoPlan>
         detection_budget: None,
         specialized_cache: CacheWarmth::Cold,
         score_index_cache: CacheWarmth::Cold,
+        stream: None,
     };
 
     match &info.class {
@@ -245,6 +263,19 @@ pub fn plan_video(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<VideoPlan>
                     )));
                 }
                 plan.strategy = PlanStrategy::ExactDistinct;
+                return Ok(plan);
+            }
+            if info.window.is_some() || info.every.is_some() {
+                // Continuous clauses: the query runs tick by tick under
+                // Session::subscribe, answering from the stream's incremental
+                // index for the single queried class.
+                plan.strategy = PlanStrategy::ContinuousAggregate;
+                if let Some(class) = info.single_class() {
+                    let heads = vec![(class, ctx.default_max_count(class, 1))];
+                    plan.specialized_cache = ctx.specialized_warmth(&heads);
+                    plan.score_index_cache = ctx.score_index_warmth(&heads);
+                    plan.heads = heads;
+                }
                 return Ok(plan);
             }
             let Some(error) = info.error_within else {
@@ -380,6 +411,11 @@ impl VideoPlan {
                         .to_string()
                 }
             },
+            PlanStrategy::ContinuousAggregate => {
+                "continuous aggregate over the stream's incremental index \
+                 (run via Session::subscribe)"
+                    .to_string()
+            }
             PlanStrategy::ScrubScan => {
                 "sequential scan (no training examples of the event)".to_string()
             }
@@ -431,7 +467,35 @@ impl VideoPlan {
             "  caches:   specialized={} score-index={}",
             self.specialized_cache.label(),
             self.score_index_cache.label()
-        )
+        )?;
+        if let Some(stream) = &self.stream {
+            writeln!(f)?;
+            write!(
+                f,
+                "  stream:   ingested {}/{} frames; index {}",
+                stream.ingested,
+                stream.capacity,
+                match stream.index_frames {
+                    Some(frames) => {
+                        format!("covers {frames} (generation {})", stream.generation)
+                    }
+                    None => "not built".to_string(),
+                },
+            )?;
+            writeln!(f)?;
+            write!(
+                f,
+                "  drift:    score {} vs threshold {}; refresh {}",
+                stream.drift_score.map_or("unchecked".to_string(), |s| format!("{s:.3}")),
+                if stream.drift_threshold.is_finite() {
+                    format!("{:.3}", stream.drift_threshold)
+                } else {
+                    "disabled".to_string()
+                },
+                stream.refresh.label(),
+            )?;
+        }
+        Ok(())
     }
 }
 

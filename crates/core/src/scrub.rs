@@ -241,7 +241,7 @@ fn verify_windowed(
             continue;
         }
 
-        let batch = video.ctx.detector().detect_batch(video.ctx.video(), &window);
+        let batch = video.ctx.detector().detect_batch(&video.ctx.video(), &window);
         calls += window.len() as u64;
         for (&frame, detections) in window.iter().zip(&batch) {
             let counts = CountVector::from_detections(detections);
@@ -377,7 +377,7 @@ mod tests {
         // Every returned frame must genuinely satisfy the predicate according to the
         // detector (which is exactly how they were verified).
         for &frame in &outcome.frames {
-            let dets = e.detector().detect(e.video(), frame);
+            let dets = e.detector().detect(&e.video(), frame);
             let counts = CountVector::from_detections(&dets);
             assert!(counts.satisfies_all(&reqs), "frame {frame} fails the predicate");
         }
@@ -454,7 +454,7 @@ mod tests {
         match result.output {
             QueryOutput::Frames { frames, .. } => {
                 for &frame in &frames {
-                    let dets = e.detector().detect(e.video(), frame);
+                    let dets = e.detector().detect(&e.video(), frame);
                     let counts = CountVector::from_detections(&dets);
                     assert!(counts.at_least(ObjectClass::Bus, 1));
                     assert!(counts.at_least(ObjectClass::Car, 1));
@@ -472,6 +472,7 @@ mod tests {
         opts: ScrubOptions,
     ) -> ScrubOutcome {
         let video = ctx.video();
+        let video = &*video;
         let mut accepted: Vec<FrameIndex> = Vec::new();
         let mut calls = 0u64;
         for &(frame, _confidence) in ranked {

@@ -432,6 +432,7 @@ pub fn run_selection(
     plan: &FilterPlan,
 ) -> Result<SelectionOutcome> {
     let video = ctx.video();
+    let video = &*video;
     let (width, height) = video.resolution();
     let full = BoundingBox::new(0.0, 0.0, width, height);
     let mut builder = RelationBuilder::new(ctx.detector(), ctx.config().tracker_iou, plan.stride);
@@ -706,6 +707,7 @@ mod tests {
         plan: &FilterPlan,
     ) -> Result<SelectionOutcome> {
         let video = ctx.video();
+        let video = &*video;
         let (width, height) = video.resolution();
         let full = BoundingBox::new(0.0, 0.0, width, height);
         let mut builder =

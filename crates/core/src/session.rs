@@ -204,6 +204,13 @@ impl<'a> PreparedQuery<'a> {
         let output = if self.query.explain {
             QueryOutput::Explain { plan: self.plan.clone() }
         } else {
+            if self.query.window.is_some() || self.query.every.is_some() {
+                return Err(BlazeItError::Unsupported(
+                    "WINDOW/EVERY are continuous-query clauses; subscribe the query \
+                     with Session::subscribe instead of running it one-shot"
+                        .into(),
+                ));
+            }
             self.execute()?
         };
 

@@ -28,7 +28,22 @@
 //!     scores/<fnv1a(key)>.bzs   score matrices; key = scored-video identity +
 //!                               configuration + a fingerprint of the network
 //!                               weights that produced them
+//!     labeled/<fnv1a(key)>.bzl  labeled-set annotations (the offline detector
+//!                               pass over the train + held-out days); key =
+//!                               both videos' identity + detector + strides
+//!   manifest.tsv                LRU bookkeeping (budgeted stores only)
 //! ```
+//!
+//! ## Size budgeting
+//!
+//! [`IndexStore::open_with_budget`] caps the total artifact bytes: every store
+//! and load bumps the artifact's use sequence in `manifest.tsv` (recency is
+//! tracked explicitly, never inferred from mtimes), and writes evict the
+//! least-recently-used artifacts until the total fits. An artifact bigger than
+//! the entire budget is rejected up front with the typed
+//! [`StoreError::BudgetExceeded`] — an un-evictable overflow — and nothing is
+//! written; the catalog's write-behind treats that like any other store
+//! failure and degrades to in-memory caching.
 //!
 //! Because the keys pin everything an artifact depends on, catalogs opened over
 //! one store path with *different* `BlazeItConfig`s plan cold and recompute
@@ -39,11 +54,15 @@
 //! [`StoreError`] (never a panic), and the context's read-through path falls back
 //! to recomputing — then overwrites the bad file with a fresh artifact.
 
+use crate::labeled::AnnotatedDay;
 use crate::BlazeItError;
-use blazeit_detect::SimClock;
+use blazeit_detect::{CountVector, Detection, SimClock};
 use blazeit_nn::persist::{self, PersistError};
 use blazeit_nn::specialized::SpecializedNN;
 use blazeit_nn::ScoreMatrix;
+use blazeit_videostore::{BoundingBox, ObjectClass};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -66,6 +85,17 @@ pub enum StoreError {
         /// The typed decoding failure.
         source: PersistError,
     },
+    /// Storing the artifact would exceed the store's size budget even after
+    /// evicting every other artifact (the artifact alone is bigger than the
+    /// budget): an un-evictable overflow.
+    BudgetExceeded {
+        /// The artifact that could not be stored.
+        path: PathBuf,
+        /// The artifact's size in bytes.
+        needed: u64,
+        /// The store's configured budget in bytes.
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -76,6 +106,14 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Invalid { path, source } => {
                 write!(f, "invalid index artifact {}: {source}", path.display())
+            }
+            StoreError::BudgetExceeded { path, needed, budget } => {
+                write!(
+                    f,
+                    "index artifact {} needs {needed} bytes but the store budget is \
+                     {budget} bytes (un-evictable overflow)",
+                    path.display()
+                )
             }
         }
     }
@@ -96,24 +134,250 @@ fn io_err(path: &Path, e: std::io::Error) -> StoreError {
 /// Convenience result alias for store operations.
 pub type StoreResult<T> = std::result::Result<T, StoreError>;
 
-/// A durable store of score indexes and trained specialized networks, shared by
-/// every video of a catalog.
+/// Least-recently-used bookkeeping for a budgeted store: artifact sizes and a
+/// monotone use sequence per relative path, persisted as a small manifest file
+/// (`manifest.tsv` at the store root) so recency survives reopen — mtimes are
+/// not trusted (they are coarse, and backup/copy tools rewrite them).
+#[derive(Debug, Default)]
+struct Manifest {
+    next_seq: u64,
+    entries: HashMap<String, (u64, u64)>, // rel path -> (bytes, last-used seq)
+}
+
+impl Manifest {
+    const FILE: &'static str = "manifest.tsv";
+    const HEADER: &'static str = "blazeit-index-manifest v1";
+
+    fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|&(bytes, _)| bytes).sum()
+    }
+
+    /// Parses a manifest file; `None` when missing or malformed (the caller
+    /// rebuilds from a directory scan).
+    fn parse(text: &str) -> Option<Manifest> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let next_seq: u64 = header.strip_prefix(Self::HEADER)?.trim().parse().ok()?;
+        let mut entries = HashMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let seq: u64 = parts.next()?.parse().ok()?;
+            let bytes: u64 = parts.next()?.parse().ok()?;
+            let rel = parts.next()?.to_string();
+            entries.insert(rel, (bytes, seq));
+        }
+        Some(Manifest { next_seq, entries })
+    }
+
+    fn render(&self) -> String {
+        let mut rows: Vec<(&String, &(u64, u64))> = self.entries.iter().collect();
+        rows.sort_by_key(|(rel, _)| rel.as_str());
+        let mut out = format!("{} {}\n", Self::HEADER, self.next_seq);
+        for (rel, (bytes, seq)) in rows {
+            out.push_str(&format!("{seq}\t{bytes}\t{rel}\n"));
+        }
+        out
+    }
+}
+
+/// A durable store of score indexes, trained specialized networks, and
+/// labeled-set annotations, shared by every video of a catalog.
 #[derive(Debug)]
 pub struct IndexStore {
     root: PathBuf,
+    /// Maximum total artifact bytes, enforced by LRU eviction; `None` =
+    /// unbounded (no manifest maintained).
+    budget: Option<u64>,
+    manifest: Mutex<Manifest>,
 }
 
 impl IndexStore {
-    /// Opens (creating if necessary) an index store rooted at `path`.
+    /// Opens (creating if necessary) an index store rooted at `path`, with no
+    /// size budget.
     pub fn open(path: impl AsRef<Path>) -> StoreResult<IndexStore> {
         let root = path.as_ref().to_path_buf();
         std::fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
-        Ok(IndexStore { root })
+        Ok(IndexStore { root, budget: None, manifest: Mutex::new(Manifest::default()) })
+    }
+
+    /// Opens a store whose total artifact bytes are kept at or below
+    /// `max_bytes` by least-recently-used eviction.
+    ///
+    /// Recency is tracked in a small on-disk manifest (every store and load
+    /// bumps the artifact's use sequence), **not** in filesystem mtimes. An
+    /// existing store opened with a budget is reconciled first: untracked
+    /// artifact files are adopted (as least recently used), stale manifest
+    /// rows are dropped, and the store is evicted down to the budget
+    /// immediately.
+    pub fn open_with_budget(path: impl AsRef<Path>, max_bytes: u64) -> StoreResult<IndexStore> {
+        let root = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        let mut manifest = std::fs::read_to_string(root.join(Manifest::FILE))
+            .ok()
+            .and_then(|text| Manifest::parse(&text))
+            .unwrap_or_default();
+        Self::reconcile(&root, &mut manifest);
+        let store = IndexStore { root, budget: Some(max_bytes), manifest: Mutex::new(manifest) };
+        {
+            let mut manifest = store.manifest.lock();
+            store.evict_to_budget(&mut manifest, None)?;
+            store.persist_manifest(&manifest)?;
+        }
+        Ok(store)
+    }
+
+    /// Syncs a manifest with the artifact files actually on disk: drops rows
+    /// whose file is gone, adopts files the manifest has never seen (with the
+    /// lowest recency, so unknown history evicts first).
+    fn reconcile(root: &Path, manifest: &mut Manifest) {
+        let mut on_disk: Vec<(String, u64)> = Vec::new();
+        let mut stack = vec![root.to_path_buf()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if matches!(
+                    path.extension().and_then(|e| e.to_str()),
+                    Some("bzn" | "bzs" | "bzl")
+                ) {
+                    if let (Ok(rel), Ok(meta)) = (path.strip_prefix(root), entry.metadata()) {
+                        on_disk.push((rel.to_string_lossy().into_owned(), meta.len()));
+                    }
+                }
+            }
+        }
+        let live: std::collections::HashSet<&str> =
+            on_disk.iter().map(|(rel, _)| rel.as_str()).collect();
+        manifest.entries.retain(|rel, _| live.contains(rel.as_str()));
+        on_disk.sort();
+        for (rel, bytes) in on_disk {
+            manifest.entries.entry(rel).or_insert((bytes, 0));
+        }
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The configured size budget in bytes, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Total artifact bytes currently tracked (only meaningful for budgeted
+    /// stores, whose manifest is kept in sync).
+    pub fn tracked_bytes(&self) -> u64 {
+        self.manifest.lock().total_bytes()
+    }
+
+    fn rel(&self, path: &Path) -> String {
+        path.strip_prefix(&self.root)
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|_| path.to_string_lossy().into_owned())
+    }
+
+    fn persist_manifest(&self, manifest: &Manifest) -> StoreResult<()> {
+        write_atomically(&self.root.join(Manifest::FILE), manifest.render().as_bytes())
+    }
+
+    /// Evicts least-recently-used artifacts (never `keep`) until the tracked
+    /// total fits the budget.
+    fn evict_to_budget(&self, manifest: &mut Manifest, keep: Option<&str>) -> StoreResult<()> {
+        let Some(budget) = self.budget else { return Ok(()) };
+        while manifest.total_bytes() > budget {
+            let victim = manifest
+                .entries
+                .iter()
+                .filter(|(rel, _)| keep != Some(rel.as_str()))
+                .min_by_key(|(rel, &(_, seq))| (seq, (*rel).clone()))
+                .map(|(rel, _)| rel.clone());
+            let Some(victim) = victim else {
+                // Nothing evictable is left; the survivor alone exceeds the
+                // budget. `store_artifact` pre-checks incoming sizes, so this
+                // can only be reached by shrinking the budget of an existing
+                // store below its largest pinned artifact.
+                let path = self.root.join(keep.unwrap_or_default());
+                return Err(StoreError::BudgetExceeded {
+                    needed: manifest.total_bytes(),
+                    budget,
+                    path,
+                });
+            };
+            let path = self.root.join(&victim);
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(&path, e)),
+            }
+            manifest.entries.remove(&victim);
+        }
+        Ok(())
+    }
+
+    /// Records a freshly written artifact in the manifest and evicts older
+    /// artifacts as needed (no-op for unbudgeted stores).
+    fn record_write(&self, path: &Path, bytes: u64) -> StoreResult<()> {
+        if self.budget.is_none() {
+            return Ok(());
+        }
+        let rel = self.rel(path);
+        let mut manifest = self.manifest.lock();
+        let seq = manifest.next_seq;
+        manifest.next_seq += 1;
+        manifest.entries.insert(rel.clone(), (bytes, seq));
+        self.evict_to_budget(&mut manifest, Some(&rel))?;
+        self.persist_manifest(&manifest)
+    }
+
+    /// Bumps an artifact's use sequence (loads count as uses for LRU).
+    fn record_use(&self, path: &Path) {
+        if self.budget.is_none() {
+            return;
+        }
+        let rel = self.rel(path);
+        let mut manifest = self.manifest.lock();
+        let seq = manifest.next_seq;
+        if let Some(entry) = manifest.entries.get_mut(&rel) {
+            entry.1 = seq;
+            manifest.next_seq += 1;
+            let _ = self.persist_manifest(&manifest);
+        }
+    }
+
+    /// Drops an artifact from the manifest (after its file was removed).
+    fn record_remove(&self, path: &Path) {
+        if self.budget.is_none() {
+            return;
+        }
+        let rel = self.rel(path);
+        let mut manifest = self.manifest.lock();
+        if manifest.entries.remove(&rel).is_some() {
+            let _ = self.persist_manifest(&manifest);
+        }
+    }
+
+    /// Writes an artifact through the budget gate: an artifact bigger than the
+    /// whole budget is rejected up front as un-evictable overflow (nothing is
+    /// written), anything else is written atomically and older artifacts are
+    /// evicted LRU-first to make room.
+    fn store_artifact(&self, path: &Path, bytes: &[u8]) -> StoreResult<()> {
+        if let Some(budget) = self.budget {
+            if bytes.len() as u64 > budget {
+                return Err(StoreError::BudgetExceeded {
+                    path: path.to_path_buf(),
+                    needed: bytes.len() as u64,
+                    budget,
+                });
+            }
+        }
+        write_atomically(path, bytes)?;
+        self.record_write(path, bytes.len() as u64)
     }
 
     /// This video's directory inside the store: the (normalized) name when it is
@@ -157,6 +421,14 @@ impl IndexStore {
             .join(format!("{:016x}.bzs", persist::fnv1a(key.as_bytes())))
     }
 
+    /// The artifact path for labeled-set annotations stored under `key` for
+    /// `video`.
+    pub fn labeled_path(&self, video: &str, key: &str) -> PathBuf {
+        self.video_dir(video)
+            .join("labeled")
+            .join(format!("{:016x}.bzl", persist::fnv1a(key.as_bytes())))
+    }
+
     /// Whether a trained network is stored under `key` for `video` (a cheap file
     /// presence check: used by plan warmth, so it must not decode anything).
     pub fn has_network(&self, video: &str, key: &str) -> bool {
@@ -179,6 +451,7 @@ impl IndexStore {
     ) -> StoreResult<Option<SpecializedNN>> {
         let path = self.network_path(video, key);
         let Some(bytes) = read_if_exists(&path)? else { return Ok(None) };
+        self.record_use(&path);
         persist::decode_specialized_nn(&bytes, key, Arc::clone(clock))
             .map(Some)
             .map_err(|source| StoreError::Invalid { path, source })
@@ -190,6 +463,7 @@ impl IndexStore {
     pub fn load_scores(&self, video: &str, key: &str) -> StoreResult<Option<ScoreMatrix>> {
         let path = self.scores_path(video, key);
         let Some(bytes) = read_if_exists(&path)? else { return Ok(None) };
+        self.record_use(&path);
         persist::decode_score_matrix(&bytes, key)
             .map(Some)
             .map_err(|source| StoreError::Invalid { path, source })
@@ -197,13 +471,146 @@ impl IndexStore {
 
     /// Stores (or replaces) a trained network under `key` for `video`.
     pub fn store_network(&self, video: &str, key: &str, nn: &SpecializedNN) -> StoreResult<()> {
-        write_atomically(&self.network_path(video, key), &persist::encode_specialized_nn(nn, key))
+        self.store_artifact(
+            &self.network_path(video, key),
+            &persist::encode_specialized_nn(nn, key),
+        )
     }
 
     /// Stores (or replaces) a score matrix under `key` for `video`.
     pub fn store_scores(&self, video: &str, key: &str, scores: &ScoreMatrix) -> StoreResult<()> {
-        write_atomically(&self.scores_path(video, key), &persist::encode_score_matrix(scores, key))
+        self.store_artifact(
+            &self.scores_path(video, key),
+            &persist::encode_score_matrix(scores, key),
+        )
     }
+
+    /// Removes the score matrix stored under `key` for `video`, if present
+    /// (streaming ingestion retires the superseded shorter artifact after
+    /// writing the grown one, so disk tracks the stream).
+    pub fn remove_scores(&self, video: &str, key: &str) -> StoreResult<()> {
+        let path = self.scores_path(video, key);
+        match std::fs::remove_file(&path) {
+            Ok(()) => {
+                self.record_remove(&path);
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&path, e)),
+        }
+    }
+
+    /// Stores labeled-set annotations (the training and held-out
+    /// [`AnnotatedDay`]s) under `key` for `video`, so a fresh catalog over
+    /// this store can skip the offline annotation pass entirely.
+    pub fn store_labeled(
+        &self,
+        video: &str,
+        key: &str,
+        train: &AnnotatedDay,
+        heldout: &AnnotatedDay,
+    ) -> StoreResult<()> {
+        self.store_artifact(&self.labeled_path(video, key), &encode_labeled(key, train, heldout))
+    }
+
+    /// Loads the labeled-set annotations stored under `key` for `video`
+    /// (`Ok(None)` when absent, typed error when invalid). Per-frame counts
+    /// are re-derived from the stored detections, so they can never disagree.
+    pub fn load_labeled(
+        &self,
+        video: &str,
+        key: &str,
+    ) -> StoreResult<Option<(AnnotatedDay, AnnotatedDay)>> {
+        let path = self.labeled_path(video, key);
+        let Some(bytes) = read_if_exists(&path)? else { return Ok(None) };
+        self.record_use(&path);
+        decode_labeled(&bytes, key).map(Some).map_err(|source| StoreError::Invalid { path, source })
+    }
+
+    /// Whether labeled-set annotations are stored under `key` for `video`.
+    pub fn has_labeled(&self, video: &str, key: &str) -> bool {
+        self.labeled_path(video, key).is_file()
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Labeled-set annotation codec (envelope shared with `blazeit_nn::persist`).
+// ---------------------------------------------------------------------------------
+
+fn encode_day(w: &mut persist::Writer, day: &AnnotatedDay) {
+    w.u64s(&day.frames);
+    w.usize(day.detections.len());
+    for dets in &day.detections {
+        w.usize(dets.len());
+        for d in dets {
+            w.u8(d.class.index() as u8);
+            w.f32(d.bbox.xmin);
+            w.f32(d.bbox.ymin);
+            w.f32(d.bbox.xmax);
+            w.f32(d.bbox.ymax);
+            w.f32(d.confidence);
+            w.f32s(&d.features);
+        }
+    }
+}
+
+fn decode_day(r: &mut persist::Reader<'_>) -> std::result::Result<AnnotatedDay, PersistError> {
+    let frames = r.u64s("annotated frames")?;
+    let num = r.usize("detection list count")?;
+    if num != frames.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} detection lists for {} annotated frames",
+            num,
+            frames.len()
+        )));
+    }
+    let mut detections = Vec::with_capacity(num);
+    let mut counts = Vec::with_capacity(num);
+    for _ in 0..num {
+        let n = r.usize("detections per frame")?;
+        let mut dets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let class_index = r.u8("detection class")?;
+            let class = ObjectClass::ALL.get(class_index as usize).copied().ok_or_else(|| {
+                PersistError::Corrupt(format!("unknown object class index {class_index}"))
+            })?;
+            let bbox = BoundingBox {
+                xmin: r.f32("bbox xmin")?,
+                ymin: r.f32("bbox ymin")?,
+                xmax: r.f32("bbox xmax")?,
+                ymax: r.f32("bbox ymax")?,
+            };
+            let confidence = r.f32("detection confidence")?;
+            let features = r.f32s("detection features")?;
+            dets.push(Detection { class, bbox, confidence, features });
+        }
+        counts.push(CountVector::from_detections(&dets));
+        detections.push(dets);
+    }
+    Ok(AnnotatedDay { frames, detections, counts })
+}
+
+/// Serializes both annotated days under their cache-identity `key`.
+fn encode_labeled(key: &str, train: &AnnotatedDay, heldout: &AnnotatedDay) -> Vec<u8> {
+    let mut w = persist::Writer::default();
+    w.str(key);
+    encode_day(&mut w, train);
+    encode_day(&mut w, heldout);
+    persist::seal(persist::KIND_LABELED_SET, w.payload())
+}
+
+/// Decodes both annotated days, verifying the envelope and key.
+fn decode_labeled(
+    bytes: &[u8],
+    expected_key: &str,
+) -> std::result::Result<(AnnotatedDay, AnnotatedDay), PersistError> {
+    let payload = persist::open(persist::KIND_LABELED_SET, bytes)?;
+    let mut r = persist::Reader::new(payload);
+    persist::check_key(&mut r, expected_key)?;
+    let train = decode_day(&mut r)?;
+    let heldout = decode_day(&mut r)?;
+    r.finish()?;
+    Ok((train, heldout))
 }
 
 fn read_if_exists(path: &Path) -> StoreResult<Option<Vec<u8>>> {

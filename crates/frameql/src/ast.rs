@@ -224,6 +224,15 @@ pub struct Query {
     pub gap: Option<u64>,
     /// Error / accuracy constraints.
     pub accuracy: AccuracyConstraints,
+    /// `WINDOW n FRAMES` — a continuous query's sliding-window width: each tick
+    /// aggregates over the most recent `n` ingested frames. `None` means the
+    /// whole stream so far. Only meaningful under
+    /// `Session::subscribe`; one-shot execution rejects it.
+    pub window: Option<u64>,
+    /// `EVERY n FRAMES` — a continuous query's tick interval: an update is
+    /// emitted each time `n` more frames have been ingested. Only meaningful
+    /// under `Session::subscribe`; one-shot execution rejects it.
+    pub every: Option<u64>,
 }
 
 impl Query {
@@ -298,6 +307,8 @@ mod tests {
             limit: None,
             gap: None,
             accuracy: AccuracyConstraints::default(),
+            window: None,
+            every: None,
         };
         assert!(q.is_select_star());
         assert!(!q.has_aggregate_select());

@@ -6,7 +6,8 @@
 //! statement  := [EXPLAIN] query
 //! query      := SELECT select_list FROM from_clause
 //!               [WHERE expr] [GROUP BY ident (, ident)*] [HAVING expr]
-//!               [constraint]* [LIMIT number [GAP number]] [constraint]* [;]
+//!               [constraint]* [LIMIT number [GAP number]] [constraint]*
+//!               [WINDOW number FRAMES] [EVERY number FRAMES] [;]
 //! from_clause:= '*' | ident (',' ident)*
 //! select_list:= '*' | item (',' item)*
 //! item       := FCOUNT '(' '*' ')' | COUNT '(' (DISTINCT ident | '*') ')'
@@ -27,7 +28,7 @@ use crate::{FrameQlError, Result};
 /// Keywords that may follow the `FROM` clause; seeing one where a video name is
 /// expected means the video list itself is malformed, which gets a caret-annotated
 /// error instead of being swallowed as a (nonsensical) video name.
-const CLAUSE_KEYWORDS: [&str; 12] = [
+const CLAUSE_KEYWORDS: [&str; 15] = [
     "WHERE",
     "GROUP",
     "BY",
@@ -40,6 +41,9 @@ const CLAUSE_KEYWORDS: [&str; 12] = [
     "FPR",
     "FNR",
     "SELECT",
+    "WINDOW",
+    "EVERY",
+    "FRAMES",
 ];
 
 /// Parses a FrameQL query string.
@@ -163,6 +167,8 @@ impl Parser<'_> {
         let mut limit = None;
         let mut gap = None;
         let mut accuracy = AccuracyConstraints::default();
+        let mut window = None;
+        let mut every = None;
 
         loop {
             match self.peek_keyword().as_deref() {
@@ -223,11 +229,47 @@ impl Parser<'_> {
                     self.expect_keyword("WITHIN")?;
                     accuracy.fnr_within = Some(self.expect_number("FNR tolerance")?);
                 }
+                Some("WINDOW") => {
+                    self.pos += 1;
+                    if window.is_some() {
+                        return self.error("duplicate WINDOW clause");
+                    }
+                    let n = self.expect_number("WINDOW width")?;
+                    if n < 1.0 {
+                        return self.error("WINDOW width must be at least one frame");
+                    }
+                    self.expect_keyword("FRAMES")?;
+                    window = Some(n as u64);
+                }
+                Some("EVERY") => {
+                    self.pos += 1;
+                    if every.is_some() {
+                        return self.error("duplicate EVERY clause");
+                    }
+                    let n = self.expect_number("EVERY interval")?;
+                    if n < 1.0 {
+                        return self.error("EVERY interval must be at least one frame");
+                    }
+                    self.expect_keyword("FRAMES")?;
+                    every = Some(n as u64);
+                }
                 _ => break,
             }
         }
 
-        Ok(Query { explain, select, from, where_clause, group_by, having, limit, gap, accuracy })
+        Ok(Query {
+            explain,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            limit,
+            gap,
+            accuracy,
+            window,
+            every,
+        })
     }
 
     /// Parses the `FROM` clause: `*` (every registered video) or a comma-separated
@@ -641,6 +683,40 @@ mod tests {
         let err = parse_query("SELECT * FROM night-street, Night_Street").unwrap_err();
         let FrameQlError::ParseError { message } = &err else { panic!("{err:?}") };
         assert!(message.contains("duplicate video"), "{message}");
+    }
+
+    #[test]
+    fn parse_window_and_every_clauses() {
+        let q = parse_query(
+            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 \
+             WINDOW 1000 FRAMES EVERY 250 FRAMES",
+        )
+        .unwrap();
+        assert_eq!(q.window, Some(1_000));
+        assert_eq!(q.every, Some(250));
+        // Either clause alone, in either order relative to constraints.
+        let w = parse_query("SELECT FCOUNT(*) FROM t WINDOW 500 FRAMES ERROR WITHIN 0.2").unwrap();
+        assert_eq!(w.window, Some(500));
+        assert_eq!(w.every, None);
+        let e = parse_query("SELECT FCOUNT(*) FROM t EVERY 100 FRAMES").unwrap();
+        assert_eq!(e.window, None);
+        assert_eq!(e.every, Some(100));
+        // Plain queries carry neither.
+        let plain = parse_query("SELECT FCOUNT(*) FROM t").unwrap();
+        assert_eq!((plain.window, plain.every), (None, None));
+    }
+
+    #[test]
+    fn malformed_window_and_every_are_rejected() {
+        assert!(parse_query("SELECT FCOUNT(*) FROM t WINDOW FRAMES").is_err());
+        assert!(parse_query("SELECT FCOUNT(*) FROM t WINDOW 100").is_err());
+        assert!(parse_query("SELECT FCOUNT(*) FROM t WINDOW 0 FRAMES").is_err());
+        assert!(parse_query("SELECT FCOUNT(*) FROM t EVERY 0 FRAMES").is_err());
+        assert!(parse_query("SELECT FCOUNT(*) FROM t WINDOW 10 FRAMES WINDOW 20 FRAMES").is_err());
+        assert!(parse_query("SELECT FCOUNT(*) FROM t EVERY 10 FRAMES EVERY 20 FRAMES").is_err());
+        // The clause keywords cannot be video names.
+        assert!(parse_query("SELECT FCOUNT(*) FROM WINDOW").is_err());
+        assert!(parse_query("SELECT FCOUNT(*) FROM taipei, EVERY 5 FRAMES").is_err());
     }
 
     #[test]

@@ -124,6 +124,10 @@ pub struct QueryPlanInfo {
     pub error_within: Option<f64>,
     /// The confidence level (fraction), if present.
     pub confidence: Option<f64>,
+    /// The `WINDOW n FRAMES` width of a continuous query, if present.
+    pub window: Option<u64>,
+    /// The `EVERY n FRAMES` tick interval of a continuous query, if present.
+    pub every: Option<u64>,
 }
 
 impl QueryPlanInfo {
@@ -199,6 +203,8 @@ pub fn analyze(query: &Query, udfs: &UdfRegistry) -> Result<QueryPlanInfo> {
         gap: query.gap,
         error_within: query.accuracy.error_within,
         confidence: query.accuracy.confidence,
+        window: query.window,
+        every: query.every,
     })
 }
 

@@ -59,6 +59,12 @@ pub const KIND_SCORE_INDEX: u8 = 1;
 /// Artifact kind byte for a persisted [`SpecializedNN`].
 pub const KIND_SPECIALIZED_NN: u8 = 2;
 
+/// Artifact kind byte for a persisted labeled-set annotation day (the payload
+/// codec lives in `blazeit-core`, which owns the labeled-set types; the
+/// envelope, checksum, and key verification are shared through this module's
+/// [`Writer`] / [`Reader`] / [`seal`] / [`open`] surface).
+pub const KIND_LABELED_SET: u8 = 3;
+
 const HEADER_LEN: usize = 4 + 1 + 4 + 8;
 
 /// A typed decoding failure. The index store surfaces these (wrapped with the file
@@ -118,55 +124,81 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 // Byte-level writer / reader.
 // ---------------------------------------------------------------------------------
 
+/// Appends little-endian primitives to a payload buffer (the write half of the
+/// artifact codec). Public so sibling crates can persist their own artifact
+/// kinds (e.g. labeled-set annotations) through the same envelope.
 #[derive(Default)]
-struct Writer {
+pub struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn usize(&mut self, v: usize) {
+    /// Appends a `usize` as a little-endian `u64`.
+    pub fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
-    fn f32(&mut self, v: f32) {
+    /// Appends an `f32` as its raw IEEE-754 bits (round-trips bit-identically).
+    pub fn f32(&mut self, v: f32) {
         self.u32(v.to_bits());
     }
-    fn f64(&mut self, v: f64) {
+    /// Appends an `f64` as its raw IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn str(&mut self, s: &str) {
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
         self.usize(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
-    fn f32s(&mut self, values: &[f32]) {
+    /// Appends a length-prefixed `f32` slice.
+    pub fn f32s(&mut self, values: &[f32]) {
         self.usize(values.len());
         for &v in values {
             self.f32(v);
         }
     }
-    fn usizes(&mut self, values: &[usize]) {
+    /// Appends a length-prefixed `usize` slice.
+    pub fn usizes(&mut self, values: &[usize]) {
         self.usize(values.len());
         for &v in values {
             self.usize(v);
         }
     }
+    /// Appends a length-prefixed `u64` slice.
+    pub fn u64s(&mut self, values: &[u64]) {
+        self.usize(values.len());
+        for &v in values {
+            self.u64(v);
+        }
+    }
+    /// The accumulated payload bytes (pass to [`seal`]).
+    pub fn payload(&self) -> &[u8] {
+        &self.buf
+    }
 }
 
-struct Reader<'a> {
+/// Reads little-endian primitives off a payload buffer, rejecting truncated or
+/// implausible data with typed [`PersistError`]s (the read half of the codec).
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    /// Wraps a payload (as returned by [`open`]) for reading.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
@@ -183,16 +215,20 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self, what: &str) -> PResult<u8> {
+    /// Reads one byte (`what` names the field in error messages).
+    pub fn u8(&mut self, what: &str) -> PResult<u8> {
         Ok(self.take(1, what)?[0])
     }
-    fn u32(&mut self, what: &str) -> PResult<u32> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> PResult<u32> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
     }
-    fn u64(&mut self, what: &str) -> PResult<u64> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> PResult<u64> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
     }
-    fn usize(&mut self, what: &str) -> PResult<usize> {
+    /// Reads a `usize`, rejecting lengths that exceed the remaining buffer.
+    pub fn usize(&mut self, what: &str) -> PResult<usize> {
         let v = self.u64(what)?;
         // A length larger than the remaining buffer is corruption, not allocation
         // advice — reject it before any `Vec::with_capacity` can act on it.
@@ -204,19 +240,23 @@ impl<'a> Reader<'a> {
         }
         Ok(v as usize)
     }
-    fn f32(&mut self, what: &str) -> PResult<f32> {
+    /// Reads an `f32` from its raw bits.
+    pub fn f32(&mut self, what: &str) -> PResult<f32> {
         Ok(f32::from_bits(self.u32(what)?))
     }
-    fn f64(&mut self, what: &str) -> PResult<f64> {
+    /// Reads an `f64` from its raw bits.
+    pub fn f64(&mut self, what: &str) -> PResult<f64> {
         Ok(f64::from_bits(self.u64(what)?))
     }
-    fn str(&mut self, what: &str) -> PResult<String> {
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> PResult<String> {
         let len = self.usize(what)?;
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| PersistError::Corrupt(format!("{what} is not valid UTF-8")))
     }
-    fn f32s(&mut self, what: &str) -> PResult<Vec<f32>> {
+    /// Reads a length-prefixed `f32` slice.
+    pub fn f32s(&mut self, what: &str) -> PResult<Vec<f32>> {
         let len = self.usize(what)?;
         // 4 bytes per value; `take` enforces the exact bound.
         let raw = self.take(len * 4, what)?;
@@ -225,11 +265,22 @@ impl<'a> Reader<'a> {
             .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
             .collect())
     }
-    fn usizes(&mut self, what: &str) -> PResult<Vec<usize>> {
+    /// Reads a length-prefixed `usize` slice.
+    pub fn usizes(&mut self, what: &str) -> PResult<Vec<usize>> {
         let len = self.usize(what)?;
         (0..len).map(|_| self.usize(what)).collect()
     }
-    fn finish(&self) -> PResult<()> {
+    /// Reads a length-prefixed `u64` slice.
+    pub fn u64s(&mut self, what: &str) -> PResult<Vec<u64>> {
+        let len = self.usize(what)?;
+        let raw = self.take(len * 8, what)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+    /// Verifies the whole payload was consumed (trailing bytes are corruption).
+    pub fn finish(&self) -> PResult<()> {
         if self.pos != self.buf.len() {
             return Err(PersistError::Corrupt(format!(
                 "{} trailing bytes after payload",
@@ -244,7 +295,8 @@ impl<'a> Reader<'a> {
 // Envelope.
 // ---------------------------------------------------------------------------------
 
-fn seal(kind: u8, payload: &[u8]) -> Vec<u8> {
+/// Wraps a payload in the versioned, checksummed envelope for artifact `kind`.
+pub fn seal(kind: u8, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
     out.extend_from_slice(&MAGIC);
     out.push(kind);
@@ -268,7 +320,9 @@ pub fn specialized_nn_fingerprint(nn: &SpecializedNN) -> u64 {
     fnv1a(&encode_specialized_nn(nn, ""))
 }
 
-fn open(kind: u8, bytes: &[u8]) -> PResult<&[u8]> {
+/// Unwraps an envelope of artifact `kind`, verifying magic, kind, version,
+/// length, and checksum; returns the payload slice.
+pub fn open(kind: u8, bytes: &[u8]) -> PResult<&[u8]> {
     if bytes.len() < HEADER_LEN + 8 {
         return Err(PersistError::Corrupt(format!(
             "file of {} bytes is shorter than the {}-byte envelope",
@@ -311,7 +365,9 @@ fn open(kind: u8, bytes: &[u8]) -> PResult<&[u8]> {
     Ok(payload)
 }
 
-fn check_key(reader: &mut Reader<'_>, expected: &str) -> PResult<()> {
+/// Reads the leading cache-identity key of a payload and verifies it matches
+/// `expected` (every artifact stores its full key; see the module docs).
+pub fn check_key(reader: &mut Reader<'_>, expected: &str) -> PResult<()> {
     let found = reader.str("cache key")?;
     if found != expected {
         return Err(PersistError::KeyMismatch { expected: expected.to_string(), found });

@@ -69,6 +69,34 @@ impl ScoreMatrix {
         Ok(ScoreMatrix { frames, heads, offsets, stride, probs })
     }
 
+    /// This matrix with `tail`'s rows appended — the incremental-index
+    /// primitive: scoring frames `[0, n)` and then appending scores for
+    /// `[n, m)` yields a matrix **bit-identical** to scoring `[0, m)` in one
+    /// pass, because every row is a pure per-frame function (batched inference
+    /// is batch-composition invariant).
+    ///
+    /// Fails unless `tail` has exactly the same head sizes.
+    pub fn extended(&self, tail: &ScoreMatrix) -> crate::Result<ScoreMatrix> {
+        if self.heads != tail.heads {
+            return Err(crate::NnError::ShapeMismatch {
+                context: format!(
+                    "appending rows with head sizes {:?} to a matrix with {:?}",
+                    tail.heads, self.heads
+                ),
+            });
+        }
+        let mut probs = Vec::with_capacity(self.probs.len() + tail.probs.len());
+        probs.extend_from_slice(&self.probs);
+        probs.extend_from_slice(&tail.probs);
+        Ok(ScoreMatrix {
+            frames: self.frames + tail.frames,
+            heads: self.heads.clone(),
+            offsets: self.offsets.clone(),
+            stride: self.stride,
+            probs,
+        })
+    }
+
     /// Number of scored frames.
     pub fn num_frames(&self) -> usize {
         self.frames
@@ -185,6 +213,24 @@ mod tests {
         assert_eq!(m.argmax_count(0, 1), 0);
         let conf = m.requirement_confidence(1, &[(0, 2), (1, 1)]);
         assert!((conf - (0.7 + 0.6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extended_concatenates_rows_bit_for_bit() {
+        let m = filled();
+        let mut tail = ScoreMatrix::zeros(1, vec![3, 2]);
+        tail.row_mut(0).copy_from_slice(&[0.25, 0.5, 0.25, 0.1, 0.9]);
+        let grown = m.extended(&tail).unwrap();
+        assert_eq!(grown.num_frames(), 3);
+        assert_eq!(grown.row(0), m.row(0));
+        assert_eq!(grown.row(1), m.row(1));
+        assert_eq!(grown.row(2), tail.row(0));
+        // Mismatched head sizes are rejected.
+        let bad = ScoreMatrix::zeros(1, vec![2, 2]);
+        assert!(m.extended(&bad).is_err());
+        // Appending an empty tail is the identity.
+        let same = m.extended(&ScoreMatrix::zeros(0, vec![3, 2])).unwrap();
+        assert_eq!(same, m);
     }
 
     #[test]

@@ -233,6 +233,16 @@ impl SceneConfig {
     }
 }
 
+/// One phase of a phased (drifting) scene: `num_frames` frames generated from
+/// `config`'s class mix and rates. See [`SceneSimulator::generate_phased`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenePhase {
+    /// The generative configuration active during this phase.
+    pub config: SceneConfig,
+    /// How many frames this phase lasts.
+    pub num_frames: u64,
+}
+
 /// The generated scene for one day of video: all ground-truth tracks plus a frame index
 /// for fast per-frame lookups.
 #[derive(Debug, Clone)]
@@ -327,6 +337,66 @@ impl SceneSimulator {
 
         let bucket_index = Self::build_index(&tracks, num_frames);
         Ok(SceneSimulator { config, num_frames, tracks, bucket_index })
+    }
+
+    /// Generates a scene whose generative statistics *change over time*: each
+    /// [`ScenePhase`] contributes `num_frames` frames drawn from its own
+    /// [`SceneConfig`] (class mix, arrival rates, durations), concatenated in
+    /// order into one track list over one timeline.
+    ///
+    /// This is how distribution drift is injected into a synthetic stream: a
+    /// phase boundary is exactly the moment a camera's world changes (rush hour
+    /// starts, a regatta passes the canal) while the *camera* — resolution,
+    /// frame rate, rendering — stays fixed, so every phase must share `width`,
+    /// `height`, and `fps`. Tracks never cross a phase boundary (their exit
+    /// frames are clamped to the phase end, as a single-phase scene clamps to
+    /// the end of the day).
+    ///
+    /// A single-phase call is bit-identical to [`SceneSimulator::generate`]
+    /// with that phase's configuration: phase `i` derives its RNG stream from
+    /// `seed` xor a per-phase constant that is zero for `i == 0`.
+    pub fn generate_phased(phases: &[ScenePhase], seed: u64, day: u32) -> Result<Self> {
+        let Some(first) = phases.first() else {
+            return Err(VideoError::InvalidConfig("at least one scene phase required".into()));
+        };
+        for phase in phases {
+            phase.config.validate()?;
+            if phase.num_frames == 0 {
+                return Err(VideoError::InvalidConfig(
+                    "every scene phase must contain at least one frame".into(),
+                ));
+            }
+            if phase.config.width != first.config.width
+                || phase.config.height != first.config.height
+                || phase.config.fps != first.config.fps
+            {
+                return Err(VideoError::InvalidConfig(
+                    "scene phases must share resolution and frame rate (drift changes the \
+                     world, not the camera)"
+                        .into(),
+                ));
+            }
+        }
+        let total: u64 = phases.iter().map(|p| p.num_frames).sum();
+        let mut tracks: Vec<Track> = Vec::new();
+        let mut next_id: TrackId = 1;
+        let mut offset = 0u64;
+        for (i, phase) in phases.iter().enumerate() {
+            let phase_seed = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64);
+            let segment = Self::generate(phase.config.clone(), phase_seed, day, phase.num_frames)?;
+            for track in segment.tracks {
+                tracks.push(Track {
+                    id: next_id,
+                    enter_frame: track.enter_frame + offset,
+                    exit_frame: track.exit_frame + offset,
+                    ..track
+                });
+                next_id += 1;
+            }
+            offset += phase.num_frames;
+        }
+        let bucket_index = Self::build_index(&tracks, total);
+        Ok(SceneSimulator { config: first.config.clone(), num_frames: total, tracks, bucket_index })
     }
 
     fn build_index(tracks: &[Track], num_frames: u64) -> Vec<Vec<u32>> {
@@ -484,6 +554,91 @@ mod tests {
         let mut cfg2 = small_config();
         cfg2.classes.clear();
         assert!(SceneSimulator::generate(cfg2, 0, 0, 100).is_err());
+    }
+
+    #[test]
+    fn single_phase_matches_plain_generation_exactly() {
+        let cfg = small_config();
+        let plain = SceneSimulator::generate(cfg.clone(), 42, 2, 4_000).unwrap();
+        let phased = SceneSimulator::generate_phased(
+            &[ScenePhase { config: cfg, num_frames: 4_000 }],
+            42,
+            2,
+        )
+        .unwrap();
+        assert_eq!(plain.tracks(), phased.tracks());
+        assert_eq!(plain.visible_at(1777), phased.visible_at(1777));
+    }
+
+    #[test]
+    fn phased_scene_shifts_the_distribution_at_the_boundary() {
+        let calm = SceneConfig {
+            classes: vec![ClassProfile::car(0.5, 2.0)],
+            diurnal_amplitude: 0.0,
+            day_variation: 0.0,
+            ..small_config()
+        };
+        let busy = SceneConfig { classes: vec![ClassProfile::car(4.0, 2.0)], ..calm.clone() };
+        let sim = SceneSimulator::generate_phased(
+            &[
+                ScenePhase { config: calm, num_frames: 6_000 },
+                ScenePhase { config: busy, num_frames: 6_000 },
+            ],
+            9,
+            2,
+        )
+        .unwrap();
+        assert_eq!(sim.num_frames(), 12_000);
+        let mean = |lo: u64, hi: u64| {
+            let mut total = 0usize;
+            let mut n = 0usize;
+            let mut f = lo;
+            while f < hi {
+                total += sim.count_at(f, ObjectClass::Car);
+                n += 1;
+                f += 31;
+            }
+            total as f64 / n as f64
+        };
+        let before = mean(500, 5_500);
+        let after = mean(6_500, 11_500);
+        assert!(after > before * 2.0, "drift phase should be much busier: {before} -> {after}");
+        // Tracks never cross the phase boundary, and ids stay unique.
+        let mut ids: Vec<_> = sim.tracks().iter().map(|t| t.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(n, ids.len());
+        for t in sim.tracks() {
+            assert!(
+                (t.enter_frame < 6_000) == (t.exit_frame < 6_000),
+                "track {} crosses the phase boundary",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn phased_scene_rejects_camera_changes_and_empty_phases() {
+        let cfg = small_config();
+        assert!(SceneSimulator::generate_phased(&[], 1, 0).is_err());
+        assert!(SceneSimulator::generate_phased(
+            &[ScenePhase { config: cfg.clone(), num_frames: 0 }],
+            1,
+            0
+        )
+        .is_err());
+        let mut other_camera = cfg.clone();
+        other_camera.width = 1920.0;
+        assert!(SceneSimulator::generate_phased(
+            &[
+                ScenePhase { config: cfg, num_frames: 100 },
+                ScenePhase { config: other_camera, num_frames: 100 },
+            ],
+            1,
+            0
+        )
+        .is_err());
     }
 
     #[test]

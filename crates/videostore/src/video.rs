@@ -7,10 +7,11 @@
 use crate::frame::{Frame, FrameIndex};
 use crate::object::{GroundTruthObject, ObjectClass};
 use crate::render::{RenderConfig, Renderer};
-use crate::scene::{SceneConfig, SceneSimulator};
+use crate::scene::{SceneConfig, ScenePhase, SceneSimulator};
 use crate::track::Track;
 use crate::{Result, VideoError};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Full configuration of one day of synthetic video.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,11 +43,16 @@ impl VideoConfig {
 }
 
 /// One day of synthetic video: ground truth + lazily rendered frames.
+///
+/// The generated scene and renderer are immutable after construction and
+/// shared behind [`Arc`]s, so cloning a `Video` — and taking [`Video::prefix`]
+/// views of it, which streaming ingestion does on every append — is O(1)
+/// rather than a deep copy of the whole day's track list.
 #[derive(Debug, Clone)]
 pub struct Video {
     config: VideoConfig,
-    scene: SceneSimulator,
-    renderer: Renderer,
+    scene: Arc<SceneSimulator>,
+    renderer: Arc<Renderer>,
 }
 
 impl Video {
@@ -67,7 +73,60 @@ impl Video {
             config.scene.height,
             config.scene.fps,
         );
-        Ok(Video { config, scene, renderer })
+        Ok(Video { config, scene: Arc::new(scene), renderer: Arc::new(renderer) })
+    }
+
+    /// Generates a video whose world *drifts*: each [`ScenePhase`] contributes
+    /// its frames from its own generative statistics (see
+    /// [`SceneSimulator::generate_phased`]). The camera — resolution, frame
+    /// rate, rendering — comes from `config` and must match every phase;
+    /// `config.num_frames` and `config.scene` are replaced by the phases' total
+    /// and the first phase's configuration.
+    ///
+    /// This is the substrate for streaming drift experiments: a
+    /// [`Video::prefix`] view over a phased day reveals the distribution shift
+    /// exactly at the phase boundary, frame for frame identical to the full
+    /// day.
+    pub fn generate_phased(config: VideoConfig, phases: &[ScenePhase]) -> Result<Self> {
+        let scene = SceneSimulator::generate_phased(phases, config.seed, config.day)?;
+        let scene_config = scene.config().clone();
+        let num_frames = scene.num_frames();
+        let renderer = Renderer::new(
+            config.render.clone(),
+            scene_config.width,
+            scene_config.height,
+            scene_config.fps,
+        );
+        let config = VideoConfig { scene: scene_config, num_frames, ..config };
+        Ok(Video { config, scene: Arc::new(scene), renderer: Arc::new(renderer) })
+    }
+
+    /// A view of the first `len` frames of this video.
+    ///
+    /// The view shares this video's generated world: frame `f` of the prefix is
+    /// **bit-identical** to frame `f` of the full video (same scene, same
+    /// renderer), only the length differs. This is what makes a growing stream
+    /// cheap and exact — ingestion reveals successive prefixes of one
+    /// deterministic day, so scores computed incrementally over prefixes are
+    /// the same scores a cold pass over the grown video would compute.
+    ///
+    /// Ground-truth *track* accessors ([`Video::tracks`], [`Video::scene`])
+    /// still describe the full generated day (they are debugging/oracle
+    /// surfaces); every frame-indexed accessor enforces the prefix length.
+    ///
+    /// Fails if `len` is zero or exceeds this video's length.
+    pub fn prefix(&self, len: u64) -> Result<Video> {
+        if len == 0 || len > self.config.num_frames {
+            return Err(VideoError::InvalidConfig(format!(
+                "prefix of {len} frames over a {}-frame video",
+                self.config.num_frames
+            )));
+        }
+        Ok(Video {
+            config: VideoConfig { num_frames: len, ..self.config.clone() },
+            scene: Arc::clone(&self.scene),
+            renderer: Arc::clone(&self.renderer),
+        })
     }
 
     /// The configuration this video was generated from.
@@ -240,6 +299,51 @@ mod tests {
                 let sampled = v.frame_sampled(f, 12, 12).unwrap();
                 assert_eq!(sampled, crate::ingest::resize(&full, 12, 12).unwrap());
             }
+        }
+    }
+
+    #[test]
+    fn prefix_frames_are_bit_identical_to_the_full_video() {
+        let full = Video::generate(test_config(1_000)).unwrap();
+        let view = full.prefix(400).unwrap();
+        assert_eq!(view.len(), 400);
+        assert_eq!(view.name(), full.name());
+        for f in (0..400).step_by(37) {
+            assert_eq!(view.frame(f).unwrap(), full.frame(f).unwrap());
+            assert_eq!(
+                view.frame_sampled(f, 12, 12).unwrap(),
+                full.frame_sampled(f, 12, 12).unwrap()
+            );
+            assert_eq!(view.ground_truth(f).unwrap(), full.ground_truth(f).unwrap());
+        }
+        // The prefix enforces its own length on frame-indexed access.
+        assert!(view.frame(400).is_err());
+        assert!(view.ground_truth(400).is_err());
+        // Degenerate prefixes are rejected.
+        assert!(full.prefix(0).is_err());
+        assert!(full.prefix(1_001).is_err());
+        // A prefix of the full length is just the video.
+        assert_eq!(full.prefix(1_000).unwrap().len(), 1_000);
+    }
+
+    #[test]
+    fn phased_video_generates_and_prefixes() {
+        let cfg = test_config(0); // num_frames replaced by the phases' total
+        let calm = cfg.scene.clone();
+        let mut busy = calm.clone();
+        busy.classes = vec![ClassProfile::car(5.0, 2.0)];
+        let video = Video::generate_phased(
+            cfg,
+            &[
+                crate::scene::ScenePhase { config: calm, num_frames: 600 },
+                crate::scene::ScenePhase { config: busy, num_frames: 600 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(video.len(), 1_200);
+        let early = video.prefix(600).unwrap();
+        for f in (0..600).step_by(113) {
+            assert_eq!(early.frame(f).unwrap(), video.frame(f).unwrap());
         }
     }
 

@@ -16,7 +16,7 @@ fn main() {
 
     // Pick a genuinely rare event on this stream: the highest simultaneous car count
     // that still has at least 15 occurrences on the test day (the paper's Table 6 rule).
-    let counts = baselines::oracle_counts(engine, engine.video());
+    let counts = baselines::oracle_counts(engine, &engine.video());
     let max = counts.iter().map(|c| c.get(class)).max().unwrap_or(1);
     let threshold = (1..=max)
         .rev()

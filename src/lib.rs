@@ -12,7 +12,10 @@
 //! * [`detect`] — simulated object detection, tracking, and the simulated-time cost model.
 //! * [`nn`] — the from-scratch NN library and BlazeIt's specialized networks.
 //! * [`frameql`] — the FrameQL declarative query language.
-//! * [`core`] — the BlazeIt engine: optimizer, executors, baselines.
+//! * [`core`] — the BlazeIt engine: optimizer, executors, baselines, the durable
+//!   index store, and the streaming layer ([`core::stream`]: live ingestion with
+//!   incremental score indexes, drift-triggered background refresh, and
+//!   continuous queries via `Session::subscribe`).
 //!
 //! ## Quickstart
 //!
@@ -57,9 +60,10 @@ pub mod prelude {
     pub use blazeit_core::select::SelectionOptions;
     pub use blazeit_core::{
         baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, CacheWarmth, Catalog,
-        IndexStore, LabeledSet, MergeSemantics, PlanStrategy, PreparedQuery, QueryOutput,
-        QueryPlan, QueryResult, RewriteDecision, Session, SourcedFrame, SourcedRow, StoreError,
-        VideoAggregate, VideoContext, VideoPlan,
+        DriftConfig, IndexStore, IngestReport, LabeledSet, MergeSemantics, PlanStrategy,
+        PreparedQuery, QueryOutput, QueryPlan, QueryResult, RefreshReport, RefreshState,
+        RewriteDecision, Session, SourcedFrame, SourcedRow, StoreError, StreamSource, StreamStatus,
+        StreamUpdate, Subscription, VideoAggregate, VideoContext, VideoPlan,
     };
     pub use blazeit_detect::{DetectionMethod, ObjectDetector, SimClock, SimulatedDetector};
     pub use blazeit_frameql::{parse_query, Query, Value};

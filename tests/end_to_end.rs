@@ -67,7 +67,7 @@ fn scrubbing_results_are_true_positives_with_gap() {
     assert!(frames.len() <= 5);
     for (i, &a) in frames.iter().enumerate() {
         // Verified against the same detector the engine used.
-        let detections = engine.detector().detect(engine.video(), a);
+        let detections = engine.detector().detect(&engine.video(), a);
         let cars = detections.iter().filter(|d| d.class == ObjectClass::Car).count();
         assert!(cars >= 2, "frame {a} returned with only {cars} cars");
         for &b in &frames[i + 1..] {

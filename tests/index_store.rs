@@ -393,3 +393,167 @@ fn head_order_does_not_split_the_cache() {
     assert!(std::sync::Arc::ptr_eq(&ab, &ba));
     assert_eq!(catalog.clock().breakdown().training, trained_once);
 }
+
+// ---------------------------------------------------------------------------------
+// Size budgeting: LRU eviction tracked through the manifest (satellite of the
+// streaming PR).
+// ---------------------------------------------------------------------------------
+
+/// A small synthetic score matrix whose encoded artifact is a few KB.
+fn small_scores(frames: usize) -> ScoreMatrix {
+    let mut m = ScoreMatrix::zeros(frames, vec![4]);
+    for f in 0..frames {
+        m.row_mut(f).copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
+    }
+    m
+}
+
+#[test]
+fn budgeted_store_evicts_least_recently_used_artifacts() {
+    let dir = tmpdir("budget-lru");
+    let scores = small_scores(64);
+    let artifact_len = blazeit::nn::persist::encode_score_matrix(&scores, "key-a").len() as u64;
+    // Room for two artifacts plus slack, never three.
+    let budget = artifact_len * 2 + artifact_len / 2;
+    let store = IndexStore::open_with_budget(&dir, budget).unwrap();
+    assert_eq!(store.budget(), Some(budget));
+
+    store.store_scores("v", "key-a", &scores).unwrap();
+    store.store_scores("v", "key-b", &scores).unwrap();
+    assert!(store.has_scores("v", "key-a") && store.has_scores("v", "key-b"));
+    assert!(store.tracked_bytes() <= budget);
+
+    // Touch A (a load is a use), then store C: the LRU victim must be B.
+    assert!(store.load_scores("v", "key-a").unwrap().is_some());
+    store.store_scores("v", "key-c", &scores).unwrap();
+    assert!(store.has_scores("v", "key-a"), "recently used artifact survived");
+    assert!(!store.has_scores("v", "key-b"), "least recently used artifact evicted");
+    assert!(store.has_scores("v", "key-c"));
+    assert!(store.tracked_bytes() <= budget);
+
+    // An evicted artifact reads as a clean miss, not an error.
+    assert_eq!(store.load_scores("v", "key-b").unwrap(), None);
+
+    // The manifest (not mtimes) carries recency across reopen: touch C, reopen,
+    // store D — the victim is A.
+    assert!(store.load_scores("v", "key-c").unwrap().is_some());
+    drop(store);
+    let store = IndexStore::open_with_budget(&dir, budget).unwrap();
+    store.store_scores("v", "key-d", &scores).unwrap();
+    assert!(!store.has_scores("v", "key-a"), "A was least recent after reopen");
+    assert!(store.has_scores("v", "key-c") && store.has_scores("v", "key-d"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unevictable_overflow_is_a_typed_error_and_writes_nothing() {
+    let dir = tmpdir("budget-overflow");
+    let store = IndexStore::open_with_budget(&dir, 64).unwrap();
+    let scores = small_scores(64);
+    let err = store.store_scores("v", "too-big", &scores).unwrap_err();
+    match &err {
+        StoreError::BudgetExceeded { needed, budget, .. } => {
+            assert!(*needed > *budget);
+            assert_eq!(*budget, 64);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    assert!(!store.has_scores("v", "too-big"), "a rejected artifact leaves no file");
+    assert_eq!(store.tracked_bytes(), 0);
+
+    // A catalog over a too-small budget degrades to in-memory caching instead
+    // of failing queries (write-behind swallows the typed error).
+    let mut catalog = Catalog::with_index_store_budget(dir.join("tiny"), 64).unwrap();
+    catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
+    let result = catalog.session().query(FCOUNT_SQL).unwrap();
+    assert!(result.output.aggregate_value().is_some());
+    assert!(artifact_files(&dir.join("tiny")).is_empty(), "nothing fit the 64-byte budget");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budgeted_store_adopts_an_unmanifested_store_and_trims_it() {
+    let dir = tmpdir("budget-adopt");
+    let scores = small_scores(64);
+    let artifact_len = blazeit::nn::persist::encode_score_matrix(&scores, "key-a").len() as u64;
+    {
+        // Populate without any budget (no manifest is written).
+        let store = IndexStore::open(&dir).unwrap();
+        store.store_scores("v", "key-a", &scores).unwrap();
+        store.store_scores("v", "key-b", &scores).unwrap();
+        store.store_scores("v", "key-c", &scores).unwrap();
+    }
+    // Reopening with a two-artifact budget reconciles and evicts down to it.
+    let store = IndexStore::open_with_budget(&dir, artifact_len * 2).unwrap();
+    let remaining = ["key-a", "key-b", "key-c"].iter().filter(|k| store.has_scores("v", k)).count();
+    assert_eq!(remaining, 2, "adoption trimmed the store to the budget");
+    assert!(store.tracked_bytes() <= artifact_len * 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------------
+// Labeled-set persistence: a fresh catalog over a populated store skips the
+// offline annotation pass (satellite of the streaming PR).
+// ---------------------------------------------------------------------------------
+
+#[test]
+fn labeled_annotations_persist_across_catalogs() {
+    let dir = tmpdir("labeled");
+    let frames = 700u64;
+    let (first_train, first_heldout, first_cost) = {
+        let catalog = store_catalog(&dir, frames);
+        let labeled = catalog.context("taipei").unwrap().labeled();
+        assert!(
+            labeled.annotation_cost_secs() > 0.0,
+            "the first registration runs the offline detector"
+        );
+        (labeled.train().clone(), labeled.heldout().clone(), labeled.annotation_cost_secs())
+    };
+    assert!(first_cost > 0.0);
+
+    // A fresh catalog over the same store loads the annotations instead of
+    // re-running the detector, and gets the exact same labeled set.
+    let catalog = store_catalog(&dir, frames);
+    let labeled = catalog.context("taipei").unwrap().labeled();
+    assert_eq!(labeled.annotation_cost_secs(), 0.0, "annotations came from the store");
+    assert_eq!(labeled.train(), &first_train);
+    assert_eq!(labeled.heldout(), &first_heldout);
+
+    // The key pins the labeling identity: a different detector threshold must
+    // miss and re-annotate (stale annotations are never served).
+    let mut config = BlazeItConfig::for_preset(DatasetPreset::Taipei);
+    config.detection_threshold = 0.5;
+    let mut other = Catalog::with_index_store(&dir).unwrap();
+    other.register_preset_with_config(DatasetPreset::Taipei, frames, config).unwrap();
+    let relabeled = other.context("taipei").unwrap().labeled();
+    assert!(relabeled.annotation_cost_secs() > 0.0, "changed detector => fresh annotation");
+    assert_ne!(relabeled.train(), &first_train);
+
+    // A corrupted annotation artifact falls back to a rebuild (and heals).
+    let store = IndexStore::open(&dir).unwrap();
+    let labeled_files: Vec<PathBuf> = {
+        let mut out = Vec::new();
+        let mut stack = vec![dir.clone()];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).unwrap().flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|e| e == "bzl") {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    };
+    assert!(!labeled_files.is_empty(), "annotations were persisted as .bzl artifacts");
+    for file in &labeled_files {
+        std::fs::write(file, b"garbage").unwrap();
+    }
+    drop(store);
+    let catalog = store_catalog(&dir, frames);
+    let healed = catalog.context("taipei").unwrap().labeled();
+    assert!(healed.annotation_cost_secs() > 0.0, "corrupt annotations => rebuild");
+    assert_eq!(healed.train(), &first_train);
+    let _ = std::fs::remove_dir_all(&dir);
+}

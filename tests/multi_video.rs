@@ -162,7 +162,7 @@ fn global_limit_scrub_charges_no_more_than_the_best_sequential_ordering() {
     // within a video only.
     for sf in frames {
         let ctx = catalog.context(&sf.video).unwrap();
-        let detections = ctx.detector().detect(ctx.video(), sf.frame);
+        let detections = ctx.detector().detect(&ctx.video(), sf.frame);
         assert!(
             detections.iter().any(|d| d.class == ObjectClass::Car),
             "{}#{} fails the predicate",

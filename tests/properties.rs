@@ -158,8 +158,8 @@ fn simulated_detection_is_idempotent_per_frame() {
     let engine = BlazeIt::for_preset(DatasetPreset::Rialto, 800).unwrap();
     for f in (0..800).step_by(53) {
         assert_eq!(
-            engine.detector().detect(engine.video(), f),
-            engine.detector().detect(engine.video(), f)
+            engine.detector().detect(&engine.video(), f),
+            engine.detector().detect(&engine.video(), f)
         );
     }
 }
