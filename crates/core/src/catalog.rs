@@ -16,13 +16,17 @@ use crate::config::BlazeItConfig;
 use crate::context::VideoContext;
 use crate::labeled::LabeledSet;
 use crate::session::Session;
-use crate::store::IndexStore;
+use crate::store::{IndexStore, StoreError};
 use crate::stream::{DriftConfig, StreamState};
 use crate::{BlazeItError, Result};
 use blazeit_detect::SimClock;
 use blazeit_videostore::{DatasetPreset, Video, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
 use std::path::Path;
 use std::sync::Arc;
+
+/// Store errors hit before a context (and so its `HealthState`) exists,
+/// tagged with the operation that failed; recorded right after registration.
+type CollectedStoreErrors = Vec<(&'static str, StoreError)>;
 
 /// Normalizes a video name for routing: ASCII-lowercase, underscores to hyphens.
 /// (Also the per-video directory name inside an [`IndexStore`].)
@@ -107,7 +111,7 @@ impl Catalog {
     /// least-recently-used artifacts (usage tracked in a small on-disk
     /// manifest, not filesystem mtimes). Storing an artifact that cannot fit
     /// even after evicting everything else fails with
-    /// [`StoreError::BudgetExceeded`](crate::store::StoreError::BudgetExceeded);
+    /// [`StoreError::BudgetExceeded`];
     /// the catalog's write-behind degrades to in-memory caching in that case.
     pub fn with_index_store_budget(path: impl AsRef<Path>, max_bytes: u64) -> Result<Catalog> {
         let store = IndexStore::open_with_budget(path, max_bytes)?;
@@ -167,8 +171,16 @@ impl Catalog {
         config: BlazeItConfig,
     ) -> Result<&VideoContext> {
         let test = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
-        let labeled = self.build_or_load_labeled(preset, frames_per_day, &config)?;
-        self.register(test, labeled, config)
+        let (labeled, store_errors) =
+            self.build_or_load_labeled(preset, frames_per_day, &config)?;
+        let ctx = self.register(test, labeled, config)?;
+        // The labeled-set artifacts were read/written before the context
+        // existed; its health state inherits their failures so EXPLAIN and
+        // monitoring see them instead of a silent swallow.
+        for (op, error) in &store_errors {
+            ctx.health().record_store_error(op, error);
+        }
+        Ok(ctx)
     }
 
     /// Builds the labeled set for a preset — or, when this catalog has an
@@ -181,32 +193,46 @@ impl Catalog {
         preset: DatasetPreset,
         frames_per_day: u64,
         config: &BlazeItConfig,
-    ) -> Result<Arc<LabeledSet>> {
+    ) -> Result<(Arc<LabeledSet>, CollectedStoreErrors)> {
         let train = preset.generate_with_frames(DAY_TRAIN, frames_per_day)?;
         let heldout = preset.generate_with_frames(DAY_HELDOUT, frames_per_day)?;
         let key = Self::labeled_store_key(&train, &heldout, config);
         let dir = normalize(preset.name());
+        // The context (and so its HealthState) does not exist yet; failures
+        // are collected here and recorded on the context right after
+        // registration, so no store error is ever silently swallowed.
+        let mut store_errors: Vec<(&'static str, StoreError)> = Vec::new();
         if let Some(store) = &self.store {
-            if let Ok(Some((train_day, heldout_day))) = store.load_labeled(&dir, &key) {
-                if let Ok(set) = LabeledSet::from_parts(train, heldout, train_day, heldout_day) {
-                    return Ok(Arc::new(set));
+            match store.load_labeled(&dir, &key) {
+                Ok(Some((train_day, heldout_day))) => {
+                    if let Ok(set) = LabeledSet::from_parts(train, heldout, train_day, heldout_day)
+                    {
+                        return Ok((Arc::new(set), store_errors));
+                    }
+                    // An inconsistent artifact falls through to a rebuild,
+                    // which overwrites it below (same healing rule as every
+                    // other artifact class).
+                    let train = preset.generate_with_frames(DAY_TRAIN, frames_per_day)?;
+                    let heldout = preset.generate_with_frames(DAY_HELDOUT, frames_per_day)?;
+                    let set = LabeledSet::build(train, heldout, config)?;
+                    if let Err(e) = store.store_labeled(&dir, &key, set.train(), set.heldout()) {
+                        store_errors.push(("store labeled set", e));
+                    }
+                    return Ok((Arc::new(set), store_errors));
                 }
-                // An inconsistent artifact falls through to a rebuild, which
-                // overwrites it below (same healing rule as every other
-                // artifact class).
-                let train = preset.generate_with_frames(DAY_TRAIN, frames_per_day)?;
-                let heldout = preset.generate_with_frames(DAY_HELDOUT, frames_per_day)?;
-                let set = LabeledSet::build(train, heldout, config)?;
-                let _ = store.store_labeled(&dir, &key, set.train(), set.heldout());
-                return Ok(Arc::new(set));
+                Ok(None) => {}
+                Err(e) => store_errors.push(("load labeled set", e)),
             }
         }
         let set = LabeledSet::build(train, heldout, config)?;
         if let Some(store) = &self.store {
-            // Write-behind; a full disk degrades to building on every open.
-            let _ = store.store_labeled(&dir, &key, set.train(), set.heldout());
+            // Write-behind; a failing store degrades to building on every
+            // open, and the error lands in the context's health state.
+            if let Err(e) = store.store_labeled(&dir, &key, set.train(), set.heldout()) {
+                store_errors.push(("store labeled set", e));
+            }
         }
-        Ok(Arc::new(set))
+        Ok((Arc::new(set), store_errors))
     }
 
     /// The durable-store key for a labeled set: everything the annotations
@@ -281,8 +307,13 @@ impl Catalog {
     ) -> Result<&VideoContext> {
         let config = BlazeItConfig::for_preset(preset);
         let capacity = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
-        let labeled = self.build_or_load_labeled(preset, frames_per_day, &config)?;
-        self.register_stream(capacity, labeled, config, initial_frames, drift)
+        let (labeled, store_errors) =
+            self.build_or_load_labeled(preset, frames_per_day, &config)?;
+        let ctx = self.register_stream(capacity, labeled, config, initial_frames, drift)?;
+        for (op, error) in &store_errors {
+            ctx.health().record_store_error(op, error);
+        }
+        Ok(ctx)
     }
 
     /// Looks up a registered video's context by (normalized) name.

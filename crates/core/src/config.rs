@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::fault::RetryPolicy;
 use blazeit_detect::{CostProfile, DetectionMethod};
 use blazeit_nn::features::FeatureConfig;
 use blazeit_nn::train::TrainConfig;
@@ -40,6 +41,9 @@ pub struct BlazeItConfig {
     pub tracker_iou: f32,
     /// Base RNG seed for sampling during query execution.
     pub sampling_seed: u64,
+    /// Retry/backoff policy for transient index-store errors (each backoff is
+    /// charged to the simulated clock under the `other` category).
+    pub store_retry: RetryPolicy,
 }
 
 impl Default for BlazeItConfig {
@@ -61,6 +65,7 @@ impl Default for BlazeItConfig {
             count_class_min_fraction: 0.01,
             tracker_iou: 0.7,
             sampling_seed: 0xB1A2_E175,
+            store_retry: RetryPolicy::default(),
         }
     }
 }

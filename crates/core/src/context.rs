@@ -28,8 +28,10 @@
 //! context falls back to recomputing and overwrites the bad file.
 
 use crate::config::BlazeItConfig;
+use crate::fault::HealthState;
 use crate::labeled::LabeledSet;
-use crate::store::IndexStore;
+use crate::lockorder::{lock_ordered, OrderedGuard, RANK_LIVE_INDEX, RANK_NN_CACHE, RANK_VIDEO};
+use crate::store::{IndexStore, StoreResult};
 use crate::stream::StreamState;
 use crate::{BlazeItError, Result};
 use blazeit_detect::{SimClock, SimulatedDetector};
@@ -122,6 +124,11 @@ pub struct VideoContext {
     /// Streaming state (full-day capacity video + drift monitor); `None` for
     /// ordinary, fixed-length registrations.
     pub(crate) stream: Option<StreamState>,
+    /// Robustness bookkeeping: store degradation, retry counters, the
+    /// last-error ring buffer, and retrain-failure state. Every store failure
+    /// on this context's read-through/write-behind paths is recorded here —
+    /// degradation is always queryable and rendered by EXPLAIN, never silent.
+    health: HealthState,
 }
 
 impl std::fmt::Debug for VideoContext {
@@ -182,6 +189,7 @@ impl VideoContext {
             let dir = crate::catalog::normalize(video.name());
             (s, dir)
         });
+        let health = HealthState::new(config.sampling_seed);
         VideoContext {
             video: Mutex::new(Arc::new(video)),
             labeled,
@@ -194,12 +202,73 @@ impl VideoContext {
             heldout_cache: Mutex::new(HashMap::new()),
             store,
             stream,
+            health,
         }
     }
 
     /// The durable index store behind this context's caches, if any.
     pub fn index_store(&self) -> Option<&Arc<IndexStore>> {
         self.store.as_ref().map(|(s, _)| s)
+    }
+
+    /// This context's health state: store degradation, retry counters, the
+    /// recent-error ring buffer, and retrain-failure records. Snapshot it with
+    /// [`HealthState::report`]; EXPLAIN renders the same snapshot.
+    pub fn health(&self) -> &HealthState {
+        &self.health
+    }
+
+    /// Acquires the `video` lock at its documented rank (last in the monitor →
+    /// live_index → nn_cache → video order; asserted in debug builds).
+    pub(crate) fn lock_video(&self) -> OrderedGuard<'_, Arc<Video>> {
+        lock_ordered(RANK_VIDEO, "video", &self.video)
+    }
+
+    /// Acquires the `nn_cache` lock at its documented rank.
+    pub(crate) fn lock_nn_cache(&self) -> OrderedGuard<'_, HashMap<String, Arc<SpecializedNN>>> {
+        lock_ordered(RANK_NN_CACHE, "nn_cache", &self.nn_cache)
+    }
+
+    /// Acquires the `live_index` lock at its documented rank.
+    pub(crate) fn lock_live_index(&self) -> OrderedGuard<'_, HashMap<String, LiveIndex>> {
+        lock_ordered(RANK_LIVE_INDEX, "live_index", &self.live_index)
+    }
+
+    /// Runs one store operation through the robustness pipeline:
+    ///
+    /// * skipped entirely (returns `None`) while the context is degraded to
+    ///   memory-only mode, except for the periodic probe that tests whether the
+    ///   store healed;
+    /// * transient errors are retried under the configured
+    ///   [`RetryPolicy`](crate::fault::RetryPolicy), each backoff charged to
+    ///   the simulated clock;
+    /// * the outcome is recorded in [`HealthState`] — successes clear the
+    ///   failure streak (healing a degraded context), failures are pushed into
+    ///   the error ring and hard/exhausted-transient failures count toward
+    ///   degradation.
+    ///
+    /// `what` labels the operation in the health report's error ring.
+    pub(crate) fn store_op<T>(
+        &self,
+        what: &'static str,
+        mut op: impl FnMut(&IndexStore, &str) -> StoreResult<T>,
+    ) -> Option<T> {
+        let (store, dir) = self.store.as_ref()?;
+        if !self.health.store_attempt_allowed() {
+            return None;
+        }
+        let outcome =
+            self.health.run_with_retry(&self.config.store_retry, &self.clock, || op(store, dir));
+        match outcome {
+            Ok(value) => {
+                self.health.record_store_success();
+                Some(value)
+            }
+            Err(error) => {
+                self.health.record_store_error(what, &error);
+                None
+            }
+        }
     }
 
     /// The unseen (test) video queries run over — a cheap atomic snapshot.
@@ -209,7 +278,7 @@ impl VideoContext {
     /// snapshot works over one consistent set of frames for its whole run even
     /// while ingestion continues.
     pub fn video(&self) -> Arc<Video> {
-        Arc::clone(&self.video.lock())
+        Arc::clone(&self.lock_video())
     }
 
     /// Whether this context is a live stream (registered through
@@ -402,12 +471,12 @@ impl VideoContext {
             Arc::clone(&self.clock),
         )?;
         let nn = Arc::new(nn);
-        if let Some((store, dir)) = &self.store {
-            // Write-behind; a full disk degrades to in-memory-only caching
-            // rather than failing the query.
-            let _ = store.store_network(dir, &self.nn_store_key(&normalized), &nn);
-        }
-        self.nn_cache.lock().insert(Self::head_key(&normalized), Arc::clone(&nn));
+        // Write-behind; a failed write degrades to in-memory-only caching
+        // rather than failing the query, recorded in the health state.
+        self.store_op("store specialized nn", |store, dir| {
+            store.store_network(dir, &self.nn_store_key(&normalized), &nn)
+        });
+        self.lock_nn_cache().insert(Self::head_key(&normalized), Arc::clone(&nn));
         Ok(nn)
     }
 
@@ -422,13 +491,14 @@ impl VideoContext {
         normalized: &[(ObjectClass, usize)],
     ) -> Option<Arc<SpecializedNN>> {
         let key = Self::head_key(normalized);
-        if let Some(nn) = self.nn_cache.lock().get(&key) {
+        if let Some(nn) = self.lock_nn_cache().get(&key) {
             return Some(Arc::clone(nn));
         }
-        let (store, dir) = self.store.as_ref()?;
-        let nn = store.load_network(dir, &self.nn_store_key(normalized), &self.clock).ok()??;
+        let nn = self.store_op("load specialized nn", |store, dir| {
+            store.load_network(dir, &self.nn_store_key(normalized), &self.clock)
+        })??;
         let nn = Arc::new(nn);
-        self.nn_cache.lock().insert(key, Arc::clone(&nn));
+        self.lock_nn_cache().insert(key, Arc::clone(&nn));
         Some(nn)
     }
 
@@ -472,7 +542,7 @@ impl VideoContext {
         // cannot both score the video (which would double-charge the clock).
         // It also pins the (video, index) pair: ingestion swaps the video only
         // while holding this lock, so the snapshot below is consistent.
-        let mut cache = self.live_index.lock();
+        let mut cache = self.lock_live_index();
         let video = self.video();
         if let Some(entry) = cache.get(&key) {
             if entry.nn.weights_fingerprint() == nn.weights_fingerprint()
@@ -494,8 +564,7 @@ impl VideoContext {
         // a drift swap) gets its scores computed above but must not clobber the
         // swapped-in index.
         let is_current = self
-            .nn_cache
-            .lock()
+            .lock_nn_cache()
             .get(&key)
             .is_none_or(|current| current.weights_fingerprint() == nn.weights_fingerprint());
         if is_current {
@@ -512,16 +581,14 @@ impl VideoContext {
     /// `key`, charging nothing. Invalid artifacts read as a miss (the caller
     /// recomputes and the write-behind replaces the bad file).
     pub(crate) fn load_stored_scores(&self, key: &str) -> Option<Arc<ScoreMatrix>> {
-        let (store, dir) = self.store.as_ref()?;
-        store.load_scores(dir, key).ok().flatten().map(Arc::new)
+        self.store_op("load score index", |store, dir| store.load_scores(dir, key))?.map(Arc::new)
     }
 
     /// Write-behind half of the score-cache hierarchy; a failed write degrades
-    /// to in-memory-only caching rather than failing the query.
+    /// to in-memory-only caching rather than failing the query, recorded in
+    /// the health state.
     pub(crate) fn store_scores_behind(&self, key: &str, scores: &ScoreMatrix) {
-        if let Some((store, dir)) = &self.store {
-            let _ = store.store_scores(dir, key, scores);
-        }
+        self.store_op("store score index", |store, dir| store.store_scores(dir, key, scores));
     }
 
     /// The score index for `nn` over the held-out day's annotated frames (row `i`
@@ -574,11 +641,16 @@ impl VideoContext {
     /// without decoding, so this is safe for free plan-time inspection.
     pub fn specialized_warmth(&self, heads: &[(ObjectClass, usize)]) -> CacheWarmth {
         let normalized = Self::normalized_heads(heads);
-        if self.nn_cache.lock().contains_key(&Self::head_key(&normalized)) {
+        if self.lock_nn_cache().contains_key(&Self::head_key(&normalized)) {
             return CacheWarmth::Memory;
         }
+        // A degraded (memory-only) context will not read the store, so a
+        // persisted artifact must honestly report as cold.
         match &self.store {
-            Some((store, dir)) if store.has_network(dir, &self.nn_store_key(&normalized)) => {
+            Some((store, dir))
+                if self.health.store_usable()
+                    && store.has_network(dir, &self.nn_store_key(&normalized)) =>
+            {
                 CacheWarmth::Disk
             }
             _ => CacheWarmth::Cold,
@@ -597,7 +669,7 @@ impl VideoContext {
         let Some(nn) = self.lookup_specialized(&normalized) else {
             return CacheWarmth::Cold;
         };
-        let cache = self.live_index.lock();
+        let cache = self.lock_live_index();
         let video = self.video();
         if let Some(entry) = cache.get(&Self::head_key(&normalized)) {
             if entry.nn.weights_fingerprint() == nn.weights_fingerprint()
@@ -608,7 +680,9 @@ impl VideoContext {
         }
         let key = Self::score_key(&video, video.len() as usize, &nn);
         match &self.store {
-            Some((store, dir)) if store.has_scores(dir, &key) => CacheWarmth::Disk,
+            Some((store, dir)) if self.health.store_usable() && store.has_scores(dir, &key) => {
+                CacheWarmth::Disk
+            }
             _ => CacheWarmth::Cold,
         }
     }

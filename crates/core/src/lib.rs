@@ -41,6 +41,16 @@
 //!   [`Session::subscribe`](session::Session::subscribe) yields per-tick
 //!   aggregate updates with honest confidence intervals.
 //!
+//! * **Robustness** ([`fault`]) — deterministic fault injection (failpoints
+//!   compiled in under the `fault-injection` feature, scheduled by a seeded
+//!   RNG), retry with exponential backoff for transient store errors, and
+//!   graceful degradation: persistent store failure flips a context to
+//!   memory-only mode, failed drift retrains keep the current generation and
+//!   re-arm with backoff, and a panicking parallel task becomes a typed
+//!   [`BlazeItError::TaskPanicked`] instead of poisoning the pool. Every
+//!   degradation is recorded in a per-context [`fault::HealthState`] rendered
+//!   by EXPLAIN.
+//!
 //! All expensive work charges the shared [`SimClock`](blazeit_detect::SimClock), so
 //! end-to-end runtimes are deterministic and comparable across plans.
 
@@ -53,7 +63,9 @@ pub mod catalog;
 pub mod config;
 pub mod context;
 pub mod engine;
+pub mod fault;
 pub mod labeled;
+pub(crate) mod lockorder;
 pub mod metrics;
 pub mod plan;
 pub mod relation;
@@ -69,6 +81,7 @@ pub use catalog::Catalog;
 pub use config::BlazeItConfig;
 pub use context::{CacheWarmth, VideoContext};
 pub use engine::BlazeIt;
+pub use fault::{HealthReport, HealthState, RetrainHealth, RetryPolicy};
 pub use labeled::LabeledSet;
 pub use metrics::RuntimeReport;
 pub use plan::{MergeSemantics, PlanStrategy, QueryPlan, RewriteDecision, VideoPlan};
@@ -107,6 +120,23 @@ pub enum BlazeItError {
     },
     /// The durable index store failed (I/O, or an invalid artifact file).
     Store(store::StoreError),
+    /// Live stream ingestion failed before any state changed; the stream is
+    /// unchanged and `advance` can simply be retried.
+    Ingest {
+        /// The stream's registered video name.
+        video: String,
+        /// What went wrong, rendered.
+        message: String,
+    },
+    /// A fanned-out parallel task panicked; the panic was caught at the task
+    /// boundary (the worker pool and sibling tasks are unaffected) and
+    /// converted to this typed error.
+    TaskPanicked {
+        /// Which task panicked (e.g. the sub-query's video).
+        task: String,
+        /// The panic message.
+        message: String,
+    },
     /// The query is valid FrameQL but not executable by this engine.
     Unsupported(String),
     /// An invariant was violated during planning or execution.
@@ -135,6 +165,12 @@ impl std::fmt::Display for BlazeItError {
                 }
             }
             BlazeItError::Store(e) => write!(f, "index store error: {e}"),
+            BlazeItError::Ingest { video, message } => {
+                write!(f, "stream ingest error on '{video}': {message} (stream unchanged)")
+            }
+            BlazeItError::TaskPanicked { task, message } => {
+                write!(f, "parallel task panicked ({task}): {message}")
+            }
             BlazeItError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             BlazeItError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

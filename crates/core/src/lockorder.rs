@@ -1,0 +1,182 @@
+//! Debug-build lock-order assertions for the context/stream lock hierarchy.
+//!
+//! The streaming layer documents a strict acquisition order — **monitor →
+//! live_index → nn_cache → video** — which keeps ingest, drift checks, and
+//! background-refresh publication deadlock-free. That discipline used to live
+//! only in comments; this module enforces it in debug builds: every ranked lock
+//! acquisition pushes its rank onto a thread-local stack and asserts that no
+//! lock of an equal or higher rank is already held by this thread. Release
+//! builds compile the bookkeeping out entirely ([`OrderedGuard`] is a
+//! zero-overhead newtype around the `MutexGuard`).
+
+use parking_lot::{Mutex, MutexGuard};
+use std::ops::{Deref, DerefMut};
+
+/// Rank of `StreamState::monitor` (acquired first).
+pub(crate) const RANK_MONITOR: u8 = 0;
+/// Rank of `VideoContext::live_index`.
+pub(crate) const RANK_LIVE_INDEX: u8 = 1;
+/// Rank of `VideoContext::nn_cache`.
+pub(crate) const RANK_NN_CACHE: u8 = 2;
+/// Rank of `VideoContext::video` (acquired last).
+pub(crate) const RANK_VIDEO: u8 = 3;
+
+#[cfg(debug_assertions)]
+mod tracker {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks of the ordered locks this thread currently holds.
+        static HELD: RefCell<Vec<(u8, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquire(rank: u8, name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            for &(held_rank, held_name) in held.iter() {
+                assert!(
+                    held_rank < rank,
+                    "lock-order violation: acquiring '{name}' (rank {rank}) while holding \
+                     '{held_name}' (rank {held_rank}); the documented order is \
+                     monitor → live_index → nn_cache → video"
+                );
+            }
+            held.push((rank, name));
+        });
+    }
+
+    pub(super) fn release(rank: u8, name: &'static str) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Guards may drop out of acquisition order; remove the newest match.
+            if let Some(pos) = held.iter().rposition(|&(r, n)| r == rank && n == name) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// A `MutexGuard` participating in the ranked hierarchy: construction asserts
+/// the order (debug builds only) and drop releases the bookkeeping.
+pub(crate) struct OrderedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: u8,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+}
+
+impl<T> Deref for OrderedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        tracker::release(self.rank, self.name);
+    }
+}
+
+/// Locks `mutex` at `rank`, asserting (in debug builds) that every ranked lock
+/// this thread already holds ranks strictly lower.
+pub(crate) fn lock_ordered<'a, T>(
+    rank: u8,
+    name: &'static str,
+    mutex: &'a Mutex<T>,
+) -> OrderedGuard<'a, T> {
+    #[cfg(debug_assertions)]
+    tracker::acquire(rank, name);
+    #[cfg(not(debug_assertions))]
+    let _ = (rank, name);
+    OrderedGuard {
+        guard: mutex.lock(),
+        #[cfg(debug_assertions)]
+        rank,
+        #[cfg(debug_assertions)]
+        name,
+    }
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn in_order_acquisition_is_allowed() {
+        let monitor = Mutex::new(0u8);
+        let live = Mutex::new(0u8);
+        let video = Mutex::new(0u8);
+        let a = lock_ordered(RANK_MONITOR, "monitor", &monitor);
+        let b = lock_ordered(RANK_LIVE_INDEX, "live_index", &live);
+        let c = lock_ordered(RANK_VIDEO, "video", &video);
+        drop((a, b, c));
+        // Skipping ranks is fine; only inversions are violations.
+        let c = lock_ordered(RANK_NN_CACHE, "nn_cache", &video);
+        drop(c);
+        let a = lock_ordered(RANK_VIDEO, "video", &video);
+        drop(a);
+    }
+
+    #[test]
+    fn out_of_order_acquisition_panics() {
+        let live = Mutex::new(0u8);
+        let monitor = Mutex::new(0u8);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _b = lock_ordered(RANK_LIVE_INDEX, "live_index", &live);
+            let _a = lock_ordered(RANK_MONITOR, "monitor", &monitor);
+        }));
+        let message = *outcome.expect_err("inversion must panic").downcast::<String>().unwrap();
+        assert!(message.contains("lock-order violation"), "got: {message}");
+    }
+
+    #[test]
+    fn same_rank_reacquisition_panics() {
+        // parking_lot mutexes are not reentrant: re-locking the same rank on one
+        // thread is a self-deadlock, caught here before the deadlock happens.
+        let video = Mutex::new(0u8);
+        let other = Mutex::new(0u8);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _a = lock_ordered(RANK_VIDEO, "video", &video);
+            let _b = lock_ordered(RANK_VIDEO, "video", &other);
+        }));
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn release_unwinds_out_of_order_drops() {
+        let monitor = Mutex::new(0u8);
+        let live = Mutex::new(0u8);
+        let a = lock_ordered(RANK_MONITOR, "monitor", &monitor);
+        let b = lock_ordered(RANK_LIVE_INDEX, "live_index", &live);
+        drop(a); // dropped before b — bookkeeping must not corrupt
+        drop(b);
+        let a = lock_ordered(RANK_MONITOR, "monitor", &monitor);
+        let b = lock_ordered(RANK_LIVE_INDEX, "live_index", &live);
+        drop(b);
+        drop(a);
+    }
+
+    #[test]
+    fn threads_track_independently() {
+        let live = Mutex::new(0u8);
+        let _outer = lock_ordered(RANK_VIDEO, "video", &live);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let monitor = Mutex::new(0u8);
+                // This thread holds nothing: rank 0 is fine here even though
+                // the spawning thread holds rank 3.
+                let _g = lock_ordered(RANK_MONITOR, "monitor", &monitor);
+            });
+        });
+    }
+}

@@ -24,6 +24,7 @@
 use crate::aggregate::{SamplingOptions, MIN_TRAINING_EXAMPLES};
 use crate::baselines::requirement_pairs;
 use crate::context::{CacheWarmth, VideoContext};
+use crate::fault::HealthReport;
 use crate::scrub::{ScrubOptions, MIN_SCRUB_EXAMPLES};
 use crate::select::{SelectionOptions, MIN_LABEL_FILTER_EXAMPLES};
 use crate::stream::StreamStatus;
@@ -145,6 +146,10 @@ pub struct VideoPlan {
     /// model generation, drift score, refresh state), rendered by `EXPLAIN`.
     /// `None` for ordinary fixed-length registrations.
     pub stream: Option<StreamStatus>,
+    /// The context's health snapshot (store degradation, retry counters,
+    /// retrain failures), rendered by `EXPLAIN`. `None` when there is nothing
+    /// notable — a fully healthy context renders no health lines at all.
+    pub health: Option<HealthReport>,
 }
 
 /// The resolved, overridable plan for one prepared query: one sub-plan per video the
@@ -237,6 +242,11 @@ pub fn plan_video(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<VideoPlan>
     // For a streaming context, surface the live state for the chosen heads —
     // this is the free plan-time read `EXPLAIN` renders.
     plan.stream = ctx.stream_status(&plan.heads);
+    // Surface degradation only when there is something to say: a healthy
+    // context's plan renders byte-identically to one planned before the
+    // robustness layer existed.
+    let report = ctx.health().report();
+    plan.health = report.is_notable().then_some(report);
     Ok(plan)
 }
 
@@ -252,6 +262,7 @@ fn plan_video_strategy(ctx: &VideoContext, info: &QueryPlanInfo) -> Result<Video
         specialized_cache: CacheWarmth::Cold,
         score_index_cache: CacheWarmth::Cold,
         stream: None,
+        health: None,
     };
 
     match &info.class {
@@ -494,6 +505,14 @@ impl VideoPlan {
                 },
                 stream.refresh.label(),
             )?;
+        }
+        if let Some(health) = &self.health {
+            writeln!(f)?;
+            write!(f, "  health:   {}", health.health_line())?;
+            if let Some(retrain) = health.retrain_line() {
+                writeln!(f)?;
+                write!(f, "  retrain:  {retrain}")?;
+            }
         }
         Ok(())
     }

@@ -311,8 +311,19 @@ pub fn execute_catalog<'a>(
             task
         })
         .collect();
-    let per_video: Vec<VideoCandidates<'_>> =
-        blazeit_nn::parallel::par_run(tasks).into_iter().collect::<Result<_>>()?;
+    // Catch panics at the task boundary: a panicking ranking task becomes a
+    // typed error naming its video instead of poisoning the worker pool.
+    let per_video: Vec<VideoCandidates<'_>> = blazeit_nn::parallel::par_run_caught(tasks)
+        .into_iter()
+        .zip(targets)
+        .map(|(outcome, &(ctx, _, _))| match outcome {
+            Ok(result) => result,
+            Err(caught) => Err(BlazeItError::TaskPanicked {
+                task: format!("scrub ranking for video '{}'", ctx.video().name()),
+                message: caught.message,
+            }),
+        })
+        .collect::<Result<_>>()?;
 
     // Global interleave: (confidence desc, video index asc, per-video rank asc).
     // Sorting by (confidence, video, frame) preserves each video's own visit order

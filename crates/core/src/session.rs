@@ -26,6 +26,7 @@
 use crate::aggregate;
 use crate::catalog::Catalog;
 use crate::context::VideoContext;
+use crate::fault;
 use crate::plan::{plan_query, QueryPlan};
 use crate::result::{QueryOutput, QueryResult, SourcedRow, VideoAggregate};
 use crate::scrub;
@@ -246,6 +247,10 @@ impl<'a> PreparedQuery<'a> {
     /// returning results in `FROM`-clause order. Each video's sub-query is
     /// deterministic in isolation (its own seeds, caches, and frames), so the
     /// fan-out's results are independent of scheduling.
+    ///
+    /// Panics are caught at the task boundary: a panicking sub-query becomes a
+    /// typed [`BlazeItError::TaskPanicked`] naming its video, sibling
+    /// sub-queries finish normally, and the worker pool stays healthy.
     fn fan_out<T: Send>(
         &self,
         per_video: impl Fn(usize) -> Result<T> + Send + Sync,
@@ -253,12 +258,26 @@ impl<'a> PreparedQuery<'a> {
         let per_video = &per_video;
         let tasks: Vec<Box<dyn FnOnce() -> Result<T> + Send + '_>> = (0..self.targets.len())
             .map(|idx| {
-                let task: Box<dyn FnOnce() -> Result<T> + Send + '_> =
-                    Box::new(move || per_video(idx));
+                let task: Box<dyn FnOnce() -> Result<T> + Send + '_> = Box::new(move || {
+                    if fault::inject(fault::FaultSite::ParTask).is_some() {
+                        panic!("injected fault: parallel sub-query panic");
+                    }
+                    per_video(idx)
+                });
                 task
             })
             .collect();
-        blazeit_nn::parallel::par_run(tasks)
+        blazeit_nn::parallel::par_run_caught(tasks)
+            .into_iter()
+            .enumerate()
+            .map(|(idx, outcome)| match outcome {
+                Ok(result) => result,
+                Err(caught) => Err(BlazeItError::TaskPanicked {
+                    task: format!("sub-query for video '{}'", self.targets[idx].ctx.video().name()),
+                    message: caught.message,
+                }),
+            })
+            .collect()
     }
 
     /// Multi-video aggregate: per-video estimates in parallel, then the catalog-wide

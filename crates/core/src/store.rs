@@ -54,6 +54,7 @@
 //! [`StoreError`] (never a panic), and the context's read-through path falls back
 //! to recomputing — then overwrites the bad file with a fresh artifact.
 
+use crate::fault;
 use crate::labeled::AnnotatedDay;
 use crate::BlazeItError;
 use blazeit_detect::{CountVector, Detection, SimClock};
@@ -75,6 +76,16 @@ pub enum StoreError {
         /// The path involved.
         path: PathBuf,
         /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// A transient, retryable I/O failure (`WouldBlock`-shaped: the resource is
+    /// momentarily busy or unavailable). Eligible for retry under the
+    /// context's [`RetryPolicy`](crate::fault::RetryPolicy); once retries are
+    /// exhausted it counts toward store degradation like [`StoreError::Io`].
+    Transient {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying condition, rendered.
         message: String,
     },
     /// An artifact file exists but is invalid: truncated, corrupted,
@@ -104,6 +115,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Io { path, message } => {
                 write!(f, "index store I/O error at {}: {message}", path.display())
             }
+            StoreError::Transient { path, message } => {
+                write!(f, "transient index store error at {}: {message}", path.display())
+            }
             StoreError::Invalid { path, source } => {
                 write!(f, "invalid index artifact {}: {source}", path.display())
             }
@@ -116,6 +130,14 @@ impl std::fmt::Display for StoreError {
                 )
             }
         }
+    }
+}
+
+impl StoreError {
+    /// Whether this failure is transient (momentary, worth retrying with
+    /// backoff) as opposed to a hard error or a corrupt artifact.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transient { .. })
     }
 }
 
@@ -490,6 +512,11 @@ impl IndexStore {
     /// writing the grown one, so disk tracks the stream).
     pub fn remove_scores(&self, video: &str, key: &str) -> StoreResult<()> {
         let path = self.scores_path(video, key);
+        if let Some(injected) = fault::inject(fault::FaultSite::StoreRemove) {
+            if let Some(error) = injected_io_error(&path, injected) {
+                return Err(error);
+            }
+        }
         match std::fs::remove_file(&path) {
             Ok(()) => {
                 self.record_remove(&path);
@@ -613,7 +640,28 @@ fn decode_labeled(
     Ok((train, heldout))
 }
 
+/// Maps an injected fault at an I/O failpoint to the store error it simulates
+/// (`None` for fault kinds the call site handles specially, e.g. torn writes).
+fn injected_io_error(path: &Path, injected: fault::InjectedFault) -> Option<StoreError> {
+    match injected {
+        fault::InjectedFault::TransientIo => Some(StoreError::Transient {
+            path: path.to_path_buf(),
+            message: "injected fault: resource temporarily unavailable (would block)".into(),
+        }),
+        fault::InjectedFault::Io => Some(StoreError::Io {
+            path: path.to_path_buf(),
+            message: "injected fault: I/O error".into(),
+        }),
+        _ => None,
+    }
+}
+
 fn read_if_exists(path: &Path) -> StoreResult<Option<Vec<u8>>> {
+    if let Some(injected) = fault::inject(fault::FaultSite::StoreRead) {
+        if let Some(error) = injected_io_error(path, injected) {
+            return Err(error);
+        }
+    }
     match std::fs::read(path) {
         Ok(bytes) => Ok(Some(bytes)),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
@@ -636,6 +684,24 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> StoreResult<()> {
         message: "artifact path has no parent directory".into(),
     })?;
     std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    match fault::inject(fault::FaultSite::StoreWrite) {
+        Some(fault::InjectedFault::TornWrite) => {
+            // Simulate a filesystem that lied about durability: leave a
+            // truncated artifact at the final path while *reporting success*.
+            // The checksummed persist envelope catches this on the next read
+            // (`StoreError::Invalid`) and the read-through path heals it by
+            // recomputing and overwriting.
+            let torn = &bytes[..bytes.len() / 2];
+            std::fs::write(path, torn).map_err(|e| io_err(path, e))?;
+            return Ok(());
+        }
+        Some(injected) => {
+            if let Some(error) = injected_io_error(path, injected) {
+                return Err(error);
+            }
+        }
+        None => {}
+    }
     let tmp = path.with_extension(format!(
         "tmp.{}.{}",
         std::process::id(),

@@ -3,7 +3,7 @@
 //!
 //! BlazeIt's motivating deployments (traffic cameras, retail feeds) are *live*
 //! streams, and ingest-time processing is where the cost/latency win lives
-//! (Focus builds its whole low-latency story on an ingest-time index; NoScope's
+//! (Focus builds its low-latency story on an ingest-time index; NoScope's
 //! amortization argument needs the cascade's work to happen as data arrives).
 //! This module turns a registered video into a growing one:
 //!
@@ -27,7 +27,8 @@
 //!   distribution with a two-sample Kolmogorov–Smirnov statistic, cost-modeled
 //!   on the shared [`SimClock`](blazeit_detect::SimClock) through the
 //!   cheap-filter path. Past a threshold it schedules a **background retrain**
-//!   (run via [`blazeit_nn::parallel::par_run`]): the recent window is labeled
+//!   (run via [`blazeit_nn::parallel::par_run_caught`], so a panicking retrain
+//!   degrades instead of crashing): the recent window is labeled
 //!   with the full detector, a fresh specialized network is trained on those
 //!   labels, the ingested prefix is re-scored, and the new `(network, index)`
 //!   pair is **swapped in atomically** — a subscribed query snapshots
@@ -47,6 +48,8 @@
 
 use crate::catalog::Catalog;
 use crate::context::{LiveIndex, VideoContext};
+use crate::fault::{self, RetrainHealth};
+use crate::lockorder::{lock_ordered, RANK_MONITOR};
 use crate::session::Session;
 use crate::stats::normal_critical_value;
 use crate::{BlazeItError, Result};
@@ -54,7 +57,7 @@ use blazeit_detect::clock::CostCategory;
 use blazeit_detect::{CountVector, ObjectDetector};
 use blazeit_frameql::parse_query;
 use blazeit_frameql::query::{analyze, AggregateKind, QueryClass};
-use blazeit_nn::parallel::par_run;
+use blazeit_nn::parallel::par_run_caught;
 use blazeit_nn::specialized::SpecializedNN;
 use blazeit_nn::ScoreMatrix;
 use blazeit_videostore::{ObjectClass, Video};
@@ -120,6 +123,14 @@ pub enum RefreshState {
         /// The model generation the refresh swapped in.
         generation: u64,
     },
+    /// The last refresh attempt failed (task error or panic). The context
+    /// keeps answering from the given generation and the drift monitor is
+    /// re-armed with exponential backoff; see
+    /// [`HealthReport::retrain`](crate::HealthReport::retrain).
+    Failed {
+        /// The model generation the context is pinned at.
+        generation: u64,
+    },
 }
 
 impl RefreshState {
@@ -131,6 +142,9 @@ impl RefreshState {
             RefreshState::Running => "running".to_string(),
             RefreshState::Completed { generation } => {
                 format!("completed (generation {generation})")
+            }
+            RefreshState::Failed { generation } => {
+                format!("failed (generation {generation} kept)")
             }
         }
     }
@@ -173,6 +187,11 @@ pub struct IngestReport {
     pub drift_checked: bool,
     /// Background refreshes that completed during this ingest.
     pub refreshes: Vec<RefreshReport>,
+    /// Background refreshes that failed during this ingest. Each failure kept
+    /// the previous model generation, re-armed the drift monitor with
+    /// exponential backoff, and was recorded in the context's
+    /// [`HealthState`](crate::HealthState) — it never fails the ingest itself.
+    pub refresh_failures: usize,
 }
 
 impl IngestReport {
@@ -258,6 +277,11 @@ pub(crate) struct DriftEntry {
     last_score: Option<f64>,
     /// Refresh state machine.
     refresh: RefreshState,
+    /// Consecutive failed refresh attempts for this head set.
+    failures: u32,
+    /// Ingested-frame position before which the monitor must not re-check
+    /// (armed by a failed refresh with exponential backoff; 0 = unblocked).
+    blocked_until: u64,
 }
 
 /// A consistent `(video, network, scores, generation)` snapshot of one head
@@ -334,8 +358,8 @@ impl VideoContext {
     pub fn stream_status(&self, heads: &[(ObjectClass, usize)]) -> Option<StreamStatus> {
         let state = self.stream.as_ref()?;
         let key = Self::head_key(&Self::normalized_heads(heads));
-        let monitor = state.monitor.lock();
-        let index = self.live_index.lock();
+        let monitor = lock_ordered(RANK_MONITOR, "monitor", &state.monitor);
+        let index = self.lock_live_index();
         let video = self.video();
         let entry = index.get(&key);
         let drift = monitor.get(&key);
@@ -356,11 +380,26 @@ impl VideoContext {
     /// Returns `(from, to, indexes_extended)`.
     fn ingest_to(&self, target: u64) -> Result<(u64, u64, usize)> {
         let state = self.stream_state()?;
+        // Failpoint: a faulted frame source fails the ingest *before* any
+        // state changes, so the typed error honestly promises "stream
+        // unchanged — just retry advance".
+        if let Some(injected) = fault::inject(fault::FaultSite::StreamIngest) {
+            let message = match injected {
+                fault::InjectedFault::TransientIo => {
+                    "injected fault: frame source would block (transient)"
+                }
+                _ => "injected fault: frame source I/O error",
+            };
+            return Err(BlazeItError::Ingest {
+                video: self.video().name().to_string(),
+                message: message.to_string(),
+            });
+        }
         // Holding `live_index` across scoring and the video swap is the
         // atomicity story: a reader that acquires this lock (score_index,
         // stream_snapshot) always sees indexes covering exactly the current
         // video, and two concurrent ingests cannot double-score a frame.
-        let mut index = self.live_index.lock();
+        let mut index = self.lock_live_index();
         let current = self.video();
         let from = current.len();
         let to = target.min(state.capacity.len());
@@ -385,20 +424,27 @@ impl VideoContext {
         // swap the video (still under the `live_index` lock).
         let extended = grown_entries.len();
         for (key, scores) in grown_entries {
-            let entry = index.get_mut(&key).expect("key came from this locked map");
-            if let Some((store, dir)) = &self.store {
-                // Write-behind: persist the grown index under the grown
-                // video's key and retire the superseded shorter artifact, so
-                // disk stays consistent with the stream. A full disk degrades
-                // to in-memory indexing rather than failing ingestion.
-                let new_key = Self::score_key(&grown, to as usize, &entry.nn);
-                let old_key = Self::score_key(&current, from as usize, &entry.nn);
-                let _ = store.store_scores(dir, &new_key, &scores);
-                let _ = store.remove_scores(dir, &old_key);
-            }
+            let Some(entry) = index.get_mut(&key) else {
+                return Err(BlazeItError::Internal(format!(
+                    "live index entry '{key}' vanished while its lock was held"
+                )));
+            };
+            // Write-behind: persist the grown index under the grown video's
+            // key and retire the superseded shorter artifact, so disk stays
+            // consistent with the stream. A failing store degrades to
+            // in-memory indexing (recorded in [`HealthState`]) rather than
+            // failing ingestion.
+            let new_key = Self::score_key(&grown, to as usize, &entry.nn);
+            let old_key = Self::score_key(&current, from as usize, &entry.nn);
+            self.store_op("store grown score index", |store, dir| {
+                store.store_scores(dir, &new_key, &scores)
+            });
+            self.store_op("retire superseded score index", |store, dir| {
+                store.remove_scores(dir, &old_key)
+            });
             entry.scores = scores;
         }
-        *self.video.lock() = grown;
+        *self.lock_video() = grown;
         Ok((from, to, extended))
     }
 
@@ -412,14 +458,19 @@ impl VideoContext {
         if !drift.threshold.is_finite() {
             return Ok(false);
         }
-        let mut monitor = state.monitor.lock();
-        let index = self.live_index.lock();
+        let mut monitor = lock_ordered(RANK_MONITOR, "monitor", &state.monitor);
+        let index = self.lock_live_index();
         let video = self.video();
         let ingested = video.len();
         let mut any = false;
         for (key, entry) in index.iter() {
             let Some(ent) = monitor.get_mut(key) else { continue };
             if matches!(ent.refresh, RefreshState::Pending | RefreshState::Running) {
+                continue;
+            }
+            // A failed refresh arms a backoff window: the monitor stays quiet
+            // (and the current generation keeps answering) until it elapses.
+            if ingested < ent.blocked_until {
                 continue;
             }
             if ingested < drift.min_history.max(drift.window)
@@ -449,19 +500,26 @@ impl VideoContext {
     }
 
     /// Executes every pending drift refresh as a background task on the worker
-    /// pool ([`par_run`]): label the recent window with the full detector,
-    /// train a fresh specialized network, re-score the ingested prefix, then
-    /// atomically swap the new `(network, index)` pair in (and heal the
-    /// durable store). In-flight subscribed queries keep answering from their
-    /// snapshot of the previous generation until the swap completes.
-    fn run_pending_refreshes(&self) -> Result<Vec<RefreshReport>> {
+    /// pool ([`par_run_caught`]): label the recent window with the full
+    /// detector, train a fresh specialized network, re-score the ingested
+    /// prefix, then atomically swap the new `(network, index)` pair in (and
+    /// heal the durable store). In-flight subscribed queries keep answering
+    /// from their snapshot of the previous generation until the swap
+    /// completes.
+    ///
+    /// A refresh task that errors **or panics** never fails the ingest:
+    /// the head set keeps its current `(network, index, generation)`, the
+    /// monitor is re-armed with exponential backoff, and the failure is
+    /// recorded in the context's [`HealthState`]. Returns the completed
+    /// refresh reports plus the number of failed attempts.
+    fn run_pending_refreshes(&self) -> Result<(Vec<RefreshReport>, usize)> {
         let state = self.stream_state()?;
         let drift = state.drift;
         // Claim pending refreshes (Pending → Running) and snapshot what each
         // task needs, so the heavy work runs without holding any lock.
         let pending: Vec<(String, Arc<SpecializedNN>, f64)> = {
-            let mut monitor = state.monitor.lock();
-            let index = self.live_index.lock();
+            let mut monitor = lock_ordered(RANK_MONITOR, "monitor", &state.monitor);
+            let index = self.lock_live_index();
             monitor
                 .iter_mut()
                 .filter(|(_, ent)| ent.refresh == RefreshState::Pending)
@@ -473,7 +531,7 @@ impl VideoContext {
                 .collect()
         };
         if pending.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), 0));
         }
         let video = self.video();
         let tasks: Vec<Box<dyn FnOnce() -> Result<RefreshOutcome> + Send + '_>> = pending
@@ -482,6 +540,17 @@ impl VideoContext {
                 let video = Arc::clone(&video);
                 let task: Box<dyn FnOnce() -> Result<RefreshOutcome> + Send + '_> =
                     Box::new(move || {
+                        // Failpoint: a faulted retrain either errors (typed)
+                        // or panics (caught at the task boundary) — both paths
+                        // must leave the head set on its current generation.
+                        if let Some(injected) = fault::inject(fault::FaultSite::Retrain) {
+                            if injected == fault::InjectedFault::Panic {
+                                panic!("injected fault: retrain panic");
+                            }
+                            return Err(BlazeItError::Internal(
+                                "injected fault: retrain failed".into(),
+                            ));
+                        }
                         let heads: Vec<(ObjectClass, usize)> =
                             old_nn.heads().iter().map(|h| (h.class, h.max_count)).collect();
                         let lo = video.len().saturating_sub(drift.window);
@@ -533,17 +602,27 @@ impl VideoContext {
                 task
             })
             .collect();
-        let outcomes = par_run(tasks);
+        let outcomes = par_run_caught(tasks);
 
         // Atomic swap: monitor → live_index → nn_cache, all held together, so
         // no reader can observe a network without its matching index.
         let mut reports = Vec::new();
-        let mut first_err: Option<BlazeItError> = None;
-        let mut monitor = state.monitor.lock();
-        let mut index = self.live_index.lock();
-        let mut nns = self.nn_cache.lock();
-        for outcome in outcomes {
-            let applied = outcome.and_then(|outcome| {
+        let mut failures = 0usize;
+        let mut monitor = lock_ordered(RANK_MONITOR, "monitor", &state.monitor);
+        let mut index = self.lock_live_index();
+        let mut nns = self.lock_nn_cache();
+        for ((key, _, _), outcome) in pending.iter().zip(outcomes) {
+            // Flatten the task's panic-or-error envelope: a panic becomes the
+            // typed [`BlazeItError::TaskPanicked`] and joins the same
+            // kept-generation failure path as an ordinary task error.
+            let flattened = match outcome {
+                Ok(task_result) => task_result,
+                Err(caught) => Err(BlazeItError::TaskPanicked {
+                    task: format!("drift refresh for head set '{key}'"),
+                    message: caught.message,
+                }),
+            };
+            let applied = flattened.and_then(|outcome| {
                 let current = self.video();
                 // Defensive: if another driver grew the stream while the
                 // retrain ran, extend the new index to cover it before
@@ -557,36 +636,43 @@ impl VideoContext {
                     outcome.scores
                 };
                 let generation = index.get(&outcome.key).map_or(0, |e| e.generation) + 1;
-                if let Some((store, dir)) = &self.store {
-                    // Heal the store: retire the old generation's index
-                    // artifact, persist the new one, and record the refreshed
-                    // network under an honest refresh key (its training
-                    // identity is the stream window, not the labeled set, so
-                    // it must never be stored under the labeled-set key).
-                    if let Some(old) = index.get(&outcome.key) {
-                        let old_key = Self::score_key(&current, current.len() as usize, &old.nn);
-                        let _ = store.remove_scores(dir, &old_key);
-                    }
-                    let new_key = Self::score_key(&current, current.len() as usize, &outcome.nn);
-                    let _ = store.store_scores(dir, &new_key, &scores);
-                    let nn_key = format!(
-                        "nnrefresh#{}#day{}#vseed{}#upto{}#window{}#stride{}#gen{}#{}",
-                        current.name(),
-                        current.config().day,
-                        current.config().seed,
-                        current.len(),
-                        drift.window,
-                        drift.retrain_stride,
-                        generation,
-                        Self::head_key(&outcome.heads),
-                    );
-                    let _ = store.store_network(dir, &nn_key, &outcome.nn);
+                // Heal the store: retire the old generation's index artifact,
+                // persist the new one, and record the refreshed network under
+                // an honest refresh key (its training identity is the stream
+                // window, not the labeled set, so it must never be stored
+                // under the labeled-set key). All write-behind: a failing
+                // store is recorded in [`HealthState`], never fails the swap.
+                if let Some(old) = index.get(&outcome.key) {
+                    let old_key = Self::score_key(&current, current.len() as usize, &old.nn);
+                    self.store_op("retire pre-refresh score index", |store, dir| {
+                        store.remove_scores(dir, &old_key)
+                    });
                 }
+                let new_key = Self::score_key(&current, current.len() as usize, &outcome.nn);
+                self.store_op("store refreshed score index", |store, dir| {
+                    store.store_scores(dir, &new_key, &scores)
+                });
+                let nn_key = format!(
+                    "nnrefresh#{}#day{}#vseed{}#upto{}#window{}#stride{}#gen{}#{}",
+                    current.name(),
+                    current.config().day,
+                    current.config().seed,
+                    current.len(),
+                    drift.window,
+                    drift.retrain_stride,
+                    generation,
+                    Self::head_key(&outcome.heads),
+                );
+                self.store_op("store refreshed nn", |store, dir| {
+                    store.store_network(dir, &nn_key, &outcome.nn)
+                });
                 nns.insert(outcome.key.clone(), Arc::clone(&outcome.nn));
                 index.insert(outcome.key.clone(), LiveIndex { nn: outcome.nn, scores, generation });
                 if let Some(ent) = monitor.get_mut(&outcome.key) {
                     ent.reference = outcome.reference;
                     ent.refresh = RefreshState::Completed { generation };
+                    ent.failures = 0;
+                    ent.blocked_until = 0;
                 }
                 Ok(RefreshReport {
                     heads: outcome.heads,
@@ -596,27 +682,40 @@ impl VideoContext {
                 })
             });
             match applied {
-                Ok(report) => reports.push(report),
+                Ok(report) => {
+                    self.health().clear_retrain_failure();
+                    reports.push(report);
+                }
                 Err(e) => {
-                    first_err.get_or_insert(e);
+                    // Graceful degradation: the head set keeps its current
+                    // `(network, index, generation)` — subscriptions and
+                    // queries keep answering bit-exactly from it — and the
+                    // monitor re-arms after an exponentially growing window,
+                    // so a persistently failing retrain cannot spin. A
+                    // failure must never strand a head set in Running.
+                    failures += 1;
+                    let ingested = self.video().len();
+                    let generation = index.get(key).map_or(0, |e| e.generation);
+                    if let Some(ent) = monitor.get_mut(key) {
+                        ent.failures = ent.failures.saturating_add(1);
+                        let backoff = drift
+                            .check_every
+                            .max(1)
+                            .saturating_mul(1u64 << u64::from((ent.failures - 1).min(16)));
+                        ent.blocked_until = ingested.saturating_add(backoff);
+                        ent.refresh = RefreshState::Failed { generation };
+                        self.health().record_retrain_failure(RetrainHealth {
+                            generation,
+                            failures: ent.failures,
+                            backoff_frames: backoff,
+                            resume_at: ent.blocked_until,
+                            last_error: e.to_string(),
+                        });
+                    }
                 }
             }
         }
-        if let Some(e) = first_err {
-            // Every claimed refresh that did not complete its swap (task error
-            // or a failed defensive extension) goes back to Pending, so it is
-            // re-triggerable on the next ingest — a failure must never strand
-            // a head set in Running forever. Swaps that already completed
-            // stand (their state is Completed); only their reports are
-            // sacrificed to surface the error.
-            for ent in monitor.values_mut() {
-                if ent.refresh == RefreshState::Running {
-                    ent.refresh = RefreshState::Pending;
-                }
-            }
-            return Err(e);
-        }
-        Ok(reports)
+        Ok((reports, failures))
     }
 
     /// Ensures a live index (and drift reference) exists for `heads`: trains or
@@ -631,7 +730,7 @@ impl VideoContext {
         let _live = self.score_index(&nn)?;
         let heldout = self.heldout_score_index(&nn)?;
         let key = Self::head_key(&normalized);
-        let mut monitor = state.monitor.lock();
+        let mut monitor = lock_ordered(RANK_MONITOR, "monitor", &state.monitor);
         monitor.entry(key).or_insert_with(|| DriftEntry {
             reference: (0..heldout.num_heads())
                 .map(|h| (0..heldout.num_frames()).map(|f| heldout.expected_count(f, h)).collect())
@@ -639,6 +738,8 @@ impl VideoContext {
             last_check: 0,
             last_score: None,
             refresh: RefreshState::Idle,
+            failures: 0,
+            blocked_until: 0,
         });
         Ok(())
     }
@@ -648,7 +749,7 @@ impl VideoContext {
     /// subscriptions.
     pub(crate) fn stream_snapshot(&self, heads: &[(ObjectClass, usize)]) -> Result<StreamSnapshot> {
         let key = Self::head_key(&Self::normalized_heads(heads));
-        let index = self.live_index.lock();
+        let index = self.lock_live_index();
         let video = self.video();
         let entry = index.get(&key).ok_or_else(|| {
             BlazeItError::Internal(
@@ -677,12 +778,16 @@ impl VideoContext {
 #[derive(Debug, Clone, Copy)]
 pub struct StreamSource<'a> {
     ctx: &'a VideoContext,
+    /// The stream's total frame capacity, cached at construction (the stream
+    /// state is immutable for the context's lifetime), so accessors never
+    /// have to re-validate that the context is a stream.
+    capacity: u64,
 }
 
 impl<'a> StreamSource<'a> {
     pub(crate) fn new(ctx: &'a VideoContext) -> Result<StreamSource<'a>> {
-        ctx.stream_state()?;
-        Ok(StreamSource { ctx })
+        let state = ctx.stream_state()?;
+        Ok(StreamSource { ctx, capacity: state.capacity.len() })
     }
 
     /// The stream's video context.
@@ -697,7 +802,7 @@ impl<'a> StreamSource<'a> {
 
     /// Total frames the stream will eventually deliver.
     pub fn capacity(&self) -> u64 {
-        self.ctx.stream.as_ref().expect("StreamSource::new checked").capacity.len()
+        self.capacity
     }
 
     /// Frames not yet ingested.
@@ -722,8 +827,8 @@ impl<'a> StreamSource<'a> {
     pub fn advance_to(&self, target: u64) -> Result<IngestReport> {
         let (from, to, indexes_extended) = self.ctx.ingest_to(target)?;
         let drift_checked = self.ctx.check_drift()?;
-        let refreshes = self.ctx.run_pending_refreshes()?;
-        Ok(IngestReport { from, to, indexes_extended, drift_checked, refreshes })
+        let (refreshes, refresh_failures) = self.ctx.run_pending_refreshes()?;
+        Ok(IngestReport { from, to, indexes_extended, drift_checked, refreshes, refresh_failures })
     }
 }
 
@@ -950,7 +1055,12 @@ impl Subscription<'_> {
                 },
             ));
         }
-        Ok(&self.calibration.as_ref().expect("calibration populated above").1)
+        match &self.calibration {
+            Some((_, calibration)) => Ok(calibration),
+            None => Err(BlazeItError::Internal(
+                "subscription calibration cache empty after population".into(),
+            )),
+        }
     }
 }
 
@@ -990,5 +1100,6 @@ mod tests {
         assert_eq!(RefreshState::Pending.label(), "pending");
         assert_eq!(RefreshState::Running.label(), "running");
         assert_eq!(RefreshState::Completed { generation: 2 }.label(), "completed (generation 2)");
+        assert_eq!(RefreshState::Failed { generation: 3 }.label(), "failed (generation 3 kept)");
     }
 }

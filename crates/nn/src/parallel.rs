@@ -59,11 +59,14 @@ impl WorkerPool {
     }
 
     fn submit(&self, job: Job) {
-        self.sender
-            .lock()
-            .expect("pool sender lock")
-            .send(job)
-            .expect("pool workers never hang up");
+        // The sender lock can only be poisoned by a panic inside `send`, which does
+        // not leave the channel in a broken state — keep using it rather than
+        // poisoning every future pool submission.
+        let sender = match self.sender.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sender.send(job).expect("pool workers never hang up");
     }
 
     /// Dequeues one pending job without blocking (used by cooperative latch waits).
@@ -98,8 +101,18 @@ impl Latch {
         Latch { state: Mutex::new(count), done: Condvar::new() }
     }
 
+    /// Locks the counter, tolerating poisoning: a `usize` has no invariant a panic
+    /// can break mid-update, and refusing to decrement would hang the submitter's
+    /// latch wait forever — the one failure mode this module must never have.
+    fn state(&self) -> std::sync::MutexGuard<'_, usize> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     fn complete_one(&self) {
-        let mut remaining = self.state.lock().expect("latch lock");
+        let mut remaining = self.state();
         *remaining -= 1;
         if *remaining == 0 {
             self.done.notify_all();
@@ -107,7 +120,7 @@ impl Latch {
     }
 
     fn is_done(&self) -> bool {
-        *self.state.lock().expect("latch lock") == 0
+        *self.state() == 0
     }
 
     /// Waits for every counted job, *cooperatively*: while the latch is open, queued
@@ -126,7 +139,7 @@ impl Latch {
             }
             // Nothing to steal right now: block briefly on the condvar. The timeout
             // re-checks the queue, since job submission does not signal this latch.
-            let remaining = self.state.lock().expect("latch lock");
+            let remaining = self.state();
             if *remaining == 0 {
                 return;
             }
@@ -235,6 +248,58 @@ pub fn par_run<'scope, T: Send + 'scope>(
             guard.take().expect("run_scoped ran every task to completion")
         })
         .collect()
+}
+
+/// A panic captured at a [`par_run_caught`] task boundary, carrying the stringified
+/// panic payload. Converting panics into values here keeps a single exploding task
+/// from aborting its siblings or re-raising on the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic message (`&str` / `String` payloads verbatim; a placeholder for
+    /// anything else).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`par_run`], but a panicking task yields `Err(TaskPanic)` in its slot
+/// instead of re-raising on the caller once the batch drains.
+///
+/// Every panic is caught *inside* the task before it reaches the pool machinery, so
+/// the worker thread, the shared queue, and sibling tasks are untouched — the pool
+/// cannot be poisoned or deadlocked by one bad task, and callers get a typed,
+/// per-task verdict they can surface as an error value.
+pub fn par_run_caught<'scope, T: Send + 'scope>(
+    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'scope>>,
+) -> Vec<Result<T, TaskPanic>> {
+    let caught: Vec<Box<dyn FnOnce() -> Result<T, TaskPanic> + Send + 'scope>> = tasks
+        .into_iter()
+        .map(|task| {
+            let wrapped: Box<dyn FnOnce() -> Result<T, TaskPanic> + Send + 'scope> =
+                Box::new(move || {
+                    catch_unwind(AssertUnwindSafe(task))
+                        .map_err(|payload| TaskPanic { message: panic_message(payload.as_ref()) })
+                });
+            wrapped
+        })
+        .collect();
+    par_run(caught)
 }
 
 /// Splits `data` into at most `available_parallelism()` contiguous chunks whose
@@ -433,6 +498,53 @@ mod tests {
             // data[k] = k + round for k in 0..4, +1 each: sum = (0+1+2+3) + 4*round + 4.
             assert_eq!(*sum, 6 + 4 * round as u64 + 4);
         }
+    }
+
+    #[test]
+    fn par_run_caught_converts_panics_to_typed_errors() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send + 'static>> = (0..8)
+            .map(|i| {
+                let task: Box<dyn FnOnce() -> u32 + Send + 'static> = Box::new(move || {
+                    if i % 3 == 0 {
+                        panic!("task {i} exploded");
+                    }
+                    i * 10
+                });
+                task
+            })
+            .collect();
+        let results = par_run_caught(tasks);
+        assert_eq!(results.len(), 8);
+        for (i, result) in results.iter().enumerate() {
+            if i % 3 == 0 {
+                let panic = result.as_ref().unwrap_err();
+                assert_eq!(panic.message, format!("task {i} exploded"));
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), i as u32 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_caught_panics() {
+        // A batch where every task panics must leave the pool fully functional.
+        let bad: Vec<Box<dyn FnOnce() -> u8 + Send + 'static>> = (0..16)
+            .map(|_| {
+                let task: Box<dyn FnOnce() -> u8 + Send + 'static> = Box::new(|| panic!("chaos"));
+                task
+            })
+            .collect();
+        for result in par_run_caught(bad) {
+            assert!(result.is_err());
+        }
+        let good: Vec<Box<dyn FnOnce() -> u64 + Send + 'static>> = (0..16)
+            .map(|i| {
+                let task: Box<dyn FnOnce() -> u64 + Send + 'static> = Box::new(move || i + 1);
+                task
+            })
+            .collect();
+        let sums: u64 = par_run_caught(good).into_iter().map(|r| r.unwrap()).sum();
+        assert_eq!(sums, (1..=16).sum::<u64>());
     }
 
     #[test]

@@ -60,13 +60,15 @@ pub mod prelude {
     pub use blazeit_core::select::SelectionOptions;
     pub use blazeit_core::{
         baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, CacheWarmth, Catalog,
-        DriftConfig, IndexStore, IngestReport, LabeledSet, MergeSemantics, PlanStrategy,
-        PreparedQuery, QueryOutput, QueryPlan, QueryResult, RefreshReport, RefreshState,
-        RewriteDecision, Session, SourcedFrame, SourcedRow, StoreError, StreamSource, StreamStatus,
-        StreamUpdate, Subscription, VideoAggregate, VideoContext, VideoPlan,
+        DriftConfig, HealthReport, HealthState, IndexStore, IngestReport, LabeledSet,
+        MergeSemantics, PlanStrategy, PreparedQuery, QueryOutput, QueryPlan, QueryResult,
+        RefreshReport, RefreshState, RetrainHealth, RetryPolicy, RewriteDecision, Session,
+        SourcedFrame, SourcedRow, StoreError, StreamSource, StreamStatus, StreamUpdate,
+        Subscription, VideoAggregate, VideoContext, VideoPlan,
     };
     pub use blazeit_detect::{DetectionMethod, ObjectDetector, SimClock, SimulatedDetector};
     pub use blazeit_frameql::{parse_query, Query, Value};
+    pub use blazeit_nn::parallel::TaskPanic;
     pub use blazeit_nn::specialized::{SpecializedHead, SpecializedNN};
     pub use blazeit_videostore::{
         BoundingBox, DatasetPreset, Frame, ObjectClass, Video, VideoConfig, DAY_HELDOUT, DAY_TEST,
