@@ -324,6 +324,8 @@ fn adaptive_sampling(
         let frame = rng.gen_range(0..num_frames);
         m.push(detector_count(ctx, frame, class) as f64);
         if let Some(cv) = &control {
+            // blazeit-lint: allow(panic-site::index) -- frame ranges over 0..num_frames and t_all
+            // was sized with one entry per frame
             t.push(cv.t_all[frame as usize]);
         }
     };

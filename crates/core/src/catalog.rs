@@ -42,13 +42,21 @@ fn edit_distance(a: &str, b: &str) -> usize {
     let mut previous: Vec<usize> = (0..=b.len()).collect();
     let mut current = vec![0usize; b.len() + 1];
     for (i, &ca) in a.iter().enumerate() {
+        // blazeit-lint: allow(panic-site::index) -- Levenshtein DP: both rows are sized b.len() +
+        // 1, so index 0 exists
         current[0] = i + 1;
         for (j, &cb) in b.iter().enumerate() {
+            // blazeit-lint: allow(panic-site::index) -- Levenshtein DP: j < b.len() from the
+            // enumerate, rows are sized b.len() + 1
             let substitution = previous[j] + usize::from(ca != cb);
+            // blazeit-lint: allow(panic-site::index) -- Levenshtein DP: j < b.len() from the
+            // enumerate, rows are sized b.len() + 1
             current[j + 1] = substitution.min(previous[j + 1] + 1).min(current[j] + 1);
         }
         std::mem::swap(&mut previous, &mut current);
     }
+    // blazeit-lint: allow(panic-site::index) -- Levenshtein DP: the row was sized b.len() + 1, so
+    // b.len() is its last slot
     previous[b.len()]
 }
 
@@ -148,6 +156,8 @@ impl Catalog {
             self.store.clone(),
         );
         self.contexts.push(ctx);
+        // blazeit-lint: allow(panic-site) -- infallible: a context was pushed on
+        // the previous line, so Vec::last is Some.
         Ok(self.contexts.last().expect("context was just pushed"))
     }
 
@@ -291,6 +301,8 @@ impl Catalog {
             Some(StreamState::new(capacity, drift)),
         );
         self.contexts.push(ctx);
+        // blazeit-lint: allow(panic-site) -- infallible: a context was pushed on
+        // the previous line, so Vec::last is Some.
         Ok(self.contexts.last().expect("context was just pushed"))
     }
 

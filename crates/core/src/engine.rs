@@ -44,6 +44,8 @@ impl BlazeIt {
     pub fn new(video: Video, labeled: Arc<LabeledSet>, config: BlazeItConfig) -> BlazeIt {
         let mut catalog = Catalog::new();
         let name = video.name().to_string();
+        // blazeit-lint: allow(panic-site) -- infallible: the catalog was created
+        // empty two lines above, and Duplicate is register's only error.
         catalog.register(video, labeled, config).expect("a fresh catalog has no duplicates");
         BlazeIt { catalog, name }
     }
@@ -97,6 +99,8 @@ impl BlazeIt {
         let video = self.name.clone();
         self.catalog
             .context_mut(&video)
+            // blazeit-lint: allow(panic-site) -- invariant: BlazeIt::new registers
+            // exactly this video and nothing ever removes it from the catalog.
             .expect("the engine's video is always registered")
             .register_udf(name, frame_liftable, func);
     }
@@ -113,6 +117,8 @@ impl Deref for BlazeIt {
     fn deref(&self) -> &VideoContext {
         // The shim's catalog holds exactly one video, so deref skips name
         // normalization (accessors are called in per-frame loops).
+        // blazeit-lint: allow(panic-site) -- invariant: BlazeIt::new registers
+        // exactly one video and nothing ever removes it from the catalog.
         self.catalog.contexts().next().expect("the engine's video is always registered")
     }
 }

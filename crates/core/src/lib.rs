@@ -65,7 +65,7 @@ pub mod context;
 pub mod engine;
 pub mod fault;
 pub mod labeled;
-pub(crate) mod lockorder;
+pub mod lockorder;
 pub mod metrics;
 pub mod plan;
 pub mod relation;

@@ -6,20 +6,47 @@
 //! only in comments; this module enforces it in debug builds: every ranked lock
 //! acquisition pushes its rank onto a thread-local stack and asserts that no
 //! lock of an equal or higher rank is already held by this thread. Release
-//! builds compile the bookkeeping out entirely ([`OrderedGuard`] is a
+//! builds compile the bookkeeping out entirely (`OrderedGuard` is a
 //! zero-overhead newtype around the `MutexGuard`).
 
 use parking_lot::{Mutex, MutexGuard};
 use std::ops::{Deref, DerefMut};
 
+/// One ranked lock in the context/stream hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankedLock {
+    /// The name used at `lock_ordered` call sites and in violation messages.
+    /// The corresponding rank constant is `RANK_<NAME>` (uppercased), which is
+    /// how `blazeit-lint` resolves call-site rank arguments back to this table.
+    pub name: &'static str,
+    /// Position in the documented acquisition order; lower ranks are acquired
+    /// first, and acquiring a lock while holding an equal or higher rank is a
+    /// violation.
+    pub rank: u8,
+}
+
+/// The documented lock acquisition order, lowest rank first.
+///
+/// This table is the **single source of truth** for the hierarchy: the runtime
+/// assertion below (`lock_ordered`) and the static `lock-order` check in
+/// `blazeit-lint` both consume it, so the two enforcement layers cannot
+/// diverge (a regression test in `crates/lint` additionally pins the
+/// `RANK_*` constants and every call-site name literal to this table).
+pub const RANKED_LOCKS: [RankedLock; 4] = [
+    RankedLock { name: "monitor", rank: 0 },
+    RankedLock { name: "live_index", rank: 1 },
+    RankedLock { name: "nn_cache", rank: 2 },
+    RankedLock { name: "video", rank: 3 },
+];
+
 /// Rank of `StreamState::monitor` (acquired first).
-pub(crate) const RANK_MONITOR: u8 = 0;
+pub const RANK_MONITOR: u8 = RANKED_LOCKS[0].rank;
 /// Rank of `VideoContext::live_index`.
-pub(crate) const RANK_LIVE_INDEX: u8 = 1;
+pub const RANK_LIVE_INDEX: u8 = RANKED_LOCKS[1].rank;
 /// Rank of `VideoContext::nn_cache`.
-pub(crate) const RANK_NN_CACHE: u8 = 2;
+pub const RANK_NN_CACHE: u8 = RANKED_LOCKS[2].rank;
 /// Rank of `VideoContext::video` (acquired last).
-pub(crate) const RANK_VIDEO: u8 = 3;
+pub const RANK_VIDEO: u8 = RANKED_LOCKS[3].rank;
 
 #[cfg(debug_assertions)]
 mod tracker {

@@ -214,12 +214,22 @@ fn verify_windowed(
             None => usize::MAX,
         };
         let cap = VERIFY_PREFETCH.min(remaining_limit).min(remaining_budget);
+        // blazeit-lint: allow(panic-site::index) -- cursor < order.len() is the enclosing loop's
+        // guard
         let video_idx = order[cursor].0;
+        // blazeit-lint: allow(panic-site::index) -- video_idx comes from order, built by
+        // enumerating this same videos slice
         let video = &videos[video_idx];
 
         window.clear();
+        // blazeit-lint: allow(panic-site::index) -- the && short-circuit re-checks cursor <
+        // order.len() before indexing
         while cursor < order.len() && window.len() < cap && order[cursor].0 == video_idx {
+            // blazeit-lint: allow(panic-site::index) -- the while condition above just re-validated
+            // cursor < order.len()
             let frame = order[cursor].1;
+            // blazeit-lint: allow(panic-site::index) -- accepted_per_video is sized videos.len()
+            // and video_idx enumerates videos
             if !respects_gap(&accepted_per_video[video_idx], frame, opts.gap) {
                 // The serial loop skips this frame for free, and would still skip it
                 // after any in-window acceptance (the accepted set only grows).
@@ -247,6 +257,8 @@ fn verify_windowed(
             let counts = CountVector::from_detections(detections);
             if counts.satisfies_all(video.requirements) {
                 accepted.push((video_idx, frame));
+                // blazeit-lint: allow(panic-site::index) -- accepted_per_video is sized
+                // videos.len() and video_idx enumerates videos
                 accepted_per_video[video_idx].push(frame);
             }
         }
@@ -347,6 +359,8 @@ pub fn execute_catalog<'a>(
     let frames = accepted
         .into_iter()
         .map(|(video_idx, frame)| SourcedFrame {
+            // blazeit-lint: allow(panic-site::index) -- video_idx comes from enumerating this same
+            // per_video vec
             video: per_video[video_idx].ctx.video().name().to_string(),
             frame,
         })

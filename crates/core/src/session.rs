@@ -23,6 +23,9 @@
 //! explain-only and [`PreparedQuery::run`] returns the rendered plan as
 //! [`QueryOutput::Explain`] with zero simulated cost.
 
+// blazeit-lint: allow-file(panic-site::index) -- PreparedQuery invariant: targets and subplans are
+// built together by plan(), non-empty and of equal length
+
 use crate::aggregate;
 use crate::catalog::Catalog;
 use crate::context::VideoContext;
@@ -260,6 +263,9 @@ impl<'a> PreparedQuery<'a> {
             .map(|idx| {
                 let task: Box<dyn FnOnce() -> Result<T> + Send + '_> = Box::new(move || {
                     if fault::inject(fault::FaultSite::ParTask).is_some() {
+                        // blazeit-lint: allow(panic-site) -- deliberate chaos panic: the
+                        // injected fault must explode inside the task so the pool
+                        // boundary's catch_unwind handling is what gets exercised.
                         panic!("injected fault: parallel sub-query panic");
                     }
                     per_video(idx)

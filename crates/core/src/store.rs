@@ -219,6 +219,9 @@ pub struct IndexStore {
 impl IndexStore {
     /// Opens (creating if necessary) an index store rooted at `path`, with no
     /// size budget.
+    // blazeit-lint: allow(fault-coverage) -- bootstrap path: create_dir_all runs once
+    // before any fault plan is installed; a failure surfaces as StoreError::Io and
+    // aborts setup rather than degrading a live store.
     pub fn open(path: impl AsRef<Path>) -> StoreResult<IndexStore> {
         let root = path.as_ref().to_path_buf();
         std::fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
@@ -254,6 +257,9 @@ impl IndexStore {
     /// Syncs a manifest with the artifact files actually on disk: drops rows
     /// whose file is gone, adopts files the manifest has never seen (with the
     /// lowest recency, so unknown history evicts first).
+    // blazeit-lint: allow(fault-coverage) -- infallible by design: reconciliation
+    // tolerates every fs error (unreadable dirs/entries are skipped), so there is
+    // no error path an injected fault could surface through.
     fn reconcile(root: &Path, manifest: &mut Manifest) {
         let mut on_disk: Vec<(String, u64)> = Vec::new();
         let mut stack = vec![root.to_path_buf()];
@@ -332,6 +338,11 @@ impl IndexStore {
                 });
             };
             let path = self.root.join(&victim);
+            if let Some(injected) = fault::inject(fault::FaultSite::StoreRemove) {
+                if let Some(error) = injected_io_error(&path, injected) {
+                    return Err(error);
+                }
+            }
             match std::fs::remove_file(&path) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -691,6 +702,8 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> StoreResult<()> {
             // The checksummed persist envelope catches this on the next read
             // (`StoreError::Invalid`) and the read-through path heals it by
             // recomputing and overwriting.
+            // blazeit-lint: allow(panic-site::index) -- bytes.len() / 2 <= bytes.len(), so the torn
+            // prefix is always in range
             let torn = &bytes[..bytes.len() / 2];
             std::fs::write(path, torn).map_err(|e| io_err(path, e))?;
             return Ok(());

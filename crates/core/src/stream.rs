@@ -305,17 +305,27 @@ fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     let (mut i, mut j) = (0usize, 0usize);
     let mut sup = 0.0f64;
     while i < a.len() && j < b.len() {
+        // blazeit-lint: allow(panic-site::index) -- two-pointer merge: the enclosing while
+        // guarantees i < a.len() and j < b.len()
         if a[i] < b[j] {
             i += 1;
+        // blazeit-lint: allow(panic-site::index) -- two-pointer merge: the enclosing while
+        // guarantees i < a.len() and j < b.len()
         } else if b[j] < a[i] {
             j += 1;
         } else {
             // Tied values must advance both empirical CDFs together, or
             // identical samples would read as drifted.
+            // blazeit-lint: allow(panic-site::index) -- the loop guard above validated both cursors
+            // before this read
             let v = a[i];
+            // blazeit-lint: allow(panic-site::index) -- the && short-circuit re-checks i < a.len()
+            // before indexing
             while i < a.len() && a[i] == v {
                 i += 1;
             }
+            // blazeit-lint: allow(panic-site::index) -- the && short-circuit re-checks j < b.len()
+            // before indexing
             while j < b.len() && b[j] == v {
                 j += 1;
             }
@@ -545,6 +555,9 @@ impl VideoContext {
                         // must leave the head set on its current generation.
                         if let Some(injected) = fault::inject(fault::FaultSite::Retrain) {
                             if injected == fault::InjectedFault::Panic {
+                                // blazeit-lint: allow(panic-site) -- deliberate chaos
+                                // panic: the retrain task boundary's catch_unwind is
+                                // exactly what this failpoint exercises.
                                 panic!("injected fault: retrain panic");
                             }
                             return Err(BlazeItError::Internal(
@@ -1038,6 +1051,8 @@ impl Subscription<'_> {
             let truth = self.ctx.labeled().heldout().class_counts(self.class);
             let n = truth.len().min(heldout_scores.num_frames());
             let residuals: Vec<f64> =
+                // blazeit-lint: allow(panic-site::index) -- i ranges over 0..n with n =
+                // truth.len().min(..), so truth[i] is in range
                 (0..n).map(|i| truth[i] as f64 - heldout_scores.expected_count(i, head)).collect();
             let n_f = residuals.len().max(1) as f64;
             let mean = residuals.iter().sum::<f64>() / n_f;

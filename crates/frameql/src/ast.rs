@@ -161,7 +161,10 @@ impl FromClause {
     /// The video name, when the clause names exactly one.
     pub fn as_single(&self) -> Option<&str> {
         match self {
-            FromClause::Videos(names) if names.len() == 1 => Some(&names[0]),
+            FromClause::Videos(names) => match names.as_slice() {
+                [only] => Some(only),
+                _ => None,
+            },
             _ => None,
         }
     }

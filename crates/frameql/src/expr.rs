@@ -177,7 +177,13 @@ fn compare(left: &Value, op: BinaryOp, right: &Value) -> Result<Value> {
             BinaryOp::LtEq => l <= r,
             BinaryOp::Gt => l > r,
             BinaryOp::GtEq => l >= r,
-            BinaryOp::And | BinaryOp::Or => unreachable!("handled by caller"),
+            BinaryOp::And | BinaryOp::Or => {
+                return Err(FrameQlError::EvalError(
+                    "logical operator reached value comparison (the caller short-circuits \
+                     AND/OR before comparing)"
+                        .into(),
+                ))
+            }
         };
         return Ok(Value::Bool(result));
     }
@@ -190,7 +196,13 @@ fn compare(left: &Value, op: BinaryOp, right: &Value) -> Result<Value> {
             BinaryOp::LtEq => l <= r,
             BinaryOp::Gt => l > r,
             BinaryOp::GtEq => l >= r,
-            BinaryOp::And | BinaryOp::Or => unreachable!("handled by caller"),
+            BinaryOp::And | BinaryOp::Or => {
+                return Err(FrameQlError::EvalError(
+                    "logical operator reached value comparison (the caller short-circuits \
+                     AND/OR before comparing)"
+                        .into(),
+                ))
+            }
         };
         return Ok(Value::Bool(result));
     }

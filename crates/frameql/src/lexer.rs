@@ -1,5 +1,8 @@
 //! The FrameQL lexer.
 
+// blazeit-lint: allow-file(panic-site::index) -- single-pass byte scanner: every index is guarded
+// by an explicit bound check against bytes.len()
+
 use crate::{FrameQlError, Result};
 
 /// A lexical token.

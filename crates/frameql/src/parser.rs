@@ -492,9 +492,13 @@ impl Parser<'_> {
 /// errors point just past the last character).
 fn caret_message(input: &str, position: usize, message: &str) -> String {
     let position = position.min(input.len());
-    let line_start = input[..position].rfind('\n').map_or(0, |i| i + 1);
-    let line_end = input[position..].find('\n').map_or(input.len(), |i| position + i);
-    let line = &input[line_start..line_end];
+    // `get` keeps a mid-char-boundary position (impossible for lexer-produced
+    // offsets, cheap to tolerate anyway) from panicking in error rendering.
+    let before = input.get(..position).unwrap_or(input);
+    let after = input.get(position..).unwrap_or("");
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let line_end = after.find('\n').map_or(input.len(), |i| position + i);
+    let line = input.get(line_start..line_end).unwrap_or_default();
     let caret_column = position - line_start;
     format!("{message}\n  {line}\n  {:caret_column$}^", "")
 }

@@ -133,10 +133,9 @@ pub struct QueryPlanInfo {
 impl QueryPlanInfo {
     /// The single queried class, when exactly one class requirement exists.
     pub fn single_class(&self) -> Option<ObjectClass> {
-        if self.requirements.len() == 1 {
-            Some(self.requirements[0].class)
-        } else {
-            None
+        match self.requirements.as_slice() {
+            [only] => Some(only.class),
+            _ => None,
         }
     }
 

@@ -1,0 +1,47 @@
+//! The check catalog.
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | `lock-order` | ranked locks are only acquired in the documented order, over all statically possible call chains |
+//! | `panic-site` (+ `panic-site::index`) | no `unwrap`/`expect`/`panic!`-family macros or direct slice indexing in production code |
+//! | `fault-coverage` | every fallible store/stream function is dominated by an `inject(FaultSite::…)` failpoint, and every declared fault site has at least one live failpoint |
+//! | `clock-accounting` | uncharged detector/NN scoring entry points are only called from allowlisted charged wrappers |
+
+pub mod clock_accounting;
+pub mod fault_coverage;
+pub mod lock_order;
+pub mod panic_site;
+
+use crate::diag::Diagnostic;
+use crate::model::FileModel;
+
+/// One file under analysis, tagged with the crate it belongs to.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Crate name (`core`, `nn`, …) — the call-graph unit for `lock-order`.
+    pub crate_name: String,
+    /// Repo-relative path used in diagnostics.
+    pub path: String,
+    /// Base file name (`store.rs`), used by file-scoped checks.
+    pub file_name: String,
+    /// Parsed model.
+    pub model: FileModel,
+}
+
+/// All files under analysis.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Files in deterministic (sorted-path) order.
+    pub files: Vec<SourceFile>,
+}
+
+/// Runs every check over the workspace, returning raw (pre-suppression)
+/// diagnostics.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(lock_order::check(ws));
+    diags.extend(panic_site::check(ws));
+    diags.extend(fault_coverage::check(ws));
+    diags.extend(clock_accounting::check(ws));
+    diags
+}

@@ -1,0 +1,90 @@
+//! `panic-site`: panic-freedom in production code.
+//!
+//! Flags, outside `#[cfg(test)]` modules and `#[test]` functions:
+//!
+//! * `.unwrap()` / `.expect(…)` method calls (`unwrap_or*` and friends are
+//!   fine — exact-name matching only);
+//! * the panicking macros `panic!`, `unreachable!`, `todo!`, `unimplemented!`;
+//! * direct slice/array indexing `expr[…]` (code `panic-site::index`, so hot
+//!   numeric kernels can carry a narrow file-level allow without also hiding
+//!   new `unwrap`s).
+//!
+//! The engine's invariant since PR 6 is "never a panic, never silently wrong";
+//! this check is what keeps that invariant from decaying as code is added.
+
+use super::Workspace;
+use crate::diag::Diagnostic;
+use crate::model::{Event, Receiver};
+
+const CODE: &str = "panic-site";
+const CODE_INDEX: &str = "panic-site::index";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+pub(super) fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        for func in &file.model.functions {
+            if func.is_test {
+                continue;
+            }
+            for event in &func.events {
+                match event {
+                    Event::MacroCall { name, line, col }
+                        if PANIC_MACROS.contains(&name.as_str()) =>
+                    {
+                        diags.push(Diagnostic::warn(
+                            CODE,
+                            &file.path,
+                            *line,
+                            *col,
+                            format!(
+                                "`{name}!` in production fn `{}` — return a typed error instead \
+                                 (or justify with `// blazeit-lint: allow(panic-site) -- <reason>`)",
+                                func.qualified
+                            ),
+                        ));
+                    }
+                    Event::Call { path, receiver, line, col, .. }
+                        if matches!(receiver, Receiver::Method | Receiver::SelfMethod)
+                            && path.len() == 1
+                            && PANIC_METHODS.contains(&path[0].as_str()) =>
+                    {
+                        diags.push(Diagnostic::warn(
+                            CODE,
+                            &file.path,
+                            *line,
+                            *col,
+                            format!(
+                                "`.{}()` in production fn `{}` — handle the failure as a typed \
+                                 error (or justify with `// blazeit-lint: allow(panic-site) -- \
+                                 <reason>`)",
+                                path[0], func.qualified
+                            ),
+                        ));
+                    }
+                    // Literal indices into named constants are compile-checked
+                    // for arrays; flagging them would only breed suppressions.
+                    Event::Index { const_literal: true, .. } => {}
+                    Event::Index { line, col, .. } => {
+                        diags.push(Diagnostic::warn(
+                            CODE_INDEX,
+                            &file.path,
+                            *line,
+                            *col,
+                            format!(
+                                "direct indexing in production fn `{}` can panic on an \
+                                 out-of-range index — prefer `.get(…)` or justify the bound \
+                                 (`// blazeit-lint: allow(panic-site::index) -- <reason>`)",
+                                func.qualified
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    diags
+}

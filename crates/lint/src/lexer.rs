@@ -1,0 +1,459 @@
+//! A hand-rolled Rust lexer with byte-accurate `line:col` spans.
+//!
+//! In the same spirit as the FrameQL spanned lexer: no external dependencies,
+//! and just enough fidelity for static analysis — identifiers (keywords
+//! included), literals (strings, raw strings, byte strings, chars, numbers),
+//! lifetimes, punctuation (with `::`, `->` and `=>` fused so path reading is
+//! trivial), and delimiters. Comments are lexed out of band into their own
+//! list so the suppression scanner can see them while the item parser walks a
+//! comment-free token stream.
+
+/// What a token is; the raw text lives in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#type` with the `r#` stripped).
+    Ident,
+    /// A lifetime such as `'a` (the tick is stripped).
+    Lifetime,
+    /// String literal (regular, raw, or byte); `text` holds the *contents*.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Punctuation; multi-character `::`, `->` and `=>` are single tokens.
+    Punct,
+    /// Opening delimiter: one of `(`, `[`, `{`.
+    Open,
+    /// Closing delimiter: one of `)`, `]`, `}`.
+    Close,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw text (see [`TokKind`] for what each class stores).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` if this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// `true` if this token is the identifier/keyword `ident`.
+    pub fn is_ident(&self, ident: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == ident
+    }
+
+    /// `true` if this token opens the delimiter `d`.
+    pub fn opens(&self, d: char) -> bool {
+        self.kind == TokKind::Open && self.text.as_bytes() == [d as u8]
+    }
+
+    /// `true` if this token closes the delimiter `d`.
+    pub fn closes(&self, d: char) -> bool {
+        self.kind == TokKind::Close && self.text.as_bytes() == [d as u8]
+    }
+
+    /// `true` for identifiers that are Rust keywords (so `let`, `if`, `match`
+    /// etc. are not mistaken for expression positions by the index detector).
+    pub fn is_keyword(&self) -> bool {
+        self.kind == TokKind::Ident && KEYWORDS.contains(&self.text.as_str())
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+/// A comment (line, block, or doc), kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including its `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line of the introducer.
+    pub line: u32,
+    /// 1-based byte column of the introducer.
+    pub col: u32,
+    /// `true` when at least one token precedes the comment on its line.
+    pub trailing: bool,
+}
+
+/// Lexer output: the token stream plus the out-of-band comment list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes one source file. Unterminated constructs are consumed to end of file
+/// rather than reported — the analyzer only runs over code rustc has already
+/// accepted, so error recovery buys nothing.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+    let mut last_token_line = 0u32;
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                    trailing: last_token_line == line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump_n(2);
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump_n(2);
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..cur.pos].to_string(),
+                    line,
+                    col,
+                    trailing: last_token_line == line,
+                });
+            }
+            b'"' => {
+                let text = lex_string(&mut cur);
+                push(&mut out, &mut last_token_line, TokKind::Str, text, line, col);
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&cur) => {
+                let (kind, text) = lex_prefixed_literal(&mut cur);
+                push(&mut out, &mut last_token_line, kind, text, line, col);
+            }
+            b'\'' => {
+                let (kind, text) = lex_tick(&mut cur);
+                push(&mut out, &mut last_token_line, kind, text, line, col);
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                let text = src[start..cur.pos].to_string();
+                push(&mut out, &mut last_token_line, TokKind::Ident, text, line, col);
+            }
+            _ if b.is_ascii_digit() => {
+                let text = lex_number(&mut cur);
+                push(&mut out, &mut last_token_line, TokKind::Num, text, line, col);
+            }
+            b'(' | b'[' | b'{' => {
+                cur.bump();
+                push(&mut out, &mut last_token_line, TokKind::Open, (b as char).into(), line, col);
+            }
+            b')' | b']' | b'}' => {
+                cur.bump();
+                push(&mut out, &mut last_token_line, TokKind::Close, (b as char).into(), line, col);
+            }
+            _ => {
+                let fused = match (b, cur.peek_at(1)) {
+                    (b':', Some(b':')) => Some("::"),
+                    (b'-', Some(b'>')) => Some("->"),
+                    (b'=', Some(b'>')) => Some("=>"),
+                    _ => None,
+                };
+                let text = match fused {
+                    Some(op) => {
+                        cur.bump_n(2);
+                        op.to_string()
+                    }
+                    None => {
+                        cur.bump();
+                        (b as char).to_string()
+                    }
+                };
+                push(&mut out, &mut last_token_line, TokKind::Punct, text, line, col);
+            }
+        }
+    }
+    out
+}
+
+fn push(out: &mut Lexed, last_line: &mut u32, kind: TokKind, text: String, line: u32, col: u32) {
+    *last_line = line;
+    out.tokens.push(Token { kind, text, line, col });
+}
+
+/// `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br"…"`, `b'…'` all start with `r`/`b`;
+/// a plain identifier starting with those letters does not.
+fn starts_raw_or_byte_literal(cur: &Cursor<'_>) -> bool {
+    match (cur.peek(), cur.peek_at(1)) {
+        (Some(b'r'), Some(b'"' | b'#')) => true,
+        (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(cur.peek_at(2), Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) -> (TokKind, String) {
+    if cur.peek() == Some(b'b') {
+        if cur.peek_at(1) == Some(b'\'') {
+            cur.bump();
+            return lex_tick(cur);
+        }
+        if cur.peek_at(1) == Some(b'"') {
+            cur.bump();
+            return (TokKind::Str, lex_string(cur));
+        }
+        cur.bump(); // `br…` — fall through to the raw-string path.
+    }
+    // At `r`: raw string `r#*"` or raw identifier `r#ident`.
+    cur.bump();
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() == Some(b'"') {
+        cur.bump();
+        let start = cur.pos;
+        loop {
+            match cur.peek() {
+                None => return (TokKind::Str, String::new()),
+                Some(b'"') => {
+                    let mut matched = true;
+                    for h in 0..hashes {
+                        if cur.peek_at(1 + h) != Some(b'#') {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    if matched {
+                        let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                        cur.bump_n(1 + hashes);
+                        return (TokKind::Str, text);
+                    }
+                    cur.bump();
+                }
+                Some(_) => {
+                    cur.bump();
+                }
+            }
+        }
+    }
+    // Raw identifier: `r#type`.
+    let start = cur.pos;
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    (TokKind::Ident, String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned())
+}
+
+fn lex_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    loop {
+        match cur.peek() {
+            None | Some(b'"') => break,
+            Some(b'\\') => cur.bump_n(2),
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+    cur.bump(); // closing quote
+    text
+}
+
+/// At a `'`: either a char literal (`'a'`, `'\n'`) or a lifetime (`'static`).
+fn lex_tick(cur: &mut Cursor<'_>) -> (TokKind, String) {
+    cur.bump(); // tick
+    if cur.peek() == Some(b'\\') {
+        cur.bump_n(2);
+        while cur.peek().is_some_and(|b| b != b'\'') {
+            cur.bump();
+        }
+        cur.bump();
+        return (TokKind::Char, String::new());
+    }
+    let start = cur.pos;
+    if cur.peek().is_some_and(is_ident_start) {
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        if cur.peek() == Some(b'\'') {
+            // `'a'` — a char literal whose content looks like an identifier.
+            cur.bump();
+            return (TokKind::Char, String::new());
+        }
+        let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+        return (TokKind::Lifetime, text);
+    }
+    // `'x'` for non-identifier x (covers any unicode scalar).
+    while cur.peek().is_some_and(|b| b != b'\'') {
+        cur.bump();
+    }
+    cur.bump();
+    (TokKind::Char, String::new())
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> String {
+    let start = cur.pos;
+    while let Some(b) = cur.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            cur.bump();
+        } else if b == b'.' && cur.peek_at(1).is_some_and(|n| n.is_ascii_digit()) {
+            // `1.5` continues the number; `1..n` does not.
+            cur.bump();
+        } else if (b == b'+' || b == b'-')
+            && matches!(cur.src.get(cur.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && cur.src[start..cur.pos].contains(&b'.')
+        {
+            // Exponent sign in a float like `1.5e-3`.
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_spans() {
+        let lexed = lex("fn foo() -> u8 {\n    x::y(a[0])\n}");
+        let t = &lexed.tokens;
+        assert!(t[0].is_ident("fn") && t[0].is_keyword());
+        assert!(t[1].is_ident("foo") && !t[1].is_keyword());
+        assert!(t[4].is_punct("->"));
+        assert_eq!((t[7].line, t[7].col), (2, 5)); // `x`
+        assert!(t[8].is_punct("::"));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        let toks = kinds(r#"let s = "pa\"nic!"; let c = 'x'; let l: &'a str = r#s;"#);
+        assert!(toks.iter().any(|(k, v)| *k == TokKind::Str && v == "pa\\\"nic!"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+        assert!(toks.iter().any(|(k, v)| *k == TokKind::Lifetime && v == "a"));
+        assert!(toks.iter().any(|(k, v)| *k == TokKind::Ident && v == "s"));
+    }
+
+    #[test]
+    fn raw_strings_do_not_hide_following_tokens() {
+        let toks = kinds("let x = r#\"unwrap() inside \"quotes\"\"#; y.unwrap()");
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(toks.iter().any(|(k, v)| *k == TokKind::Ident && v == "unwrap"));
+    }
+
+    #[test]
+    fn comments_are_out_of_band_with_trailing_flag() {
+        let lexed = lex("let a = 1; // trailing\n// standalone\nlet b = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Str));
+    }
+
+    #[test]
+    fn nested_block_comments_and_numbers() {
+        let lexed = lex("/* a /* b */ c */ 1.5e-3 0..10 0xff_u32");
+        assert_eq!(lexed.comments.len(), 1);
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0", "10", "0xff_u32"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime_disambiguation() {
+        let toks = kinds("match c { 'a' => 1, _ => 2 }; fn f<'a>(x: &'a str) {} let q = '\\'';");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Clean fixture: near-miss patterns that must NOT be flagged by any check.
+//! Never compiled — analyzed by `crates/lint/tests/lint.rs` and the CI
+//! canary (this file contributes zero diagnostics).
+
+const WEIGHTS: [f32; 3] = [0.2, 0.3, 0.5];
+
+pub struct Ctx {
+    monitor: u32,
+    video: u32,
+}
+
+pub fn correct_order(ctx: &Ctx) {
+    let _monitor = lock_ordered(&ctx.monitor, RANK_MONITOR, "monitor");
+    let _video = lock_ordered(&ctx.video, RANK_VIDEO, "video");
+}
+
+pub fn drop_releases(ctx: &Ctx) {
+    let video = lock_ordered(&ctx.video, RANK_VIDEO, "video");
+    drop(video);
+    let _monitor = lock_ordered(&ctx.monitor, RANK_MONITOR, "monitor");
+}
+
+pub fn scope_releases(ctx: &Ctx) {
+    {
+        let _video = lock_ordered(&ctx.video, RANK_VIDEO, "video");
+    }
+    let _monitor = lock_ordered(&ctx.monitor, RANK_MONITOR, "monitor");
+}
+
+pub fn non_panicking_lookups(items: &[u32]) -> u32 {
+    let first = items.first().copied().unwrap_or(0);
+    let second = items.get(1).copied().unwrap_or_default();
+    first + second
+}
+
+pub fn const_literal_index() -> f32 {
+    WEIGHTS[0]
+}
+
+pub fn evaluate(nn: &SpecializedNN, frame: &[f32]) -> usize {
+    nn.predict_classes(frame).len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v = vec![1u32, 2, 3];
+        let last = v.last().unwrap();
+        if *last != 3 {
+            panic!("test-only panic is exempt");
+        }
+        let _third = v[2];
+    }
+}

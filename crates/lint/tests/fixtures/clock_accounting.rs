@@ -1,0 +1,12 @@
+//! Seeded `clock-accounting` violation: `predict_classes` (uncharged argmax
+//! scoring) called from a function that is not an allowlisted charged
+//! wrapper. `evaluate` below makes the same call legally. Never compiled —
+//! analyzed by `crates/lint/tests/lint.rs` and the CI canary.
+
+pub fn sneaky_scoring(nn: &SpecializedNN, frame: &[f32]) -> usize {
+    nn.predict_classes(frame).len()
+}
+
+pub fn evaluate(nn: &SpecializedNN, frame: &[f32]) -> usize {
+    nn.predict_classes(frame).len()
+}

@@ -1,0 +1,25 @@
+//! Seeded `fault-coverage` violations (the file is named `store.rs`, which
+//! puts it inside the check's dominance scope). `read_block_uncovered` and
+//! `remove_stale` have no failpoint on any path; `write_covered` and the
+//! helper that routes through it are legal. Never compiled — analyzed by
+//! `crates/lint/tests/lint.rs` and the CI canary.
+
+pub fn read_block_uncovered(path: &Path) -> StoreResult<Vec<u8>> {
+    fallible_read(path)
+}
+
+pub fn remove_stale(path: &Path) {
+    let _ = std::fs::remove_file(path);
+}
+
+pub fn write_covered(path: &Path) -> StoreResult<()> {
+    if let Some(err) = inject(FaultSite::StoreWrite) {
+        return Err(err);
+    }
+    std::fs::write(path, b"payload")?;
+    Ok(())
+}
+
+pub fn append_via_helper(path: &Path) -> StoreResult<()> {
+    write_covered(path)
+}

@@ -1,0 +1,22 @@
+//! Seeded `lock-order` violations: `video` (rank 3) acquired before
+//! `monitor` (rank 0), both directly and through a helper call. Never
+//! compiled — analyzed by `crates/lint/tests/lint.rs` and the CI canary.
+
+pub struct Ctx {
+    monitor: u32,
+    video: u32,
+}
+
+fn lock_monitor(ctx: &Ctx) {
+    let _guard = lock_ordered(&ctx.monitor, RANK_MONITOR, "monitor");
+}
+
+pub fn inverted_direct(ctx: &Ctx) {
+    let _video = lock_ordered(&ctx.video, RANK_VIDEO, "video");
+    let _monitor = lock_ordered(&ctx.monitor, RANK_MONITOR, "monitor");
+}
+
+pub fn inverted_via_helper(ctx: &Ctx) {
+    let _video = lock_ordered(&ctx.video, RANK_VIDEO, "video");
+    lock_monitor(ctx);
+}

@@ -1,0 +1,22 @@
+//! Seeded `panic-site` violations: `unwrap`, `expect`, a panicking macro,
+//! and direct indexing (`panic-site::index`). Never compiled — analyzed by
+//! `crates/lint/tests/lint.rs` and the CI canary.
+
+pub fn take_first(items: &[u32]) -> u32 {
+    *items.first().unwrap()
+}
+
+pub fn take_config(value: Option<u32>) -> u32 {
+    value.expect("config must be set")
+}
+
+pub fn unreachable_state(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("seeded macro panic"),
+    }
+}
+
+pub fn third(items: &[u32]) -> u32 {
+    items[2]
+}

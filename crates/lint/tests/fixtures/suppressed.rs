@@ -1,0 +1,16 @@
+//! Suppression round-trip fixture: the same kinds of seeded violations as
+//! `panic_site.rs`, each carrying a justified `allow` — this file must
+//! analyze clean, and none of its suppressions may be reported unused.
+//! Never compiled — analyzed by `crates/lint/tests/lint.rs` and the CI
+//! canary (this file contributes zero diagnostics).
+
+pub fn take_first(items: &[u32]) -> u32 {
+    // blazeit-lint: allow(panic-site) -- fixture: exercises the single-line
+    // suppression form, including a continuation line for the reason.
+    *items.first().unwrap()
+}
+
+pub fn third(items: &[u32]) -> u32 {
+    // blazeit-lint: allow(panic-site::index) -- fixture: caller guarantees len > 2
+    items[2]
+}

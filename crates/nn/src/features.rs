@@ -13,6 +13,9 @@
 //! sampled pixels via [`Video::frame_sampled`] (bit-identical to decoding the full
 //! frame and resizing) instead of materializing the whole buffer per frame.
 
+// blazeit-lint: allow-file(panic-site::index) -- feature-extraction kernels: indices are derived
+// from the frame's own width/height and fixed channel strides
+
 use crate::Result;
 use blazeit_videostore::ingest::resize;
 use blazeit_videostore::{BoundingBox, Frame, FrameIndex, Video};

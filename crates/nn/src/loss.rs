@@ -54,6 +54,8 @@ pub fn grouped_cross_entropy(
         }
         let mut offset = 0usize;
         for (h, &head_size) in heads.iter().enumerate() {
+            // blazeit-lint: allow(panic-site::index) -- h enumerates heads, and label_row.len() ==
+            // heads.len() was validated above
             let label = label_row[h];
             if label >= head_size {
                 return Err(NnError::InvalidTrainingData(format!(

@@ -1,5 +1,8 @@
 //! The sequential multi-layer network with grouped softmax heads.
 
+// blazeit-lint: allow-file(panic-site::index) -- forward/backward kernels: layer buffers are sized
+// from the network's own topology at construction
+
 use crate::layers::{softmax_segments_into, Dense};
 use crate::loss::{grouped_cross_entropy, HeadLayout};
 use crate::optimizer::{SgdConfig, SgdState};

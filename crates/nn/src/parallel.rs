@@ -52,6 +52,9 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("blazeit-score-{i}"))
                     .spawn(move || worker_loop(&receiver))
+                    // blazeit-lint: allow(panic-site) -- pool bootstrap inside
+                    // OnceLock::get_or_init has no error channel; a failed spawn is
+                    // unrecoverable resource exhaustion at first use.
                     .expect("spawning a pool worker");
             }
             WorkerPool { sender: Mutex::new(sender), receiver, workers }
@@ -66,6 +69,8 @@ impl WorkerPool {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
+        // blazeit-lint: allow(panic-site) -- the global pool's workers hold the
+        // receiver for the process lifetime, so send cannot observe a closed channel.
         sender.send(job).expect("pool workers never hang up");
     }
 
@@ -167,7 +172,7 @@ fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     let latch = Latch::new(tasks.len());
 
     let mut tasks = tasks.into_iter();
-    let first = tasks.next().expect("tasks is non-empty");
+    let Some(first) = tasks.next() else { return };
     for task in tasks {
         let latch_ref = &latch;
         let panic_ref = &panic_slot;
@@ -245,6 +250,9 @@ pub fn par_run<'scope, T: Send + 'scope>(
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            // blazeit-lint: allow(panic-site) -- run_scoped returns only after the
+            // latch counts every task (worker panics are re-thrown before this), so
+            // every slot has been filled.
             guard.take().expect("run_scoped ran every task to completion")
         })
         .collect()

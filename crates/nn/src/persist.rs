@@ -210,22 +210,33 @@ impl<'a> Reader<'a> {
                 self.buf.len()
             ))
         })?;
+        // blazeit-lint: allow(panic-site::index) -- end was checked_add-validated against buf.len()
+        // directly above
         let slice = &self.buf[self.pos..end];
         self.pos = end;
         Ok(slice)
     }
 
+    /// Reads exactly `N` bytes as a fixed array. `take` enforces the bound;
+    /// a conversion failure is reported as corruption, not a panic.
+    fn take_array<const N: usize>(&mut self, what: &str) -> PResult<[u8; N]> {
+        self.take(N, what)?
+            .try_into()
+            .map_err(|_| PersistError::Corrupt(format!("{what}: short read of {N} bytes")))
+    }
+
     /// Reads one byte (`what` names the field in error messages).
     pub fn u8(&mut self, what: &str) -> PResult<u8> {
-        Ok(self.take(1, what)?[0])
+        let [byte] = self.take_array(what)?;
+        Ok(byte)
     }
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self, what: &str) -> PResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.take_array(what)?))
     }
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self, what: &str) -> PResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.take_array(what)?))
     }
     /// Reads a `usize`, rejecting lengths that exceed the remaining buffer.
     pub fn usize(&mut self, what: &str) -> PResult<usize> {
@@ -262,6 +273,8 @@ impl<'a> Reader<'a> {
         let raw = self.take(len * 4, what)?;
         Ok(raw
             .chunks_exact(4)
+            // blazeit-lint: allow(panic-site) -- chunks_exact(4) yields exactly-4-byte
+            // slices by contract; the conversion cannot fail.
             .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
             .collect())
     }
@@ -276,6 +289,8 @@ impl<'a> Reader<'a> {
         let raw = self.take(len * 8, what)?;
         Ok(raw
             .chunks_exact(8)
+            // blazeit-lint: allow(panic-site) -- chunks_exact(8) yields exactly-8-byte
+            // slices by contract; the conversion cannot fail.
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect())
     }
@@ -330,20 +345,26 @@ pub fn open(kind: u8, bytes: &[u8]) -> PResult<&[u8]> {
             HEADER_LEN + 8
         )));
     }
-    if bytes[0..4] != MAGIC {
+    fn field<const N: usize>(bytes: &[u8], at: usize, what: &str) -> PResult<[u8; N]> {
+        bytes
+            .get(at..at + N)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| PersistError::Corrupt(format!("truncated envelope header: {what}")))
+    }
+    if field::<4>(bytes, 0, "magic")? != MAGIC {
         return Err(PersistError::Corrupt("bad magic bytes".into()));
     }
-    if bytes[4] != kind {
+    let [found_kind] = field::<1>(bytes, 4, "kind")?;
+    if found_kind != kind {
         return Err(PersistError::Corrupt(format!(
-            "artifact kind {} where kind {kind} was expected",
-            bytes[4]
+            "artifact kind {found_kind} where kind {kind} was expected"
         )));
     }
-    let version = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(field(bytes, 5, "format version")?);
     if version != FORMAT_VERSION {
         return Err(PersistError::VersionMismatch { found: version, expected: FORMAT_VERSION });
     }
-    let payload_len = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(field(bytes, 9, "payload length")?);
     // checked_add: a hostile length near u64::MAX must read as Corrupt, not
     // overflow (which would panic under debug overflow checks).
     let expected_total = payload_len.checked_add((HEADER_LEN + 8) as u64);
@@ -353,9 +374,10 @@ pub fn open(kind: u8, bytes: &[u8]) -> PResult<&[u8]> {
             bytes.len()
         )));
     }
-    let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len as usize];
-    let stored =
-        u64::from_le_bytes(bytes[HEADER_LEN + payload_len as usize..].try_into().expect("8 bytes"));
+    let payload = bytes
+        .get(HEADER_LEN..HEADER_LEN + payload_len as usize)
+        .ok_or_else(|| PersistError::Corrupt("truncated payload".into()))?;
+    let stored = u64::from_le_bytes(field(bytes, HEADER_LEN + payload_len as usize, "checksum")?);
     let computed = fnv1a(payload);
     if stored != computed {
         return Err(PersistError::Corrupt(format!(

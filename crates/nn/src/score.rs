@@ -16,6 +16,8 @@
 //! same `f32 → f64` accumulation order as the old per-frame helpers, so results
 //! are bit-identical.
 
+// blazeit-lint: allow-file(panic-site::index) -- row/head stride arithmetic over storage the
+// ScoreMatrix sized itself at construction
 /// Per-frame, per-head probability distributions in one flat buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoreMatrix {

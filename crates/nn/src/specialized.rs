@@ -67,6 +67,8 @@ impl SpecializedHead {
             if count >= histogram.len() {
                 histogram.resize(count + 1, 0);
             }
+            // blazeit-lint: allow(panic-site::index) -- the resize directly above guarantees
+            // histogram.len() > count
             histogram[count] += 1;
             n += 1;
         }
@@ -74,6 +76,7 @@ impl SpecializedHead {
         let mut max_count = 1usize;
         let mut running = 0usize;
         for k in (1..histogram.len()).rev() {
+            // blazeit-lint: allow(panic-site::index) -- k ranges over 1..histogram.len()
             running += histogram[k];
             if running as f64 / n >= min_fraction {
                 max_count = k;
@@ -370,6 +373,8 @@ impl SpecializedNN {
                     // of the batch feature matrix: only the sampled grid pixels
                     // are rendered, and no per-frame buffers are allocated —
                     // identical features to the full-frame path.
+                    // blazeit-lint: allow(panic-site::index) -- par_fill_chunks hands each task a
+                    // chunk of rows inside the matrix, so first + i < batch.len()
                     self.featurizer.features_for_video_frame_into(video, batch[first + i], row)?;
                     self.standardizer.transform_in_place(row);
                 }
@@ -430,6 +435,8 @@ impl SpecializedNN {
             .head_index(class)
             .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
         let probs = self.score_frame(video, frame)?;
+        // blazeit-lint: allow(panic-site::index) -- head comes from head_index, and probs holds one
+        // row per head
         Ok(expectation(&probs[head]))
     }
 
@@ -445,6 +452,8 @@ impl SpecializedNN {
             .head_index(class)
             .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
         let probs = self.score_frame(video, frame)?;
+        // blazeit-lint: allow(panic-site::index) -- head comes from head_index, and probs holds one
+        // row per head
         Ok(tail_probability(&probs[head], n))
     }
 
@@ -463,6 +472,8 @@ impl SpecializedNN {
             let head = self
                 .head_index(class)
                 .ok_or_else(|| NnError::InvalidConfig(format!("no head for class {class}")))?;
+            // blazeit-lint: allow(panic-site::index) -- head comes from head_index, and probs holds
+            // one row per head
             total += tail_probability(&probs[head], n);
         }
         Ok(total)
@@ -524,7 +535,11 @@ impl SpecializedNN {
             let mut sum_t = 0.0;
             for _ in 0..n {
                 let i = rng.gen_range(0..n);
+                // blazeit-lint: allow(panic-site::index) -- i is gen_range(0..n) where n is the
+                // common length of both slices
                 sum_p += predicted[i];
+                // blazeit-lint: allow(panic-site::index) -- i is gen_range(0..n) where n is the
+                // common length of both slices
                 sum_t += true_counts[i] as f64;
             }
             bootstrap_errors.push(((sum_p - sum_t) / n as f64).abs());

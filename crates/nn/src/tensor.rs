@@ -5,6 +5,9 @@
 //! over peak throughput; the simulated cost model, not wall-clock matmul speed, drives
 //! the experiments.
 
+// blazeit-lint: allow-file(panic-site::index) -- dense matrix kernels: every index is derived from
+// the tensor's own dims, and shape mismatches return ShapeMismatch before any loop runs
+
 use crate::{NnError, Result};
 use rand::rngs::StdRng;
 use rand::Rng;

@@ -96,8 +96,12 @@ impl Trainer {
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {
                 let batch_rows: Vec<Vec<f32>> =
+                    // blazeit-lint: allow(panic-site::index) -- order is a permutation of
+                    // 0..features.len(), and labels has the same length (validated by fit)
                     chunk.iter().map(|&i| features[i].clone()).collect();
                 let batch_labels: Vec<Vec<usize>> =
+                    // blazeit-lint: allow(panic-site::index) -- order is a permutation of
+                    // 0..features.len(), and labels has the same length (validated by fit)
                     chunk.iter().map(|&i| labels[i].clone()).collect();
                 let x = Matrix::from_rows(&batch_rows)?;
                 let loss = network.train_batch(&x, &batch_labels, self.config.sgd)?;

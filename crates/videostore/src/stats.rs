@@ -87,15 +87,17 @@ impl VideoStats {
             let objects = video.scene().visible_at(f);
             for &c in classes {
                 let count = objects.iter().filter(|o| o.class == c).count();
-                let hist = frame_counts.get_mut(&c).expect("class present");
+                let hist = frame_counts.entry(c).or_default();
                 if count >= hist.len() {
                     hist.resize(count + 1, 0);
                 }
+                // blazeit-lint: allow(panic-site::index) -- the resize directly above guarantees
+                // hist.len() > count
                 hist[count] += 1;
                 if count > 0 {
-                    *occupied.get_mut(&c).expect("class present") += 1;
+                    *occupied.entry(c).or_default() += 1;
                 }
-                *total.get_mut(&c).expect("class present") += count as u64;
+                *total.entry(c).or_default() += count as u64;
             }
         }
 
