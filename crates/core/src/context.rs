@@ -33,13 +33,13 @@ use crate::labeled::LabeledSet;
 use crate::lockorder::{lock_ordered, OrderedGuard, RANK_LIVE_INDEX, RANK_NN_CACHE, RANK_VIDEO};
 use crate::store::{IndexStore, StoreResult};
 use crate::stream::StreamState;
+use crate::sync::Mutex;
 use crate::{BlazeItError, Result};
 use blazeit_detect::{SimClock, SimulatedDetector};
 use blazeit_frameql::{builtin_udfs, UdfRegistry};
 use blazeit_nn::specialized::{SpecializedConfig, SpecializedHead, SpecializedNN};
 use blazeit_nn::ScoreMatrix;
 use blazeit_videostore::{ObjectClass, Video};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -191,14 +191,17 @@ impl VideoContext {
         });
         let health = HealthState::new(config.sampling_seed);
         VideoContext {
-            video: Mutex::new(Arc::new(video)),
+            // Ranked construction enrolls each lock in the model checker's
+            // hierarchy oracle; `lock_ordered` asserts the same table at
+            // acquisition time in debug builds.
+            video: Mutex::ranked(RANK_VIDEO, "video", Arc::new(video)),
             labeled,
             config,
             clock,
             detector,
             udfs: builtin_udfs(),
-            nn_cache: Mutex::new(HashMap::new()),
-            live_index: Mutex::new(HashMap::new()),
+            nn_cache: Mutex::ranked(RANK_NN_CACHE, "nn_cache", HashMap::new()),
+            live_index: Mutex::ranked(RANK_LIVE_INDEX, "live_index", HashMap::new()),
             heldout_cache: Mutex::new(HashMap::new()),
             store,
             stream,

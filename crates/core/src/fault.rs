@@ -36,9 +36,9 @@
 // site.index() is the variant's position in ALL
 
 use crate::store::{StoreError, StoreResult};
+use crate::sync::Mutex;
 use blazeit_detect::clock::CostCategory;
 use blazeit_detect::SimClock;
-use parking_lot::Mutex;
 use rand::{Rng, SeedableRng, StdRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -148,8 +148,8 @@ pub use injector::{install, FaultGuard, FaultPlan};
 #[cfg(feature = "fault-injection")]
 mod injector {
     use super::{FaultSite, InjectedFault};
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+    use crate::sync::{AtomicU64, Mutex, MutexGuard, OnceLock, Ordering};
+    use std::sync::Arc;
 
     /// A reproducible fault schedule: a seed plus a per-site fault probability.
     /// Two runs with the same plan inject the same faults at the same hits.
@@ -179,6 +179,11 @@ mod injector {
 
     struct FaultInjector {
         plan: FaultPlan,
+        // Independent per-site event counters: no other memory is published on
+        // the strength of these loads/stores, so `Relaxed` is sufficient (the
+        // model checker explores them as plain serialized operations; nothing
+        // orders *through* them). Totals read while a plan is installed may lag
+        // in-flight hits by design.
         hits: [AtomicU64; FaultSite::ALL.len()],
         injected: [AtomicU64; FaultSite::ALL.len()],
     }
@@ -193,22 +198,18 @@ mod injector {
         ACTIVE.get_or_init(|| Mutex::new(None))
     }
 
-    fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-        mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
     /// Installs `plan` as the process-wide fault schedule and returns a guard
     /// that uninstalls it on drop. Concurrent installers serialize on an
     /// internal lock (held for the guard's lifetime), so chaos tests running in
     /// parallel cannot interleave their schedules.
     pub fn install(plan: FaultPlan) -> FaultGuard {
-        let lock = lock_tolerant(install_lock());
+        let lock = install_lock().lock();
         let injector = Arc::new(FaultInjector {
             plan,
             hits: Default::default(),
             injected: Default::default(),
         });
-        *lock_tolerant(active()) = Some(Arc::clone(&injector));
+        *active().lock() = Some(Arc::clone(&injector));
         FaultGuard { injector, _lock: lock }
     }
 
@@ -239,7 +240,7 @@ mod injector {
 
     impl Drop for FaultGuard {
         fn drop(&mut self) {
-            *lock_tolerant(active()) = None;
+            *active().lock() = None;
         }
     }
 
@@ -252,7 +253,7 @@ mod injector {
     }
 
     pub(super) fn decide(site: FaultSite) -> Option<InjectedFault> {
-        let injector = lock_tolerant(active()).clone()?;
+        let injector = active().lock().clone()?;
         let hit = injector.hits[site.index()].fetch_add(1, Ordering::Relaxed);
         let p = injector.plan.probability[site.index()];
         if p <= 0.0 {
@@ -364,6 +365,13 @@ const MAX_PROBE_BACKOFF: u32 = 64;
 /// Capacity of the last-error ring buffer.
 const ERROR_RING: usize = 8;
 
+/// Memory-ordering note: the probation counters (`probe_in`, `probe_backoff`,
+/// `store_consecutive_failures`) are deliberately plain integers behind the
+/// [`HealthState`] mutex rather than atomics — the degrade/probe/heal protocol
+/// reads *and then conditionally writes* several of them together, and that
+/// read-modify-write group must be one critical section. The mutex provides
+/// all the ordering required; the model checker explores every interleaving of
+/// the lock acquisitions and finds no torn protocol state.
 #[derive(Debug)]
 struct HealthInner {
     store_consecutive_failures: u32,

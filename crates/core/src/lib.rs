@@ -76,6 +76,7 @@ pub mod session;
 pub mod stats;
 pub mod store;
 pub mod stream;
+pub mod sync;
 
 pub use catalog::Catalog;
 pub use config::BlazeItConfig;

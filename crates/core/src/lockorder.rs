@@ -8,8 +8,14 @@
 //! lock of an equal or higher rank is already held by this thread. Release
 //! builds compile the bookkeeping out entirely (`OrderedGuard` is a
 //! zero-overhead newtype around the `MutexGuard`).
+//!
+//! Two more enforcement layers consume the same [`RANKED_LOCKS`] table: the
+//! static `lock-order` check in `blazeit-lint`, and — under the `model` cargo
+//! feature — the `blazeit-model` schedule explorer, for which the ranked locks
+//! are constructed via [`crate::sync::Mutex::ranked`] so *every* interleaving
+//! is checked against the hierarchy, not just the ones a test happens to run.
 
-use parking_lot::{Mutex, MutexGuard};
+use crate::sync::{Mutex, MutexGuard};
 use std::ops::{Deref, DerefMut};
 
 /// One ranked lock in the context/stream hierarchy.
@@ -168,7 +174,7 @@ mod tests {
 
     #[test]
     fn same_rank_reacquisition_panics() {
-        // parking_lot mutexes are not reentrant: re-locking the same rank on one
+        // The shim mutexes are not reentrant: re-locking the same rank on one
         // thread is a self-deadlock, caught here before the deadlock happens.
         let video = Mutex::new(0u8);
         let other = Mutex::new(0u8);

@@ -56,13 +56,13 @@
 
 use crate::fault;
 use crate::labeled::AnnotatedDay;
+use crate::sync::Mutex;
 use crate::BlazeItError;
 use blazeit_detect::{CountVector, Detection, SimClock};
 use blazeit_nn::persist::{self, PersistError};
 use blazeit_nn::specialized::SpecializedNN;
 use blazeit_nn::ScoreMatrix;
 use blazeit_videostore::{BoundingBox, ObjectClass};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -687,7 +687,7 @@ fn read_if_exists(path: &Path) -> StoreResult<Option<Vec<u8>>> {
 /// one store path) cannot interleave on one temp file; last rename wins with a
 /// complete file either way.
 fn write_atomically(path: &Path, bytes: &[u8]) -> StoreResult<()> {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::{AtomicU64, Ordering};
     static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
 
     let dir = path.parent().ok_or_else(|| StoreError::Io {

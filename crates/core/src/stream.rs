@@ -52,6 +52,7 @@ use crate::fault::{self, RetrainHealth};
 use crate::lockorder::{lock_ordered, RANK_MONITOR};
 use crate::session::Session;
 use crate::stats::normal_critical_value;
+use crate::sync::Mutex;
 use crate::{BlazeItError, Result};
 use blazeit_detect::clock::CostCategory;
 use blazeit_detect::{CountVector, ObjectDetector};
@@ -61,7 +62,6 @@ use blazeit_nn::parallel::par_run_caught;
 use blazeit_nn::specialized::SpecializedNN;
 use blazeit_nn::ScoreMatrix;
 use blazeit_videostore::{ObjectClass, Video};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -261,7 +261,11 @@ pub(crate) struct StreamState {
 
 impl StreamState {
     pub(crate) fn new(capacity: Arc<Video>, drift: DriftConfig) -> StreamState {
-        StreamState { capacity, drift, monitor: Mutex::new(HashMap::new()) }
+        StreamState {
+            capacity,
+            drift,
+            monitor: Mutex::ranked(crate::lockorder::RANK_MONITOR, "monitor", HashMap::new()),
+        }
     }
 }
 

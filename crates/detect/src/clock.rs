@@ -11,7 +11,7 @@
 //! throughput constants quoted in Section 5 of the paper: object detection at ~3 fps,
 //! specialized NNs at ~10,000 fps, simple filters at ~100,000 fps.
 
-use parking_lot::Mutex;
+use blazeit_videostore::sync::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 

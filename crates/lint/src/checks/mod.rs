@@ -6,11 +6,13 @@
 //! | `panic-site` (+ `panic-site::index`) | no `unwrap`/`expect`/`panic!`-family macros or direct slice indexing in production code |
 //! | `fault-coverage` | every fallible store/stream function is dominated by an `inject(FaultSite::…)` failpoint, and every declared fault site has at least one live failpoint |
 //! | `clock-accounting` | uncharged detector/NN scoring entry points are only called from allowlisted charged wrappers |
+//! | `sync-primitive` | production locks/atomics are constructed via the `blazeit_core::sync` shim, never raw `parking_lot::`/`std::sync::` |
 
 pub mod clock_accounting;
 pub mod fault_coverage;
 pub mod lock_order;
 pub mod panic_site;
+pub mod sync_primitive;
 
 use crate::diag::Diagnostic;
 use crate::model::FileModel;
@@ -43,5 +45,6 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     diags.extend(panic_site::check(ws));
     diags.extend(fault_coverage::check(ws));
     diags.extend(clock_accounting::check(ws));
+    diags.extend(sync_primitive::check(ws));
     diags
 }

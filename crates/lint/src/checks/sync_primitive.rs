@@ -1,0 +1,111 @@
+//! `sync-primitive`: production locks and atomics go through the sync shim.
+//!
+//! The `model` cargo feature routes every `Mutex`/`RwLock`/`Condvar`/
+//! `AtomicU64`/`OnceLock` in the engine through the `blazeit-model` schedule
+//! explorer — but only if the primitive was constructed via the shim
+//! (`blazeit_core::sync`, backed by `blazeit_videostore::sync`). A raw
+//! `parking_lot::` or `std::sync::` primitive is invisible to the model
+//! checker: its acquisitions are not scheduling points, so races and
+//! deadlocks through it are silently unexplored. This check keeps the
+//! model-checkable surface closed by flagging raw imports and qualified calls
+//! in production code.
+//!
+//! Exemptions:
+//!
+//! * test code (`#[test]` fns, `#[cfg(test)]` modules) — tests may use
+//!   whatever they like;
+//! * the shim itself (`crates/videostore/src/sync.rs` carries a justified
+//!   `allow-file`), which must wrap the raw primitives;
+//! * non-primitive `std::sync` items with no scheduling semantics of their
+//!   own: `Arc`/`Weak` (refcounts, not locks), `mpsc` channels (modeled at
+//!   their mutex-guarded receiver), `atomic::Ordering`, and the poison-API
+//!   marker types.
+
+use super::Workspace;
+use crate::diag::Diagnostic;
+use crate::model::Event;
+
+const CODE: &str = "sync-primitive";
+
+/// `std::sync` items allowed outside the shim: nothing in this list is a
+/// blocking or atomic primitive the model checker would need to interpose on.
+const ALLOWED_STD_SYNC: &[&str] = &[
+    "Arc",
+    "Weak",
+    "mpsc",
+    "atomic::Ordering",
+    "PoisonError",
+    "LockResult",
+    "TryLockError",
+    "WaitTimeoutResult",
+];
+
+/// Returns the offending prefix when `path` names a raw sync primitive.
+fn banned(path: &str) -> Option<&'static str> {
+    if path == "parking_lot" || path.starts_with("parking_lot::") {
+        return Some("parking_lot");
+    }
+    let rest = if path == "std::sync" {
+        "" // glob or bare module import: everything primitive comes along
+    } else {
+        path.strip_prefix("std::sync::")?
+    };
+    let allowed =
+        ALLOWED_STD_SYNC.iter().any(|a| rest == *a || rest.starts_with(&format!("{a}::")));
+    if allowed {
+        None
+    } else {
+        Some("std::sync")
+    }
+}
+
+fn message(path: &str, origin: &'static str) -> String {
+    format!(
+        "raw `{path}` bypasses the sync shim — construct locks/atomics via \
+         `blazeit_core::sync` (or `blazeit_videostore::sync` below core) so the \
+         `model` feature can explore them; `{origin}` primitives are invisible \
+         to the schedule checker"
+    )
+}
+
+pub(super) fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        for u in &file.model.uses {
+            if u.in_test {
+                continue;
+            }
+            if let Some(origin) = banned(&u.path) {
+                diags.push(Diagnostic::warn(
+                    CODE,
+                    &file.path,
+                    u.line,
+                    u.col,
+                    message(&u.path, origin),
+                ));
+            }
+        }
+        for func in &file.model.functions {
+            if func.is_test {
+                continue;
+            }
+            for event in &func.events {
+                let Event::Call { path, line, col, .. } = event else { continue };
+                if path.len() < 2 {
+                    continue; // bare calls resolve through `use`, checked above
+                }
+                let joined = path.join("::");
+                if let Some(origin) = banned(&joined) {
+                    diags.push(Diagnostic::warn(
+                        CODE,
+                        &file.path,
+                        *line,
+                        *col,
+                        message(&joined, origin),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}

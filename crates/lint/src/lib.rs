@@ -1,6 +1,6 @@
 //! # blazeit-lint
 //!
-//! A project-invariant static analyzer for the BlazeIt workspace. Four checks
+//! A project-invariant static analyzer for the BlazeIt workspace. Five checks
 //! guard the invariants that runtime machinery (chaos tests, the debug-build
 //! lock-order assertion) can only verify on executed paths:
 //!
@@ -15,6 +15,10 @@
 //!   declared fault site keeps at least one live failpoint.
 //! * [`clock-accounting`](checks::clock_accounting) — uncharged scoring entry
 //!   points are only reachable through allowlisted charged wrappers.
+//! * [`sync-primitive`](checks::sync_primitive) — production locks/atomics are
+//!   constructed via the `blazeit_core::sync` shim (so the `model` feature can
+//!   schedule-explore them), never raw `parking_lot::` / `std::sync::`
+//!   primitives.
 //!
 //! Findings can be suppressed in source with
 //! `// blazeit-lint: allow(<check>) -- <reason>` (the reason is mandatory;

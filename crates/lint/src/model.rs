@@ -177,6 +177,22 @@ impl Suppression {
     }
 }
 
+/// One flattened `use` path: `use std::sync::{Arc, Mutex};` yields two decls
+/// (`std::sync::Arc`, `std::sync::Mutex`). Aliases are dropped (`as X` does
+/// not change what is imported); a glob records its prefix (`use std::sync::*`
+/// → `std::sync`).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// The `::`-joined imported path.
+    pub path: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+    /// 1-based column of the `use` keyword.
+    pub col: u32,
+    /// `true` inside `#[cfg(test)]` modules or test-function bodies.
+    pub in_test: bool,
+}
+
 /// Everything the checks need to know about one source file.
 #[derive(Debug)]
 pub struct FileModel {
@@ -184,6 +200,8 @@ pub struct FileModel {
     pub path: String,
     /// All functions, in source order (nested functions appear after their parent).
     pub functions: Vec<Function>,
+    /// Flattened `use` declarations, item-level and function-body-level.
+    pub uses: Vec<UseDecl>,
     /// Parsed suppression directives.
     pub suppressions: Vec<Suppression>,
 }
@@ -193,9 +211,9 @@ pub fn parse_file(path: &str, src: &str) -> FileModel {
     let lexed = lex(src);
     let suppressions = parse_suppressions(&lexed.comments);
     let mut functions = Vec::new();
-    let mut parser = Parser { toks: &lexed.tokens, pos: 0 };
+    let mut parser = Parser { toks: &lexed.tokens, pos: 0, uses: Vec::new() };
     parser.items(&mut functions, &ModCtx::default());
-    FileModel { path: path.to_string(), functions, suppressions }
+    FileModel { path: path.to_string(), functions, uses: parser.uses, suppressions }
 }
 
 const DIRECTIVE: &str = "blazeit-lint:";
@@ -279,15 +297,70 @@ fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
 
 fn known_check(name: &str) -> bool {
     let base = name.split("::").next().unwrap_or(name);
-    matches!(base, "lock-order" | "panic-site" | "fault-coverage" | "clock-accounting")
-        && matches!(
-            name,
-            "lock-order"
-                | "panic-site"
-                | "panic-site::index"
-                | "fault-coverage"
-                | "clock-accounting"
-        )
+    matches!(
+        base,
+        "lock-order" | "panic-site" | "fault-coverage" | "clock-accounting" | "sync-primitive"
+    ) && matches!(
+        name,
+        "lock-order"
+            | "panic-site"
+            | "panic-site::index"
+            | "fault-coverage"
+            | "clock-accounting"
+            | "sync-primitive"
+    )
+}
+
+/// Flattens one `use` tree (the tokens between `use` and `;`): segments
+/// accumulate left to right, `{…}` groups recurse per comma-separated branch
+/// (a group always ends its branch), `as` aliases are skipped, and a glob
+/// marks the accumulated prefix itself as imported.
+fn flatten_use_tree(toks: &[Token], prefix: &[String], out: &mut Vec<String>) {
+    let mut segs: Vec<String> = prefix.to_vec();
+    let mut imported = false;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident if t.text == "as" => {
+                i += 2; // the alias renames; it does not change what is imported
+                continue;
+            }
+            TokKind::Ident => {
+                segs.push(t.text.clone());
+                imported = true;
+            }
+            TokKind::Punct if t.text == "*" => {
+                imported = true; // glob: the prefix itself is what is imported
+            }
+            TokKind::Open if t.opens('{') => {
+                let mut depth = 1i32;
+                let mut j = i + 1;
+                let mut branch = j;
+                while j < toks.len() && depth > 0 {
+                    match toks[j].kind {
+                        TokKind::Open => depth += 1,
+                        TokKind::Close => depth -= 1,
+                        TokKind::Punct if depth == 1 && toks[j].text == "," => {
+                            flatten_use_tree(&toks[branch..j], &segs, out);
+                            branch = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // Final branch, excluding the closing `}` when present.
+                let end = if depth == 0 { j - 1 } else { j };
+                flatten_use_tree(&toks[branch..end], &segs, out);
+                return;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if imported {
+        out.push(segs.join("::"));
+    }
 }
 
 #[derive(Default, Clone)]
@@ -299,6 +372,7 @@ struct ModCtx {
 struct Parser<'a> {
     toks: &'a [Token],
     pos: usize,
+    uses: Vec<UseDecl>,
 }
 
 /// Attribute summary for the item that follows.
@@ -416,6 +490,9 @@ impl<'a> Parser<'a> {
                 "fn" if t.kind == TokKind::Ident => {
                     self.function(functions, ctx, &attrs);
                 }
+                "use" if t.kind == TokKind::Ident => {
+                    self.use_decl(ctx.is_test || attrs.is_cfg_test);
+                }
                 _ => {
                     // Any other item: consume one token; groups are skipped
                     // whole so stray `fn`-like idents inside const expressions
@@ -428,6 +505,31 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Consumes a `use` item (cursor at the `use` keyword), flattening its
+    /// tree into [`Parser::uses`].
+    fn use_decl(&mut self, in_test: bool) {
+        let use_tok = self.bump().unwrap();
+        let (line, col) = (use_tok.line, use_tok.col);
+        let start = self.pos;
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if depth == 0 && t.is_punct(";") {
+                break;
+            }
+            match t.kind {
+                TokKind::Open => depth += 1,
+                TokKind::Close => depth -= 1,
+                _ => {}
+            }
+            self.bump();
+        }
+        let tree = &self.toks[start..self.pos];
+        self.bump(); // `;`
+        let mut paths = Vec::new();
+        flatten_use_tree(tree, &[], &mut paths);
+        self.uses.extend(paths.into_iter().map(|path| UseDecl { path, line, col, in_test }));
     }
 
     /// After `impl`/`trait`: extract the self-type name (last path segment of
@@ -585,6 +687,12 @@ impl<'a> Parser<'a> {
                 TokKind::Ident if t.text == "fn" => {
                     let attrs = Attrs::default();
                     self.function(functions, ctx, &attrs);
+                    continue;
+                }
+                TokKind::Ident if t.text == "use" => {
+                    // Function-body `use` declarations (e.g. scoped atomics
+                    // imports) must not escape the sync-primitive check.
+                    self.use_decl(func.is_test);
                     continue;
                 }
                 TokKind::Ident if t.text == "let" => {
@@ -920,6 +1028,34 @@ mod tests {
             })
             .collect();
         assert_eq!(bindings, vec![Some("a".to_string()), None]);
+    }
+
+    #[test]
+    fn use_trees_flatten_with_groups_aliases_and_globs() {
+        let m = model(
+            "use std::sync::{Arc, Mutex as StdMutex, atomic::{AtomicU64, Ordering}};\n\
+             use parking_lot::*;\n\
+             pub use std::sync::OnceLock;\n\
+             fn f() { use std::sync::Condvar; let _ = Condvar::new(); }\n\
+             #[cfg(test)] mod tests { use std::sync::Mutex; }\n",
+        );
+        let paths: Vec<(&str, bool)> =
+            m.uses.iter().map(|u| (u.path.as_str(), u.in_test)).collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("std::sync::Arc", false),
+                ("std::sync::Mutex", false),
+                ("std::sync::atomic::AtomicU64", false),
+                ("std::sync::atomic::Ordering", false),
+                ("parking_lot", false),
+                ("std::sync::OnceLock", false),
+                ("std::sync::Condvar", false),
+                ("std::sync::Mutex", true),
+            ],
+        );
+        assert_eq!(m.uses[0].line, 1);
+        assert_eq!(m.uses[4].line, 2, "a glob records its prefix at the `use` keyword");
     }
 
     #[test]

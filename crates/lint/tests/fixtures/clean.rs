@@ -2,6 +2,11 @@
 //! Never compiled — analyzed by `crates/lint/tests/lint.rs` and the CI
 //! canary (this file contributes zero diagnostics).
 
+// The shim path and the non-primitive std::sync surface are both fine.
+use blazeit_core::sync::{AtomicU64, Mutex, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
 const WEIGHTS: [f32; 3] = [0.2, 0.3, 0.5];
 
 pub struct Ctx {

@@ -1,0 +1,46 @@
+//! Seeded `sync-primitive` violations: raw `parking_lot` / `std::sync`
+//! primitives imported or constructed outside the `blazeit_core::sync` shim.
+//! The `Arc`/`mpsc`/`Ordering` imports and the `#[cfg(test)]` module below are
+//! the allowed surface and must stay silent. Never compiled — analyzed by
+//! `crates/lint/tests/lint.rs` and the CI canary.
+
+use parking_lot::Mutex;
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+// Allowed: not scheduling primitives — the shim deliberately leaves these to std.
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+pub struct SneakyCache {
+    inner: Mutex<u64>,
+    once: OnceLock<u64>,
+}
+
+pub fn sneaky_lock() -> StdMutex<u64> {
+    // Body-level imports do not escape the check.
+    use std::sync::atomic::AtomicU64;
+    let _counter = AtomicU64::new(0);
+    StdMutex::new(0)
+}
+
+pub fn sneaky_qualified() -> u64 {
+    // Call-position qualified paths are flagged even without a `use`.
+    let lock = parking_lot::RwLock::new(7u64);
+    let _cv = std::sync::Condvar::new();
+    let shared = std::sync::Arc::new(1u64); // allowed: Arc is not a primitive
+    let (tx, _rx) = channel::<u64>();
+    drop(tx);
+    *lock.read() + *shared
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use whatever primitives it likes.
+    use std::sync::Mutex;
+
+    #[test]
+    fn raw_primitives_are_fine_here() {
+        let m = Mutex::new(1u64);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -75,6 +75,11 @@ fn each_check_fires_on_its_fixture() {
     assert_eq!(count("panic-site::index"), 1);
     assert_eq!(count("fault-coverage"), 2, "fallible-return + fs-call fns without failpoints");
     assert_eq!(count("clock-accounting"), 1);
+    assert_eq!(
+        count("sync-primitive"),
+        6,
+        "three seeded imports (one grouped pair), one body-level import, two qualified calls"
+    );
     assert_eq!(count("bad-suppression"), 0);
     assert_eq!(count("unused-suppression"), 0);
 }

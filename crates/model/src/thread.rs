@@ -1,0 +1,113 @@
+//! Model threads: real OS threads whose visible operations are arbitrated by
+//! the controlled scheduler.
+//!
+//! [`spawn`]/[`spawn_named`] may only be called from inside an exploration
+//! (i.e. from the closure passed to [`crate::Builder::check`], directly or
+//! transitively). Each model thread runs on its own OS thread, but between
+//! scheduling points it only ever executes local computation — all shared
+//! state must go through [`crate::sync`], which is what makes each explored
+//! schedule deterministic.
+
+use crate::sched::{self, ModelAbort, Scheduler};
+use std::panic::{catch_unwind, AssertUnwindSafe, Location};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+/// Best-effort extraction of a panic message for failure reports.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Handle to a model thread; [`join`](JoinHandle::join) is a scheduling point.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the thread finishes and returns its closure's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (aborting the current schedule) if the joined thread panicked —
+    /// but in that case the run has already failed and the explorer reports
+    /// the panic with its interleaving, so the join panic is never observed
+    /// by user code.
+    #[track_caller]
+    pub fn join(mut self) -> T {
+        let loc = Location::caller();
+        let (sched, me) =
+            sched::current().expect("JoinHandle::join called outside a model exploration");
+        sched.join_thread(self.tid, me, loc);
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined model thread produced no value (it panicked)")
+    }
+}
+
+/// Spawns a model thread with an auto-generated name (`t1`, `t2`, …).
+///
+/// # Panics
+///
+/// Panics if called outside an exploration; model threads exist only inside
+/// [`crate::Builder::check`].
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_inner(None, f, Location::caller())
+}
+
+/// Spawns a model thread with an explicit name (used in traces and deadlock
+/// reports).
+#[track_caller]
+pub fn spawn_named<F, T>(name: impl Into<String>, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_inner(Some(name.into()), f, Location::caller())
+}
+
+fn spawn_inner<F, T>(name: Option<String>, f: F, loc: &'static Location<'static>) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me): (Arc<Scheduler>, usize) = sched::current()
+        .expect("model::thread::spawn called outside a model exploration (Builder::check)");
+    let (tid, name) = sched.register_thread(name, me, loc);
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let slot = result.clone();
+    let child_sched = sched.clone();
+    let os = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            sched::set_current(Some((child_sched.clone(), tid)));
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            sched::set_current(None);
+            match outcome {
+                Ok(value) => {
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+                    child_sched.finish_thread(tid);
+                }
+                Err(payload) if payload.is::<ModelAbort>() => child_sched.finish_quiet(tid),
+                Err(payload) => child_sched.record_panic(tid, panic_message(payload.as_ref())),
+            }
+        })
+        .expect("failed to spawn OS thread for model thread");
+    JoinHandle { tid, result, os: Some(os) }
+}

@@ -1,0 +1,104 @@
+//! Model checks for `blazeit_nn::parallel::Latch` — the countdown latch behind
+//! `run_scoped`'s cooperative wait.
+//!
+//! The latch is the one place the engine blocks on a condvar, and its wait is
+//! *cooperative* (the waiting submitter steals queued pool jobs). Under the
+//! `model` feature the condvar wait never times out, so these tests prove the
+//! protocol is lost-wakeup-free **on notify placement alone** — the 200 µs
+//! timeout in production is a queue-recheck heartbeat, not a correctness
+//! crutch. A lost wakeup here would present as a deadlock in some schedule,
+//! and the explorer visits all of them (within the preemption bound).
+
+use blazeit_model::{sync, thread, Builder, FailureKind};
+use blazeit_nn::parallel::{Job, Latch};
+use std::sync::Arc;
+
+/// Two counted jobs complete from two model threads while the submitter waits
+/// with nothing to steal: the pure blocking path. Every schedule must
+/// terminate — the `remaining == 0` re-check and the wait share the critical
+/// section `complete_one` notifies under, so no completion can slip through.
+#[test]
+fn latch_wait_is_lost_wakeup_free() {
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let latch = Arc::new(Latch::new(2));
+        let a = {
+            let latch = Arc::clone(&latch);
+            thread::spawn_named("worker-a", move || latch.complete_one())
+        };
+        let b = {
+            let latch = Arc::clone(&latch);
+            thread::spawn_named("worker-b", move || latch.complete_one())
+        };
+        latch.wait_with_steal(|| None);
+        assert!(latch.is_done());
+        a.join();
+        b.join();
+    });
+    assert!(report.schedules >= 10, "got {}", report.schedules);
+}
+
+/// The cooperative path: one counted job sits in the steal queue (as
+/// `run_scoped` leaves sub-jobs in the shared pool queue) while the other
+/// completes from a worker thread. The waiting submitter must always drain
+/// the queued job itself when it gets there first — blocking a worker on the
+/// latch while its own job sits in the queue is exactly the nested-pool
+/// deadlock the cooperative wait exists to prevent.
+#[test]
+fn cooperative_steal_drains_queued_jobs_in_every_schedule() {
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let latch = Arc::new(Latch::new(2));
+        let queue: Arc<sync::Mutex<Vec<Job>>> = Arc::new(sync::Mutex::new(Vec::new()));
+        {
+            let latch = Arc::clone(&latch);
+            queue.lock().push(Box::new(move || latch.complete_one()) as Job);
+        }
+        let worker = {
+            let latch = Arc::clone(&latch);
+            thread::spawn_named("worker", move || latch.complete_one())
+        };
+        let q = Arc::clone(&queue);
+        latch.wait_with_steal(move || q.lock().pop());
+        assert!(latch.is_done());
+        assert!(queue.lock().is_empty(), "the queued job must have run");
+        worker.join();
+    });
+    assert!(report.schedules >= 10, "got {}", report.schedules);
+}
+
+/// The canary for the wait path: a check-then-block protocol whose flag test
+/// and condvar wait are separate critical sections — the classic lost wakeup
+/// the real `Latch::wait_with_steal` is *not* allowed to have. The checker
+/// must report the schedule where the completion slips between the check and
+/// the block as a deadlock, with the parked thread named.
+#[test]
+fn canary_check_then_block_wait_is_flagged() {
+    let report = Builder::new().check_report(|| {
+        let state = Arc::new((sync::Mutex::new(1usize), sync::Condvar::new()));
+        let completer = {
+            let state = Arc::clone(&state);
+            thread::spawn_named("completer", move || {
+                let (count, done) = &*state;
+                let mut remaining = count.lock();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    done.notify_all();
+                }
+            })
+        };
+        let (count, done) = &*state;
+        // BROKEN on purpose: the emptiness check and the wait are separate
+        // critical sections, so the notify can fire in between.
+        if *count.lock() != 0 {
+            let guard = count.lock();
+            let _guard = done.wait(guard);
+        }
+        completer.join();
+    });
+    let failure = report.failure.expect("the lost wakeup must surface");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("parked on"), "{}", failure.message);
+    assert!(
+        failure.trace.iter().any(|l| l.file.ends_with("latch.rs")),
+        "trace must point at this file: {failure}"
+    );
+}

@@ -20,15 +20,19 @@
 //! waiting submitter steals queued jobs — anyone's — and runs them until its own jobs
 //! have all finished.
 
+use blazeit_videostore::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A unit of work shipped to the pool. The `'static` bound is produced by an unsafe
-/// lifetime extension in [`run_scoped`], which is sound because the submitting call
-/// blocks until every one of its jobs has finished.
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// lifetime extension in the private `run_scoped` entry point, which is sound
+/// because the submitting call blocks until every one of its jobs has finished.
+///
+/// Public so the model-checker test suite (`blazeit-model`) can drive
+/// [`Latch::wait_with_steal`] with synthetic jobs.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// The process-wide worker pool: `available_parallelism() - 1` detached workers
 /// pulling jobs off one shared channel (the submitting thread works too, so the
@@ -62,13 +66,9 @@ impl WorkerPool {
     }
 
     fn submit(&self, job: Job) {
-        // The sender lock can only be poisoned by a panic inside `send`, which does
-        // not leave the channel in a broken state — keep using it rather than
-        // poisoning every future pool submission.
-        let sender = match self.sender.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        // The sync-shim lock ignores poisoning: a panic inside `send` does not
+        // leave the channel in a broken state, so future submissions keep going.
+        let sender = self.sender.lock();
         // blazeit-lint: allow(panic-site) -- the global pool's workers hold the
         // receiver for the process lifetime, so send cannot observe a closed channel.
         sender.send(job).expect("pool workers never hang up");
@@ -76,17 +76,14 @@ impl WorkerPool {
 
     /// Dequeues one pending job without blocking (used by cooperative latch waits).
     fn try_steal(&self) -> Option<Job> {
-        self.receiver.try_lock().ok()?.try_recv().ok()
+        self.receiver.try_lock()?.try_recv().ok()
     }
 }
 
 fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
     loop {
         // Hold the lock only while dequeuing, never while running a job.
-        let job = match receiver.lock() {
-            Ok(guard) => guard.recv(),
-            Err(poisoned) => poisoned.into_inner().recv(),
-        };
+        let job = receiver.lock().recv();
         match job {
             Ok(job) => job(),
             Err(_) => return, // Channel closed: process is shutting down.
@@ -96,27 +93,34 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
 
 /// Counts outstanding jobs of one `run_scoped` call and wakes the submitter when the
 /// last one finishes (normally or by panic).
-struct Latch {
+///
+/// Public (though not part of the stable API) so the `blazeit-model` schedule
+/// explorer can exhaustively check the wait/complete protocol for lost wakeups:
+/// under the `model` feature the condvar wait never times out, so the protocol
+/// must be correct on notify placement alone — the timeout below is only a
+/// queue-recheck heartbeat, never a correctness crutch.
+#[doc(hidden)]
+pub struct Latch {
     state: Mutex<usize>,
     done: Condvar,
 }
 
 impl Latch {
-    fn new(count: usize) -> Latch {
+    /// A latch counting down from `count` outstanding jobs.
+    pub fn new(count: usize) -> Latch {
         Latch { state: Mutex::new(count), done: Condvar::new() }
     }
 
-    /// Locks the counter, tolerating poisoning: a `usize` has no invariant a panic
-    /// can break mid-update, and refusing to decrement would hang the submitter's
+    /// Locks the counter. The sync-shim lock ignores poisoning, which is the
+    /// behavior this protocol needs: a `usize` has no invariant a panic can
+    /// break mid-update, and refusing to decrement would hang the submitter's
     /// latch wait forever — the one failure mode this module must never have.
-    fn state(&self) -> std::sync::MutexGuard<'_, usize> {
-        match self.state.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+    fn state(&self) -> MutexGuard<'_, usize> {
+        self.state.lock()
     }
 
-    fn complete_one(&self) {
+    /// Marks one counted job finished, waking waiters when the count hits zero.
+    pub fn complete_one(&self) {
         let mut remaining = self.state();
         *remaining -= 1;
         if *remaining == 0 {
@@ -124,21 +128,28 @@ impl Latch {
         }
     }
 
-    fn is_done(&self) -> bool {
+    /// Whether every counted job has finished.
+    pub fn is_done(&self) -> bool {
         *self.state() == 0
     }
 
-    /// Waits for every counted job, *cooperatively*: while the latch is open, queued
-    /// pool jobs (this call's or anyone else's) are stolen and run on the waiting
-    /// thread. This is what makes nested pool use deadlock-free — a pool worker
-    /// blocked here still drains the shared queue, so the sub-jobs it (or a sibling)
-    /// submitted always make progress even when every dedicated worker is occupied.
-    fn wait_cooperatively(&self, pool: &WorkerPool) {
+    /// Waits for every counted job, *cooperatively*: while the latch is open,
+    /// `steal()` is polled for queued jobs (this call's or anyone else's), which run
+    /// on the waiting thread. This is what makes nested pool use deadlock-free — a
+    /// pool worker blocked here still drains the shared queue, so the sub-jobs it
+    /// (or a sibling) submitted always make progress even when every dedicated
+    /// worker is occupied.
+    ///
+    /// Lost-wakeup freedom: the final `remaining == 0` check and the condvar wait
+    /// happen under the same lock [`complete_one`] holds while decrementing and
+    /// notifying, so a completion can never slip between the check and the block.
+    /// The `blazeit-model` suite proves this across every interleaving.
+    pub fn wait_with_steal(&self, mut steal: impl FnMut() -> Option<Job>) {
         loop {
             if self.is_done() {
                 return;
             }
-            if let Some(job) = pool.try_steal() {
+            if let Some(job) = steal() {
                 job();
                 continue;
             }
@@ -150,6 +161,10 @@ impl Latch {
             }
             let _ = self.done.wait_timeout(remaining, Duration::from_micros(200));
         }
+    }
+
+    fn wait_cooperatively(&self, pool: &WorkerPool) {
+        self.wait_with_steal(|| pool.try_steal());
     }
 }
 
@@ -178,11 +193,7 @@ fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
         let panic_ref = &panic_slot;
         let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                let mut slot = match panic_ref.lock() {
-                    Ok(guard) => guard,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
-                slot.get_or_insert(payload);
+                panic_ref.lock().get_or_insert(payload);
             }
             latch_ref.complete_one();
         });
@@ -201,10 +212,7 @@ fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     if let Err(payload) = inline_result {
         resume_unwind(payload);
     }
-    let payload = match panic_slot.lock() {
-        Ok(mut guard) => guard.take(),
-        Err(poisoned) => poisoned.into_inner().take(),
-    };
+    let payload = panic_slot.lock().take();
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
@@ -233,11 +241,7 @@ pub fn par_run<'scope, T: Send + 'scope>(
         .map(|(task, slot)| {
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 let value = task();
-                let mut guard = match slot.lock() {
-                    Ok(guard) => guard,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
-                *guard = Some(value);
+                *slot.lock() = Some(value);
             });
             job
         })
@@ -246,14 +250,10 @@ pub fn par_run<'scope, T: Send + 'scope>(
     slots
         .into_iter()
         .map(|slot| {
-            let mut guard = match slot.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
             // blazeit-lint: allow(panic-site) -- run_scoped returns only after the
             // latch counts every task (worker panics are re-thrown before this), so
             // every slot has been filled.
-            guard.take().expect("run_scoped ran every task to completion")
+            slot.lock().take().expect("run_scoped ran every task to completion")
         })
         .collect()
 }
@@ -350,21 +350,13 @@ where
         start += chunk.len();
         tasks.push(Box::new(move || {
             let outcome = f(offset, chunk);
-            let mut guard = match slot.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            *guard = Some(outcome);
+            *slot.lock() = Some(outcome);
         }));
     }
     run_scoped(tasks);
 
     for slot in &results {
-        let outcome = match slot.lock() {
-            Ok(mut guard) => guard.take(),
-            Err(poisoned) => poisoned.into_inner().take(),
-        };
-        if let Some(Err(e)) = outcome {
+        if let Some(Err(e)) = slot.lock().take() {
             return Err(e);
         }
     }

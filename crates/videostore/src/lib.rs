@@ -38,6 +38,7 @@ pub mod object;
 pub mod render;
 pub mod scene;
 pub mod stats;
+pub mod sync;
 pub mod track;
 pub mod video;
 

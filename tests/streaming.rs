@@ -337,71 +337,17 @@ fn injected_drift_triggers_exactly_one_background_retrain_with_atomic_swap() {
     assert_eq!(status.index_frames, Some(2_400));
 }
 
-#[test]
-fn drift_refresh_never_races_an_in_flight_subscription() {
-    let (labeled, config) = stable_labeled(1_200);
-    let capacity = drifting_capacity(1_200, 1_200);
-    let mut catalog = Catalog::new();
-    catalog.register_stream(capacity, labeled, config, 600, drift_config()).unwrap();
-    let session = catalog.session();
-    let mut sub = session
-        .subscribe(
-            "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' \
-             WINDOW 450 FRAMES EVERY 75 FRAMES",
-        )
-        .unwrap();
-    let stream = catalog.stream("taipei").unwrap();
-
-    // Drive ingestion (with its background retrains) on one thread while the
-    // subscription polls as fast as it can on another: no tick may ever mix
-    // model generations, and the refresh still happens exactly once.
-    let done = std::sync::atomic::AtomicBool::new(false);
-    let (updates, refreshes) = std::thread::scope(|scope| {
-        let done_ref = &done;
-        let driver = scope.spawn(move || {
-            let mut refreshes = Vec::new();
-            while !stream.is_exhausted() {
-                refreshes.extend(stream.advance(75).unwrap().refreshes);
-            }
-            done_ref.store(true, std::sync::atomic::Ordering::SeqCst);
-            refreshes
-        });
-        let mut updates = Vec::new();
-        loop {
-            let finished = done.load(std::sync::atomic::Ordering::SeqCst);
-            updates.extend(sub.poll().unwrap());
-            if finished {
-                break;
-            }
-            std::thread::yield_now();
-        }
-        (updates, driver.join().expect("driver thread"))
-    });
-
-    assert_eq!(refreshes.len(), 1, "exactly one drift refresh under concurrency");
-    assert!(!updates.is_empty());
-    // Ticks are contiguous multiples of EVERY — polling concurrently with
-    // ingestion loses nothing.
-    for (i, update) in updates.iter().enumerate() {
-        assert_eq!(update.tick, updates[0].tick + i as u64 * 75);
-    }
-    // Generations are monotone, and fingerprints map 1:1 to generations even
-    // though the swap happened mid-poll-loop.
-    assert!(updates.windows(2).all(|w| w[0].generation <= w[1].generation));
-    let mut by_generation: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
-    for update in &updates {
-        let fp = by_generation.entry(update.generation).or_insert(update.model_fingerprint);
-        assert_eq!(
-            *fp, update.model_fingerprint,
-            "tick {} answered from a mixed generation",
-            update.tick
-        );
-    }
-    // The poller usually catches both generations, but a slow poll may drain
-    // every early tick after the swap (ticks answer from the live index) — the
-    // race-freedom invariants above are what must always hold.
-    assert!((1..=2).contains(&by_generation.len()), "{by_generation:?}");
-}
+// The old `drift_refresh_never_races_an_in_flight_subscription` test lived
+// here: it drove ingestion and a polling subscription on two OS threads and
+// asserted no tick mixed model generations — but it only ever witnessed the
+// one schedule the OS happened to produce. It is superseded by the exhaustive
+// model-checked version in `crates/model/tests/stream_protocol.rs`, which
+// explores *every* interleaving of advance / poll / retrain-publication up to
+// the preemption bound (plus a seeded-race canary proving the checker still
+// catches a torn generation swap). The deterministic engine-level properties
+// the old test also touched (exactly one refresh, contiguous ticks,
+// generation↔fingerprint coherence) remain covered by
+// `drift_detection_triggers_refresh_and_improves_accuracy` above.
 
 // -------------------------------------------------------------------------------
 // Store consistency under streaming.
