@@ -30,7 +30,7 @@ fn scratch_store_dir() -> PathBuf {
 }
 
 fn store_catalog(dir: &PathBuf, frames: u64) -> Catalog {
-    let mut catalog = Catalog::with_index_store(dir).expect("open index store");
+    let catalog = Catalog::with_index_store(dir).expect("open index store");
     catalog.register_preset(DatasetPreset::Taipei, frames).expect("register taipei");
     catalog
 }

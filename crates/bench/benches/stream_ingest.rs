@@ -50,12 +50,12 @@ fn measure(frames: u64) -> Row {
 
     // Incremental: initial chunk scored at subscribe time, then 7 appends of
     // `chunk` frames each — every frame is scored exactly once.
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog
         .register_stream_preset(preset, frames, chunk, DriftConfig::disabled())
         .expect("register stream");
     let ctx = catalog.context(preset.name()).unwrap();
-    let nn = ctx.specialized_for(&heads(ctx)).unwrap();
+    let nn = ctx.specialized_for(&heads(&ctx)).unwrap();
     let stream = catalog.stream(preset.name()).unwrap();
     let sim_before = catalog.clock().breakdown().specialized;
     let started = Instant::now();
@@ -69,10 +69,10 @@ fn measure(frames: u64) -> Row {
 
     // Cold once: one batched pass over the full-length video with the same
     // (deterministically identical) network.
-    let mut cold = Catalog::new();
+    let cold = Catalog::new();
     cold.register_preset(preset, frames).expect("register cold");
     let cold_ctx = cold.context(preset.name()).unwrap();
-    let cold_nn = cold_ctx.specialized_for(&heads(cold_ctx)).unwrap();
+    let cold_nn = cold_ctx.specialized_for(&heads(&cold_ctx)).unwrap();
     assert_eq!(nn.weights_fingerprint(), cold_nn.weights_fingerprint());
     let started = Instant::now();
     let cold_index = cold_ctx.score_index(&cold_nn).unwrap();
@@ -150,7 +150,7 @@ fn bench_stream_ingest(c: &mut Criterion) {
 
     // Steady-state cost of one append on a warm stream, for the criterion
     // report: 256 fresh frames scored and appended per iteration.
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog
         .register_stream_preset(DatasetPreset::Taipei, 120_000, 256, DriftConfig::disabled())
         .expect("register steady-state stream");

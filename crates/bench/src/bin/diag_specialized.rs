@@ -21,9 +21,10 @@ fn main() {
         if let Ok(g) = std::env::var("GRID") {
             config.features.grid_side = g.parse().unwrap_or(12);
         }
-        let mut catalog = Catalog::new();
+        let catalog = Catalog::new();
         catalog.register_preset_with_config(preset, frames, config).expect("register");
         let engine = catalog.context(preset.name()).expect("registered");
+        let engine = &*engine;
 
         let max_count = engine.default_max_count(class, 1);
         let nn = engine.specialized_for(&[(class, max_count)]).expect("train");

@@ -100,6 +100,7 @@ pub fn fig4(scale: ExperimentScale) -> (Vec<Fig4Row>, String) {
     for preset in AGGREGATION_PRESETS {
         let catalog = catalog_for(preset, scale);
         let engine = context_of(&catalog, preset);
+        let engine = &*engine;
         let class = preset.primary_class();
         let (truth, _) = baselines::oracle_fcount(engine, Some(class));
 
@@ -180,6 +181,7 @@ pub fn table4(scale: ExperimentScale) -> String {
                 blazeit_core::BlazeItConfig::for_preset(preset).with_seed(0xB1A2_E175 + run * 7919);
             let catalog = crate::catalog_with_config(preset, scale, config);
             let engine = context_of(&catalog, preset);
+            let engine = &*engine;
             let nn = engine
                 .specialized_for(&[(class, engine.default_max_count(class, 1))])
                 .expect("train specialized NN");
@@ -211,6 +213,7 @@ pub fn table5(scale: ExperimentScale) -> String {
     ] {
         let catalog = catalog_for(preset, scale);
         let engine = context_of(&catalog, preset);
+        let engine = &*engine;
         let class = preset.primary_class();
         let nn = engine
             .specialized_for(&[(class, engine.default_max_count(class, 1))])
@@ -261,6 +264,7 @@ pub fn fig5(scale: ExperimentScale) -> String {
     for preset in ALL_PRESETS {
         let catalog = catalog_for(preset, scale);
         let engine = context_of(&catalog, preset);
+        let engine = &*engine;
         let class = preset.primary_class();
         let nn = engine
             .specialized_for(&[(class, engine.default_max_count(class, 1))])
@@ -326,6 +330,7 @@ pub fn table6_specs(scale: ExperimentScale) -> Vec<ScrubQuerySpec> {
         .map(|&preset| {
             let catalog = catalog_for(preset, scale);
             let engine = context_of(&catalog, preset);
+            let engine = &*engine;
             let class = preset.primary_class();
             let counts = baselines::oracle_counts(engine, &engine.video());
             let max = counts.iter().map(|c| c.get(class)).max().unwrap_or(0);
@@ -401,6 +406,7 @@ pub fn fig6(scale: ExperimentScale) -> String {
     for spec in table6_specs(scale) {
         let catalog = catalog_for(spec.preset, scale);
         let engine = context_of(&catalog, spec.preset);
+        let engine = &*engine;
         let requirements = [(spec.class, spec.threshold)];
         let reports = scrub_variants(engine, &requirements, ScrubOptions { limit: 10, gap: 300 });
         let _ = writeln!(
@@ -422,6 +428,7 @@ pub fn fig6(scale: ExperimentScale) -> String {
 pub fn fig7(scale: ExperimentScale) -> String {
     let catalog = catalog_for(DatasetPreset::Taipei, scale);
     let engine = context_of(&catalog, DatasetPreset::Taipei);
+    let engine = &*engine;
     let opts = ScrubOptions { limit: 10, gap: 300 };
     let mut out = String::new();
     let _ = writeln!(
@@ -476,6 +483,7 @@ pub fn multiclass_requirements(
 pub fn fig8(scale: ExperimentScale) -> String {
     let catalog = catalog_for(DatasetPreset::Taipei, scale);
     let engine = context_of(&catalog, DatasetPreset::Taipei);
+    let engine = &*engine;
     let (requirements, instances) = multiclass_requirements(engine, 15);
     let reports = scrub_variants(engine, &requirements, ScrubOptions { limit: 10, gap: 300 });
     let mut out = String::new();
@@ -492,6 +500,7 @@ pub fn fig8(scale: ExperimentScale) -> String {
 pub fn fig9(scale: ExperimentScale) -> String {
     let catalog = catalog_for(DatasetPreset::Taipei, scale);
     let engine = context_of(&catalog, DatasetPreset::Taipei);
+    let engine = &*engine;
     let (requirements, _) = multiclass_requirements(engine, 15);
     let nn = specialized_for_requirements(engine, &requirements).expect("specialized NN");
     let ranked = score_frames(engine, &nn, &requirements).expect("scoring");
@@ -525,9 +534,10 @@ pub fn fig9(scale: ExperimentScale) -> String {
 pub fn fig10(scale: ExperimentScale) -> String {
     let catalog = catalog_for(DatasetPreset::Taipei, scale);
     let engine = context_of(&catalog, DatasetPreset::Taipei);
+    let engine = &*engine;
     let sql = selection_query("taipei");
     let query = parse_query(&sql).expect("parse");
-    let info = analyze(&query, engine.udfs()).expect("analyze");
+    let info = analyze(&query, &engine.udfs()).expect("analyze");
 
     // Naive: detection on every frame (the unfiltered plan).
     let before = engine.clock().breakdown();
@@ -583,9 +593,10 @@ pub fn fig10(scale: ExperimentScale) -> String {
 pub fn fig11(scale: ExperimentScale) -> String {
     let catalog = catalog_for(DatasetPreset::Taipei, scale);
     let engine = context_of(&catalog, DatasetPreset::Taipei);
+    let engine = &*engine;
     let sql = selection_query("taipei");
     let query = parse_query(&sql).expect("parse");
-    let info = analyze(&query, engine.udfs()).expect("analyze");
+    let info = analyze(&query, &engine.udfs()).expect("analyze");
     let video_frames = engine.video().len() as f64;
 
     let run = |opts: &SelectionOptions| -> (f64, u64) {

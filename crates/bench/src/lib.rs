@@ -19,6 +19,8 @@
 
 pub mod experiments;
 
+use std::sync::Arc;
+
 use blazeit_core::{BlazeItConfig, Catalog, VideoContext};
 use blazeit_videostore::DatasetPreset;
 
@@ -60,7 +62,7 @@ impl ExperimentScale {
 /// labeled set built offline, test day registered). Query it through
 /// [`Catalog::session`]; reach the per-video caches through [`context_of`].
 pub fn catalog_for(preset: DatasetPreset, scale: ExperimentScale) -> Catalog {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(preset, scale.frames_per_day).expect("catalog registration");
     catalog
 }
@@ -71,7 +73,7 @@ pub fn catalog_with_config(
     scale: ExperimentScale,
     config: BlazeItConfig,
 ) -> Catalog {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog
         .register_preset_with_config(preset, scale.frames_per_day, config)
         .expect("catalog registration");
@@ -79,7 +81,7 @@ pub fn catalog_with_config(
 }
 
 /// The registered context of a preset inside `catalog`.
-pub fn context_of(catalog: &Catalog, preset: DatasetPreset) -> &VideoContext {
+pub fn context_of(catalog: &Catalog, preset: DatasetPreset) -> Arc<VideoContext> {
     catalog.context(preset.name()).expect("preset is registered in this catalog")
 }
 

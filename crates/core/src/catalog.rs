@@ -11,6 +11,13 @@
 //!
 //! Video names are normalized (ASCII-lowercased, `_` → `-`) for routing, so
 //! `FROM night_street` and `FROM Night-Street` both reach the `night-street` stream.
+//!
+//! The catalog is **shared-by-default**: contexts live behind the sync shim's
+//! [`RwLock`] as `Arc` snapshots, so every method takes `&self` — N sessions
+//! (and the [`serve`](crate::serve) layer's worker threads) plan and execute
+//! simultaneously against one `Arc<Catalog>`, and videos can be registered
+//! while queries are in flight. Lookups hand out `Arc<VideoContext>` clones;
+//! the short-lived contexts lock is never held across planning or execution.
 
 use crate::config::BlazeItConfig;
 use crate::context::VideoContext;
@@ -18,6 +25,7 @@ use crate::labeled::LabeledSet;
 use crate::session::Session;
 use crate::store::{IndexStore, StoreError};
 use crate::stream::{DriftConfig, StreamState};
+use crate::sync::RwLock;
 use crate::{BlazeItError, Result};
 use blazeit_detect::SimClock;
 use blazeit_videostore::{DatasetPreset, Video, DAY_HELDOUT, DAY_TEST, DAY_TRAIN};
@@ -78,7 +86,10 @@ fn nearest_name(requested: &str, available: &[String]) -> Option<String> {
 /// A catalog of registered videos sharing one simulated clock.
 pub struct Catalog {
     clock: Arc<SimClock>,
-    contexts: Vec<VideoContext>,
+    /// Registration-ordered contexts. The shim `RwLock` keeps registration
+    /// `&self` (concurrent with queries); the `Arc`s make lookups snapshots,
+    /// so the lock is released before any planning or execution happens.
+    contexts: RwLock<Vec<Arc<VideoContext>>>,
     store: Option<Arc<IndexStore>>,
 }
 
@@ -97,7 +108,7 @@ impl Default for Catalog {
 impl Catalog {
     /// Creates an empty catalog with a fresh simulated clock.
     pub fn new() -> Catalog {
-        Catalog { clock: SimClock::new(), contexts: Vec::new(), store: None }
+        Catalog { clock: SimClock::new(), contexts: RwLock::new(Vec::new()), store: None }
     }
 
     /// Creates an empty catalog whose per-video caches are backed by a durable
@@ -111,7 +122,11 @@ impl Catalog {
     /// "BlazeIt (indexed)" scenario made durable.
     pub fn with_index_store(path: impl AsRef<Path>) -> Result<Catalog> {
         let store = IndexStore::open(path)?;
-        Ok(Catalog { clock: SimClock::new(), contexts: Vec::new(), store: Some(Arc::new(store)) })
+        Ok(Catalog {
+            clock: SimClock::new(),
+            contexts: RwLock::new(Vec::new()),
+            store: Some(Arc::new(store)),
+        })
     }
 
     /// Like [`Catalog::with_index_store`], with a size budget: the store keeps
@@ -123,7 +138,11 @@ impl Catalog {
     /// the catalog's write-behind degrades to in-memory caching in that case.
     pub fn with_index_store_budget(path: impl AsRef<Path>, max_bytes: u64) -> Result<Catalog> {
         let store = IndexStore::open_with_budget(path, max_bytes)?;
-        Ok(Catalog { clock: SimClock::new(), contexts: Vec::new(), store: Some(Arc::new(store)) })
+        Ok(Catalog {
+            clock: SimClock::new(),
+            contexts: RwLock::new(Vec::new()),
+            store: Some(Arc::new(store)),
+        })
     }
 
     /// The durable index store behind this catalog's caches, if any.
@@ -135,51 +154,60 @@ impl Catalog {
     /// per-stream configuration, returning its context.
     ///
     /// Fails if a video with the same (normalized) name is already registered.
+    /// Registration takes `&self`: the context is built outside the contexts
+    /// lock, then published under a short write section, so queries already in
+    /// flight are never blocked on context construction.
     pub fn register(
-        &mut self,
+        &self,
         video: Video,
         labeled: Arc<LabeledSet>,
         config: BlazeItConfig,
-    ) -> Result<&VideoContext> {
-        let key = normalize(video.name());
-        if self.contexts.iter().any(|c| normalize(c.video().name()) == key) {
-            return Err(BlazeItError::Unsupported(format!(
-                "video '{}' is already registered in this catalog",
-                video.name()
-            )));
-        }
-        let ctx = VideoContext::with_store(
+    ) -> Result<Arc<VideoContext>> {
+        let ctx = Arc::new(VideoContext::with_store(
             video,
             labeled,
             config,
             Arc::clone(&self.clock),
             self.store.clone(),
-        );
-        self.contexts.push(ctx);
-        // blazeit-lint: allow(panic-site) -- infallible: a context was pushed on
-        // the previous line, so Vec::last is Some.
-        Ok(self.contexts.last().expect("context was just pushed"))
+        ));
+        self.publish(ctx)
+    }
+
+    /// Publishes a freshly built context, enforcing name uniqueness under the
+    /// write lock (the whole check-then-insert is one atomic section, so two
+    /// concurrent registrations of the same name cannot both succeed).
+    fn publish(&self, ctx: Arc<VideoContext>) -> Result<Arc<VideoContext>> {
+        let key = normalize(ctx.video().name());
+        let mut contexts = self.contexts.write();
+        if contexts.iter().any(|c| normalize(c.video().name()) == key) {
+            return Err(BlazeItError::Unsupported(format!(
+                "video '{}' is already registered in this catalog",
+                ctx.video().name()
+            )));
+        }
+        contexts.push(Arc::clone(&ctx));
+        Ok(ctx)
     }
 
     /// Registers one of the Table 3 presets: generates its three days (train,
     /// held-out, test) at `frames_per_day` frames each, builds the labeled set
     /// offline, and registers the test day under the preset's name.
     pub fn register_preset(
-        &mut self,
+        &self,
         preset: DatasetPreset,
         frames_per_day: u64,
-    ) -> Result<&VideoContext> {
+    ) -> Result<Arc<VideoContext>> {
         let config = BlazeItConfig::for_preset(preset);
         self.register_preset_with_config(preset, frames_per_day, config)
     }
 
     /// Like [`Catalog::register_preset`] but with an explicit configuration.
     pub fn register_preset_with_config(
-        &mut self,
+        &self,
         preset: DatasetPreset,
         frames_per_day: u64,
         config: BlazeItConfig,
-    ) -> Result<&VideoContext> {
+    ) -> Result<Arc<VideoContext>> {
         let test = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
         let (labeled, store_errors) =
             self.build_or_load_labeled(preset, frames_per_day, &config)?;
@@ -276,34 +304,24 @@ impl Catalog {
     /// Queries (and [`Session::subscribe`](crate::session::Session::subscribe))
     /// see exactly the ingested prefix.
     pub fn register_stream(
-        &mut self,
+        &self,
         capacity: Video,
         labeled: Arc<LabeledSet>,
         config: BlazeItConfig,
         initial_frames: u64,
         drift: DriftConfig,
-    ) -> Result<&VideoContext> {
-        let key = normalize(capacity.name());
-        if self.contexts.iter().any(|c| normalize(c.video().name()) == key) {
-            return Err(BlazeItError::Unsupported(format!(
-                "video '{}' is already registered in this catalog",
-                capacity.name()
-            )));
-        }
+    ) -> Result<Arc<VideoContext>> {
         let capacity = Arc::new(capacity);
         let initial = capacity.prefix(initial_frames.max(1).min(capacity.len()))?;
-        let ctx = VideoContext::with_parts(
+        let ctx = Arc::new(VideoContext::with_parts(
             initial,
             labeled,
             config,
             Arc::clone(&self.clock),
             self.store.clone(),
             Some(StreamState::new(capacity, drift)),
-        );
-        self.contexts.push(ctx);
-        // blazeit-lint: allow(panic-site) -- infallible: a context was pushed on
-        // the previous line, so Vec::last is Some.
-        Ok(self.contexts.last().expect("context was just pushed"))
+        ));
+        self.publish(ctx)
     }
 
     /// Registers one of the Table 3 presets as a live stream: the labeled days
@@ -311,12 +329,12 @@ impl Catalog {
     /// `frames_per_day` frames becomes the stream's capacity, and ingestion
     /// starts at `initial_frames`.
     pub fn register_stream_preset(
-        &mut self,
+        &self,
         preset: DatasetPreset,
         frames_per_day: u64,
         initial_frames: u64,
         drift: DriftConfig,
-    ) -> Result<&VideoContext> {
+    ) -> Result<Arc<VideoContext>> {
         let config = BlazeItConfig::for_preset(preset);
         let capacity = preset.generate_with_frames(DAY_TEST, frames_per_day)?;
         let (labeled, store_errors) =
@@ -333,23 +351,18 @@ impl Catalog {
     /// A miss fails with [`BlazeItError::UnknownVideo`] listing every registered
     /// stream, suggesting the nearest registered name (by edit distance) when the
     /// request looks like a typo, and reminding that `FROM *` spans the catalog.
-    pub fn context(&self, name: &str) -> Result<&VideoContext> {
+    pub fn context(&self, name: &str) -> Result<Arc<VideoContext>> {
         let key = normalize(name);
         self.contexts
+            .read()
             .iter()
             .find(|c| normalize(c.video().name()) == key)
+            .cloned()
             .ok_or_else(|| self.unknown_video(name))
     }
 
-    /// Mutable context lookup (e.g. to register per-video UDFs).
-    pub fn context_mut(&mut self, name: &str) -> Result<&mut VideoContext> {
-        let key = normalize(name);
-        let err = self.unknown_video(name);
-        self.contexts.iter_mut().find(|c| normalize(c.video().name()) == key).ok_or(err)
-    }
-
     /// The routing error for an unregistered name, with the nearest-name hint.
-    fn unknown_video(&self, name: &str) -> BlazeItError {
+    pub(crate) fn unknown_video(&self, name: &str) -> BlazeItError {
         let available = self.video_names();
         let hint = nearest_name(name, &available);
         BlazeItError::UnknownVideo { requested: name.to_string(), available, hint }
@@ -357,22 +370,25 @@ impl Catalog {
 
     /// The registered video names, in registration order.
     pub fn video_names(&self) -> Vec<String> {
-        self.contexts.iter().map(|c| c.video().name().to_string()).collect()
+        self.contexts.read().iter().map(|c| c.video().name().to_string()).collect()
     }
 
-    /// All registered contexts, in registration order.
-    pub fn contexts(&self) -> impl Iterator<Item = &VideoContext> {
-        self.contexts.iter()
+    /// A snapshot of every registered context, in registration order. The
+    /// contexts lock is released before this returns: the snapshot stays
+    /// valid (each entry is an `Arc`) but does not observe registrations that
+    /// land afterwards.
+    pub fn contexts(&self) -> Vec<Arc<VideoContext>> {
+        self.contexts.read().clone()
     }
 
     /// Number of registered videos.
     pub fn len(&self) -> usize {
-        self.contexts.len()
+        self.contexts.read().len()
     }
 
     /// Whether the catalog has no registered videos.
     pub fn is_empty(&self) -> bool {
-        self.contexts.is_empty()
+        self.contexts.read().is_empty()
     }
 
     /// The shared simulated clock all registered videos charge.
@@ -399,7 +415,7 @@ mod tests {
 
     #[test]
     fn register_and_lookup_with_normalization() {
-        let mut catalog = Catalog::new();
+        let catalog = Catalog::new();
         catalog.register_preset(DatasetPreset::NightStreet, 600).unwrap();
         assert_eq!(catalog.len(), 1);
         assert!(!catalog.is_empty());
@@ -411,7 +427,7 @@ mod tests {
 
     #[test]
     fn unknown_video_error_lists_registered_names() {
-        let mut catalog = Catalog::new();
+        let catalog = Catalog::new();
         catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
         catalog.register_preset(DatasetPreset::Amsterdam, 600).unwrap();
         let err = catalog.context("rialto").unwrap_err();
@@ -428,7 +444,7 @@ mod tests {
 
     #[test]
     fn unknown_video_error_suggests_the_nearest_name() {
-        let mut catalog = Catalog::new();
+        let catalog = Catalog::new();
         catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
         catalog.register_preset(DatasetPreset::Amsterdam, 600).unwrap();
         let err = catalog.context("amstredam").unwrap_err();
@@ -451,7 +467,7 @@ mod tests {
 
     #[test]
     fn duplicate_registration_is_rejected() {
-        let mut catalog = Catalog::new();
+        let catalog = Catalog::new();
         catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
         let err = catalog.register_preset(DatasetPreset::Taipei, 600);
         assert!(matches!(err, Err(BlazeItError::Unsupported(_))));
@@ -460,7 +476,7 @@ mod tests {
 
     #[test]
     fn contexts_share_the_catalog_clock() {
-        let mut catalog = Catalog::new();
+        let catalog = Catalog::new();
         catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
         catalog.register_preset(DatasetPreset::Amsterdam, 600).unwrap();
         assert_eq!(catalog.clock().total(), 0.0);
@@ -476,14 +492,42 @@ mod tests {
     }
 
     #[test]
-    fn per_video_udfs_via_context_mut() {
-        let mut catalog = Catalog::new();
+    fn per_video_udfs_via_shared_context() {
+        let catalog = Catalog::new();
         catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
         catalog
-            .context_mut("taipei")
+            .context("taipei")
             .unwrap()
             .register_udf("always_seven", true, |_, _| blazeit_frameql::Value::Number(7.0));
         assert!(catalog.context("taipei").unwrap().udfs().contains("always_seven"));
         let _ = ObjectClass::Car;
+    }
+
+    #[test]
+    fn registration_is_concurrent_with_lookups() {
+        // The tentpole contract: `register*` takes `&self`, so a shared
+        // `Arc<Catalog>` accepts new videos while other threads query it.
+        let catalog = Arc::new(Catalog::new());
+        catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
+        std::thread::scope(|s| {
+            let c = Arc::clone(&catalog);
+            s.spawn(move || c.register_preset(DatasetPreset::Amsterdam, 600).map(|_| ()));
+            for _ in 0..50 {
+                assert_eq!(catalog.context("taipei").unwrap().video().name(), "taipei");
+            }
+        });
+        assert_eq!(catalog.len(), 2);
+        // Concurrent duplicate registration: exactly one winner.
+        let outcomes: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&catalog);
+                    s.spawn(move || c.register_preset(DatasetPreset::Rialto, 600).is_ok())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(outcomes.iter().filter(|&&ok| ok).count(), 1);
+        assert_eq!(catalog.len(), 3);
     }
 }

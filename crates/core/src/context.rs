@@ -33,7 +33,7 @@ use crate::labeled::LabeledSet;
 use crate::lockorder::{lock_ordered, OrderedGuard, RANK_LIVE_INDEX, RANK_NN_CACHE, RANK_VIDEO};
 use crate::store::{IndexStore, StoreResult};
 use crate::stream::StreamState;
-use crate::sync::Mutex;
+use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
 use crate::{BlazeItError, Result};
 use blazeit_detect::{SimClock, SimulatedDetector};
 use blazeit_frameql::{builtin_udfs, UdfRegistry};
@@ -43,6 +43,18 @@ use blazeit_videostore::{ObjectClass, Video};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// FNV-1a over `bytes`: a tiny, dependency-free, stable fingerprint (the
+/// config fingerprint must not vary across runs, which rules out `std`'s
+/// randomized `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// How warm a per-video cache is for a given head set — what `EXPLAIN` surfaces
 /// as the cost the plan will actually pay.
@@ -107,9 +119,20 @@ pub struct VideoContext {
     pub(crate) video: Mutex<Arc<Video>>,
     labeled: Arc<LabeledSet>,
     config: BlazeItConfig,
+    /// Fingerprint of `config`, fixed at construction — one third of the
+    /// serving layer's cache key (name × data generation × config).
+    config_fingerprint: u64,
     clock: Arc<SimClock>,
     detector: SimulatedDetector,
-    udfs: UdfRegistry,
+    /// The UDF registry, copy-on-write: readers take a cheap `Arc` snapshot,
+    /// registration clones-and-swaps so it is `&self` (callable through the
+    /// shared catalog) without blocking queries mid-evaluation.
+    udfs: RwLock<Arc<UdfRegistry>>,
+    /// Monotone counter of *answer-changing* events on this context: stream
+    /// ingestion, drift-refresh publication, and UDF registration all bump it.
+    /// The serving layer keys its result cache on this, so a bump invalidates
+    /// exactly the cached answers that could have changed — and nothing else.
+    data_generation: AtomicU64,
     /// Trained specialized networks by normalized head key (the *current*
     /// generation; drift refreshes replace entries in place).
     pub(crate) nn_cache: Mutex<HashMap<String, Arc<SpecializedNN>>>,
@@ -190,6 +213,7 @@ impl VideoContext {
             (s, dir)
         });
         let health = HealthState::new(config.sampling_seed);
+        let config_fingerprint = fnv1a(format!("{config:?}").as_bytes());
         VideoContext {
             // Ranked construction enrolls each lock in the model checker's
             // hierarchy oracle; `lock_ordered` asserts the same table at
@@ -197,9 +221,11 @@ impl VideoContext {
             video: Mutex::ranked(RANK_VIDEO, "video", Arc::new(video)),
             labeled,
             config,
+            config_fingerprint,
             clock,
             detector,
-            udfs: builtin_udfs(),
+            udfs: RwLock::new(Arc::new(builtin_udfs())),
+            data_generation: AtomicU64::new(0),
             nn_cache: Mutex::ranked(RANK_NN_CACHE, "nn_cache", HashMap::new()),
             live_index: Mutex::ranked(RANK_LIVE_INDEX, "live_index", HashMap::new()),
             heldout_cache: Mutex::new(HashMap::new()),
@@ -310,14 +336,22 @@ impl VideoContext {
         &self.detector
     }
 
-    /// The UDF registry.
-    pub fn udfs(&self) -> &UdfRegistry {
-        &self.udfs
+    /// A snapshot of the UDF registry. Cheap (`Arc` clone); registrations that
+    /// land after the snapshot are not visible through it, which is exactly
+    /// the isolation a running query needs.
+    pub fn udfs(&self) -> Arc<UdfRegistry> {
+        Arc::clone(&self.udfs.read())
     }
 
     /// Registers (or replaces) a UDF available to queries on this video.
+    ///
+    /// Copy-on-write: the registry is cloned, extended, and swapped under a
+    /// short write lock, so this is `&self` — callable on a context shared
+    /// across sessions — and in-flight queries keep evaluating against the
+    /// snapshot they took. Bumps the data generation: a redefined UDF can
+    /// change answers, so cached results must not outlive it.
     pub fn register_udf(
-        &mut self,
+        &self,
         name: &str,
         frame_liftable: bool,
         func: impl Fn(
@@ -328,7 +362,31 @@ impl VideoContext {
             + Sync
             + 'static,
     ) {
-        self.udfs.register(name, frame_liftable, func);
+        let mut slot = self.udfs.write();
+        let mut next = UdfRegistry::clone(&**slot);
+        next.register(name, frame_liftable, func);
+        *slot = Arc::new(next);
+        drop(slot);
+        self.bump_data_generation();
+    }
+
+    /// The data generation: how many answer-changing events (ingested frames
+    /// batches, drift-refresh publications, UDF registrations) this context
+    /// has seen. The serving layer's cache keys include it, so stale answers
+    /// are unreachable the moment it moves.
+    pub fn data_generation(&self) -> u64 {
+        self.data_generation.load(Ordering::SeqCst)
+    }
+
+    /// Advances the data generation, returning the new value.
+    pub(crate) fn bump_data_generation(&self) -> u64 {
+        self.data_generation.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// The fingerprint of this context's configuration (fixed at
+    /// construction) — the config component of the serving cache key.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
     }
 
     /// Normalizes a requested head set into the form every cache key and trained

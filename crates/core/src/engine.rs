@@ -26,7 +26,10 @@ use std::sync::Arc;
 /// A one-video catalog: the backwards-compatible BlazeIt engine.
 pub struct BlazeIt {
     catalog: Catalog,
-    name: String,
+    /// The registered context, pinned at construction: contexts are `Arc`
+    /// snapshots out of the shared catalog, so the shim can deref to a stable
+    /// `&VideoContext` without taking the catalog's contexts lock per call.
+    ctx: Arc<VideoContext>,
 }
 
 impl std::fmt::Debug for BlazeIt {
@@ -42,12 +45,13 @@ impl std::fmt::Debug for BlazeIt {
 impl BlazeIt {
     /// Creates an engine over `video` (the unseen test data) with a pre-built labeled set.
     pub fn new(video: Video, labeled: Arc<LabeledSet>, config: BlazeItConfig) -> BlazeIt {
-        let mut catalog = Catalog::new();
-        let name = video.name().to_string();
-        // blazeit-lint: allow(panic-site) -- infallible: the catalog was created
-        // empty two lines above, and Duplicate is register's only error.
-        catalog.register(video, labeled, config).expect("a fresh catalog has no duplicates");
-        BlazeIt { catalog, name }
+        let catalog = Catalog::new();
+        let ctx = catalog
+            .register(video, labeled, config)
+            // blazeit-lint: allow(panic-site) -- infallible: the catalog was created
+            // empty two lines above, and Duplicate is register's only error.
+            .expect("a fresh catalog has no duplicates");
+        BlazeIt { catalog, ctx }
     }
 
     /// Convenience constructor: generates the three days of a Table 3 preset (train,
@@ -64,13 +68,9 @@ impl BlazeIt {
         frames_per_day: u64,
         config: BlazeItConfig,
     ) -> Result<BlazeIt> {
-        let mut catalog = Catalog::new();
-        let name = catalog
-            .register_preset_with_config(preset, frames_per_day, config)?
-            .video()
-            .name()
-            .to_string();
-        Ok(BlazeIt { catalog, name })
+        let catalog = Catalog::new();
+        let ctx = catalog.register_preset_with_config(preset, frames_per_day, config)?;
+        Ok(BlazeIt { catalog, ctx })
     }
 
     /// The underlying one-video catalog (for code migrating to the session API).
@@ -85,7 +85,7 @@ impl BlazeIt {
 
     /// Registers (or replaces) a UDF available to queries on this engine.
     pub fn register_udf(
-        &mut self,
+        &self,
         name: &str,
         frame_liftable: bool,
         func: impl Fn(
@@ -96,13 +96,7 @@ impl BlazeIt {
             + Sync
             + 'static,
     ) {
-        let video = self.name.clone();
-        self.catalog
-            .context_mut(&video)
-            // blazeit-lint: allow(panic-site) -- invariant: BlazeIt::new registers
-            // exactly this video and nothing ever removes it from the catalog.
-            .expect("the engine's video is always registered")
-            .register_udf(name, frame_liftable, func);
+        self.ctx.register_udf(name, frame_liftable, func);
     }
 
     /// Resets the simulated clock (useful between experiments sharing one engine).
@@ -115,11 +109,9 @@ impl Deref for BlazeIt {
     type Target = VideoContext;
 
     fn deref(&self) -> &VideoContext {
-        // The shim's catalog holds exactly one video, so deref skips name
-        // normalization (accessors are called in per-frame loops).
-        // blazeit-lint: allow(panic-site) -- invariant: BlazeIt::new registers
-        // exactly one video and nothing ever removes it from the catalog.
-        self.catalog.contexts().next().expect("the engine's video is always registered")
+        // The pinned Arc makes deref lock-free (accessors are called in
+        // per-frame loops) and independent of later catalog registrations.
+        &self.ctx
     }
 }
 

@@ -41,6 +41,14 @@
 //!   [`Session::subscribe`](session::Session::subscribe) yields per-tick
 //!   aggregate updates with honest confidence intervals.
 //!
+//! * **Concurrent serving** ([`serve`]) — a [`Server`] shares one catalog across
+//!   N concurrent sessions: identical queries coalesce onto one computation, a
+//!   result cache keyed on the normalized query × per-video
+//!   `(name, data generation, config fingerprint)` serves repeats instantly and
+//!   invalidates precisely when data changes, and plan-cost FIFO admission
+//!   control bounds concurrent load fairly. The `blazeit-server` binary exposes
+//!   the layer over a line/JSON TCP protocol.
+//!
 //! * **Robustness** ([`fault`]) — deterministic fault injection (failpoints
 //!   compiled in under the `fault-injection` feature, scheduled by a seeded
 //!   RNG), retry with exponential backoff for transient store errors, and
@@ -72,6 +80,7 @@ pub mod relation;
 pub mod result;
 pub mod scrub;
 pub mod select;
+pub mod serve;
 pub mod session;
 pub mod stats;
 pub mod store;
@@ -85,10 +94,11 @@ pub use engine::BlazeIt;
 pub use fault::{HealthReport, HealthState, RetrainHealth, RetryPolicy};
 pub use labeled::LabeledSet;
 pub use metrics::RuntimeReport;
-pub use plan::{MergeSemantics, PlanStrategy, QueryPlan, RewriteDecision, VideoPlan};
+pub use plan::{CacheStatus, MergeSemantics, PlanStrategy, QueryPlan, RewriteDecision, VideoPlan};
 pub use result::{
     AggregateMethod, QueryOutput, QueryResult, SourcedFrame, SourcedRow, VideoAggregate,
 };
+pub use serve::{ServeConfig, ServeStats, Server, ServerSession};
 pub use session::{PreparedQuery, Session};
 pub use store::{IndexStore, StoreError};
 pub use stream::{

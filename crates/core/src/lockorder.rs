@@ -1,8 +1,14 @@
-//! Debug-build lock-order assertions for the context/stream lock hierarchy.
+//! Debug-build lock-order assertions for the serving/context/stream lock
+//! hierarchy.
 //!
-//! The streaming layer documents a strict acquisition order — **monitor →
-//! live_index → nn_cache → video** — which keeps ingest, drift checks, and
-//! background-refresh publication deadlock-free. That discipline used to live
+//! The engine documents a strict acquisition order — **admission →
+//! serve_cache → serve_slot → monitor → live_index → nn_cache → video** —
+//! which keeps the serving layer (admission control, the coalescing result
+//! cache), ingest, drift checks, and background-refresh publication
+//! deadlock-free. The serving locks rank lowest because they sit *above* the
+//! engine: a cache miss executes a full query, which acquires the context and
+//! stream locks, so no serving lock may ever be requested while an engine
+//! lock is held. That discipline used to live
 //! only in comments; this module enforces it in debug builds: every ranked lock
 //! acquisition pushes its rank onto a thread-local stack and asserts that no
 //! lock of an equal or higher rank is already held by this thread. Release
@@ -38,21 +44,31 @@ pub struct RankedLock {
 /// `blazeit-lint` both consume it, so the two enforcement layers cannot
 /// diverge (a regression test in `crates/lint` additionally pins the
 /// `RANK_*` constants and every call-site name literal to this table).
-pub const RANKED_LOCKS: [RankedLock; 4] = [
-    RankedLock { name: "monitor", rank: 0 },
-    RankedLock { name: "live_index", rank: 1 },
-    RankedLock { name: "nn_cache", rank: 2 },
-    RankedLock { name: "video", rank: 3 },
+pub const RANKED_LOCKS: [RankedLock; 7] = [
+    RankedLock { name: "admission", rank: 0 },
+    RankedLock { name: "serve_cache", rank: 1 },
+    RankedLock { name: "serve_slot", rank: 2 },
+    RankedLock { name: "monitor", rank: 3 },
+    RankedLock { name: "live_index", rank: 4 },
+    RankedLock { name: "nn_cache", rank: 5 },
+    RankedLock { name: "video", rank: 6 },
 ];
 
-/// Rank of `StreamState::monitor` (acquired first).
-pub const RANK_MONITOR: u8 = RANKED_LOCKS[0].rank;
+/// Rank of `serve::Admission::state` (acquired first — the serving layer sits
+/// above the engine, so its locks rank below every engine lock).
+pub const RANK_ADMISSION: u8 = RANKED_LOCKS[0].rank;
+/// Rank of `serve::QueryCache::slots` (the coalescing cache's key map).
+pub const RANK_SERVE_CACHE: u8 = RANKED_LOCKS[1].rank;
+/// Rank of `serve::Slot::state` (one in-flight computation's publish lock).
+pub const RANK_SERVE_SLOT: u8 = RANKED_LOCKS[2].rank;
+/// Rank of `StreamState::monitor` (the first engine lock).
+pub const RANK_MONITOR: u8 = RANKED_LOCKS[3].rank;
 /// Rank of `VideoContext::live_index`.
-pub const RANK_LIVE_INDEX: u8 = RANKED_LOCKS[1].rank;
+pub const RANK_LIVE_INDEX: u8 = RANKED_LOCKS[4].rank;
 /// Rank of `VideoContext::nn_cache`.
-pub const RANK_NN_CACHE: u8 = RANKED_LOCKS[2].rank;
+pub const RANK_NN_CACHE: u8 = RANKED_LOCKS[5].rank;
 /// Rank of `VideoContext::video` (acquired last).
-pub const RANK_VIDEO: u8 = RANKED_LOCKS[3].rank;
+pub const RANK_VIDEO: u8 = RANKED_LOCKS[6].rank;
 
 #[cfg(debug_assertions)]
 mod tracker {
@@ -71,7 +87,8 @@ mod tracker {
                     held_rank < rank,
                     "lock-order violation: acquiring '{name}' (rank {rank}) while holding \
                      '{held_name}' (rank {held_rank}); the documented order is \
-                     monitor → live_index → nn_cache → video"
+                     admission → serve_cache → serve_slot → monitor → live_index → \
+                     nn_cache → video"
                 );
             }
             held.push((rank, name));
@@ -152,6 +169,14 @@ mod tests {
         let a = lock_ordered(RANK_MONITOR, "monitor", &monitor);
         let b = lock_ordered(RANK_LIVE_INDEX, "live_index", &live);
         let c = lock_ordered(RANK_VIDEO, "video", &video);
+        drop((a, b, c));
+        // The serving locks rank below every engine lock: cache → monitor is
+        // the miss path (lookup, then execute), and it must be clean.
+        let s = lock_ordered(RANK_SERVE_CACHE, "serve_cache", &live);
+        drop(s);
+        let a = lock_ordered(RANK_ADMISSION, "admission", &monitor);
+        let b = lock_ordered(RANK_SERVE_SLOT, "serve_slot", &live);
+        let c = lock_ordered(RANK_MONITOR, "monitor", &video);
         drop((a, b, c));
         // Skipping ranks is fine; only inversions are violations.
         let c = lock_ordered(RANK_NN_CACHE, "nn_cache", &video);

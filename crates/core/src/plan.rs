@@ -152,6 +152,34 @@ pub struct VideoPlan {
     pub health: Option<HealthReport>,
 }
 
+/// How the serving layer's coalescing result cache disposed of a query,
+/// stamped onto the plan by `blazeit_core::serve` so `EXPLAIN` can report it.
+/// Plans built directly by [`plan_query`] (no server in the path) carry no
+/// status and render no `cache:` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheStatus {
+    /// Answered from a published result of the same `(query, generation)` key.
+    Hit,
+    /// Computed fresh (and published for future hits).
+    Miss,
+    /// Attached as a waiter to an identical in-flight computation; `n` is the
+    /// number of waiters that shared the one execution.
+    Coalesced(usize),
+}
+
+impl CacheStatus {
+    /// The `EXPLAIN` rendering: `hit`, `miss`, or `coalesced(n waiters)`.
+    pub fn label(&self) -> String {
+        match self {
+            CacheStatus::Hit => "hit".to_string(),
+            CacheStatus::Miss => "miss".to_string(),
+            CacheStatus::Coalesced(n) => {
+                format!("coalesced({n} waiter{})", if *n == 1 { "" } else { "s" })
+            }
+        }
+    }
+}
+
 /// The resolved, overridable plan for one prepared query: one sub-plan per video the
 /// `FROM` clause spans, plus the semantics merging their results.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -163,6 +191,11 @@ pub struct QueryPlan {
     /// One sub-plan per video, in `FROM`-clause order (registration order for
     /// `FROM *`). Always non-empty.
     pub subplans: Vec<VideoPlan>,
+    /// Serving-layer cache disposition, when the query went through a
+    /// [`serve::Server`](crate::serve::Server). `None` (the planner default)
+    /// renders nothing, keeping direct-session `EXPLAIN` output unchanged.
+    #[serde(default)]
+    pub cache: Option<CacheStatus>,
 }
 
 impl QueryPlan {
@@ -234,7 +267,7 @@ pub fn plan_query(targets: &[(&VideoContext, &QueryPlanInfo)], fan_out: bool) ->
         .iter()
         .map(|(ctx, info)| plan_video(ctx, info))
         .collect::<Result<Vec<VideoPlan>>>()?;
-    Ok(QueryPlan { class, merge, subplans })
+    Ok(QueryPlan { class, merge, subplans, cache: None })
 }
 
 /// Plans an analyzed query against one video context (one sub-plan of the fan-out).
@@ -529,12 +562,18 @@ impl fmt::Display for QueryPlan {
             let sub = &self.subplans[0];
             writeln!(f, "QUERY PLAN for '{}'", sub.video)?;
             writeln!(f, "  class:    {}", self.class_label())?;
+            if let Some(status) = &self.cache {
+                writeln!(f, "  cache:    {}", status.label())?;
+            }
             return sub.fmt_body(f);
         }
         let plural = if self.subplans.len() == 1 { "video" } else { "videos" };
         writeln!(f, "QUERY PLAN over {} {plural}", self.subplans.len())?;
         writeln!(f, "  class:    {}", self.class_label())?;
         writeln!(f, "  merge:    {}", self.merge.label())?;
+        if let Some(status) = &self.cache {
+            writeln!(f, "  cache:    {}", status.label())?;
+        }
         for (i, sub) in self.subplans.iter().enumerate() {
             writeln!(f, "SUB-PLAN for '{}'", sub.video)?;
             sub.fmt_body(f)?;

@@ -480,7 +480,7 @@ pub fn run_selection(
                 let keep = match &query.where_clause {
                     Some(predicate) => {
                         ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
-                        evaluate_row(predicate, &row, Some(&pixels), ctx.udfs())?.truthy()
+                        evaluate_row(predicate, &row, Some(&pixels), &ctx.udfs())?.truthy()
                     }
                     None => true,
                 };
@@ -601,7 +601,7 @@ mod tests {
         // smaller; the structure of the query is identical to Figure 3c.
         let sql = red_bus_query("taipei", 10.0, 20_000.0, 15);
         let q = parse_query(&sql).unwrap();
-        let info = analyze(&q, engine.udfs()).unwrap();
+        let info = analyze(&q, &engine.udfs()).unwrap();
         (q, info)
     }
 
@@ -774,7 +774,7 @@ mod tests {
                 let keep = match &query.where_clause {
                     Some(predicate) => {
                         ctx.clock().charge(CostCategory::Filter, ctx.config().cost.filter_cost());
-                        evaluate_row(predicate, &row, Some(&pixels), ctx.udfs())?.truthy()
+                        evaluate_row(predicate, &row, Some(&pixels), &ctx.udfs())?.truthy()
                     }
                     None => true,
                 };
@@ -856,7 +856,7 @@ mod tests {
         let sql =
             "SELECT * FROM taipei WHERE class = 'car' AND xmax(mask) < 720 AND ymin(mask) >= 100";
         let q = parse_query(sql).unwrap();
-        let info = analyze(&q, e.udfs()).unwrap();
+        let info = analyze(&q, &e.udfs()).unwrap();
         let plan = plan_filters(&e, &info, &SelectionOptions::all()).unwrap();
         let region = plan.region.expect("explicit constraints must yield a region");
         assert!(region.xmax <= 720.0);

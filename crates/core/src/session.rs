@@ -38,6 +38,7 @@ use crate::{BlazeItError, Result};
 use blazeit_frameql::ast::FromClause;
 use blazeit_frameql::query::{analyze, QueryClass, QueryPlanInfo};
 use blazeit_frameql::{parse_query, Query};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A query session over a catalog of registered videos.
@@ -47,10 +48,12 @@ pub struct Session<'a> {
 }
 
 /// One video a prepared query spans: its context plus the query's analysis against
-/// that video's UDF registry.
+/// that video's UDF registry. The context is an `Arc` snapshot out of the shared
+/// catalog, so a prepared query stays valid (and runnable from any thread) no
+/// matter what is registered afterwards.
 #[derive(Debug)]
-struct QueryTarget<'a> {
-    ctx: &'a VideoContext,
+struct QueryTarget {
+    ctx: Arc<VideoContext>,
     info: QueryPlanInfo,
 }
 
@@ -71,26 +74,27 @@ impl<'a> Session<'a> {
     /// list routes to each named video in query order, and `*` routes to every
     /// registered video in registration order. Unknown names fail with
     /// [`BlazeItError::UnknownVideo`] (including a nearest-name suggestion).
-    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery<'a>> {
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery> {
         let parsed = parse_query(sql)?;
-        let contexts: Vec<&'a VideoContext> = match &parsed.from {
+        let contexts: Vec<Arc<VideoContext>> = match &parsed.from {
             FromClause::All => {
-                if self.catalog.is_empty() {
+                let contexts = self.catalog.contexts();
+                if contexts.is_empty() {
                     return Err(BlazeItError::Unsupported(
                         "FROM * spans every registered video, but the catalog is empty; \
                          register a video first"
                             .into(),
                     ));
                 }
-                self.catalog.contexts().collect()
+                contexts
             }
             FromClause::Videos(names) => {
-                let mut contexts: Vec<&'a VideoContext> = Vec::with_capacity(names.len());
+                let mut contexts: Vec<Arc<VideoContext>> = Vec::with_capacity(names.len());
                 for name in names {
                     let ctx = self.catalog.context(name)?;
                     // The parser rejects duplicates it can see; this guards ASTs
                     // built programmatically (two spellings of one stream).
-                    if contexts.iter().any(|c| std::ptr::eq(*c, ctx)) {
+                    if contexts.iter().any(|c| Arc::ptr_eq(c, &ctx)) {
                         return Err(BlazeItError::Unsupported(format!(
                             "video '{name}' appears more than once in the FROM list"
                         )));
@@ -100,12 +104,15 @@ impl<'a> Session<'a> {
                 contexts
             }
         };
-        let targets: Vec<QueryTarget<'a>> = contexts
+        let targets: Vec<QueryTarget> = contexts
             .into_iter()
-            .map(|ctx| Ok(QueryTarget { ctx, info: analyze(&parsed, ctx.udfs())? }))
+            .map(|ctx| {
+                let info = analyze(&parsed, &ctx.udfs())?;
+                Ok(QueryTarget { ctx, info })
+            })
             .collect::<Result<_>>()?;
         let pairs: Vec<(&VideoContext, &QueryPlanInfo)> =
-            targets.iter().map(|t| (t.ctx, &t.info)).collect();
+            targets.iter().map(|t| (t.ctx.as_ref(), &t.info)).collect();
         // `FROM *` keeps catalog (fan-out) semantics even over a one-video catalog,
         // so the query's result shape never depends on how many videos happen to be
         // registered.
@@ -121,24 +128,28 @@ impl<'a> Session<'a> {
 }
 
 /// A planned query, ready to inspect, override, and run.
+///
+/// Owns `Arc` snapshots of its target contexts, so it has no borrow of the
+/// session or catalog: it can be moved across threads and run after (or while)
+/// the catalog changes under it.
 #[derive(Debug)]
-pub struct PreparedQuery<'a> {
-    targets: Vec<QueryTarget<'a>>,
+pub struct PreparedQuery {
+    targets: Vec<QueryTarget>,
     sql: String,
     query: Query,
     plan: QueryPlan,
 }
 
-impl<'a> PreparedQuery<'a> {
+impl PreparedQuery {
     /// The first (for single-video queries: the only) video context the query was
     /// routed to. Multi-video queries span every context in [`PreparedQuery::contexts`].
-    pub fn context(&self) -> &'a VideoContext {
-        self.targets[0].ctx
+    pub fn context(&self) -> &VideoContext {
+        self.targets[0].ctx.as_ref()
     }
 
     /// Every video context the query spans, in `FROM`-clause order.
-    pub fn contexts(&self) -> impl Iterator<Item = &'a VideoContext> + '_ {
-        self.targets.iter().map(|t| t.ctx)
+    pub fn contexts(&self) -> impl Iterator<Item = &VideoContext> + '_ {
+        self.targets.iter().map(|t| t.ctx.as_ref())
     }
 
     /// The parsed query AST.
@@ -171,7 +182,7 @@ impl<'a> PreparedQuery<'a> {
     /// Replaces the selection filter options (which inferred filters a selection
     /// plan may use) on **every** sub-plan. No effect on aggregate / scrubbing
     /// strategies.
-    pub fn with_options(mut self, options: SelectionOptions) -> PreparedQuery<'a> {
+    pub fn with_options(mut self, options: SelectionOptions) -> PreparedQuery {
         for sub in &mut self.plan.subplans {
             sub.selection = options;
         }
@@ -187,7 +198,7 @@ impl<'a> PreparedQuery<'a> {
     /// multi-video scrub it caps the *global* verification loop, matching the
     /// global `LIMIT`. The executors fold the budget into their own knobs at run
     /// time, so later `plan_mut` edits compose.
-    pub fn with_budget(mut self, max_detection_calls: u64) -> PreparedQuery<'a> {
+    pub fn with_budget(mut self, max_detection_calls: u64) -> PreparedQuery {
         for sub in &mut self.plan.subplans {
             sub.detection_budget = Some(max_detection_calls);
         }
@@ -232,10 +243,10 @@ impl<'a> PreparedQuery<'a> {
             let target = &self.targets[0];
             let sub = &self.plan.subplans[0];
             return match &target.info.class {
-                QueryClass::Aggregate { .. } => aggregate::execute(target.ctx, &target.info, sub),
-                QueryClass::Scrub => scrub::execute(target.ctx, &target.info, sub),
+                QueryClass::Aggregate { .. } => aggregate::execute(&target.ctx, &target.info, sub),
+                QueryClass::Scrub => scrub::execute(&target.ctx, &target.info, sub),
                 QueryClass::Select | QueryClass::Exhaustive => {
-                    select::execute(target.ctx, &self.query, &target.info, sub)
+                    select::execute(&target.ctx, &self.query, &target.info, sub)
                 }
             };
         }
@@ -294,7 +305,7 @@ impl<'a> PreparedQuery<'a> {
     fn execute_catalog_aggregate(&self) -> Result<QueryOutput> {
         let outputs = self.fan_out(|idx| {
             let target = &self.targets[idx];
-            aggregate::execute(target.ctx, &target.info, &self.plan.subplans[idx])
+            aggregate::execute(&target.ctx, &target.info, &self.plan.subplans[idx])
         });
         let mut per_video = Vec::with_capacity(outputs.len());
         for (target, output) in self.targets.iter().zip(outputs) {
@@ -335,7 +346,7 @@ impl<'a> PreparedQuery<'a> {
             .targets
             .iter()
             .zip(&self.plan.subplans)
-            .map(|(t, sub)| (t.ctx, &t.info, sub))
+            .map(|(t, sub)| (t.ctx.as_ref(), &t.info, sub))
             .collect();
         let opts = self.plan.subplans[0].scrub.ok_or_else(|| {
             BlazeItError::Internal("catalog scrub plan carries no scrub options".into())
@@ -362,7 +373,7 @@ impl<'a> PreparedQuery<'a> {
     fn execute_catalog_selection(&self) -> Result<QueryOutput> {
         let outputs = self.fan_out(|idx| {
             let target = &self.targets[idx];
-            select::execute(target.ctx, &self.query, &target.info, &self.plan.subplans[idx])
+            select::execute(&target.ctx, &self.query, &target.info, &self.plan.subplans[idx])
         });
         let mut all_rows: Vec<SourcedRow> = Vec::new();
         let mut detection_calls = 0u64;

@@ -459,6 +459,9 @@ impl VideoContext {
             entry.scores = scores;
         }
         *self.lock_video() = grown;
+        // New frames are observable: invalidate serving-layer cache entries
+        // keyed on the previous generation.
+        self.bump_data_generation();
         Ok((from, to, extended))
     }
 
@@ -701,6 +704,9 @@ impl VideoContext {
             match applied {
                 Ok(report) => {
                     self.health().clear_retrain_failure();
+                    // A new model generation answers differently: cached
+                    // results keyed on the old data generation must miss.
+                    self.bump_data_generation();
                     reports.push(report);
                 }
                 Err(e) => {
@@ -792,24 +798,24 @@ impl VideoContext {
 /// Obtained from [`Catalog::stream`]; the streaming state itself lives on the
 /// [`VideoContext`], so any number of handles (and concurrent subscribed
 /// queries) may coexist.
-#[derive(Debug, Clone, Copy)]
-pub struct StreamSource<'a> {
-    ctx: &'a VideoContext,
+#[derive(Debug, Clone)]
+pub struct StreamSource {
+    ctx: Arc<VideoContext>,
     /// The stream's total frame capacity, cached at construction (the stream
     /// state is immutable for the context's lifetime), so accessors never
     /// have to re-validate that the context is a stream.
     capacity: u64,
 }
 
-impl<'a> StreamSource<'a> {
-    pub(crate) fn new(ctx: &'a VideoContext) -> Result<StreamSource<'a>> {
-        let state = ctx.stream_state()?;
-        Ok(StreamSource { ctx, capacity: state.capacity.len() })
+impl StreamSource {
+    pub(crate) fn new(ctx: Arc<VideoContext>) -> Result<StreamSource> {
+        let capacity = ctx.stream_state()?.capacity.len();
+        Ok(StreamSource { ctx, capacity })
     }
 
     /// The stream's video context.
-    pub fn context(&self) -> &'a VideoContext {
-        self.ctx
+    pub fn context(&self) -> &VideoContext {
+        self.ctx.as_ref()
     }
 
     /// Frames ingested so far.
@@ -854,7 +860,7 @@ impl Catalog {
     /// [`Catalog::register_stream`]). Fails with
     /// [`BlazeItError::Unsupported`] when the named video is an ordinary,
     /// fixed-length registration.
-    pub fn stream(&self, name: &str) -> Result<StreamSource<'_>> {
+    pub fn stream(&self, name: &str) -> Result<StreamSource> {
         StreamSource::new(self.context(name)?)
     }
 }
@@ -871,8 +877,8 @@ impl Catalog {
 /// for already-scored frames (the only inference a poll can ever charge is the
 /// one-time held-out calibration of a freshly swapped-in model generation).
 #[derive(Debug)]
-pub struct Subscription<'a> {
-    ctx: &'a VideoContext,
+pub struct Subscription {
+    ctx: Arc<VideoContext>,
     sql: String,
     class: ObjectClass,
     heads: Vec<(ObjectClass, usize)>,
@@ -910,7 +916,7 @@ impl<'a> Session<'a> {
     /// prefix is scored once — the only time the subscription ever pays
     /// full-prefix inference. From then on, ingestion extends the index
     /// incrementally and every poll answers from it for free.
-    pub fn subscribe(&self, sql: &str) -> Result<Subscription<'a>> {
+    pub fn subscribe(&self, sql: &str) -> Result<Subscription> {
         let query = parse_query(sql)?;
         if query.explain {
             return Err(BlazeItError::Unsupported(
@@ -925,7 +931,7 @@ impl<'a> Session<'a> {
             ));
         };
         let ctx = self.catalog().context(name)?;
-        let info = analyze(&query, ctx.udfs())?;
+        let info = analyze(&query, &ctx.udfs())?;
         let QueryClass::Aggregate { kind } = &info.class else {
             return Err(BlazeItError::Unsupported(
                 "only FCOUNT/COUNT aggregates can be subscribed (scrubbing and \
@@ -967,7 +973,7 @@ impl<'a> Session<'a> {
     }
 }
 
-impl Subscription<'_> {
+impl Subscription {
     /// The subscribed query text.
     pub fn sql(&self) -> &str {
         &self.sql
@@ -975,7 +981,7 @@ impl Subscription<'_> {
 
     /// The stream context this subscription reads.
     pub fn context(&self) -> &VideoContext {
-        self.ctx
+        self.ctx.as_ref()
     }
 
     /// The tick interval in frames.

@@ -13,7 +13,17 @@
 
 use blazeit_videostore::sync::Mutex;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+thread_local! {
+    /// The charge tag of the session this thread is currently working for.
+    /// Tag 0 is "untagged" (library use outside any serving session). A plain
+    /// `Cell` — not a sync primitive — because the tag is thread-local by
+    /// construction and crosses threads only via [`SimClock::with_charge_tag`].
+    static CURRENT_TAG: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Categories of simulated work, used for cost breakdowns in reports and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -119,12 +129,38 @@ impl CostBreakdown {
             other: self.other - earlier.other,
         }
     }
+
+    /// The sum `self + other`, category by category. [`SimClock::breakdown`]
+    /// folds the per-tag ledgers with exactly this operation in ascending tag
+    /// order, so callers that repeat the same fold over
+    /// [`SimClock::breakdown_for`] reproduce the global totals bit for bit.
+    pub fn plus(&self, other: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            detection: self.detection + other.detection,
+            specialized: self.specialized + other.specialized,
+            training: self.training + other.training,
+            filter: self.filter + other.filter,
+            decode: self.decode + other.decode,
+            other: self.other + other.other,
+        }
+    }
 }
 
 /// A thread-safe simulated clock shared by detectors, models, filters and the engine.
+///
+/// The clock keeps one [`CostBreakdown`] ledger per *charge tag* — an opaque
+/// `u64` the serving layer assigns per session. Library callers never set a
+/// tag and charge ledger 0; the serving layer wraps each query's execution in
+/// [`SimClock::with_charge_tag`] so concurrent sessions sharing one catalog get
+/// honest per-session cost attribution. The global view ([`breakdown`]) is
+/// *derived* from the ledgers (folded with [`CostBreakdown::plus`] in
+/// ascending tag order), so the per-tag ledgers sum to the global clock
+/// exactly — not merely to within floating-point noise.
+///
+/// [`breakdown`]: SimClock::breakdown
 #[derive(Debug, Default)]
 pub struct SimClock {
-    inner: Mutex<CostBreakdown>,
+    ledgers: Mutex<BTreeMap<u64, CostBreakdown>>,
 }
 
 impl SimClock {
@@ -133,19 +169,52 @@ impl SimClock {
         Arc::new(SimClock::default())
     }
 
-    /// Charges `seconds` of simulated time to `category`.
+    /// The charge tag active on this thread (0 when untagged).
+    pub fn charge_tag() -> u64 {
+        CURRENT_TAG.with(Cell::get)
+    }
+
+    /// Runs `f` with `tag` as this thread's charge tag, restoring the previous
+    /// tag afterwards (including on unwind). The `nn::parallel` pool uses this
+    /// to carry the submitting session's tag onto worker threads, so fan-out
+    /// work is attributed to the session that asked for it.
+    pub fn with_charge_tag<R>(tag: u64, f: impl FnOnce() -> R) -> R {
+        struct Restore(u64);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_TAG.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_TAG.with(|c| c.replace(tag)));
+        f()
+    }
+
+    /// Charges `seconds` of simulated time to `category`, on the ledger of
+    /// this thread's current charge tag.
     ///
     /// Negative or non-finite charges are ignored (they would indicate a bug upstream
     /// and must never corrupt the experiment accounting).
     pub fn charge(&self, category: CostCategory, seconds: f64) {
         if seconds.is_finite() && seconds > 0.0 {
-            *self.inner.lock().slot(category) += seconds;
+            let tag = Self::charge_tag();
+            *self.ledgers.lock().entry(tag).or_default().slot(category) += seconds;
         }
     }
 
-    /// A snapshot of the per-category totals.
+    /// A snapshot of the per-category totals across every charge tag.
     pub fn breakdown(&self) -> CostBreakdown {
-        *self.inner.lock()
+        self.ledgers.lock().values().fold(CostBreakdown::default(), |acc, ledger| acc.plus(ledger))
+    }
+
+    /// A snapshot of the totals charged under `tag` alone.
+    pub fn breakdown_for(&self, tag: u64) -> CostBreakdown {
+        self.ledgers.lock().get(&tag).copied().unwrap_or_default()
+    }
+
+    /// The tags with at least one charge, in ascending order — the same order
+    /// [`breakdown`](SimClock::breakdown) folds them in.
+    pub fn charged_tags(&self) -> Vec<u64> {
+        self.ledgers.lock().keys().copied().collect()
     }
 
     /// Total simulated seconds so far.
@@ -153,9 +222,9 @@ impl SimClock {
         self.breakdown().total()
     }
 
-    /// Resets the clock to zero.
+    /// Resets the clock to zero, dropping every per-tag ledger.
     pub fn reset(&self) {
-        *self.inner.lock() = CostBreakdown::default();
+        self.ledgers.lock().clear();
     }
 }
 
@@ -278,5 +347,72 @@ mod tests {
             }
         });
         assert!((clock.total() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_tag_scopes_nest_and_restore() {
+        assert_eq!(SimClock::charge_tag(), 0);
+        let observed = SimClock::with_charge_tag(7, || {
+            let inner = SimClock::with_charge_tag(9, SimClock::charge_tag);
+            (SimClock::charge_tag(), inner)
+        });
+        assert_eq!(observed, (7, 9));
+        assert_eq!(SimClock::charge_tag(), 0);
+
+        // The previous tag is restored even when the scope unwinds.
+        let clock = SimClock::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SimClock::with_charge_tag(3, || {
+                clock.charge(CostCategory::Other, 1.0);
+                panic!("mid-scope unwind")
+            })
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(SimClock::charge_tag(), 0);
+        assert_eq!(clock.breakdown_for(3).other, 1.0);
+    }
+
+    /// The satellite invariant: per-tag ledgers sum to the global clock
+    /// **exactly** (bitwise `==` per category, not within an epsilon). The
+    /// global breakdown is derived by folding the ledgers in ascending tag
+    /// order, so repeating that fold over `breakdown_for` must reproduce it.
+    #[test]
+    fn tagged_ledgers_sum_to_the_global_clock_exactly() {
+        let clock = SimClock::new();
+        clock.charge(CostCategory::Decode, 0.125); // untagged → tag 0
+        std::thread::scope(|s| {
+            for tag in 1..=4u64 {
+                let c = Arc::clone(&clock);
+                s.spawn(move || {
+                    SimClock::with_charge_tag(tag, || {
+                        for i in 0..100 {
+                            // Deliberately awkward decimals: exactness must
+                            // come from the fold order, not from round floats.
+                            c.charge(CostCategory::SpecializedInference, 0.1 + (i as f64) * 1e-7);
+                            c.charge(CostCategory::Training, 0.3);
+                        }
+                    });
+                });
+            }
+        });
+
+        let tags = clock.charged_tags();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+        let summed = tags
+            .iter()
+            .map(|&t| clock.breakdown_for(t))
+            .fold(CostBreakdown::default(), |acc, b| acc.plus(&b));
+        let global = clock.breakdown();
+        for category in CostCategory::ALL {
+            assert_eq!(
+                summed.get(category),
+                global.get(category),
+                "ledger sum must equal the global clock exactly for {}",
+                category.label()
+            );
+        }
+        assert!(clock.breakdown_for(1).specialized > 0.0);
+        assert_eq!(clock.breakdown_for(0).decode, 0.125);
+        assert_eq!(clock.breakdown_for(99), CostBreakdown::default());
     }
 }

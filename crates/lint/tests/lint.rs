@@ -9,7 +9,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use blazeit_core::lockorder::{
-    RANKED_LOCKS, RANK_LIVE_INDEX, RANK_MONITOR, RANK_NN_CACHE, RANK_VIDEO,
+    RANKED_LOCKS, RANK_ADMISSION, RANK_LIVE_INDEX, RANK_MONITOR, RANK_NN_CACHE, RANK_SERVE_CACHE,
+    RANK_SERVE_SLOT, RANK_VIDEO,
 };
 use blazeit_lint::checks::lock_order::rank_const_name;
 use blazeit_lint::model::Event;
@@ -195,6 +196,16 @@ fn rank_table_is_single_source_of_truth() {
         }
     }
     let by_name = |n: &str| RANKED_LOCKS.iter().find(|l| l.name == n).map(|l| l.rank).unwrap();
+    // The serving locks rank *below* every engine lock: a cache miss executes
+    // a full query while holding no serving lock, but the converse (engine
+    // code acquiring a serving lock) must be impossible by rank.
+    assert_eq!(RANK_ADMISSION, by_name("admission"));
+    assert_eq!(RANK_SERVE_CACHE, by_name("serve_cache"));
+    assert_eq!(RANK_SERVE_SLOT, by_name("serve_slot"));
+    assert!(
+        by_name("serve_slot") < by_name("monitor"),
+        "serving locks must rank below engine locks"
+    );
     assert_eq!(RANK_MONITOR, by_name("monitor"));
     assert_eq!(RANK_LIVE_INDEX, by_name("live_index"));
     assert_eq!(RANK_NN_CACHE, by_name("nn_cache"));
@@ -202,6 +213,7 @@ fn rank_table_is_single_source_of_truth() {
 
     let root = repo_root();
     let mut call_sites = 0usize;
+    let mut sites_by_name: std::collections::BTreeMap<String, usize> = Default::default();
     for (_crate, rel) in blazeit_lint::TARGETS {
         let dir = root.join(rel);
         if !dir.is_dir() {
@@ -221,6 +233,7 @@ fn rank_table_is_single_source_of_truth() {
                     let name = str_arg
                         .as_deref()
                         .unwrap_or_else(|| panic!("lock_ordered without a name literal at {at}"));
+                    *sites_by_name.entry(name.to_string()).or_default() += 1;
                     let rank = rank_arg
                         .as_deref()
                         .unwrap_or_else(|| panic!("lock_ordered without a RANK_* const at {at}"));
@@ -238,4 +251,11 @@ fn rank_table_is_single_source_of_truth() {
         }
     }
     assert!(call_sites > 0, "no lock_ordered call sites found — did the hierarchy move?");
+    // The serving cache's map lock must stay on the statically-checked
+    // `lock_ordered` path (its condvar-paired siblings are covered by the
+    // model checker instead): join / probe / remove all go through it.
+    assert!(
+        sites_by_name.get("serve_cache").copied().unwrap_or(0) >= 3,
+        "serve_cache lock_ordered call sites went missing: {sites_by_name:?}"
+    );
 }

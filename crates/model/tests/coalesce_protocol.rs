@@ -1,0 +1,299 @@
+//! Exhaustive model check of the serving layer's coalescing-cache protocol.
+//!
+//! Mirrors `blazeit_core::serve`: sessions key the cache by the video's data
+//! generation, exactly one session computes each key (map-entry vacancy under
+//! the ranked `serve_cache` lock), later identical sessions attach as waiters
+//! on the slot's condvar, and the computer publishes `(result, generation)`
+//! as one atomic state change before waking everyone. A concurrent
+//! generation bump (the model's stand-in for stream ingest / UDF
+//! registration / drift refresh) invalidates by making the old key
+//! unreachable. Explored under **every** schedule up to the preemption
+//! bound, the protocol must guarantee:
+//!
+//! * no session ever receives a result computed for a different generation
+//!   than the one its cache key was built from (no stale reads);
+//! * no waiter is lost: every attached session is woken by the publish (a
+//!   missed wakeup blocks a thread forever, which the checker reports as a
+//!   deadlock);
+//! * no schedule deadlocks, and every path respects the documented
+//!   `serve_cache → serve_slot` lock order (the ranked-mutex oracle fails
+//!   the run otherwise).
+//!
+//! The `canary_*` test is the seeded race: a torn publish that installs the
+//! result and its generation under two separate lock acquisitions. The
+//! checker **must** flag it — it runs in CI beside the lint and stream
+//! canaries so a regression that blinds the checker fails the build.
+
+use blazeit_core::lockorder::{RANK_SERVE_CACHE, RANK_SERVE_SLOT};
+use blazeit_core::sync::{AtomicU64, Condvar, Mutex, Ordering};
+use blazeit_model::{thread, Builder, FailureKind};
+use std::sync::Arc;
+
+/// The coalescing slot, as in `serve::Slot`: protocol state under the ranked
+/// `serve_slot` mutex, publication signaled through the paired condvar.
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+enum SlotState {
+    /// The computer is executing; `waiters` sessions are parked on `ready`.
+    Computing { waiters: u64 },
+    /// Published atomically: the answer and the generation it was computed
+    /// for swap in as one state change.
+    Done { value: u64, generation: u64 },
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            state: Mutex::ranked(
+                RANK_SERVE_SLOT,
+                "serve_slot",
+                SlotState::Computing { waiters: 0 },
+            ),
+            ready: Condvar::new(),
+        })
+    }
+}
+
+/// The serving cache, one slot per generation (the model bumps at most once,
+/// so two keys suffice) — in production this is the `CacheKey → Slot` map.
+struct Protocol {
+    cache: Mutex<[Option<Arc<Slot>>; 2]>,
+    generation: AtomicU64,
+}
+
+fn protocol() -> Arc<Protocol> {
+    Arc::new(Protocol {
+        cache: Mutex::ranked(RANK_SERVE_CACHE, "serve_cache", [None, None]),
+        generation: AtomicU64::new(0),
+    })
+}
+
+/// What the engine would answer for generation `g` (any pure function of the
+/// key works; sessions verify the result matches their key's generation).
+fn answer_for(generation: u64) -> u64 {
+    100 + generation
+}
+
+enum Role {
+    Hit(u64, u64),
+    Wait(Arc<Slot>),
+    Compute(Arc<Slot>),
+}
+
+/// One session's trip through the serving layer: snapshot the generation
+/// (key time), join the cache under `serve_cache`, then compute / wait / hit.
+/// Returns the `(value, generation)` the session observed; the caller asserts
+/// it matches the key.
+fn run_session(p: &Protocol) -> (u64, u64) {
+    let key_generation = p.generation.load(Ordering::SeqCst);
+    let slot_index = key_generation as usize;
+    let role = {
+        let mut cache = p.cache.lock();
+        match &cache[slot_index] {
+            Some(slot) => {
+                // serve_cache → serve_slot: the documented order.
+                let mut state = slot.state.lock();
+                match &mut *state {
+                    SlotState::Done { value, generation } => Role::Hit(*value, *generation),
+                    SlotState::Computing { waiters } => {
+                        *waiters += 1;
+                        Role::Wait(Arc::clone(slot))
+                    }
+                }
+            }
+            None => {
+                let slot = Slot::new();
+                cache[slot_index] = Some(Arc::clone(&slot));
+                Role::Compute(slot)
+            }
+        }
+    };
+    let (value, generation) = match role {
+        Role::Hit(value, generation) => (value, generation),
+        Role::Wait(slot) => {
+            let mut state = slot.state.lock();
+            loop {
+                match &*state {
+                    SlotState::Done { value, generation } => break (*value, *generation),
+                    SlotState::Computing { .. } => state = slot.ready.wait(state),
+                }
+            }
+        }
+        Role::Compute(slot) => {
+            // Execute with NO serving lock held (as serve::compute does).
+            let value = answer_for(key_generation);
+            {
+                let mut state = slot.state.lock();
+                // One atomic publish: result and generation together.
+                *state = SlotState::Done { value, generation: key_generation };
+            }
+            slot.ready.notify_all();
+            // Generation re-check: a bump during execution makes this entry
+            // answer for a key no new session will build — drop it.
+            if p.generation.load(Ordering::SeqCst) != key_generation {
+                p.cache.lock()[slot_index] = None;
+            }
+            (value, key_generation)
+        }
+    };
+    // The stale-read invariant, on every path: whatever a session receives
+    // was computed for exactly the generation its cache key named.
+    assert_eq!(
+        generation, key_generation,
+        "session keyed at generation {key_generation} received a result for {generation}"
+    );
+    (value, generation)
+}
+
+/// Three sessions race an invalidating generation bump, preemption bound 2:
+/// whichever session wins the vacancy check computes, same-key sessions
+/// coalesce as waiters, sessions that key after the bump compute the new
+/// generation. Exhaustively explored: every session's answer matches its
+/// key's generation, every waiter wakes, no deadlock, lock order holds.
+#[test]
+fn coalescing_and_invalidation_hold_under_every_schedule() {
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let p = protocol();
+
+        let sessions: Vec<_> = (0..3)
+            .map(|i| {
+                let p = Arc::clone(&p);
+                thread::spawn_named(format!("session-{i}"), move || {
+                    let (value, generation) = run_session(&p);
+                    // The stale-read invariant: the answer a session
+                    // receives was computed for exactly the generation its
+                    // cache key named (run_session returns the slot's
+                    // published pair; the key generation is pinned at join
+                    // time, so any cross-generation delivery shows up as a
+                    // value/generation mismatch here).
+                    assert_eq!(
+                        value,
+                        answer_for(generation),
+                        "published result inconsistent with its generation"
+                    );
+                })
+            })
+            .collect();
+
+        let bump = {
+            let p = Arc::clone(&p);
+            thread::spawn_named("bump", move || {
+                // Stream ingest / UDF registration / drift refresh: the data
+                // generation moves, invalidating generation-0 cache keys.
+                p.generation.store(1, Ordering::SeqCst);
+            })
+        };
+
+        for session in sessions {
+            session.join();
+        }
+        bump.join();
+
+        // Post-conditions on the final cache: any surviving entry is
+        // published (no computation was abandoned mid-flight) and answers
+        // for its own key.
+        let cache = p.cache.lock();
+        for (slot_index, entry) in cache.iter().enumerate() {
+            if let Some(slot) = entry {
+                match &*slot.state.lock() {
+                    SlotState::Done { value, generation } => {
+                        assert_eq!(*generation, slot_index as u64);
+                        assert_eq!(*value, answer_for(*generation));
+                    }
+                    SlotState::Computing { .. } => {
+                        panic!("an entry was left computing after every session returned")
+                    }
+                }
+            }
+        }
+    });
+    assert!(
+        report.schedules >= 100,
+        "three sessions racing a bump at preemption bound 2 must explore \
+         at least 100 schedules, got {}",
+        report.schedules
+    );
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+/// The seeded-race canary: a torn publish that installs the result value and
+/// its generation under two separate acquisitions of the slot lock. An
+/// observer between the halves sees a result inconsistent with its
+/// generation — the checker must find that interleaving and report a
+/// replayable counterexample, or it has lost the ability to catch real
+/// serving-layer races.
+#[test]
+fn canary_torn_result_generation_publish_is_flagged() {
+    struct TornSlot {
+        value: u64,
+        generation: u64,
+    }
+
+    let report = Builder::new().check_report(|| {
+        let slot = Arc::new(Mutex::new(TornSlot { value: answer_for(0), generation: 0 }));
+
+        let publisher = {
+            let slot = Arc::clone(&slot);
+            thread::spawn_named("publish", move || {
+                slot.lock().value = answer_for(1);
+                // BROKEN on purpose: the lock is dropped between the result
+                // and the generation, exposing a torn (value, generation)
+                // pair exactly like a non-atomic serve::Slot publish would.
+                slot.lock().generation = 1;
+            })
+        };
+        let observer = {
+            let slot = Arc::clone(&slot);
+            thread::spawn_named("observe", move || {
+                let s = slot.lock();
+                assert_eq!(
+                    s.value,
+                    answer_for(s.generation),
+                    "observed a torn (result, generation) publish"
+                );
+            })
+        };
+        publisher.join();
+        observer.join();
+    });
+
+    let failure = report.failure.expect("the checker must catch the torn publish");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("torn (result, generation)"), "{}", failure.message);
+    assert!(failure.schedules_to_find >= 1);
+    assert!(
+        failure.trace.iter().any(|l| l.file.ends_with("coalesce_protocol.rs") && l.line > 0),
+        "trace must point at this file: {failure}"
+    );
+}
+
+/// Acquiring `serve_slot` before `serve_cache` anywhere in the serving layer
+/// is an inversion of the documented order; the ranked-lock oracle (sharing
+/// its table with the static lint and the debug tracker) must flag it.
+#[test]
+fn canary_serve_lock_inversion_is_flagged() {
+    let report = Builder::new().check_report(|| {
+        let p = protocol();
+        let slot = Slot::new();
+        let t = {
+            let p = Arc::clone(&p);
+            let slot = Arc::clone(&slot);
+            thread::spawn_named("backwards", move || {
+                let _state = slot.state.lock();
+                let _cache = p.cache.lock();
+            })
+        };
+        t.join();
+    });
+    let failure = report.failure.expect("the rank oracle must fire");
+    assert_eq!(failure.kind, FailureKind::LockOrder);
+    assert!(
+        failure.message.contains("'serve_cache' (rank 1)")
+            && failure.message.contains("'serve_slot' (rank 2)"),
+        "{}",
+        failure.message
+    );
+}

@@ -38,11 +38,11 @@ struct LiveIndex {
 /// production `VideoContext` / `StreamState` construct (`Mutex::ranked` enrolls
 /// them in the model checker's hierarchy oracle exactly as `with_parts` does).
 struct Protocol {
-    /// Drift monitor (rank 0): frames seen since the last drift check.
+    /// Drift monitor (rank 3): frames seen since the last drift check.
     monitor: Mutex<u64>,
-    /// The live index (rank 1): swapped atomically, one generation at a time.
+    /// The live index (rank 4): swapped atomically, one generation at a time.
     live_index: Mutex<LiveIndex>,
-    /// Specialized-NN cache (rank 2): generation of the cached network.
+    /// Specialized-NN cache (rank 5): generation of the cached network.
     nn_cache: Mutex<u64>,
 }
 
@@ -201,8 +201,8 @@ fn canary_lock_order_inversion_is_flagged() {
     let failure = report.failure.expect("the rank oracle must fire");
     assert_eq!(failure.kind, FailureKind::LockOrder);
     assert!(
-        failure.message.contains("'monitor' (rank 0)")
-            && failure.message.contains("'live_index' (rank 1)"),
+        failure.message.contains("'monitor' (rank 3)")
+            && failure.message.contains("'live_index' (rank 4)"),
         "{}",
         failure.message
     );

@@ -20,6 +20,7 @@
 //! waiting submitter steals queued jobs — anyone's — and runs them until its own jobs
 //! have all finished.
 
+use blazeit_detect::SimClock;
 use blazeit_videostore::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -186,15 +187,23 @@ fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let latch = Latch::new(tasks.len());
 
+    // Cost attribution: jobs run on whichever thread dequeues them (a pool
+    // worker, or any cooperative latch-waiter stealing from the shared queue),
+    // so the submitter's simulated-clock charge tag is captured here and
+    // re-established around the job body — charges land in the submitting
+    // session's ledger no matter where the work physically executes.
+    let tag = SimClock::charge_tag();
     let mut tasks = tasks.into_iter();
     let Some(first) = tasks.next() else { return };
     for task in tasks {
         let latch_ref = &latch;
         let panic_ref = &panic_slot;
         let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                panic_ref.lock().get_or_insert(payload);
-            }
+            SimClock::with_charge_tag(tag, || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                    panic_ref.lock().get_or_insert(payload);
+                }
+            });
             latch_ref.complete_one();
         });
         // SAFETY: see the function-level safety comment — the latch wait below keeps

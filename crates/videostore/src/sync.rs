@@ -25,7 +25,7 @@
 //! that).
 //!
 //! [`Mutex::ranked`] enrolls a lock in the documented
-//! `monitor → live_index → nn_cache → video` hierarchy; ranks are inert here
+//! `admission → serve_cache → serve_slot → monitor → live_index → nn_cache → video` hierarchy; ranks are inert here
 //! in normal builds (the debug tracker in `blazeit_core::lockorder` still
 //! asserts order at `lock_ordered` call sites) and become a hard oracle under
 //! the model: any schedule that acquires out of order fails with the exact
@@ -264,7 +264,7 @@ mod tests {
 
     #[test]
     fn mutex_and_condvar_round_trip() {
-        let m = Mutex::ranked(3, "video", 1u32);
+        let m = Mutex::ranked(6, "video", 1u32);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert!(m.try_lock().is_some());

@@ -18,7 +18,7 @@ use blazeit::prelude::*;
 fn main() {
     let frames_per_day = 5_000;
     println!("registering three intersections ({frames_per_day} frames per day each)...");
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     for preset in [DatasetPreset::Taipei, DatasetPreset::NightStreet, DatasetPreset::Amsterdam] {
         catalog.register_preset(preset, frames_per_day).expect("register");
     }

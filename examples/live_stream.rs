@@ -53,7 +53,7 @@ fn main() {
         .unwrap(),
     );
 
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog
         .register_stream(
             capacity,

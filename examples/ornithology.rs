@@ -24,7 +24,7 @@ fn main() {
 
     let config = BlazeItConfig::default();
     let labeled = Arc::new(LabeledSet::build(train, heldout, &config).expect("labeled set"));
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register(test, labeled, config).expect("register custom video");
     let session = catalog.session();
 

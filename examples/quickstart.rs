@@ -11,7 +11,7 @@ fn main() {
     // labeled set, and queries run over the unseen test day.
     let frames_per_day = 6_000;
     println!("generating taipei ({frames_per_day} frames per day) and building the labeled set...");
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, frames_per_day).expect("register");
     let session = catalog.session();
 

@@ -9,9 +9,10 @@ use blazeit::core::scrub::{blazeit_scrub, specialized_for_requirements, ScrubOpt
 use blazeit::prelude::*;
 
 fn main() {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Amsterdam, 12_000).expect("register");
     let engine = catalog.context("amsterdam").expect("registered");
+    let engine = &*engine;
     let class = ObjectClass::Car;
 
     // Pick a genuinely rare event on this stream: the highest simultaneous car count

@@ -8,7 +8,7 @@ use blazeit::core::select::{ground_truth_tracks, red_bus_query};
 use blazeit::prelude::*;
 
 fn main() {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, 9_000).expect("register");
     let session = catalog.session();
     let sql = red_bus_query("taipei", 10.0, 20_000.0, 15);
@@ -37,8 +37,8 @@ fn main() {
     // Tracker ids are scan-local, so result sets are compared through the scene's
     // ground-truth track identities.
     let ctx = catalog.context("taipei").expect("registered");
-    let naive_tracks = ground_truth_tracks(ctx, naive.output.rows().unwrap_or(&[]));
-    let filtered_tracks = ground_truth_tracks(ctx, filtered.output.rows().unwrap_or(&[]));
+    let naive_tracks = ground_truth_tracks(&ctx, naive.output.rows().unwrap_or(&[]));
+    let filtered_tracks = ground_truth_tracks(&ctx, filtered.output.rows().unwrap_or(&[]));
     let found = naive_tracks.iter().filter(|t| filtered_tracks.contains(t)).count();
 
     println!(

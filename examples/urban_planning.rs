@@ -13,10 +13,11 @@ use blazeit::prelude::*;
 
 fn main() {
     let frames_per_day = 9_000; // five simulated minutes per day at 30 fps
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, frames_per_day).expect("register");
     let session = catalog.session();
     let engine = catalog.context("taipei").expect("registered");
+    let engine = &*engine;
     let class = ObjectClass::Car;
 
     println!("== traffic metering: average cars per frame ==");

@@ -24,7 +24,7 @@
 //!
 //! // Register two of the Table 3 streams in one catalog (each gets 3 synthetic days;
 //! // the first two are labeled offline, exactly the paper's setup).
-//! let mut catalog = Catalog::new();
+//! let catalog = Catalog::new();
 //! catalog.register_preset(DatasetPreset::Taipei, 18_000).unwrap();
 //! catalog.register_preset(DatasetPreset::Amsterdam, 18_000).unwrap();
 //!
@@ -59,12 +59,13 @@ pub mod prelude {
     pub use blazeit_core::scrub::ScrubOptions;
     pub use blazeit_core::select::SelectionOptions;
     pub use blazeit_core::{
-        baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, CacheWarmth, Catalog,
-        DriftConfig, HealthReport, HealthState, IndexStore, IngestReport, LabeledSet,
+        baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, CacheStatus, CacheWarmth,
+        Catalog, DriftConfig, HealthReport, HealthState, IndexStore, IngestReport, LabeledSet,
         MergeSemantics, PlanStrategy, PreparedQuery, QueryOutput, QueryPlan, QueryResult,
-        RefreshReport, RefreshState, RetrainHealth, RetryPolicy, RewriteDecision, Session,
-        SourcedFrame, SourcedRow, StoreError, StreamSource, StreamStatus, StreamUpdate,
-        Subscription, VideoAggregate, VideoContext, VideoPlan,
+        RefreshReport, RefreshState, RetrainHealth, RetryPolicy, RewriteDecision, ServeConfig,
+        ServeStats, Server, ServerSession, Session, SourcedFrame, SourcedRow, StoreError,
+        StreamSource, StreamStatus, StreamUpdate, Subscription, VideoAggregate, VideoContext,
+        VideoPlan,
     };
     pub use blazeit_detect::{DetectionMethod, ObjectDetector, SimClock, SimulatedDetector};
     pub use blazeit_frameql::{parse_query, Query, Value};

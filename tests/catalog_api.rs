@@ -4,7 +4,7 @@
 use blazeit::prelude::*;
 
 fn taipei_catalog(frames: u64) -> Catalog {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, frames).expect("register taipei");
     catalog
 }
@@ -111,7 +111,7 @@ fn explain_decision_resolves_once_caches_are_warm() {
 
 #[test]
 fn one_catalog_serves_multiple_videos_with_isolated_score_indexes() {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, 1_000).expect("register taipei");
     catalog.register_preset(DatasetPreset::Rialto, 1_000).expect("register rialto");
     let session = catalog.session();

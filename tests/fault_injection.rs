@@ -81,7 +81,7 @@ struct PipelineRun {
 
 fn run_pipeline(dir: &Path) -> PipelineRun {
     let fx = fixture();
-    let mut catalog = Catalog::with_index_store(dir).expect("open index store");
+    let catalog = Catalog::with_index_store(dir).expect("open index store");
     catalog
         .register_stream(
             fx.capacity.clone(),
@@ -260,7 +260,7 @@ fn persistent_store_failure_degrades_to_memory_only_then_heals() {
     // Fault-free reference: same registration shape, its own store.
     let reference_bits = {
         let dir = tmpdir("degrade-reference");
-        let mut catalog = Catalog::with_index_store(&dir).unwrap();
+        let catalog = Catalog::with_index_store(&dir).unwrap();
         catalog
             .register_stream(
                 fx.capacity.clone(),
@@ -282,7 +282,7 @@ fn persistent_store_failure_degrades_to_memory_only_then_heals() {
         bits
     };
     let dir = tmpdir("degrade");
-    let mut catalog = Catalog::with_index_store(&dir).unwrap();
+    let catalog = Catalog::with_index_store(&dir).unwrap();
     catalog
         .register_stream(
             fx.capacity.clone(),
@@ -401,7 +401,7 @@ fn failed_retrain_keeps_generation_and_rearms_with_backoff() {
         retrain_stride: 3,
         min_history: 100,
     };
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog
         .register_stream(fx.capacity.clone(), Arc::clone(&fx.labeled), fx.config.clone(), 50, drift)
         .unwrap();
@@ -470,7 +470,7 @@ fn failed_retrain_keeps_generation_and_rearms_with_backoff() {
 #[test]
 fn fanned_out_task_panic_is_a_typed_error_and_the_pool_survives() {
     let fx = fixture();
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register(fx.capacity.clone(), Arc::clone(&fx.labeled), fx.config.clone()).unwrap();
     catalog.register_preset(DatasetPreset::Amsterdam, 400).unwrap();
     let sql = "SELECT FCOUNT(*) FROM * WHERE class = 'car' ERROR WITHIN 0.2 AT CONFIDENCE 95%";

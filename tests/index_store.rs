@@ -37,7 +37,7 @@ fn artifact_files(root: &Path) -> Vec<PathBuf> {
 }
 
 fn store_catalog(dir: &Path, frames: u64) -> Catalog {
-    let mut catalog = Catalog::with_index_store(dir).expect("open index store");
+    let catalog = Catalog::with_index_store(dir).expect("open index store");
     catalog.register_preset(DatasetPreset::Taipei, frames).expect("register taipei");
     catalog
 }
@@ -134,7 +134,7 @@ fn fresh_catalog_over_populated_store_pays_zero_specialized_cost() {
         "loaded scores must be bit-identical to the stored ones"
     );
 
-    let mut fresh = Catalog::new();
+    let fresh = Catalog::new();
     fresh.register_preset(DatasetPreset::Taipei, frames).unwrap();
     let ctx3 = fresh.context("taipei").unwrap();
     let nn3 = ctx3.specialized_for(&heads).unwrap();
@@ -297,7 +297,7 @@ fn changed_configuration_never_serves_stale_artifacts() {
     // retrain from scratch (stale artifacts are keyed away, not served).
     let mut config = BlazeItConfig::for_preset(DatasetPreset::Taipei);
     config.specialized_hidden = vec![24, 12];
-    let mut catalog2 = Catalog::with_index_store(&dir).unwrap();
+    let catalog2 = Catalog::with_index_store(&dir).unwrap();
     catalog2.register_preset_with_config(DatasetPreset::Taipei, frames, config).unwrap();
     let explain2 = catalog2
         .session()
@@ -322,7 +322,7 @@ fn changed_configuration_never_serves_stale_artifacts() {
     // key's weights fingerprint is what keeps these apart.
     let mut config = BlazeItConfig::for_preset(DatasetPreset::Taipei);
     config.detection_threshold = 0.5;
-    let mut catalog2b = Catalog::with_index_store(&dir).unwrap();
+    let catalog2b = Catalog::with_index_store(&dir).unwrap();
     catalog2b.register_preset_with_config(DatasetPreset::Taipei, frames, config).unwrap();
     catalog2b.session().query(FCOUNT_SQL).unwrap();
     let paid = catalog2b.clock().breakdown();
@@ -346,7 +346,7 @@ fn changed_configuration_never_serves_stale_artifacts() {
 
 #[test]
 fn zero_and_one_max_count_heads_share_one_cache_entry() {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, 700).unwrap();
     let ctx = catalog.context("taipei").unwrap();
 
@@ -383,7 +383,7 @@ fn zero_and_one_max_count_heads_share_one_cache_entry() {
 
 #[test]
 fn head_order_does_not_split_the_cache() {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, 700).unwrap();
     let ctx = catalog.context("taipei").unwrap();
 
@@ -463,7 +463,7 @@ fn unevictable_overflow_is_a_typed_error_and_writes_nothing() {
 
     // A catalog over a too-small budget degrades to in-memory caching instead
     // of failing queries (write-behind swallows the typed error).
-    let mut catalog = Catalog::with_index_store_budget(dir.join("tiny"), 64).unwrap();
+    let catalog = Catalog::with_index_store_budget(dir.join("tiny"), 64).unwrap();
     catalog.register_preset(DatasetPreset::Taipei, 600).unwrap();
     let result = catalog.session().query(FCOUNT_SQL).unwrap();
     assert!(result.output.aggregate_value().is_some());
@@ -502,7 +502,8 @@ fn labeled_annotations_persist_across_catalogs() {
     let frames = 700u64;
     let (first_train, first_heldout, first_cost) = {
         let catalog = store_catalog(&dir, frames);
-        let labeled = catalog.context("taipei").unwrap().labeled();
+        let labeled_ctx = catalog.context("taipei").unwrap();
+        let labeled = labeled_ctx.labeled();
         assert!(
             labeled.annotation_cost_secs() > 0.0,
             "the first registration runs the offline detector"
@@ -514,7 +515,8 @@ fn labeled_annotations_persist_across_catalogs() {
     // A fresh catalog over the same store loads the annotations instead of
     // re-running the detector, and gets the exact same labeled set.
     let catalog = store_catalog(&dir, frames);
-    let labeled = catalog.context("taipei").unwrap().labeled();
+    let labeled_ctx = catalog.context("taipei").unwrap();
+    let labeled = labeled_ctx.labeled();
     assert_eq!(labeled.annotation_cost_secs(), 0.0, "annotations came from the store");
     assert_eq!(labeled.train(), &first_train);
     assert_eq!(labeled.heldout(), &first_heldout);
@@ -523,9 +525,10 @@ fn labeled_annotations_persist_across_catalogs() {
     // miss and re-annotate (stale annotations are never served).
     let mut config = BlazeItConfig::for_preset(DatasetPreset::Taipei);
     config.detection_threshold = 0.5;
-    let mut other = Catalog::with_index_store(&dir).unwrap();
+    let other = Catalog::with_index_store(&dir).unwrap();
     other.register_preset_with_config(DatasetPreset::Taipei, frames, config).unwrap();
-    let relabeled = other.context("taipei").unwrap().labeled();
+    let relabeled_ctx = other.context("taipei").unwrap();
+    let relabeled = relabeled_ctx.labeled();
     assert!(relabeled.annotation_cost_secs() > 0.0, "changed detector => fresh annotation");
     assert_ne!(relabeled.train(), &first_train);
 
@@ -552,7 +555,8 @@ fn labeled_annotations_persist_across_catalogs() {
     }
     drop(store);
     let catalog = store_catalog(&dir, frames);
-    let healed = catalog.context("taipei").unwrap().labeled();
+    let healed_ctx = catalog.context("taipei").unwrap();
+    let healed = healed_ctx.labeled();
     assert!(healed.annotation_cost_secs() > 0.0, "corrupt annotations => rebuild");
     assert_eq!(healed.train(), &first_train);
     let _ = std::fs::remove_dir_all(&dir);

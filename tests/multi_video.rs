@@ -13,7 +13,7 @@ const PRESETS: [DatasetPreset; 3] =
     [DatasetPreset::Taipei, DatasetPreset::NightStreet, DatasetPreset::Amsterdam];
 
 fn car_catalog(frames: u64) -> Catalog {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     for preset in PRESETS {
         catalog.register_preset(preset, frames).expect("register preset");
     }
@@ -207,7 +207,7 @@ fn global_limit_stops_charging_every_video_once_satisfied() {
     // car streams. Once the global limit is met by those streams, early cancellation
     // must leave the whole rialto scan uncharged — the total call count stays far
     // below rialto's frame count, and no rialto frame is returned.
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, 800).unwrap();
     catalog.register_preset(DatasetPreset::Rialto, 800).unwrap();
     let session = catalog.session();
@@ -276,7 +276,7 @@ fn explain_from_star_renders_per_video_subplans_with_their_own_warmth() {
 
 #[test]
 fn multi_video_selection_concatenates_source_tagged_rows() {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, 700).unwrap();
     catalog.register_preset(DatasetPreset::Amsterdam, 700).unwrap();
     let session = catalog.session();
@@ -289,7 +289,7 @@ fn multi_video_selection_concatenates_source_tagged_rows() {
 
     // Per-video runs on a second, identical catalog reproduce the fan-out exactly.
     let solo_catalog = {
-        let mut c = Catalog::new();
+        let c = Catalog::new();
         c.register_preset(DatasetPreset::Taipei, 700).unwrap();
         c.register_preset(DatasetPreset::Amsterdam, 700).unwrap();
         c
@@ -328,7 +328,7 @@ fn from_star_keeps_catalog_semantics_over_a_one_video_catalog() {
     // The result shape of `FROM *` must not depend on how many videos happen to be
     // registered: callers written against the catalog surface would otherwise break
     // the day their deployment shrinks to one stream.
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, 700).unwrap();
     let session = catalog.session();
 
@@ -373,7 +373,7 @@ fn divergent_per_subplan_scrub_overrides_are_rejected() {
     // The global-limit scrub runs one LIMIT/GAP/budget across all videos; a
     // plan_mut edit that makes sub-plans disagree must fail loudly instead of
     // silently running with sub-plan 0's values.
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_preset(DatasetPreset::Taipei, 700).unwrap();
     catalog.register_preset(DatasetPreset::Amsterdam, 700).unwrap();
     let session = catalog.session();

@@ -1,0 +1,135 @@
+//! End-to-end smoke test of the `blazeit-server` binary: spawn the real
+//! process, drive it with concurrent TCP clients speaking the line/JSON
+//! protocol, and check answers, serving stats, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+struct ServerProcess {
+    child: Child,
+    port: u16,
+}
+
+impl ServerProcess {
+    /// Spawns `blazeit-server` on an ephemeral port and waits for its
+    /// `listening on` banner.
+    fn spawn() -> ServerProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_blazeit-server"))
+            .args(["--port", "0", "--frames", "400", "--videos", "taipei"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn blazeit-server");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("server must print its listening banner")
+            .expect("read server stdout");
+        let port = banner
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.trim().parse().ok())
+            .unwrap_or_else(|| panic!("unparseable banner {banner:?}"));
+        // Keep draining stdout in the background so the server never blocks
+        // on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServerProcess { child, port }
+    }
+
+    fn connect(&self) -> TcpStream {
+        TcpStream::connect(("127.0.0.1", self.port)).expect("connect to server")
+    }
+}
+
+/// Sends one line and reads one JSON line back.
+fn roundtrip(stream: &mut TcpStream, command: &str) -> String {
+    writeln!(stream, "{command}").expect("send command");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(!line.is_empty(), "server closed the connection mid-command");
+    line.trim().to_string()
+}
+
+/// Pulls `"field":value` out of a flat JSON line (the protocol emits one
+/// object per line with no nesting on the paths this test checks).
+fn json_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim_matches('"'))
+}
+
+const QUERY: &str =
+    "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.25 AT CONFIDENCE 90%";
+
+#[test]
+fn concurrent_clients_get_identical_answers_and_clean_shutdown() {
+    let mut server = ServerProcess::spawn();
+
+    // A ping proves the accept loop is live before the client storm.
+    let mut probe = server.connect();
+    assert_eq!(roundtrip(&mut probe, "PING"), "{\"ok\":true,\"kind\":\"pong\"}");
+
+    // Eight concurrent clients, all issuing the same query (max coalescing
+    // pressure) plus an EXPLAIN and an error case on some of them.
+    let answers: Vec<(String, Option<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let mut stream = server.connect();
+                scope.spawn(move || {
+                    let answer = roundtrip(&mut stream, QUERY);
+                    let extra = match i % 3 {
+                        0 => Some(roundtrip(&mut stream, &format!("EXPLAIN {QUERY}"))),
+                        1 => Some(roundtrip(
+                            &mut stream,
+                            "SELECT FCOUNT(*) FROM nonexistent WHERE class = 'car'",
+                        )),
+                        _ => None,
+                    };
+                    (answer, extra)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Every client saw a successful aggregate, and all eight values are
+    // bit-identical (they share one computation or its cached result).
+    let first_value = json_field(&answers[0].0, "value").expect("aggregate value").to_string();
+    for (answer, extra) in &answers {
+        assert_eq!(json_field(answer, "ok"), Some("true"), "{answer}");
+        assert_eq!(json_field(answer, "kind"), Some("aggregate"), "{answer}");
+        assert_eq!(json_field(answer, "value"), Some(first_value.as_str()), "{answer}");
+        match extra {
+            Some(line) if line.contains("\"kind\":\"explain\"") => {
+                assert_eq!(json_field(line, "ok"), Some("true"), "{line}");
+                assert!(line.contains("cache:"), "EXPLAIN must report the disposition: {line}");
+            }
+            Some(line) => {
+                assert_eq!(json_field(line, "ok"), Some("false"), "{line}");
+                assert_eq!(json_field(line, "kind"), Some("unknown_video"), "{line}");
+            }
+            None => {}
+        }
+    }
+
+    // The serving stats must show the storm was deduplicated: one miss,
+    // everyone else a hit or a coalesced waiter.
+    let stats = roundtrip(&mut probe, "STATS");
+    let misses: u64 = json_field(&stats, "misses").and_then(|v| v.parse().ok()).expect("misses");
+    let hits: u64 = json_field(&stats, "hits").and_then(|v| v.parse().ok()).expect("hits");
+    let coalesced: u64 =
+        json_field(&stats, "coalesced").and_then(|v| v.parse().ok()).expect("coalesced");
+    assert_eq!(misses, 1, "identical queries must compute once: {stats}");
+    assert_eq!(hits + coalesced, 7, "the other seven attach or hit: {stats}");
+
+    // Graceful shutdown: the command is acknowledged, the process exits 0.
+    assert_eq!(roundtrip(&mut probe, "SHUTDOWN"), "{\"ok\":true,\"kind\":\"shutdown\"}");
+    let status = server.child.wait().expect("wait for server exit");
+    assert!(status.success(), "server must exit cleanly, got {status:?}");
+}

@@ -62,7 +62,7 @@ fn stable_labeled(frames_per_day: u64) -> (Arc<LabeledSet>, BlazeItConfig) {
 fn subscribed_fcount_over_live_stream_is_incremental_and_bit_identical() {
     let frames = 2_400u64;
     let initial = 800u64;
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog
         .register_stream_preset(DatasetPreset::Taipei, frames, initial, DriftConfig::disabled())
         .unwrap();
@@ -77,7 +77,7 @@ fn subscribed_fcount_over_live_stream_is_incremental_and_bit_identical() {
     assert_eq!(sub.window(), Some(600));
 
     let ctx = catalog.context("taipei").unwrap();
-    let heads = car_heads(ctx);
+    let heads = car_heads(&ctx);
     let heldout_frames = ctx.labeled().heldout().len() as u64;
     let cost = ctx.config().cost;
     // Subscribing trains the specialized NN and scores the initial prefix plus
@@ -147,7 +147,7 @@ fn subscribed_fcount_over_live_stream_is_incremental_and_bit_identical() {
     // (same labeled set, same seeds) and scores from scratch.
     let nn_stream = ctx.specialized_for(&heads).unwrap();
     let index_stream = ctx.score_index(&nn_stream).unwrap();
-    let mut cold = Catalog::new();
+    let cold = Catalog::new();
     cold.register_preset(DatasetPreset::Taipei, frames).unwrap();
     let cold_ctx = cold.context("taipei").unwrap();
     let nn_cold = cold_ctx.specialized_for(&heads).unwrap();
@@ -192,7 +192,7 @@ fn subscribed_fcount_over_live_stream_is_incremental_and_bit_identical() {
 
 #[test]
 fn subscribe_rejects_unsupported_shapes_and_one_shot_rejects_stream_clauses() {
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog
         .register_stream_preset(DatasetPreset::Taipei, 900, 300, DriftConfig::disabled())
         .unwrap();
@@ -260,7 +260,7 @@ fn drift_config() -> DriftConfig {
 fn injected_drift_triggers_exactly_one_background_retrain_with_atomic_swap() {
     let (labeled, config) = stable_labeled(1_200);
     let capacity = drifting_capacity(1_200, 1_200);
-    let mut catalog = Catalog::new();
+    let catalog = Catalog::new();
     catalog.register_stream(capacity, labeled, config, 600, drift_config()).unwrap();
     let session = catalog.session();
     let mut sub = session
@@ -284,7 +284,7 @@ fn injected_drift_triggers_exactly_one_background_retrain_with_atomic_swap() {
         }
         refreshes.extend(report.refreshes.clone());
         updates.extend(sub.poll().unwrap());
-        let status = ctx.stream_status(&car_heads(ctx)).unwrap();
+        let status = ctx.stream_status(&car_heads(&ctx)).unwrap();
         eprintln!(
             "ingested {}: drift {:?} refresh {:?}",
             status.ingested, status.drift_score, status.refresh
@@ -332,7 +332,7 @@ fn injected_drift_triggers_exactly_one_background_retrain_with_atomic_swap() {
     assert!(rendered.contains("ingested 2400/2400 frames"), "{rendered}");
     assert!(rendered.contains("generation 1"), "{rendered}");
     assert!(rendered.contains("refresh completed (generation 1)"), "{rendered}");
-    let status = ctx.stream_status(&car_heads(ctx)).unwrap();
+    let status = ctx.stream_status(&car_heads(&ctx)).unwrap();
     assert_eq!(status.refresh, RefreshState::Completed { generation: 1 });
     assert_eq!(status.index_frames, Some(2_400));
 }
@@ -359,7 +359,7 @@ fn streaming_write_behind_keeps_disk_consistent_with_the_grown_video() {
     let _ = std::fs::remove_dir_all(&dir);
     let frames = 1_200u64;
     {
-        let mut catalog = Catalog::with_index_store(&dir).unwrap();
+        let catalog = Catalog::with_index_store(&dir).unwrap();
         catalog
             .register_stream_preset(DatasetPreset::Taipei, frames, 400, DriftConfig::disabled())
             .unwrap();
@@ -385,7 +385,7 @@ fn streaming_write_behind_keeps_disk_consistent_with_the_grown_video() {
     }
     // A fresh catalog over the fully grown video answers from the stream's
     // persisted artifacts: zero training, zero specialized inference.
-    let mut cold = Catalog::with_index_store(&dir).unwrap();
+    let cold = Catalog::with_index_store(&dir).unwrap();
     cold.register_preset(DatasetPreset::Taipei, frames).unwrap();
     let result = cold
         .session()
@@ -450,7 +450,7 @@ proptest! {
     ) {
         let EquivalenceFixture { labeled, config, capacity, stream_store, cold_store } =
             equivalence_fixture();
-        let mut catalog = Catalog::with_index_store(stream_store).unwrap();
+        let catalog = Catalog::with_index_store(stream_store).unwrap();
         catalog
             .register_stream(
                 capacity.clone(),
@@ -461,7 +461,7 @@ proptest! {
             )
             .unwrap();
         let ctx = catalog.context("taipei").unwrap();
-        let heads = car_heads(ctx);
+        let heads = car_heads(&ctx);
         let nn = ctx.specialized_for(&heads).unwrap();
         let _ = ctx.score_index(&nn).unwrap();
         let stream = catalog.stream("taipei").unwrap();
@@ -479,7 +479,7 @@ proptest! {
         // scores keeps the re-score genuinely cold across cases; the trained
         // network alone is carried over (loading it is bit-exact).
         let _ = std::fs::remove_dir_all(cold_store.join("taipei").join("scores"));
-        let mut cold = Catalog::with_index_store(cold_store).unwrap();
+        let cold = Catalog::with_index_store(cold_store).unwrap();
         cold.register(capacity.prefix(grown).unwrap(), Arc::clone(labeled), config.clone())
             .unwrap();
         let cold_ctx = cold.context("taipei").unwrap();
