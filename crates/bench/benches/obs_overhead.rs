@@ -1,0 +1,113 @@
+//! Tracing overhead: the cost of the `obs` span machinery, armed and disarmed.
+//!
+//! The observability contract (see `docs/ARCHITECTURE.md`) is that an
+//! *untraced* query pays almost nothing for the instrumentation: with no
+//! collector installed, [`obs::span`] is one thread-local read returning an
+//! inert guard. This bench pins that claim in CI: the disarmed per-span cost
+//! is measured over a large loop and **asserted** under a generous bound, and
+//! the armed cost plus warm-query wall times (plain vs `EXPLAIN ANALYZE`)
+//! land in `BENCH_obs.json` at the workspace root for trend tracking.
+
+use blazeit_core::{obs, Catalog};
+use blazeit_detect::SimClock;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hard ceiling on the disarmed per-span cost. The real cost is a handful of
+/// nanoseconds (one TLS read, no allocation); the bound is two orders of
+/// magnitude looser so CI machines under load never flake, while still
+/// catching a regression that puts a lock or an allocation on the path.
+const DISARMED_NS_BOUND: f64 = 200.0;
+
+const SPAN_ITERS: u32 = 1_000_000;
+
+/// Nanoseconds per disarmed span over `SPAN_ITERS` open/close pairs; the
+/// minimum of `rounds` runs (minimum, not mean — scheduler noise only ever
+/// adds time, so the minimum is the honest cost of the code path).
+fn measure_disarmed(rounds: usize) -> f64 {
+    assert!(obs::trace_context().is_none(), "bench must start untraced");
+    (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..SPAN_ITERS {
+                black_box(obs::span("bench"));
+            }
+            t.elapsed().as_secs_f64() * 1e9 / f64::from(SPAN_ITERS)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Nanoseconds per *armed* span (collector installed): reported, not bounded —
+/// traced queries opt into the cost.
+fn measure_armed(rounds: usize) -> f64 {
+    let clock = SimClock::new();
+    (0..rounds)
+        .map(|_| {
+            let guard = obs::install_collector(Arc::clone(&clock));
+            let t = Instant::now();
+            for _ in 0..SPAN_ITERS / 100 {
+                black_box(obs::span("bench"));
+            }
+            let per_op = t.elapsed().as_secs_f64() * 1e9 / f64::from(SPAN_ITERS / 100);
+            drop(guard.finish());
+            per_op
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let disarmed_ns = measure_disarmed(5);
+    assert!(
+        disarmed_ns < DISARMED_NS_BOUND,
+        "disarmed span cost regressed: {disarmed_ns:.1}ns/span exceeds the \
+         {DISARMED_NS_BOUND}ns bound — something heavy crept onto the untraced path"
+    );
+    let armed_ns = measure_armed(5);
+
+    // Warm-query comparison: the same cached aggregate executed plain and
+    // under EXPLAIN ANALYZE. Both answer from warm engine caches, so the gap
+    // is the tracing machinery (collector install, spans, assembly).
+    let catalog = Catalog::new();
+    catalog.register_preset(blazeit_videostore::DatasetPreset::Taipei, 1_000).expect("register");
+    let sql = "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.2 AT CONFIDENCE 95%";
+    let session = catalog.session();
+    session.query(sql).expect("warmup");
+    let timed = |q: &str| -> f64 {
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(session.query(q).expect("warm query"));
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let warm_query_ms = timed(sql);
+    let warm_analyze_ms = timed(&format!("EXPLAIN ANALYZE {sql}"));
+
+    println!(
+        "obs_overhead: disarmed {disarmed_ns:.1}ns/span (bound {DISARMED_NS_BOUND}ns) | \
+         armed {armed_ns:.1}ns/span | warm query {warm_query_ms:.3}ms plain vs \
+         {warm_analyze_ms:.3}ms analyzed"
+    );
+
+    let report = format!(
+        "{{\n  \"disarmed_ns_per_span\": {disarmed_ns:.2},\n  \
+         \"disarmed_ns_bound\": {DISARMED_NS_BOUND},\n  \
+         \"armed_ns_per_span\": {armed_ns:.2},\n  \
+         \"warm_query_ms\": {warm_query_ms:.4},\n  \
+         \"warm_analyze_ms\": {warm_analyze_ms:.4}\n}}\n"
+    );
+    let out_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_obs.json");
+    std::fs::write(&out_path, report).expect("write BENCH_obs.json");
+    println!("wrote {}", out_path.display());
+
+    // Criterion entry for the disarmed path only: an armed entry would
+    // accumulate one span record per iteration (millions over the measurement
+    // budget); the bounded `measure_armed` loop above reports that cost.
+    c.bench_function("span_disarmed", |b| b.iter(|| black_box(obs::span("bench"))));
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -7,7 +7,9 @@
 //! flight — the first wave hits the coalescing path at full width, later
 //! repeats answer from the result cache. Per-query wall latency (p50 / p99),
 //! aggregate QPS, and the server's hit / miss / coalesce counters for every
-//! client count land in `BENCH_serving.json` at the workspace root.
+//! client count land in `BENCH_serving.json` at the workspace root. After the
+//! rows, the process-wide metrics registry (`obs::prometheus_exposition`) is
+//! scraped and cross-checked against the summed per-server counters.
 
 use blazeit_core::{Catalog, Server};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -53,6 +55,17 @@ struct Row {
     hits: u64,
     misses: u64,
     coalesced: u64,
+}
+
+/// Value of one un-labeled sample in a Prometheus text exposition.
+fn scrape(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .find(|l| l.strip_prefix(name).is_some_and(|rest| rest.starts_with(' ')))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .unwrap_or_else(|| panic!("metric {name} missing from the exposition"))
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -138,11 +151,27 @@ fn bench_serving_saturation(c: &mut Criterion) {
     }
 
     let total_hits: u64 = rows.iter().map(|r| r.hits).sum();
+    let total_misses: u64 = rows.iter().map(|r| r.misses).sum();
     let total_coalesced: u64 = rows.iter().map(|r| r.coalesced).sum();
     assert!(
         total_hits > 0 && total_coalesced > 0,
         "the duplicate-heavy script must both answer from the cache and \
          coalesce in-flight duplicates (hits {total_hits}, coalesced {total_coalesced})"
+    );
+
+    // Scrape the process-wide metrics registry and cross-check it against the
+    // per-server counters summed over every row: each served query incremented
+    // both, so the registry (cumulative across the fresh-server rows) must
+    // agree exactly with the ServeStats the rows reported.
+    let exposition = blazeit_core::obs::prometheus_exposition();
+    assert_eq!(scrape(&exposition, "blazeit_serving_cache_hits_total"), total_hits);
+    assert_eq!(scrape(&exposition, "blazeit_serving_cache_misses_total"), total_misses);
+    assert_eq!(scrape(&exposition, "blazeit_serving_coalesced_total"), total_coalesced);
+    let total_queries: u64 = rows.iter().map(|r| r.queries as u64).sum();
+    assert_eq!(
+        scrape(&exposition, "blazeit_serving_queries_total"),
+        total_queries,
+        "every served query (including EXPLAIN) counts once"
     );
 
     let entries: Vec<String> = rows

@@ -19,6 +19,7 @@
 //! deviation of the estimator.
 
 use crate::context::VideoContext;
+use crate::obs;
 use crate::plan::{PlanStrategy, RewriteDecision, VideoPlan};
 use crate::result::{AggregateMethod, QueryOutput};
 use crate::stats::{mean_and_variance, normal_critical_value};
@@ -192,6 +193,7 @@ pub fn rewrite_fcount(
     nn: &Arc<SpecializedNN>,
     class: ObjectClass,
 ) -> Result<f64> {
+    let _rewrite = obs::span("query rewrite");
     let head = nn
         .head_index(class)
         .ok_or_else(|| BlazeItError::Internal(format!("no head for class {class}")))?;
@@ -297,6 +299,7 @@ fn adaptive_sampling(
     opts: SamplingOptions,
     control: Option<ControlVariate>,
 ) -> Result<SamplingOutcome> {
+    let _sample = obs::span("sample-verify");
     if opts.error <= 0.0 {
         return Err(BlazeItError::Unsupported("error tolerance must be positive".into()));
     }

@@ -31,6 +31,7 @@ use crate::config::BlazeItConfig;
 use crate::fault::HealthState;
 use crate::labeled::LabeledSet;
 use crate::lockorder::{lock_ordered, OrderedGuard, RANK_LIVE_INDEX, RANK_NN_CACHE, RANK_VIDEO};
+use crate::obs;
 use crate::store::{IndexStore, StoreResult};
 use crate::stream::StreamState;
 use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
@@ -519,9 +520,11 @@ impl VideoContext {
         }
         let normalized = Self::normalized_heads(heads);
         if let Some(nn) = self.lookup_specialized(&normalized) {
+            obs::count(obs::COUNTER_CACHE_HITS, 1);
             return Ok(nn);
         }
 
+        let _train = obs::span("train specialized");
         let spec_config = self.context_spec_config(&normalized);
         let train_day = self.labeled.train();
         let (nn, _report) = SpecializedNN::train(
@@ -609,13 +612,17 @@ impl VideoContext {
             if entry.nn.weights_fingerprint() == nn.weights_fingerprint()
                 && entry.scores.num_frames() as u64 == video.len()
             {
+                obs::count(obs::COUNTER_CACHE_HITS, 1);
                 return Ok(Arc::clone(&entry.scores));
             }
         }
         let skey = Self::score_key(&video, video.len() as usize, nn);
         let scores = if let Some(scores) = self.load_stored_scores(&skey) {
+            obs::count(obs::COUNTER_CACHE_HITS, 1);
             scores
         } else {
+            let _score = obs::span("specialized score");
+            obs::count(obs::COUNTER_FRAMES_SCORED, video.len());
             let scores = Arc::new(nn.score_video(&video)?);
             self.store_scores_behind(&skey, &scores);
             scores
@@ -662,12 +669,16 @@ impl VideoContext {
         let key = Self::score_key(self.labeled.heldout_video(), heldout.frames.len(), nn);
         let mut cache = self.heldout_cache.lock();
         if let Some(scores) = cache.get(&key) {
+            obs::count(obs::COUNTER_CACHE_HITS, 1);
             return Ok(Arc::clone(scores));
         }
         if let Some(scores) = self.load_stored_scores(&key) {
+            obs::count(obs::COUNTER_CACHE_HITS, 1);
             cache.insert(key, Arc::clone(&scores));
             return Ok(scores);
         }
+        let _score = obs::span("held-out score");
+        obs::count(obs::COUNTER_FRAMES_SCORED, heldout.frames.len() as u64);
         let scores = Arc::new(nn.score_batch(self.labeled.heldout_video(), &heldout.frames)?);
         self.store_scores_behind(&key, &scores);
         cache.insert(key, Arc::clone(&scores));

@@ -447,6 +447,7 @@ impl HealthState {
             inner.store_degraded = false;
             inner.probe_backoff = INITIAL_PROBE_BACKOFF;
             inner.probe_in = 0;
+            crate::obs::metrics().store_heals.inc();
         }
     }
 

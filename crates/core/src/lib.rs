@@ -75,6 +75,7 @@ pub mod fault;
 pub mod labeled;
 pub mod lockorder;
 pub mod metrics;
+pub mod obs;
 pub mod plan;
 pub mod relation;
 pub mod result;
@@ -94,6 +95,7 @@ pub use engine::BlazeIt;
 pub use fault::{HealthReport, HealthState, RetrainHealth, RetryPolicy};
 pub use labeled::LabeledSet;
 pub use metrics::RuntimeReport;
+pub use obs::{QueryTrace, TraceSpan};
 pub use plan::{CacheStatus, MergeSemantics, PlanStrategy, QueryPlan, RewriteDecision, VideoPlan};
 pub use result::{
     AggregateMethod, QueryOutput, QueryResult, SourcedFrame, SourcedRow, VideoAggregate,

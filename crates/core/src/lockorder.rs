@@ -2,13 +2,16 @@
 //! hierarchy.
 //!
 //! The engine documents a strict acquisition order — **admission →
-//! serve_cache → serve_slot → monitor → live_index → nn_cache → video** —
-//! which keeps the serving layer (admission control, the coalescing result
-//! cache), ingest, drift checks, and background-refresh publication
-//! deadlock-free. The serving locks rank lowest because they sit *above* the
-//! engine: a cache miss executes a full query, which acquires the context and
-//! stream locks, so no serving lock may ever be requested while an engine
-//! lock is held. That discipline used to live
+//! serve_cache → serve_slot → monitor → live_index → nn_cache → video →
+//! obs_trace** — which keeps the serving layer (admission control, the
+//! coalescing result cache), ingest, drift checks, and background-refresh
+//! publication deadlock-free. The serving locks rank lowest because they sit
+//! *above* the engine: a cache miss executes a full query, which acquires the
+//! context and stream locks, so no serving lock may ever be requested while an
+//! engine lock is held. The trace-collector lock (`obs_trace`) ranks highest —
+//! a span can open or close while *any* engine lock is held, so the collector
+//! must be acquirable last and is never held across another acquisition. That
+//! discipline used to live
 //! only in comments; this module enforces it in debug builds: every ranked lock
 //! acquisition pushes its rank onto a thread-local stack and asserts that no
 //! lock of an equal or higher rank is already held by this thread. Release
@@ -44,7 +47,7 @@ pub struct RankedLock {
 /// `blazeit-lint` both consume it, so the two enforcement layers cannot
 /// diverge (a regression test in `crates/lint` additionally pins the
 /// `RANK_*` constants and every call-site name literal to this table).
-pub const RANKED_LOCKS: [RankedLock; 7] = [
+pub const RANKED_LOCKS: [RankedLock; 8] = [
     RankedLock { name: "admission", rank: 0 },
     RankedLock { name: "serve_cache", rank: 1 },
     RankedLock { name: "serve_slot", rank: 2 },
@@ -52,6 +55,7 @@ pub const RANKED_LOCKS: [RankedLock; 7] = [
     RankedLock { name: "live_index", rank: 4 },
     RankedLock { name: "nn_cache", rank: 5 },
     RankedLock { name: "video", rank: 6 },
+    RankedLock { name: "obs_trace", rank: 7 },
 ];
 
 /// Rank of `serve::Admission::state` (acquired first — the serving layer sits
@@ -67,8 +71,12 @@ pub const RANK_MONITOR: u8 = RANKED_LOCKS[3].rank;
 pub const RANK_LIVE_INDEX: u8 = RANKED_LOCKS[4].rank;
 /// Rank of `VideoContext::nn_cache`.
 pub const RANK_NN_CACHE: u8 = RANKED_LOCKS[5].rank;
-/// Rank of `VideoContext::video` (acquired last).
+/// Rank of `VideoContext::video` (the last engine lock).
 pub const RANK_VIDEO: u8 = RANKED_LOCKS[6].rank;
+/// Rank of `obs::TraceCollector::state` (acquired last: span guards open and
+/// close while engine locks are held, and the collector lock is never held
+/// across any other acquisition).
+pub const RANK_OBS_TRACE: u8 = RANKED_LOCKS[7].rank;
 
 #[cfg(debug_assertions)]
 mod tracker {
@@ -88,7 +96,7 @@ mod tracker {
                     "lock-order violation: acquiring '{name}' (rank {rank}) while holding \
                      '{held_name}' (rank {held_rank}); the documented order is \
                      admission → serve_cache → serve_slot → monitor → live_index → \
-                     nn_cache → video"
+                     nn_cache → video → obs_trace"
                 );
             }
             held.push((rank, name));
@@ -183,6 +191,11 @@ mod tests {
         drop(c);
         let a = lock_ordered(RANK_VIDEO, "video", &video);
         drop(a);
+        // The trace collector ranks last: a span may record itself while any
+        // engine lock is held.
+        let a = lock_ordered(RANK_VIDEO, "video", &video);
+        let b = lock_ordered(RANK_OBS_TRACE, "obs_trace", &live);
+        drop((a, b));
     }
 
     #[test]

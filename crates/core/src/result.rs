@@ -1,5 +1,6 @@
 //! Query results and execution reports.
 
+use crate::obs::QueryTrace;
 use crate::plan::QueryPlan;
 use blazeit_detect::clock::CostBreakdown;
 use blazeit_frameql::FrameQlRow;
@@ -118,6 +119,17 @@ pub enum QueryOutput {
         /// The plan the optimizer chose; render it with `plan.to_string()`.
         plan: QueryPlan,
     },
+    /// The result of an `EXPLAIN ANALYZE <query>` statement: the query *was*
+    /// executed (and charged to the simulated clock), and the actual span tree
+    /// is attached alongside the chosen plan. Render the tree with
+    /// `trace.to_string()`; its per-span simulated costs sum exactly to the
+    /// enclosing [`QueryResult::cost`].
+    ExplainAnalyze {
+        /// The plan the optimizer chose.
+        plan: QueryPlan,
+        /// The recorded execution trace.
+        trace: QueryTrace,
+    },
 }
 
 impl QueryOutput {
@@ -181,10 +193,18 @@ impl QueryOutput {
         }
     }
 
-    /// The chosen plan, if this is an `EXPLAIN` result.
+    /// The chosen plan, if this is an `EXPLAIN` (or `EXPLAIN ANALYZE`) result.
     pub fn explain_plan(&self) -> Option<&QueryPlan> {
         match self {
-            QueryOutput::Explain { plan } => Some(plan),
+            QueryOutput::Explain { plan } | QueryOutput::ExplainAnalyze { plan, .. } => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The recorded execution trace, if this is an `EXPLAIN ANALYZE` result.
+    pub fn analyze_trace(&self) -> Option<&QueryTrace> {
+        match self {
+            QueryOutput::ExplainAnalyze { trace, .. } => Some(trace),
             _ => None,
         }
     }
@@ -199,6 +219,9 @@ impl QueryOutput {
             | QueryOutput::CatalogFrames { detection_calls, .. }
             | QueryOutput::CatalogRows { detection_calls, .. } => *detection_calls,
             QueryOutput::Explain { .. } => 0,
+            QueryOutput::ExplainAnalyze { trace, .. } => {
+                trace.counter_total(crate::obs::COUNTER_DETECTOR_CALLS)
+            }
         }
     }
 }

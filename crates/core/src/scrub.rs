@@ -12,6 +12,7 @@
 
 use crate::baselines::{requirement_pairs, respects_gap};
 use crate::context::VideoContext;
+use crate::obs;
 use crate::plan::{PlanStrategy, VideoPlan};
 use crate::result::{QueryOutput, SourcedFrame};
 use crate::{baselines, BlazeItError, Result};
@@ -200,6 +201,7 @@ fn verify_windowed(
     opts: ScrubOptions,
     budget: Option<u64>,
 ) -> (Vec<(usize, FrameIndex)>, u64) {
+    let _verify = obs::span("detect-verify");
     let mut accepted: Vec<(usize, FrameIndex)> = Vec::new();
     let mut accepted_per_video: Vec<Vec<FrameIndex>> = videos.iter().map(|_| Vec::new()).collect();
     let mut calls = 0u64;

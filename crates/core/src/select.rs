@@ -22,6 +22,7 @@
 //! introduce false negatives, whose rate the experiments measure against the naive scan.
 
 use crate::context::VideoContext;
+use crate::obs;
 use crate::plan::VideoPlan;
 use crate::relation::RelationBuilder;
 use crate::result::QueryOutput;
@@ -197,7 +198,10 @@ pub fn execute_with_options(
     info: &QueryPlanInfo,
     options: &SelectionOptions,
 ) -> Result<SelectionOutcome> {
-    let plan = plan_filters(ctx, info, options)?;
+    let plan = {
+        let _calibrate = obs::span("calibrate filters");
+        plan_filters(ctx, info, options)?
+    };
     run_selection(ctx, query, info, &plan)
 }
 
@@ -433,6 +437,7 @@ pub fn run_selection(
     info: &QueryPlanInfo,
     plan: &FilterPlan,
 ) -> Result<SelectionOutcome> {
+    let _select = obs::span("filter-detect");
     let video = ctx.video();
     let video = &*video;
     let (width, height) = video.resolution();

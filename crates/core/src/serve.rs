@@ -44,6 +44,7 @@
 use crate::catalog::Catalog;
 use crate::context::CacheWarmth;
 use crate::lockorder::{lock_ordered, RANK_ADMISSION, RANK_SERVE_CACHE, RANK_SERVE_SLOT};
+use crate::obs;
 use crate::plan::{CacheStatus, PlanStrategy, QueryPlan};
 use crate::result::QueryResult;
 use crate::session::PreparedQuery;
@@ -97,6 +98,7 @@ impl CacheKey {
     fn for_query(prepared: &PreparedQuery) -> CacheKey {
         let mut normalized = prepared.query().clone();
         normalized.explain = false;
+        normalized.analyze = false;
         let videos = prepared
             .contexts()
             .map(|ctx| {
@@ -217,26 +219,28 @@ impl QueryCache {
     /// in-flight one, or claim computership by inserting a fresh slot.
     /// Computership is decided by map-entry vacancy under the map lock, so
     /// exactly one session computes each key at a time.
-    fn join_query(&self, key: &CacheKey) -> Role {
+    /// Besides the role, returns how many completed entries the insertion
+    /// evicted (0 for hits and waits), so the caller can count them.
+    fn join_query(&self, key: &CacheKey) -> (Role, usize) {
         let mut slots = lock_ordered(RANK_SERVE_CACHE, "serve_cache", &self.slots);
         if let Some(slot) = slots.map.get(key) {
             let slot = Arc::clone(slot);
             // serve_cache (1) → serve_slot (2) is in documented order.
             let mut state = slot.state.lock();
             match &mut *state {
-                SlotState::Done { result, .. } => return Role::Hit(result.clone()),
+                SlotState::Done { result, .. } => return (Role::Hit(result.clone()), 0),
                 SlotState::Computing { waiters } => {
                     *waiters += 1;
                     drop(state);
-                    return Role::Wait(slot);
+                    return (Role::Wait(slot), 0);
                 }
             }
         }
         let slot = Arc::new(Slot::new());
         slots.map.insert(key.clone(), Arc::clone(&slot));
         slots.order.push_back(key.clone());
-        self.evict_excess(&mut slots);
-        Role::Compute(slot)
+        let evicted = self.evict_excess(&mut slots);
+        (Role::Compute(slot), evicted)
     }
 
     /// Evicts oldest *completed* entries past the configured cap. In-flight
@@ -325,25 +329,41 @@ impl Admission {
 
     /// Blocks until this caller's FIFO turn comes up *and* `cost` fits the
     /// remaining budget (a query bigger than the whole budget is admitted
-    /// alone). Returns a permit that releases the budget on drop.
+    /// alone). Returns a permit that releases the budget on drop. The time
+    /// spent waiting lands in the `blazeit_serving_admission_wait_seconds`
+    /// histogram, and the queue depth gauge tracks every enqueue/admit.
     fn acquire(&self, cost: f64) -> AdmissionPermit<'_> {
         let cost = if cost.is_finite() && cost > 0.0 { cost } else { 1.0 };
+        let waited = std::time::Instant::now();
         let mut state = self.state.lock();
         let ticket = state.next_ticket;
         state.next_ticket += 1;
+        obs::metrics()
+            .serving_admission_queue_depth
+            .set((state.next_ticket - state.serving) as f64);
         loop {
             let my_turn = state.serving == ticket;
             let fits = state.in_flight_cost == 0.0 || state.in_flight_cost + cost <= self.capacity;
             if my_turn && fits {
                 state.serving += 1;
                 state.in_flight_cost += cost;
+                obs::metrics()
+                    .serving_admission_queue_depth
+                    .set((state.next_ticket - state.serving) as f64);
                 drop(state);
+                obs::metrics().serving_admission_wait.observe(waited.elapsed().as_secs_f64());
                 // The next ticket may also fit: let it check.
                 self.turn.notify_all();
                 return AdmissionPermit { admission: self, cost };
             }
             state = self.turn.wait(state);
         }
+    }
+
+    /// Sessions currently queued: tickets issued but not yet admitted.
+    fn queue_depth(&self) -> u64 {
+        let state = self.state.lock();
+        state.next_ticket - state.serving
     }
 
     fn release(&self, cost: f64) {
@@ -368,8 +388,9 @@ impl Drop for AdmissionPermit<'_> {
     }
 }
 
-/// A monotonic snapshot of the serving layer's counters (see
-/// [`Server::stats`]).
+/// A snapshot of the serving layer's counters (see [`Server::stats`]). Every
+/// field is monotonic except `queued`, which is the instantaneous admission
+/// queue depth at snapshot time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Lookups answered from a published cache entry.
@@ -383,6 +404,9 @@ pub struct ServeStats {
     /// Entries dropped because they errored or their data generation moved
     /// while they executed.
     pub invalidated: u64,
+    /// Sessions waiting in the admission queue *right now* (instantaneous
+    /// gauge, not a monotonic counter).
+    pub queued: u64,
 }
 
 #[derive(Default)]
@@ -483,6 +507,7 @@ impl Server {
             coalesced: self.stats.coalesced.load(Ordering::SeqCst),
             evicted: self.stats.evicted.load(Ordering::SeqCst),
             invalidated: self.stats.invalidated.load(Ordering::SeqCst),
+            queued: self.admission.queue_depth(),
         }
     }
 }
@@ -510,10 +535,25 @@ impl ServerSession<'_> {
 
     /// Parses, plans, and executes a FrameQL query through the serving layer:
     /// cache hit, coalesced wait, or admitted computation. `EXPLAIN` runs
-    /// free and reports the cache disposition its query would see.
+    /// free and reports the cache disposition its query would see; `EXPLAIN
+    /// ANALYZE` executes under a trace collector — admitted like a miss, but
+    /// never cached, counted, or coalesced, so tracing a query cannot perturb
+    /// the plain query's cache entry or the serving counters.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        obs::metrics().serving_queries.inc();
         let prepared = self.server.catalog.session().prepare(sql)?;
         let key = CacheKey::for_query(&prepared);
+
+        if prepared.is_analyze() {
+            let mut prepared = prepared;
+            prepared.plan_mut().cache = Some(self.server.cache.probe_status(&key));
+            let estimate = estimated_cost(prepared.plan());
+            let waited = std::time::Instant::now();
+            let _permit = self.server.admission.acquire(estimate);
+            prepared.set_admission_wait(waited.elapsed().as_secs_f64());
+            let tag = self.tag;
+            return SimClock::with_charge_tag(tag, || prepared.run());
+        }
 
         if prepared.is_explain() {
             let mut prepared = prepared;
@@ -521,18 +561,26 @@ impl ServerSession<'_> {
             return prepared.run();
         }
 
-        match self.server.cache.join_query(&key) {
+        let (role, evicted) = self.server.cache.join_query(&key);
+        if evicted > 0 {
+            self.server.stats.evicted.fetch_add(evicted as u64, Ordering::SeqCst);
+            obs::metrics().serving_evicted.add(evicted as u64);
+        }
+        match role {
             Role::Hit(result) => {
                 self.server.stats.hits.fetch_add(1, Ordering::SeqCst);
+                obs::metrics().serving_hits.inc();
                 result
             }
             Role::Wait(slot) => {
                 self.server.stats.coalesced.fetch_add(1, Ordering::SeqCst);
+                obs::metrics().serving_coalesced.inc();
                 let (result, _waiters) = slot.wait();
                 result
             }
             Role::Compute(slot) => {
                 self.server.stats.misses.fetch_add(1, Ordering::SeqCst);
+                obs::metrics().serving_misses.inc();
                 self.compute(&prepared, &key, &slot)
             }
         }
@@ -580,6 +628,7 @@ impl ServerSession<'_> {
             .any(|(ctx, (_, generation, _))| ctx.data_generation() != *generation);
         if result.is_err() || generation_moved {
             self.server.stats.invalidated.fetch_add(1, Ordering::SeqCst);
+            obs::metrics().serving_invalidated.inc();
             self.server.cache.drop_entry(key);
         }
         result

@@ -30,6 +30,7 @@ use crate::aggregate;
 use crate::catalog::Catalog;
 use crate::context::VideoContext;
 use crate::fault;
+use crate::obs;
 use crate::plan::{plan_query, QueryPlan};
 use crate::result::{QueryOutput, QueryResult, SourcedRow, VideoAggregate};
 use crate::scrub;
@@ -75,7 +76,10 @@ impl<'a> Session<'a> {
     /// registered video in registration order. Unknown names fail with
     /// [`BlazeItError::UnknownVideo`] (including a nearest-name suggestion).
     pub fn prepare(&self, sql: &str) -> Result<PreparedQuery> {
+        let parse_started = Instant::now();
         let parsed = parse_query(sql)?;
+        let parse_wall_secs = parse_started.elapsed().as_secs_f64();
+        let plan_started = Instant::now();
         let contexts: Vec<Arc<VideoContext>> = match &parsed.from {
             FromClause::All => {
                 let contexts = self.catalog.contexts();
@@ -118,7 +122,15 @@ impl<'a> Session<'a> {
         // registered.
         let fan_out = parsed.from.is_all() || targets.len() > 1;
         let plan = plan_query(&pairs, fan_out)?;
-        Ok(PreparedQuery { targets, sql: sql.to_string(), query: parsed, plan })
+        Ok(PreparedQuery {
+            targets,
+            sql: sql.to_string(),
+            query: parsed,
+            plan,
+            parse_wall_secs,
+            plan_wall_secs: plan_started.elapsed().as_secs_f64(),
+            admission_wait_secs: None,
+        })
     }
 
     /// Convenience: prepare and immediately run a query with its default plan.
@@ -138,6 +150,18 @@ pub struct PreparedQuery {
     sql: String,
     query: Query,
     plan: QueryPlan,
+    /// Wall-clock seconds `prepare` spent parsing — surfaced as the `parse`
+    /// span of an `EXPLAIN ANALYZE` trace (the collector is installed at run
+    /// time, after these stages already happened).
+    parse_wall_secs: f64,
+    /// Wall-clock seconds `prepare` spent routing, analyzing, and planning —
+    /// the `plan` span of an `EXPLAIN ANALYZE` trace.
+    plan_wall_secs: f64,
+    /// Wall-clock seconds the serving layer spent waiting for admission before
+    /// calling [`PreparedQuery::run`] — surfaced as the `admission wait` span
+    /// of an `EXPLAIN ANALYZE` trace. `None` for queries that never passed
+    /// through admission control.
+    admission_wait_secs: Option<f64>,
 }
 
 impl PreparedQuery {
@@ -175,8 +199,16 @@ impl PreparedQuery {
     }
 
     /// Whether this statement was an `EXPLAIN` (runs free, returns the plan).
+    /// True for `EXPLAIN ANALYZE` too — check [`PreparedQuery::is_analyze`]
+    /// to distinguish the variant that executes.
     pub fn is_explain(&self) -> bool {
         self.query.explain
+    }
+
+    /// Whether this statement was an `EXPLAIN ANALYZE` (executes the query
+    /// under a trace collector and returns the recorded span tree).
+    pub fn is_analyze(&self) -> bool {
+        self.query.analyze
     }
 
     /// Replaces the selection filter options (which inferred filters a selection
@@ -205,27 +237,34 @@ impl PreparedQuery {
         self
     }
 
+    /// Records how long the serving layer waited for admission before running
+    /// this query, so an `EXPLAIN ANALYZE` trace can surface the wait as its
+    /// own span (the wait happens before the collector is installed).
+    pub fn set_admission_wait(&mut self, wait_secs: f64) {
+        self.admission_wait_secs = Some(wait_secs);
+    }
+
     /// The rendered plan, exactly what `EXPLAIN <query>` returns.
     pub fn explain(&self) -> String {
         self.plan.to_string()
     }
 
-    /// Executes the plan (or, for `EXPLAIN`, returns the rendered plan for free).
+    /// Executes the plan (or, for `EXPLAIN`, returns the rendered plan for free;
+    /// for `EXPLAIN ANALYZE`, executes under a trace collector and returns the
+    /// recorded span tree).
     pub fn run(&self) -> Result<QueryResult> {
         let started = Instant::now();
         let clock = self.targets[0].ctx.clock();
-        let cost_before = clock.breakdown();
 
+        if self.query.analyze {
+            return self.run_analyze(started);
+        }
+
+        let cost_before = clock.breakdown();
         let output = if self.query.explain {
             QueryOutput::Explain { plan: self.plan.clone() }
         } else {
-            if self.query.window.is_some() || self.query.every.is_some() {
-                return Err(BlazeItError::Unsupported(
-                    "WINDOW/EVERY are continuous-query clauses; subscribe the query \
-                     with Session::subscribe instead of running it one-shot"
-                        .into(),
-                ));
-            }
+            self.reject_continuous_clauses()?;
             self.execute()?
         };
 
@@ -238,10 +277,61 @@ impl PreparedQuery {
         })
     }
 
+    fn reject_continuous_clauses(&self) -> Result<()> {
+        if self.query.window.is_some() || self.query.every.is_some() {
+            return Err(BlazeItError::Unsupported(
+                "WINDOW/EVERY are continuous-query clauses; subscribe the query \
+                 with Session::subscribe instead of running it one-shot"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// `EXPLAIN ANALYZE`: executes the plan with a trace collector installed,
+    /// then returns the assembled span tree (the executed payload itself is
+    /// discarded, like the rows of a PostgreSQL `EXPLAIN ANALYZE`).
+    ///
+    /// The result's `cost` is defined as [`QueryTrace::total_cost`] — the fold
+    /// of the per-span deltas in span order, which the collector merged back
+    /// into the ambient ledger with the identical fold — so the rendered trace
+    /// total always equals the result's cost **bitwise**, and both equal what
+    /// the session's ledger was charged.
+    ///
+    /// [`QueryTrace::total_cost`]: crate::obs::QueryTrace::total_cost
+    fn run_analyze(&self, started: Instant) -> Result<QueryResult> {
+        self.reject_continuous_clauses()?;
+        let clock = self.targets[0].ctx.clock();
+        let guard = obs::install_collector(Arc::clone(clock));
+        let outcome = {
+            let _root = obs::span("query");
+            obs::record_span("parse", self.parse_wall_secs);
+            obs::record_span("plan", self.plan_wall_secs);
+            if let Some(wait) = self.admission_wait_secs {
+                obs::record_span("admission wait", wait);
+            }
+            let result = self.execute();
+            if let Ok(output) = &result {
+                obs::count(obs::COUNTER_DETECTOR_CALLS, output.detection_calls());
+            }
+            result
+        };
+        let trace = guard.finish();
+        outcome?;
+        let cost = trace.total_cost();
+        Ok(QueryResult {
+            query: self.sql.clone(),
+            output: QueryOutput::ExplainAnalyze { plan: self.plan.clone(), trace },
+            cost,
+            wall_secs: started.elapsed().as_secs_f64(),
+        })
+    }
+
     fn execute(&self) -> Result<QueryOutput> {
         if !self.plan.is_fan_out() {
             let target = &self.targets[0];
             let sub = &self.plan.subplans[0];
+            let _video = obs::span_with(|| format!("video '{}'", target.ctx.video().name()));
             return match &target.info.class {
                 QueryClass::Aggregate { .. } => aggregate::execute(&target.ctx, &target.info, sub),
                 QueryClass::Scrub => scrub::execute(&target.ctx, &target.info, sub),
@@ -270,16 +360,32 @@ impl PreparedQuery {
         per_video: impl Fn(usize) -> Result<T> + Send + Sync,
     ) -> Vec<Result<T>> {
         let per_video = &per_video;
+        // Fan-out tasks run on pool workers, whose thread-local tracing state
+        // is empty: capture this thread's state (if a trace is active) and
+        // re-install it inside each task, so per-video spans attach under the
+        // submitting query's span — the same trick the pool itself plays with
+        // the SimClock charge tag.
+        let trace = obs::trace_context();
+        let trace = &trace;
         let tasks: Vec<Box<dyn FnOnce() -> Result<T> + Send + '_>> = (0..self.targets.len())
             .map(|idx| {
                 let task: Box<dyn FnOnce() -> Result<T> + Send + '_> = Box::new(move || {
-                    if fault::inject(fault::FaultSite::ParTask).is_some() {
-                        // blazeit-lint: allow(panic-site) -- deliberate chaos panic: the
-                        // injected fault must explode inside the task so the pool
-                        // boundary's catch_unwind handling is what gets exercised.
-                        panic!("injected fault: parallel sub-query panic");
+                    let body = || {
+                        let _video = obs::span_with(|| {
+                            format!("video '{}'", self.targets[idx].ctx.video().name())
+                        });
+                        if fault::inject(fault::FaultSite::ParTask).is_some() {
+                            // blazeit-lint: allow(panic-site) -- deliberate chaos panic: the
+                            // injected fault must explode inside the task so the pool
+                            // boundary's catch_unwind handling is what gets exercised.
+                            panic!("injected fault: parallel sub-query panic");
+                        }
+                        per_video(idx)
+                    };
+                    match trace {
+                        Some(trace) => trace.enter(body),
+                        None => body(),
                     }
-                    per_video(idx)
                 });
                 task
             })
@@ -307,6 +413,7 @@ impl PreparedQuery {
             let target = &self.targets[idx];
             aggregate::execute(&target.ctx, &target.info, &self.plan.subplans[idx])
         });
+        let _merge = obs::span("merge");
         let mut per_video = Vec::with_capacity(outputs.len());
         for (target, output) in self.targets.iter().zip(outputs) {
             match output? {
@@ -375,6 +482,7 @@ impl PreparedQuery {
             let target = &self.targets[idx];
             select::execute(&target.ctx, &self.query, &target.info, &self.plan.subplans[idx])
         });
+        let _merge = obs::span("merge");
         let mut all_rows: Vec<SourcedRow> = Vec::new();
         let mut detection_calls = 0u64;
         for (target, output) in self.targets.iter().zip(outputs) {

@@ -56,6 +56,7 @@
 
 use crate::fault;
 use crate::labeled::AnnotatedDay;
+use crate::obs;
 use crate::sync::Mutex;
 use crate::BlazeItError;
 use blazeit_detect::{CountVector, Detection, SimClock};
@@ -349,6 +350,7 @@ impl IndexStore {
                 Err(e) => return Err(io_err(&path, e)),
             }
             manifest.entries.remove(&victim);
+            obs::metrics().store_evictions.inc();
         }
         Ok(())
     }
@@ -410,6 +412,7 @@ impl IndexStore {
             }
         }
         write_atomically(path, bytes)?;
+        obs::metrics().store_writes.inc();
         self.record_write(path, bytes.len() as u64)
     }
 
@@ -485,6 +488,7 @@ impl IndexStore {
         let path = self.network_path(video, key);
         let Some(bytes) = read_if_exists(&path)? else { return Ok(None) };
         self.record_use(&path);
+        obs::metrics().store_reads.inc();
         persist::decode_specialized_nn(&bytes, key, Arc::clone(clock))
             .map(Some)
             .map_err(|source| StoreError::Invalid { path, source })
@@ -497,6 +501,7 @@ impl IndexStore {
         let path = self.scores_path(video, key);
         let Some(bytes) = read_if_exists(&path)? else { return Ok(None) };
         self.record_use(&path);
+        obs::metrics().store_reads.inc();
         persist::decode_score_matrix(&bytes, key)
             .map(Some)
             .map_err(|source| StoreError::Invalid { path, source })
@@ -562,6 +567,7 @@ impl IndexStore {
         let path = self.labeled_path(video, key);
         let Some(bytes) = read_if_exists(&path)? else { return Ok(None) };
         self.record_use(&path);
+        obs::metrics().store_reads.inc();
         decode_labeled(&bytes, key).map(Some).map_err(|source| StoreError::Invalid { path, source })
     }
 

@@ -50,6 +50,7 @@ use crate::catalog::Catalog;
 use crate::context::{LiveIndex, VideoContext};
 use crate::fault::{self, RetrainHealth};
 use crate::lockorder::{lock_ordered, RANK_MONITOR};
+use crate::obs;
 use crate::session::Session;
 use crate::stats::normal_critical_value;
 use crate::sync::Mutex;
@@ -462,6 +463,7 @@ impl VideoContext {
         // New frames are observable: invalidate serving-layer cache entries
         // keyed on the previous generation.
         self.bump_data_generation();
+        obs::metrics().stream_frames_ingested.add(to - from);
         Ok((from, to, extended))
     }
 
@@ -508,6 +510,8 @@ impl VideoContext {
                 .charge(CostCategory::Filter, touched as f64 * self.config().cost.filter_cost());
             ent.last_check = ingested;
             ent.last_score = Some(score);
+            obs::metrics().stream_drift_checks.inc();
+            obs::metrics().stream_drift_score.set(score);
             any = true;
             if score > drift.threshold {
                 ent.refresh = RefreshState::Pending;
@@ -703,6 +707,7 @@ impl VideoContext {
             });
             match applied {
                 Ok(report) => {
+                    obs::metrics().stream_retrain_completed.inc();
                     self.health().clear_retrain_failure();
                     // A new model generation answers differently: cached
                     // results keyed on the old data generation must miss.
@@ -710,6 +715,7 @@ impl VideoContext {
                     reports.push(report);
                 }
                 Err(e) => {
+                    obs::metrics().stream_retrain_failed.inc();
                     // Graceful degradation: the head set keeps its current
                     // `(network, index, generation)` — subscriptions and
                     // queries keep answering bit-exactly from it — and the

@@ -189,6 +189,35 @@ impl SimClock {
         f()
     }
 
+    /// Sets this thread's charge tag and returns the previous one. The raw
+    /// sibling of [`SimClock::with_charge_tag`] for callers whose scope is a
+    /// value lifetime rather than a closure — a `Drop` guard (the trace
+    /// collector's span guards) swaps its tag in on construction and must swap
+    /// the previous tag back in its own `drop`, which a closure cannot express.
+    /// Callers own the restore obligation `with_charge_tag` discharges
+    /// automatically.
+    pub fn swap_charge_tag(tag: u64) -> u64 {
+        CURRENT_TAG.with(|c| c.replace(tag))
+    }
+
+    /// Folds the ledger of `from` into the ledger of `into` (with
+    /// [`CostBreakdown::plus`]) and removes `from`, all under one lock
+    /// acquisition. The trace collector gives every span a private tag and
+    /// re-attributes each span's charges to the enclosing session's ledger by
+    /// merging in ascending span order — the same fold [`SimClock::breakdown`]
+    /// performs — so a trace's per-span costs sum to the session's ledger
+    /// delta *exactly*, not merely within floating-point noise. A `from` tag
+    /// with no charges is a no-op; merging a tag into itself is also a no-op.
+    pub fn merge_tag(&self, from: u64, into: u64) {
+        if from == into {
+            return;
+        }
+        let mut ledgers = self.ledgers.lock();
+        let Some(charged) = ledgers.remove(&from) else { return };
+        let slot = ledgers.entry(into).or_default();
+        *slot = slot.plus(&charged);
+    }
+
     /// Charges `seconds` of simulated time to `category`, on the ledger of
     /// this thread's current charge tag.
     ///
@@ -370,6 +399,51 @@ mod tests {
         assert!(outcome.is_err());
         assert_eq!(SimClock::charge_tag(), 0);
         assert_eq!(clock.breakdown_for(3).other, 1.0);
+    }
+
+    #[test]
+    fn swap_charge_tag_is_the_raw_pair_of_with_charge_tag() {
+        assert_eq!(SimClock::charge_tag(), 0);
+        let prev = SimClock::swap_charge_tag(41);
+        assert_eq!(prev, 0);
+        assert_eq!(SimClock::charge_tag(), 41);
+        let prev = SimClock::swap_charge_tag(prev);
+        assert_eq!(prev, 41);
+        assert_eq!(SimClock::charge_tag(), 0);
+    }
+
+    /// Merging per-span tags into an ambient tag in ascending span order must
+    /// reproduce, bitwise, the fold a direct sum of the span ledgers computes —
+    /// the exactness contract EXPLAIN ANALYZE's trace totals rely on.
+    #[test]
+    fn merge_tag_folds_exactly_and_removes_the_source() {
+        let clock = SimClock::new();
+        let span_tags = [100u64, 101, 102];
+        for (i, &tag) in span_tags.iter().enumerate() {
+            SimClock::with_charge_tag(tag, || {
+                // Awkward decimals again: exactness must come from fold order.
+                clock.charge(CostCategory::SpecializedInference, 0.1 + i as f64 * 1e-7);
+                clock.charge(CostCategory::Detection, 0.3 + i as f64 * 1e-9);
+            });
+        }
+        let expected = span_tags
+            .iter()
+            .map(|&t| clock.breakdown_for(t))
+            .fold(CostBreakdown::default(), |acc, b| acc.plus(&b));
+        for &tag in &span_tags {
+            clock.merge_tag(tag, 7);
+        }
+        let merged = clock.breakdown_for(7);
+        for category in CostCategory::ALL {
+            assert_eq!(merged.get(category), expected.get(category), "{}", category.label());
+        }
+        assert_eq!(clock.charged_tags(), vec![7], "merged tags are removed");
+
+        // Merging an uncharged tag, or a tag into itself, changes nothing.
+        clock.merge_tag(999, 7);
+        clock.merge_tag(7, 7);
+        assert_eq!(clock.breakdown_for(7), merged);
+        assert_eq!(clock.charged_tags(), vec![7]);
     }
 
     /// The satellite invariant: per-tag ledgers sum to the global clock

@@ -211,6 +211,11 @@ pub struct Query {
     /// Whether the query was prefixed with `EXPLAIN`: the engine renders the chosen
     /// plan instead of executing it (and charges nothing to the simulated clock).
     pub explain: bool,
+    /// Whether the query was prefixed with `EXPLAIN ANALYZE` (implies
+    /// `explain`): the engine *executes* the query under a trace collector and
+    /// renders the actual span tree — per-stage wall time, simulated cost, and
+    /// call counts — instead of just the chosen plan.
+    pub analyze: bool,
     /// The `SELECT` list.
     pub select: Vec<SelectItem>,
     /// The videos (relations) the query spans.
@@ -302,6 +307,7 @@ mod tests {
     fn select_helpers() {
         let q = Query {
             explain: false,
+            analyze: false,
             select: vec![SelectItem::Star],
             from: FromClause::single("taipei"),
             where_clause: None,

@@ -3,7 +3,7 @@
 //! The grammar (informally):
 //!
 //! ```text
-//! statement  := [EXPLAIN] query
+//! statement  := [EXPLAIN [ANALYZE]] query
 //! query      := SELECT select_list FROM from_clause
 //!               [WHERE expr] [GROUP BY ident (, ident)*] [HAVING expr]
 //!               [constraint]* [LIMIT number [GAP number]] [constraint]*
@@ -156,6 +156,9 @@ impl Parser<'_> {
 
     fn parse_query(&mut self) -> Result<Query> {
         let explain = self.accept_keyword("EXPLAIN");
+        // ANALYZE is only a keyword directly after EXPLAIN (it stays a valid
+        // video or column name everywhere else).
+        let analyze = explain && self.accept_keyword("ANALYZE");
         self.expect_keyword("SELECT")?;
         let select = self.parse_select_list()?;
         self.expect_keyword("FROM")?;
@@ -259,6 +262,7 @@ impl Parser<'_> {
 
         Ok(Query {
             explain,
+            analyze,
             select,
             from,
             where_clause,
@@ -614,13 +618,36 @@ mod tests {
         )
         .unwrap();
         assert!(q.explain);
+        assert!(!q.analyze);
         assert_eq!(q.select, vec![SelectItem::FCount]);
         assert_eq!(q.from.as_single(), Some("taipei"));
         let plain = parse_query("SELECT * FROM taipei").unwrap();
         assert!(!plain.explain);
+        assert!(!plain.analyze);
         // EXPLAIN must be followed by a full query.
         assert!(parse_query("EXPLAIN").is_err());
         assert!(parse_query("EXPLAIN EXPLAIN SELECT * FROM taipei").is_err());
+    }
+
+    #[test]
+    fn parse_explain_analyze_prefix() {
+        let q = parse_query(
+            "EXPLAIN ANALYZE SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1",
+        )
+        .unwrap();
+        assert!(q.explain && q.analyze, "ANALYZE implies EXPLAIN");
+        assert_eq!(q.select, vec![SelectItem::FCount]);
+        // Case-insensitive like every keyword.
+        let q = parse_query("explain analyze select * from taipei").unwrap();
+        assert!(q.explain && q.analyze);
+        // ANALYZE is only a keyword after EXPLAIN: elsewhere it stays a name.
+        let q = parse_query("SELECT analyze FROM analyze").unwrap();
+        assert!(!q.explain && !q.analyze);
+        assert_eq!(q.from.as_single(), Some("analyze"));
+        // ANALYZE without EXPLAIN, or with nothing after it, is malformed.
+        assert!(parse_query("ANALYZE SELECT * FROM taipei").is_err());
+        assert!(parse_query("EXPLAIN ANALYZE").is_err());
+        assert!(parse_query("EXPLAIN ANALYZE ANALYZE SELECT * FROM taipei").is_err());
     }
 
     #[test]

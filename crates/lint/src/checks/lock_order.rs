@@ -24,7 +24,7 @@ use crate::model::{signature_matches, Event, Function, Receiver};
 
 const CODE: &str = "lock-order";
 
-/// Renders the documented order (`monitor → live_index → nn_cache → video`).
+/// Renders the documented order (`admission → … → video → obs_trace`).
 pub fn documented_order() -> String {
     RANKED_LOCKS.iter().map(|l| l.name).collect::<Vec<_>>().join(" → ")
 }
@@ -74,6 +74,13 @@ impl<'a> CrateGraph<'a> {
     fn resolve(&self, caller: usize, event: &Event) -> Vec<usize> {
         let Event::Call { path, receiver, nargs, .. } = event else { return Vec::new() };
         let Some(callee) = path.last() else { return Vec::new() };
+        // A call spelled `drop(x)` is always `std::mem::drop` — the language
+        // rejects direct `Drop::drop` calls — so resolving it to the crate's
+        // `Drop` impls would fabricate edges into destructors (the walker
+        // separately interprets `drop(binding)` as releasing a held guard).
+        if callee == "drop" {
+            return Vec::new();
+        }
         let Some(targets) = self.by_name.get(callee.as_str()) else { return Vec::new() };
         let compatible: Vec<usize> = targets
             .iter()

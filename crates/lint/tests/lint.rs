@@ -9,8 +9,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use blazeit_core::lockorder::{
-    RANKED_LOCKS, RANK_ADMISSION, RANK_LIVE_INDEX, RANK_MONITOR, RANK_NN_CACHE, RANK_SERVE_CACHE,
-    RANK_SERVE_SLOT, RANK_VIDEO,
+    RANKED_LOCKS, RANK_ADMISSION, RANK_LIVE_INDEX, RANK_MONITOR, RANK_NN_CACHE, RANK_OBS_TRACE,
+    RANK_SERVE_CACHE, RANK_SERVE_SLOT, RANK_VIDEO,
 };
 use blazeit_lint::checks::lock_order::rank_const_name;
 use blazeit_lint::model::Event;
@@ -210,6 +210,11 @@ fn rank_table_is_single_source_of_truth() {
     assert_eq!(RANK_LIVE_INDEX, by_name("live_index"));
     assert_eq!(RANK_NN_CACHE, by_name("nn_cache"));
     assert_eq!(RANK_VIDEO, by_name("video"));
+    // The trace-collector lock ranks *above* every other lock: spans open and
+    // close under arbitrary engine locks, and the collector never acquires
+    // anything while its lock is held.
+    assert_eq!(RANK_OBS_TRACE, by_name("obs_trace"));
+    assert!(by_name("video") < by_name("obs_trace"), "obs_trace must rank above every engine lock");
 
     let root = repo_root();
     let mut call_sites = 0usize;

@@ -21,11 +21,51 @@
 //! have all finished.
 
 use blazeit_detect::SimClock;
-use blazeit_videostore::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use blazeit_videostore::sync::{AtomicU64, Condvar, Mutex, MutexGuard, OnceLock, Ordering};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Worker threads in the pool (0 until the pool has spawned on first use;
+/// reading this never forces the spawn).
+static POOL_WORKERS: AtomicU64 = AtomicU64::new(0);
+/// Jobs queued onto the shared channel by [`WorkerPool::submit`].
+static JOBS_SUBMITTED: AtomicU64 = AtomicU64::new(0);
+/// Jobs dequeued and run by dedicated worker threads.
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Jobs stolen off the queue and run inline by a cooperatively waiting
+/// submitter.
+static JOBS_STOLEN: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the pool's lifetime counters, for the metrics registry.
+///
+/// `submitted` counts queued jobs only — each `run_scoped` call's first task
+/// runs inline on the caller and is deliberately not counted. A submitted job
+/// ends up either `executed` (by a dedicated worker) or `stolen` (by a waiting
+/// submitter); the difference `submitted - executed - stolen` is the queue's
+/// instantaneous depth plus jobs mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Dedicated worker threads (0 before first pool use).
+    pub workers: u64,
+    /// Jobs queued onto the shared channel.
+    pub submitted: u64,
+    /// Jobs run by dedicated worker threads.
+    pub executed: u64,
+    /// Jobs stolen and run inline by waiting submitters.
+    pub stolen: u64,
+}
+
+/// Reads the pool's lifetime counters without forcing the pool to spawn.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        workers: POOL_WORKERS.load(Ordering::Relaxed),
+        submitted: JOBS_SUBMITTED.load(Ordering::Relaxed),
+        executed: JOBS_EXECUTED.load(Ordering::Relaxed),
+        stolen: JOBS_STOLEN.load(Ordering::Relaxed),
+    }
+}
 
 /// A unit of work shipped to the pool. The `'static` bound is produced by an unsafe
 /// lifetime extension in the private `run_scoped` entry point, which is sound
@@ -62,11 +102,13 @@ impl WorkerPool {
                     // unrecoverable resource exhaustion at first use.
                     .expect("spawning a pool worker");
             }
+            POOL_WORKERS.store(workers as u64, Ordering::Relaxed);
             WorkerPool { sender: Mutex::new(sender), receiver, workers }
         })
     }
 
     fn submit(&self, job: Job) {
+        JOBS_SUBMITTED.fetch_add(1, Ordering::Relaxed);
         // The sync-shim lock ignores poisoning: a panic inside `send` does not
         // leave the channel in a broken state, so future submissions keep going.
         let sender = self.sender.lock();
@@ -86,7 +128,10 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
         // Hold the lock only while dequeuing, never while running a job.
         let job = receiver.lock().recv();
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                job();
+                JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+            }
             Err(_) => return, // Channel closed: process is shutting down.
         }
     }
@@ -152,6 +197,7 @@ impl Latch {
             }
             if let Some(job) = steal() {
                 job();
+                JOBS_STOLEN.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             // Nothing to steal right now: block briefly on the condvar. The timeout
@@ -554,6 +600,22 @@ mod tests {
             .collect();
         let sums: u64 = par_run_caught(good).into_iter().map(|r| r.unwrap()).sum();
         assert_eq!(sums, (1..=16).sum::<u64>());
+    }
+
+    #[test]
+    fn pool_stats_accounts_for_queued_work() {
+        let before = pool_stats();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + 'static>> = (0..32u64)
+            .map(|i| Box::new(move || i) as Box<dyn FnOnce() -> u64 + Send + 'static>)
+            .collect();
+        let results = par_run(tasks);
+        assert_eq!(results.len(), 32);
+        let after = pool_stats();
+        // The first task ran inline (never counted); the other 31 were queued.
+        // Executed/stolen tallies land just after each job body, so they can
+        // lag the latch — only the submission count is exact here.
+        assert!(after.submitted >= before.submitted + 31);
+        assert_eq!(after.workers as usize, WorkerPool::global().workers);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! that).
 //!
 //! [`Mutex::ranked`] enrolls a lock in the documented
-//! `admission → serve_cache → serve_slot → monitor → live_index → nn_cache → video` hierarchy; ranks are inert here
+//! `admission → serve_cache → serve_slot → monitor → live_index → nn_cache → video → obs_trace` hierarchy; ranks are inert here
 //! in normal builds (the debug tracker in `blazeit_core::lockorder` still
 //! asserts order at `lock_ordered` call sites) and become a hard oracle under
 //! the model: any schedule that acquires out of order fails with the exact

@@ -13,7 +13,9 @@
 //! ```
 //!
 //! Commands: a FrameQL query (anything not listed below), `PING`, `STATS`,
-//! `SHUTDOWN` (acknowledges, then drains every open connection and exits).
+//! `METRICS` (the process-wide registry in Prometheus text exposition format,
+//! JSON-escaped onto one line), `SHUTDOWN` (acknowledges, then drains every
+//! open connection and exits).
 //! On startup the server prints `listening on 127.0.0.1:<port>` to stdout.
 
 use blazeit::core::sync::{AtomicU64, Mutex, Ordering};
@@ -99,6 +101,13 @@ fn render_result(result: &QueryResult) -> String {
             "{{\"ok\":true,\"kind\":\"explain\",\"plan\":\"{}\"}}",
             json_escape(&plan.to_string())
         ),
+        QueryOutput::ExplainAnalyze { plan, trace } => format!(
+            "{{\"ok\":true,\"kind\":\"explain_analyze\",\"plan\":\"{}\",\"trace\":\"{}\",\
+             \"detection_calls\":{},{common}}}",
+            json_escape(&plan.to_string()),
+            json_escape(&trace.to_string()),
+            result.output.detection_calls(),
+        ),
     }
 }
 
@@ -121,8 +130,18 @@ fn render_error(err: &BlazeItError) -> String {
 fn render_stats(stats: &ServeStats) -> String {
     format!(
         "{{\"ok\":true,\"kind\":\"stats\",\"hits\":{},\"misses\":{},\"coalesced\":{},\
-         \"evicted\":{},\"invalidated\":{}}}",
-        stats.hits, stats.misses, stats.coalesced, stats.evicted, stats.invalidated
+         \"evicted\":{},\"invalidated\":{},\"queued\":{}}}",
+        stats.hits, stats.misses, stats.coalesced, stats.evicted, stats.invalidated, stats.queued
+    )
+}
+
+/// The metrics registry as one JSON line wrapping the Prometheus text
+/// exposition (the line protocol has no multi-line responses, so the
+/// exposition travels escaped; clients unescape to get scrape-ready text).
+fn render_metrics() -> String {
+    format!(
+        "{{\"ok\":true,\"kind\":\"metrics\",\"exposition\":\"{}\"}}",
+        json_escape(&blazeit::core::obs::prometheus_exposition())
     )
 }
 
@@ -165,6 +184,7 @@ fn serve_client(shared: &Shared, stream: TcpStream) {
         let response = match command {
             "PING" => "{\"ok\":true,\"kind\":\"pong\"}".to_string(),
             "STATS" => render_stats(&shared.server.stats()),
+            "METRICS" => render_metrics(),
             "SHUTDOWN" => "{\"ok\":true,\"kind\":\"shutdown\"}".to_string(),
             sql => match session.query(sql) {
                 Ok(result) => render_result(&result),

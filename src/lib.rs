@@ -62,10 +62,10 @@ pub mod prelude {
         baselines, AggregateMethod, BlazeIt, BlazeItConfig, BlazeItError, CacheStatus, CacheWarmth,
         Catalog, DriftConfig, HealthReport, HealthState, IndexStore, IngestReport, LabeledSet,
         MergeSemantics, PlanStrategy, PreparedQuery, QueryOutput, QueryPlan, QueryResult,
-        RefreshReport, RefreshState, RetrainHealth, RetryPolicy, RewriteDecision, ServeConfig,
-        ServeStats, Server, ServerSession, Session, SourcedFrame, SourcedRow, StoreError,
-        StreamSource, StreamStatus, StreamUpdate, Subscription, VideoAggregate, VideoContext,
-        VideoPlan,
+        QueryTrace, RefreshReport, RefreshState, RetrainHealth, RetryPolicy, RewriteDecision,
+        ServeConfig, ServeStats, Server, ServerSession, Session, SourcedFrame, SourcedRow,
+        StoreError, StreamSource, StreamStatus, StreamUpdate, Subscription, TraceSpan,
+        VideoAggregate, VideoContext, VideoPlan,
     };
     pub use blazeit_detect::{DetectionMethod, ObjectDetector, SimClock, SimulatedDetector};
     pub use blazeit_frameql::{parse_query, Query, Value};

@@ -163,3 +163,96 @@ fn simulated_detection_is_idempotent_per_frame() {
         );
     }
 }
+
+// ------------------------------------------------------------------ tracing -----
+// `EXPLAIN ANALYZE` runs the whole query under a trace collector, so these
+// properties execute real plans. The `proptest!` macro runs a fixed 64 cases —
+// far too many for tests that each build a catalog and execute a query — so
+// they drive the same deterministic generator directly over a few cases.
+
+/// The exactness contract: the per-span simulated costs of an
+/// `EXPLAIN ANALYZE` trace sum — bitwise, not within an epsilon — to the
+/// clock's ledger delta, and `QueryResult::cost` is that same sum.
+#[test]
+fn explain_analyze_costs_sum_exactly_to_the_ledger() {
+    use blazeit::detect::clock::CostCategory;
+    let strategy = (0.2f64..0.5, prop::sample::select(vec!["car", "bus"]));
+    for case in 0..4 {
+        let mut rng = proptest::TestRng::deterministic("explain_analyze_costs", case);
+        let (error, class) = Strategy::generate(&strategy, &mut rng);
+        let catalog = Catalog::new();
+        catalog.register_preset(DatasetPreset::Taipei, 300).unwrap();
+        let sql = format!(
+            "EXPLAIN ANALYZE SELECT FCOUNT(*) FROM taipei WHERE class = '{class}' \
+             ERROR WITHIN {error} AT CONFIDENCE 90%"
+        );
+        let result = catalog.session().query(&sql).unwrap();
+        let trace = result.output.analyze_trace().expect("analyze attaches a trace");
+        let total = trace.total_cost();
+        // The collector merged every span ledger back into the ambient tag, so
+        // the clock's global breakdown is the identical fold.
+        let ledger = catalog.clock().breakdown();
+        for category in CostCategory::ALL {
+            assert_eq!(
+                total.get(category).to_bits(),
+                ledger.get(category).to_bits(),
+                "category {} diverged: trace {} vs ledger {}",
+                category.label(),
+                total.get(category),
+                ledger.get(category)
+            );
+            assert_eq!(
+                total.get(category).to_bits(),
+                result.cost.get(category).to_bits(),
+                "result.cost must be the trace total in category {}",
+                category.label()
+            );
+        }
+        assert!(
+            catalog.clock().charged_tags().iter().all(|&t| t < 1 << 48),
+            "no span tag may survive assembly: {:?}",
+            catalog.clock().charged_tags()
+        );
+    }
+}
+
+/// The rendered `EXPLAIN ANALYZE` text is a faithful view of the attached
+/// trace: one line per span (plus header and total), every label present,
+/// and the total line quotes `QueryTrace::total_cost`.
+#[test]
+fn explain_analyze_rendering_matches_the_attached_trace() {
+    let strategy = (1u64..4, 0.25f64..0.5);
+    for case in 0..3 {
+        let mut rng = proptest::TestRng::deterministic("explain_analyze_rendering", case);
+        let (limit, error) = Strategy::generate(&strategy, &mut rng);
+        let catalog = Catalog::new();
+        catalog.register_preset(DatasetPreset::Amsterdam, 300).unwrap();
+        let session = catalog.session();
+        let sql = format!(
+            "EXPLAIN ANALYZE SELECT timestamp FROM amsterdam GROUP BY timestamp \
+             HAVING SUM(class='car')>=1 ERROR WITHIN {error} LIMIT {limit} GAP 50"
+        );
+        let result = session.query(&sql).unwrap();
+        let trace = result.output.analyze_trace().expect("analyze attaches a trace");
+        assert!(result.output.explain_plan().is_some(), "analyze keeps the plan");
+        let rendered = trace.to_string();
+        assert!(rendered.starts_with("EXPLAIN ANALYZE"));
+        assert_eq!(
+            rendered.lines().count(),
+            trace.spans.len() + 2,
+            "header + one line per span + total:\n{rendered}"
+        );
+        for span in &trace.spans {
+            assert!(rendered.contains(&span.label), "span {:?} missing:\n{rendered}", span.label);
+        }
+        let total_line = rendered.lines().last().unwrap();
+        assert!(
+            total_line.contains(&format!(
+                "{:.6} simulated seconds over {} spans",
+                trace.total_cost().total(),
+                trace.spans.len()
+            )),
+            "total line must quote total_cost: {total_line}"
+        );
+    }
+}

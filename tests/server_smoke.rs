@@ -64,6 +64,33 @@ fn json_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
     Some(rest[..end].trim_matches('"'))
 }
 
+/// Extracts and unescapes a JSON *string* field whose value may contain any
+/// escaped character (`json_field` above stops at the first `,`/`}`, which
+/// multi-line payloads like the trace and the metrics exposition contain).
+fn json_string_field(line: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&code, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
 const QUERY: &str =
     "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.25 AT CONFIDENCE 90%";
 
@@ -127,6 +154,50 @@ fn concurrent_clients_get_identical_answers_and_clean_shutdown() {
         json_field(&stats, "coalesced").and_then(|v| v.parse().ok()).expect("coalesced");
     assert_eq!(misses, 1, "identical queries must compute once: {stats}");
     assert_eq!(hits + coalesced, 7, "the other seven attach or hit: {stats}");
+    let queued: u64 = json_field(&stats, "queued").and_then(|v| v.parse().ok()).expect("queued");
+    assert_eq!(queued, 0, "no query is waiting for admission at rest: {stats}");
+
+    // EXPLAIN ANALYZE over the wire: executes the query and returns both the
+    // plan and the rendered span tree.
+    let analyzed = roundtrip(&mut probe, &format!("EXPLAIN ANALYZE {QUERY}"));
+    assert_eq!(json_field(&analyzed, "ok"), Some("true"), "{analyzed}");
+    assert_eq!(json_field(&analyzed, "kind"), Some("explain_analyze"), "{analyzed}");
+    let trace = json_string_field(&analyzed, "trace").expect("trace field");
+    assert!(trace.starts_with("EXPLAIN ANALYZE"), "trace must render the span tree: {trace}");
+    for stage in ["parse", "plan", "admission wait", "total:"] {
+        assert!(trace.contains(stage), "trace must include the {stage:?} stage: {trace}");
+    }
+
+    // METRICS: the Prometheus exposition arrives JSON-escaped on one line and
+    // must cross-check against the STATS the storm produced above.
+    let metrics = roundtrip(&mut probe, "METRICS");
+    assert_eq!(json_field(&metrics, "kind"), Some("metrics"), "{metrics}");
+    let exposition = json_string_field(&metrics, "exposition").expect("exposition field");
+    for family in [
+        "blazeit_serving_cache_hits_total",
+        "blazeit_serving_cache_misses_total",
+        "blazeit_serving_coalesced_total",
+        "blazeit_serving_queries_total",
+        "blazeit_serving_admission_wait_seconds",
+        "blazeit_serving_admission_queue_depth",
+        "blazeit_stream_frames_ingested_total",
+        "blazeit_store_reads_total",
+        "blazeit_pool_workers",
+    ] {
+        assert!(
+            exposition.contains(&format!("# TYPE {family} ")),
+            "exposition missing family {family}:\n{exposition}"
+        );
+    }
+    assert!(
+        exposition.contains("blazeit_serving_cache_misses_total 1"),
+        "registry must agree with STATS (one miss):\n{exposition}"
+    );
+    // Valid text exposition: every non-comment line is `name[{labels}] value`.
+    for line in exposition.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (_, value) = line.rsplit_once(' ').expect("metric lines carry a value");
+        assert!(value.parse::<f64>().is_ok(), "non-numeric value in line: {line}");
+    }
 
     // Graceful shutdown: the command is acknowledged, the process exits 0.
     assert_eq!(roundtrip(&mut probe, "SHUTDOWN"), "{\"ok\":true,\"kind\":\"shutdown\"}");
